@@ -1,0 +1,85 @@
+"""Figure 2 — objective vs. iterations: CD / accCD / BCD / accBCD and
+their SA variants with very large s, on leu / covtype / news20.
+
+Success criteria (paper §IV-A): (a) larger block sizes converge faster
+per iteration than mu = 1; (b) the SA curves *overlay* the classical
+curves — no convergence or stability change even at s in the hundreds.
+The paper uses s = 1000; we use s = 500 for mu = 1 and s = 125 for
+mu = 8 so the (s*mu)^2 Gram stays laptop-sized — the stability point is
+identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import banner, report
+from repro.experiments.runner import load_scaled, run_lasso
+from repro.solvers.objectives import lambda_max
+from repro.utils.tables import format_series
+
+#: (dataset, H, mu-for-BCD) — iteration budgets scaled to stand-in size
+CASES = [("leu", 800, 8), ("covtype", 400, 8), ("news20", 600, 8)]
+
+RECORD = 25
+
+
+def _curves(name: str, H: int, mu_bcd: int):
+    ds = load_scaled(name, target_cells=20_000.0, seed=0)
+    # The paper uses lambda = 100 sigma_min, which presumes the nearly
+    # singular spectra of the real datasets; our stand-ins are
+    # well-conditioned, so a fixed fraction of lambda_max reproduces the
+    # intended regime (sparse solution, visible convergence).
+    lam = 0.1 * lambda_max(ds.A, ds.b)
+    s_cd, s_bcd = min(500, H), min(125, H)
+    runs = {
+        "cd": run_lasso(ds, "cd", max_iter=H, record_every=RECORD, seed=1, lam=lam),
+        "sa-cd": run_lasso(ds, "sa-cd", s=s_cd, max_iter=H,
+                           record_every=RECORD, seed=1, lam=lam),
+        "acccd": run_lasso(ds, "acccd", max_iter=H, record_every=RECORD, seed=1, lam=lam),
+        "sa-acccd": run_lasso(ds, "sa-acccd", s=s_cd, max_iter=H,
+                              record_every=RECORD, seed=1, lam=lam),
+        "bcd": run_lasso(ds, "bcd", mu=mu_bcd, max_iter=H,
+                         record_every=RECORD, seed=1, lam=lam),
+        "sa-bcd": run_lasso(ds, "sa-bcd", mu=mu_bcd, s=s_bcd, max_iter=H,
+                            record_every=RECORD, seed=1, lam=lam),
+        "accbcd": run_lasso(ds, "accbcd", mu=mu_bcd, max_iter=H,
+                            record_every=RECORD, seed=1, lam=lam),
+        "sa-accbcd": run_lasso(ds, "sa-accbcd", mu=mu_bcd, s=s_bcd,
+                               max_iter=H, record_every=RECORD, seed=1, lam=lam),
+    }
+    return ds, lam, runs
+
+
+def fig2():
+    out = {}
+    for name, H, mu in CASES:
+        ds, lam, runs = _curves(name, H, mu)
+        banner(f"Figure 2 ({name}) — objective vs iterations "
+               f"(lambda = 0.1 lambda_max = {lam:.4g})")
+        for label in ("cd", "accbcd"):
+            h = runs[label].history
+            report(format_series(f"{name}/{label}", h.iterations, h.metric,
+                                 "iteration", "objective", max_points=8))
+        rows = []
+        for label, res in runs.items():
+            rows.append(f"  {label:>10s}: final objective {res.final_metric:.8g}")
+        report("\n".join(rows))
+        out[name] = runs
+    return out
+
+
+def test_fig2_convergence(benchmark):
+    all_runs = benchmark.pedantic(fig2, rounds=1, iterations=1)
+    for name, runs in all_runs.items():
+        # (a) block methods beat mu=1 per iteration (paper's observation)
+        assert runs["bcd"].final_metric <= runs["cd"].final_metric * 1.05
+        # (b) SA overlays classical: identical histories to ~machine precision
+        for base in ("cd", "acccd", "bcd", "accbcd"):
+            h0 = np.asarray(runs[base].history.metric)
+            h1 = np.asarray(runs["sa-" + base].history.metric)
+            assert np.allclose(h0, h1, rtol=1e-9)
+        # (c) everything converged somewhere below the starting objective
+        for res in runs.values():
+            assert res.final_metric < res.history.metric[0]

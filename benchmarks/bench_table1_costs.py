@@ -1,0 +1,79 @@
+"""Table I — theoretical F / M / L / W costs, accBCD vs SA-accBCD.
+
+Regenerates the paper's cost table with our implementation's constants
+and *verifies the L and W columns against tracer-measured counts* from a
+real solver run (the measured columns must match the formulas exactly —
+this is the contract behind the whole SA argument).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import banner, report
+from repro.datasets.synthetic import make_sparse_regression
+from repro.experiments.theory import accbcd_costs
+from repro.machine.spec import CRAY_XC30
+from repro.mpi.virtual_backend import VirtualComm
+from repro.solvers.lasso import acc_bcd, sa_acc_bcd
+from repro.utils.tables import format_table
+
+H, MU, P = 64, 4, 1024
+M_ROWS, N_COLS, DENSITY = 400, 120, 0.2
+
+
+def _run_measured(s: int):
+    A, b, _ = make_sparse_regression(M_ROWS, N_COLS, density=DENSITY, seed=0)
+    f = A.nnz / (M_ROWS * N_COLS)
+    comm = VirtualComm(P, machine=CRAY_XC30)
+    if s == 1:
+        acc_bcd(A, b, 0.5, mu=MU, max_iter=H, seed=0, comm=comm, record_every=0)
+    else:
+        sa_acc_bcd(A, b, 0.5, mu=MU, s=s, max_iter=H, seed=0, comm=comm,
+                   record_every=0)
+    return comm.ledger, f
+
+
+def table1(s_sa: int = 8):
+    rows = []
+    checks = []
+    for label, s in (("accBCD", 1), (f"SA-accBCD (s={s_sa})", s_sa)):
+        ledger, f = _run_measured(s)
+        pred = accbcd_costs(H=H, mu=MU, f=f, m=M_ROWS, n=N_COLS, P=P, s=s)
+        rows.append(
+            [
+                label,
+                f"{pred.flops:.3g}",
+                f"{pred.memory:.3g}",
+                f"{pred.latency}",
+                f"{pred.bandwidth:.6g}",
+                f"{ledger.messages}",
+                f"{ledger.words:.6g}",
+            ]
+        )
+        checks.append((ledger, pred))
+    banner(
+        f"Table I — theoretical costs (H={H}, mu={MU}, P={P}, "
+        f"m={M_ROWS}, n={N_COLS}, f={DENSITY})"
+    )
+    report(
+        format_table(
+            ["Algorithm", "Ops F", "Memory M", "Latency L (model)",
+             "Bandwidth W (model)", "L (measured)", "W (measured)"],
+            rows,
+        )
+    )
+    return checks
+
+
+def test_table1_costs(benchmark):
+    checks = benchmark.pedantic(table1, rounds=1, iterations=1)
+    (led_base, pred_base), (led_sa, pred_sa) = checks
+    # measured == model, exactly
+    assert led_base.messages == pred_base.latency
+    assert led_base.words == pytest.approx(pred_base.bandwidth)
+    assert led_sa.messages == pred_sa.latency
+    assert led_sa.words == pytest.approx(pred_sa.bandwidth)
+    # the paper's headline tradeoff: L / s, W * O(s)
+    assert led_base.messages == 8 * led_sa.messages
+    assert led_sa.words > led_base.words

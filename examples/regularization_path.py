@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Lasso regularization path with warm-started SA-accBCD.
+
+The workload the paper's introduction motivates: high-dimensional sparse
+feature selection. We trace the solution path over a geometric grid of
+lambda values, warm-starting each solve from the previous solution, and
+show how the selected support grows as lambda decreases — with every
+solve running the synchronization-avoiding solver.
+
+Run:  python examples/regularization_path.py
+"""
+
+import numpy as np
+
+from repro import fit_lasso
+from repro.datasets import make_sparse_regression
+from repro.solvers.objectives import lambda_max
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    A, b, x_true = make_sparse_regression(
+        1500, 400, density=0.08, k_nonzero=12, noise=0.02, seed=11
+    )
+    lam_hi = lambda_max(A, b)
+    lams = lam_hi * np.geomspace(0.5, 0.005, 10)
+    true_support = set(np.flatnonzero(x_true).tolist())
+    print(f"problem: A {A.shape}, ||A^T b||_inf = {lam_hi:.4g}, "
+          f"|true support| = {len(true_support)}")
+
+    rows = []
+    x_warm = None
+    total_iters = 0
+    for lam in lams:
+        res = fit_lasso(A, b, lam=float(lam), solver="sa-accbcd", mu=8, s=16,
+                        max_iter=600, seed=0, x0=x_warm, tol=1e-8,
+                        record_every=25)
+        x_warm = res.x
+        total_iters += res.iterations
+        support = np.flatnonzero(np.abs(res.x) > 1e-8)
+        hit = len(set(support.tolist()) & true_support)
+        rows.append(
+            [
+                f"{lam:.4g}",
+                f"{lam / lam_hi:.3f}",
+                res.iterations,
+                len(support),
+                f"{hit}/{len(true_support)}",
+                f"{res.final_metric:.6g}",
+            ]
+        )
+    print()
+    print(format_table(
+        ["lambda", "lambda/lambda_max", "iters", "|support|",
+         "true features", "objective"],
+        rows,
+        title="Lasso path (warm-started SA-accBCD, mu=8, s=16)",
+    ))
+    print(f"\ntotal iterations across the path: {total_iters}")
+    print("note how warm starts shrink the per-lambda iteration count "
+          "as the path progresses.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,242 @@
+"""Command-line interface.
+
+Four subcommands cover the library's workflows:
+
+* ``repro lasso``   — solve a Lasso problem (registry stand-in or LIBSVM file);
+* ``repro svm``     — train a linear SVM the same way;
+* ``repro scaling`` — Fig.-4-style strong-scaling study;
+* ``repro plan``    — recommend the unrolling parameter s from the
+  analytic Table-I model.
+
+Examples
+--------
+::
+
+    python -m repro.cli lasso --dataset covtype --solver sa-accbcd --s 16
+    python -m repro.cli svm --file data.svm --loss l2 --s 64 --tol 1e-2
+    python -m repro.cli scaling --dataset url --ps 3072,6144,12288 --s 32
+    python -m repro.cli plan --dataset covtype --p 3072
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.datasets.libsvm import load_libsvm
+from repro.datasets.registry import PAPER_DATASETS
+from repro.errors import ReproError
+from repro.experiments.runner import (
+    LASSO_SOLVERS,
+    SVM_SOLVERS,
+    load_scaled,
+    run_lasso,
+    run_svm,
+    speedup_vs_s,
+    strong_scaling,
+)
+from repro.experiments.theory import best_s
+from repro.machine.spec import get_machine
+from repro.solvers.objectives import lambda_max
+from repro.solvers.serialization import save_result
+from repro.utils.tables import format_series, format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_data_args(p: argparse.ArgumentParser) -> None:
+    src = p.add_mutually_exclusive_group(required=True)
+    src.add_argument("--dataset", choices=sorted(PAPER_DATASETS),
+                     help="paper dataset (synthetic stand-in)")
+    src.add_argument("--file", help="LIBSVM-format data file")
+    p.add_argument("--cells", type=float, default=30_000.0,
+                   help="stand-in size budget m*n (registry datasets)")
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _add_model_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--p", type=int, default=1, help="virtual processor count")
+    p.add_argument("--machine", default="cray-xc30",
+                   help="machine preset: cray-xc30 | commodity | spark-like")
+    p.add_argument("--save", help="write the SolverResult as JSON here")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Synchronization-avoiding first-order solvers "
+                    "(Devarakonda et al., IPDPS 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lasso = sub.add_parser("lasso", help="solve a Lasso problem")
+    _add_data_args(lasso)
+    _add_model_args(lasso)
+    lasso.add_argument("--solver", default="sa-accbcd",
+                       choices=sorted(LASSO_SOLVERS))
+    lasso.add_argument("--mu", type=int, default=8)
+    lasso.add_argument("--s", type=int, default=16)
+    lasso.add_argument("--max-iter", type=int, default=500)
+    lasso.add_argument("--lam", type=float, default=None,
+                       help="L1 penalty (default: 0.1 * lambda_max)")
+    lasso.add_argument("--record-every", type=int, default=50)
+
+    svm = sub.add_parser("svm", help="train a linear SVM")
+    _add_data_args(svm)
+    _add_model_args(svm)
+    svm.add_argument("--solver", default="sa-svm-l1",
+                     choices=sorted(SVM_SOLVERS))
+    svm.add_argument("--loss", default=None, choices=["l1", "l2"],
+                     help="override the loss implied by --solver")
+    svm.add_argument("--s", type=int, default=64)
+    svm.add_argument("--lam", type=float, default=1.0)
+    svm.add_argument("--max-iter", type=int, default=5000)
+    svm.add_argument("--tol", type=float, default=None,
+                     help="duality-gap stopping tolerance")
+    svm.add_argument("--record-every", type=int, default=500)
+
+    scaling = sub.add_parser("scaling", help="strong-scaling study (Fig. 4)")
+    _add_data_args(scaling)
+    scaling.add_argument("--solver", default="acccd",
+                         choices=[k for k in LASSO_SOLVERS if not k.startswith("sa-")])
+    scaling.add_argument("--ps", default="768,1536,3072",
+                         help="comma-separated processor counts")
+    scaling.add_argument("--s", type=int, default=16)
+    scaling.add_argument("--mu", type=int, default=1)
+    scaling.add_argument("--max-iter", type=int, default=256)
+    scaling.add_argument("--machine", default="cray-xc30")
+
+    plan = sub.add_parser("plan", help="recommend s from the Table-I model")
+    plan.add_argument("--dataset", choices=sorted(PAPER_DATASETS), required=True)
+    plan.add_argument("--p", type=int, required=True)
+    plan.add_argument("--mu", type=int, default=1)
+    plan.add_argument("--h", type=int, default=1000)
+    plan.add_argument("--machine", default="cray-xc30")
+
+    return parser
+
+
+def _load_problem(args):
+    if args.dataset:
+        ds = load_scaled(args.dataset, target_cells=args.cells, seed=args.seed)
+        return ds
+    A, b = load_libsvm(args.file)
+    from repro.experiments.runner import ScaledDataset
+    from repro.utils.validation import nnz_of
+
+    return ScaledDataset(
+        name=args.file, A=A, b=b, x_true=None,
+        paper_nnz=float(nnz_of(A)), actual_nnz=float(nnz_of(A)),
+        m_full=A.shape[0], n_full=A.shape[1],
+        task="lasso",
+    )
+
+
+def _cmd_lasso(args) -> int:
+    ds = _load_problem(args)
+    lam = args.lam if args.lam is not None else 0.1 * lambda_max(ds.A, ds.b)
+    res = run_lasso(
+        ds, args.solver, mu=args.mu, s=args.s, max_iter=args.max_iter,
+        P=args.p, machine=get_machine(args.machine), seed=args.seed,
+        record_every=args.record_every, lam=lam,
+    )
+    h = res.history
+    print(format_series(res.solver, h.iterations, h.metric,
+                        "iteration", "objective"))
+    print(f"final objective: {res.final_metric:.8g}  "
+          f"(lambda={lam:.4g}, {res.iterations} iterations)")
+    nz = int(np.count_nonzero(res.x))
+    print(f"solution: {nz}/{res.x.shape[0]} non-zeros")
+    if args.p > 1:
+        print(f"modelled time at P={args.p} on {args.machine}: "
+              f"{res.cost.seconds * 1e3:.4g} ms "
+              f"({res.cost.messages} messages)")
+    if args.save:
+        save_result(args.save, res)
+        print(f"saved to {args.save}")
+    return 0
+
+
+def _cmd_svm(args) -> int:
+    ds = _load_problem(args)
+    solver = args.solver
+    if args.loss:
+        base = "sa-svm" if solver.startswith("sa-") else "svm"
+        solver = f"{base}-{args.loss}"
+    res = run_svm(
+        ds, solver, s=args.s, lam=args.lam, max_iter=args.max_iter,
+        P=args.p, machine=get_machine(args.machine), seed=args.seed,
+        record_every=args.record_every, tol=args.tol,
+    )
+    h = res.history
+    print(format_series(res.solver, h.iterations, h.metric,
+                        "iteration", "duality gap"))
+    status = "converged" if res.converged else "budget exhausted"
+    print(f"final duality gap: {res.final_metric:.6g} "
+          f"({res.iterations} iterations, {status})")
+    if args.p > 1:
+        print(f"modelled time at P={args.p} on {args.machine}: "
+              f"{res.cost.seconds * 1e3:.4g} ms")
+    if args.save:
+        save_result(args.save, res)
+        print(f"saved to {args.save}")
+    return 0
+
+
+def _cmd_scaling(args) -> int:
+    ds = _load_problem(args)
+    Ps = [int(x) for x in args.ps.split(",") if x]
+    machine = get_machine(args.machine)
+    base = strong_scaling(ds, args.solver, Ps, mu=args.mu,
+                          max_iter=args.max_iter, machine=machine, lam=1.0)
+    sa = strong_scaling(ds, "sa-" + args.solver, Ps, s=args.s, mu=args.mu,
+                        max_iter=args.max_iter, machine=machine, lam=1.0)
+    rows = [
+        [p0.P, f"{p0.seconds * 1e3:.4g}", f"{p1.seconds * 1e3:.4g}",
+         f"{p0.seconds / p1.seconds:.2f}x"]
+        for p0, p1 in zip(base, sa)
+    ]
+    print(format_table(
+        ["P", f"{args.solver} (ms)", f"sa-{args.solver} s={args.s} (ms)",
+         "speedup"],
+        rows,
+        title=f"strong scaling on {args.machine} ({args.max_iter} iterations)",
+    ))
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    spec = PAPER_DATASETS[args.dataset]
+    m, n = spec.dims(as_reported=False)
+    machine = get_machine(args.machine)
+    s_star, speedup = best_s(machine, args.h, args.mu, spec.density, m, n,
+                             args.p)
+    print(f"{args.dataset} (m={m:,}, n={n:,}, f={spec.density:.2%}) "
+          f"at P={args.p} on {args.machine}:")
+    print(f"  recommended s = {s_star}  "
+          f"(modelled speedup {speedup:.2f}x over s=1)")
+    return 0
+
+
+_COMMANDS = {
+    "lasso": _cmd_lasso,
+    "svm": _cmd_svm,
+    "scaling": _cmd_scaling,
+    "plan": _cmd_plan,
+}
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

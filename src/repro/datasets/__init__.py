@@ -1,0 +1,40 @@
+"""Dataset substrate: LIBSVM IO, synthetic generators, paper registry."""
+
+from repro.datasets.libsvm import load_libsvm, save_libsvm, loads_libsvm, dumps_libsvm
+from repro.datasets.synthetic import (
+    make_sparse_regression,
+    make_classification,
+    sparse_random_matrix,
+)
+from repro.datasets.preprocess import (
+    scale_rows_unit_norm,
+    scale_columns_max_abs,
+    add_bias_column,
+)
+from repro.datasets.registry import (
+    PaperDataset,
+    PAPER_DATASETS,
+    LASSO_DATASETS,
+    SVM_DATASETS,
+    get_dataset,
+    generate,
+)
+
+__all__ = [
+    "load_libsvm",
+    "save_libsvm",
+    "loads_libsvm",
+    "dumps_libsvm",
+    "make_sparse_regression",
+    "make_classification",
+    "sparse_random_matrix",
+    "scale_rows_unit_norm",
+    "scale_columns_max_abs",
+    "add_bias_column",
+    "PaperDataset",
+    "PAPER_DATASETS",
+    "LASSO_DATASETS",
+    "SVM_DATASETS",
+    "get_dataset",
+    "generate",
+]

@@ -1,0 +1,55 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "CommError",
+    "CommAborted",
+    "RankMismatchError",
+    "PartitionError",
+    "DatasetError",
+    "SolverError",
+    "ConvergenceError",
+    "CostModelError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all :mod:`repro` exceptions."""
+
+
+class CommError(ReproError):
+    """A collective or point-to-point communication call was misused."""
+
+
+class CommAborted(CommError):
+    """A peer rank raised, aborting the collective the caller was in."""
+
+
+class RankMismatchError(CommError):
+    """Ranks disagreed about the collective being executed (SPMD bug)."""
+
+
+class PartitionError(ReproError):
+    """Invalid data partition (empty ranges, overlap, wrong axis...)."""
+
+
+class DatasetError(ReproError):
+    """Dataset could not be parsed, generated, or validated."""
+
+
+class SolverError(ReproError):
+    """Solver received invalid inputs or reached an invalid state."""
+
+
+class ConvergenceError(SolverError):
+    """A solver failed to reach the requested tolerance within budget."""
+
+
+class CostModelError(ReproError):
+    """Machine/cost model was configured or queried inconsistently."""

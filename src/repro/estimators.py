@@ -1,0 +1,174 @@
+"""Scikit-learn-style estimator wrappers.
+
+``SALasso`` and ``SASVMClassifier`` expose the paper's solvers through
+the fit/predict/score conventions downstream ML code expects, without
+depending on scikit-learn itself. Hyper-parameters mirror the paper's
+tuning knobs: block size ``mu``, unrolling ``s``, and the solver family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._api import fit_lasso, fit_svm
+from repro.errors import SolverError
+from repro.solvers.base import SolverResult
+from repro.solvers.svm.duality import prediction_accuracy
+
+__all__ = ["SALasso", "SASVMClassifier"]
+
+
+class _FittedMixin:
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "result_"):
+            raise SolverError(
+                f"{type(self).__name__} is not fitted; call fit(X, y) first"
+            )
+
+    def get_params(self) -> dict:
+        """Constructor parameters (sklearn convention)."""
+        return dict(self._params)
+
+    def set_params(self, **params):
+        for k, v in params.items():
+            if k not in self._params:
+                raise SolverError(f"unknown parameter {k!r}")
+            self._params[k] = v
+        return self
+
+
+class SALasso(_FittedMixin):
+    """Lasso / sparse linear regression via (SA-)accelerated BCD.
+
+    Parameters
+    ----------
+    lam:
+        L1 penalty strength (or any :class:`~repro.prox.penalties.Penalty`).
+    solver:
+        ``"bcd"``, ``"sa-bcd"``, ``"accbcd"``, or ``"sa-accbcd"``.
+    mu, s, max_iter, tol, seed:
+        Paper tuning knobs; see :func:`repro.fit_lasso`.
+
+    Attributes (after fit)
+    ----------------------
+    coef_:
+        Learned weight vector (n_features,).
+    result_:
+        The full :class:`~repro.solvers.base.SolverResult`.
+    """
+
+    def __init__(
+        self,
+        lam: float = 1.0,
+        solver: str = "sa-accbcd",
+        mu: int = 8,
+        s: int = 16,
+        max_iter: int = 2000,
+        tol: float | None = 1e-8,
+        seed: int = 0,
+    ) -> None:
+        self._params = dict(lam=lam, solver=solver, mu=mu, s=s,
+                            max_iter=max_iter, tol=tol, seed=seed)
+
+    def fit(self, X, y) -> "SALasso":
+        p = self._params
+        res: SolverResult = fit_lasso(
+            X, y, lam=p["lam"], solver=p["solver"], mu=p["mu"], s=p["s"],
+            max_iter=p["max_iter"], tol=p["tol"], seed=p["seed"],
+            record_every=max(1, p["max_iter"] // 50),
+        )
+        self.result_ = res
+        self.coef_ = res.x
+        self.n_iter_ = res.iterations
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted()
+        return np.asarray(X @ self.coef_).ravel()
+
+    def score(self, X, y) -> float:
+        """Coefficient of determination R^2 (sklearn convention)."""
+        self._check_fitted()
+        y = np.asarray(y, dtype=np.float64).ravel()
+        resid = y - self.predict(X)
+        ss_res = float(resid @ resid)
+        centered = y - y.mean()
+        ss_tot = float(centered @ centered)
+        if ss_tot == 0.0:
+            return 0.0 if ss_res > 0 else 1.0
+        return 1.0 - ss_res / ss_tot
+
+    @property
+    def sparsity_(self) -> float:
+        """Fraction of exactly zero coefficients."""
+        self._check_fitted()
+        return float(np.mean(self.coef_ == 0.0))
+
+
+class SASVMClassifier(_FittedMixin):
+    """Linear SVM via (SA-)dual coordinate descent.
+
+    Parameters
+    ----------
+    loss:
+        ``"l1"`` (hinge) or ``"l2"`` (squared hinge).
+    lam:
+        Penalty parameter C (the paper uses 1).
+    solver:
+        ``"svm"`` (Alg. 3) or ``"sa-svm"`` (Alg. 4).
+    """
+
+    def __init__(
+        self,
+        loss: str = "l2",
+        lam: float = 1.0,
+        solver: str = "sa-svm",
+        s: int = 64,
+        max_iter: int = 50_000,
+        tol: float | None = 1e-2,
+        seed: int = 0,
+    ) -> None:
+        self._params = dict(loss=loss, lam=lam, solver=solver, s=s,
+                            max_iter=max_iter, tol=tol, seed=seed)
+
+    def fit(self, X, y) -> "SASVMClassifier":
+        y = np.asarray(y, dtype=np.float64).ravel()
+        classes = np.unique(y)
+        if classes.shape[0] != 2:
+            raise SolverError(
+                f"SASVMClassifier is binary; got {classes.shape[0]} classes"
+            )
+        self.classes_ = classes
+        b = np.where(y == classes[1], 1.0, -1.0)
+        p = self._params
+        res: SolverResult = fit_svm(
+            X, b, loss=p["loss"], lam=p["lam"], solver=p["solver"], s=p["s"],
+            max_iter=p["max_iter"], tol=p["tol"], seed=p["seed"],
+            record_every=max(1, p["max_iter"] // 100),
+        )
+        self.result_ = res
+        self.coef_ = res.x
+        self.dual_coef_ = res.extras["alpha"]
+        self.n_iter_ = res.iterations
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        self._check_fitted()
+        return np.asarray(X @ self.coef_).ravel()
+
+    def predict(self, X) -> np.ndarray:
+        scores = self.decision_function(X)
+        neg, pos = self.classes_
+        return np.where(scores >= 0.0, pos, neg)
+
+    def score(self, X, y) -> float:
+        """Mean accuracy."""
+        self._check_fitted()
+        y = np.asarray(y).ravel()
+        b = np.where(y == self.classes_[1], 1.0, -1.0)
+        return prediction_accuracy(self.decision_function(X), b)
+
+    @property
+    def duality_gap_(self) -> float:
+        self._check_fitted()
+        return self.result_.final_metric

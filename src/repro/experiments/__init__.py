@@ -1,0 +1,39 @@
+"""Experiment harness: paper figures/tables as reusable sweeps."""
+
+from repro.experiments.theory import (
+    TheoreticalCosts,
+    accbcd_costs,
+    svm_dcd_costs,
+    predicted_speedup,
+    best_s,
+)
+from repro.experiments.runner import (
+    ScaledDataset,
+    load_scaled,
+    LASSO_SOLVERS,
+    SVM_SOLVERS,
+    run_lasso,
+    run_svm,
+    strong_scaling,
+    speedup_vs_s,
+    ScalingPoint,
+    SpeedupPoint,
+)
+
+__all__ = [
+    "TheoreticalCosts",
+    "accbcd_costs",
+    "svm_dcd_costs",
+    "predicted_speedup",
+    "best_s",
+    "ScaledDataset",
+    "load_scaled",
+    "LASSO_SOLVERS",
+    "SVM_SOLVERS",
+    "run_lasso",
+    "run_svm",
+    "strong_scaling",
+    "speedup_vs_s",
+    "ScalingPoint",
+    "SpeedupPoint",
+]

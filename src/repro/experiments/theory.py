@@ -1,0 +1,219 @@
+"""Analytic cost model — the paper's Table I, with constants.
+
+Table I (for a sparse A with ``fmn`` uniformly distributed non-zeros,
+density ``f``, P processors, block size mu, unrolling parameter s,
+H iterations):
+
+=============  ==============================  ==================================
+cost           accBCD                          SA-accBCD
+=============  ==============================  ==================================
+Ops (F)        O(H mu^2 f m / P + H mu^3)      O(H mu^2 s f m / P + H mu^3)
+Memory (M)     O(f m n / P + m / P + mu^2 + n)  O(f m n / P + m / P + mu^2 s^2 + n)
+Latency (L)    O(H log P)                      O((H / s) log P)
+Bandwidth (W)  O(H mu^2 log P)                 O(H s mu^2 log P)
+=============  ==============================  ==================================
+
+The functions here give the same quantities *with the constants our
+implementation produces* (symmetric Gram packing, the projected history
+vectors riding along with G), so the tracer-measured counts can be
+asserted against them exactly, and modelled runtimes can be predicted
+without running the solver (used by the ``communication_cost_planner``
+example and the Fig. 4 crossover analysis).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import CostModelError
+from repro.linalg.packing import packed_length
+from repro.machine.spec import MachineSpec
+
+__all__ = ["TheoreticalCosts", "accbcd_costs", "svm_dcd_costs", "predicted_speedup", "best_s"]
+
+
+@dataclass(frozen=True)
+class TheoreticalCosts:
+    """Critical-path costs of H iterations."""
+
+    #: local numeric flops (Gram, projections, subproblem) on the critical path
+    flops: float
+    #: memory-bound gather work (column/row extraction), scalar-rate flops
+    extraction_flops: float
+    #: fixed per-iteration subproblem overhead (dataset-size independent)
+    fixed_flops: float
+    #: per-processor memory footprint, words
+    memory: float
+    #: messages on the critical path (latency count)
+    latency: int
+    #: words moved on the critical path (bandwidth count)
+    bandwidth: float
+    #: synchronisation rounds at the algorithm level (Allreduce calls)
+    sync_rounds: int
+    #: Gram working-set bytes (drives the cache penalty for large s*mu)
+    gram_working_set: float = 0.0
+
+    def modelled_seconds(self, machine: MachineSpec, gram_kind: str = "blas3") -> float:
+        """alpha-beta-gamma time: latency + bandwidth + numeric + gather."""
+        comm = machine.alpha * self.latency + machine.beta * self.bandwidth
+        rate = machine.flop_rate(gram_kind, working_set_bytes=self.gram_working_set or None)
+        comp = self.flops / rate
+        gather = self.extraction_flops / machine.flop_rate("gather")
+        fixed = self.fixed_flops / machine.flop_rate("fixed")
+        return comm + comp + gather + fixed
+
+
+def _rounds(P: int) -> int:
+    if P < 1:
+        raise CostModelError(f"P must be >= 1, got {P}")
+    return 0 if P == 1 else int(math.ceil(math.log2(P)))
+
+
+def accbcd_costs(
+    H: int,
+    mu: int,
+    f: float,
+    m: int,
+    n: int,
+    P: int,
+    s: int = 1,
+    extra_vectors: int | None = None,
+    symmetric: bool = True,
+) -> TheoreticalCosts:
+    """Costs of H iterations of (SA-)accBCD; ``s = 1`` is classical accBCD.
+
+    ``extra_vectors`` is the number of m-vectors projected along with the
+    Gram matrix. Default: 1 for the classical method (it projects the
+    pre-combined ``theta^2 ytil + ztil``), 2 for SA (which must project
+    ``ytil`` and ``ztil`` separately because theta changes inside the
+    inner loop, Alg. 2 line 12).
+    """
+    if H < 1 or mu < 1 or s < 1:
+        raise CostModelError("H, mu, s must all be >= 1")
+    if extra_vectors is None:
+        extra_vectors = 1 if s == 1 else 2
+    if not (0.0 < f <= 1.0):
+        raise CostModelError(f"density f must be in (0, 1], got {f}")
+    rounds = _rounds(P)
+    outers = math.ceil(H / s)
+    k = s * mu
+    # one packed Allreduce per outer step
+    words_per_outer = packed_length(k, extra_vectors, symmetric)
+    latency = outers * rounds
+    bandwidth = outers * rounds * float(words_per_outer)
+    # local Gram + projections per outer: the sampled block has ~ f*m*k/P
+    # local non-zeros; symmetric Gram costs nnz*(k+1), projections 2*nnz*c
+    nnz_block = f * m * k / P
+    gram = nnz_block * (k + 1) if symmetric else 2.0 * nnz_block * k
+    proj = 2.0 * nnz_block * extra_vectors
+    # numeric inner work: sampled-column updates of the partitioned vectors
+    flops = outers * (gram + proj + 2.0 * nnz_block)
+    # column gather from the row-major local shard (memory bound): an index
+    # scan over the ~m/P local rows per outer step, a copy of the extracted
+    # non-zeros, and streaming updates of the partitioned m-vectors every
+    # iteration (plus the theta-combine in the classical method)
+    stream_per_iter = 3.0 * m / P + (2.0 * m / P if s == 1 else 0.0)
+    extraction = outers * (2.0 * m / P + 6.0 * nnz_block) + H * stream_per_iter
+    # fixed per-iteration subproblem overhead: LAPACK eigensolve + prox +
+    # replicated-vector bookkeeping, plus SA's Gram-block corrections
+    fixed = H * (1200.0 + 10.0 * mu**3) + outers * 2.0 * (mu * mu) * (s * (s - 1))
+    memory = f * m * n / P + m / P + float(k) * k + 2.0 * n
+    return TheoreticalCosts(
+        flops=flops,
+        extraction_flops=extraction,
+        fixed_flops=fixed,
+        memory=memory,
+        latency=latency,
+        bandwidth=bandwidth,
+        sync_rounds=outers,
+        gram_working_set=8.0 * k * k + 12.0 * nnz_block,
+    )
+
+
+def svm_dcd_costs(
+    H: int,
+    f: float,
+    m: int,
+    n: int,
+    P: int,
+    s: int = 1,
+    symmetric: bool = True,
+) -> TheoreticalCosts:
+    """Costs of H iterations of (SA-)SVM dual CD (Alg. 3 / Alg. 4)."""
+    if H < 1 or s < 1:
+        raise CostModelError("H and s must be >= 1")
+    if not (0.0 < f <= 1.0):
+        raise CostModelError(f"density f must be in (0, 1], got {f}")
+    rounds = _rounds(P)
+    outers = math.ceil(H / s)
+    words_per_outer = packed_length(s, 1, symmetric)
+    latency = outers * rounds
+    bandwidth = outers * rounds * float(words_per_outer)
+    nnz_block = f * n * s / P  # s sampled rows, ~ f*n/P local nnz each
+    gram = nnz_block * (s + 1) if symmetric else 2.0 * nnz_block * s
+    proj = 2.0 * nnz_block
+    flops = outers * (gram + proj + 2.0 * nnz_block)
+    extraction = outers * (2.0 * s + 6.0 * nnz_block)
+    fixed = H * 1200.0 + outers * 2.0 * (s * (s - 1))
+    memory = f * m * n / P + n / P + float(s) * s + 2.0 * m
+    return TheoreticalCosts(
+        flops=flops,
+        extraction_flops=extraction,
+        fixed_flops=fixed,
+        memory=memory,
+        latency=latency,
+        bandwidth=bandwidth,
+        sync_rounds=outers,
+        gram_working_set=8.0 * s * s + 12.0 * nnz_block,
+    )
+
+
+def predicted_speedup(
+    machine: MachineSpec,
+    H: int,
+    mu: int,
+    f: float,
+    m: int,
+    n: int,
+    P: int,
+    s: int,
+    kind: str = "lasso",
+) -> float:
+    """Modelled speedup of the SA variant at unrolling ``s`` over s=1."""
+    cost_fn = accbcd_costs if kind == "lasso" else svm_dcd_costs
+    if kind == "lasso":
+        base = cost_fn(H, mu, f, m, n, P, s=1)
+        sa = cost_fn(H, mu, f, m, n, P, s=s)
+    else:
+        base = cost_fn(H, f, m, n, P, s=1)
+        sa = cost_fn(H, f, m, n, P, s=s)
+    # classical method: single dots run at BLAS-1 rate; SA: BLAS-3 Gram
+    # (until the cache penalty bites, via gram_working_set)
+    t0 = base.modelled_seconds(machine, gram_kind="blas1" if mu == 1 else "blas3")
+    t1 = sa.modelled_seconds(machine, gram_kind="blas3")
+    return t0 / t1
+
+
+def best_s(
+    machine: MachineSpec,
+    H: int,
+    mu: int,
+    f: float,
+    m: int,
+    n: int,
+    P: int,
+    s_grid=(2, 4, 8, 16, 32, 64, 128, 256, 512),
+    kind: str = "lasso",
+) -> tuple[int, float]:
+    """Grid-search the unrolling parameter: ``(s*, speedup(s*))``.
+
+    This is the tuning decision the paper leaves to the user ("the best
+    choice of s depends on the relative ... costs", §V).
+    """
+    best = (1, 1.0)
+    for s in s_grid:
+        sp = predicted_speedup(machine, H, mu, f, m, n, P, s, kind=kind)
+        if sp > best[1]:
+            best = (s, sp)
+    return best

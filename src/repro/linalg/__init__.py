@@ -1,0 +1,20 @@
+"""Distributed linear algebra: partitions, sharded matrices, Gram packing."""
+
+from repro.linalg.partition import Partition1D, block_partition, balanced_nnz_partition
+from repro.linalg.packing import pack_gram, unpack_gram, packed_length, tri_length
+from repro.linalg.eig import largest_eigenvalue, power_iteration
+from repro.linalg.distmatrix import RowPartitionedMatrix, ColPartitionedMatrix
+
+__all__ = [
+    "Partition1D",
+    "block_partition",
+    "balanced_nnz_partition",
+    "pack_gram",
+    "unpack_gram",
+    "packed_length",
+    "tri_length",
+    "largest_eigenvalue",
+    "power_iteration",
+    "RowPartitionedMatrix",
+    "ColPartitionedMatrix",
+]

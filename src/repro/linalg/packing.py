@@ -1,0 +1,80 @@
+"""Packing Gram matrices and projections into one Allreduce payload.
+
+The SA methods synchronise once per outer iteration by packing the
+(partial) Gram matrix together with the (partial) projection vectors into
+a single buffer (paper Alg. 2 lines 11-12; Alg. 4 lines 9-10). Footnote 3
+notes G is symmetric, so sending the lower triangle halves the message —
+implemented here as ``symmetric=True``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CommError
+
+__all__ = ["pack_gram", "unpack_gram", "packed_length", "tri_length"]
+
+
+def tri_length(k: int) -> int:
+    """Entries in the lower triangle (incl. diagonal) of a k x k matrix."""
+    return k * (k + 1) // 2
+
+
+def packed_length(k: int, extra_cols: int, symmetric: bool) -> int:
+    """Total packed payload length in doubles."""
+    gram = tri_length(k) if symmetric else k * k
+    return gram + k * extra_cols
+
+
+def pack_gram(G: np.ndarray, extras: np.ndarray | None, symmetric: bool) -> np.ndarray:
+    """Pack ``G`` (k x k) and ``extras`` (k x c, optional) into one vector.
+
+    ``symmetric=True`` stores only the lower triangle of ``G``.
+    """
+    G = np.asarray(G, dtype=np.float64)
+    k = G.shape[0]
+    if G.shape != (k, k):
+        raise CommError(f"G must be square, got {G.shape}")
+    parts = []
+    if symmetric:
+        parts.append(G[np.tril_indices(k)])
+    else:
+        parts.append(G.ravel())
+    if extras is not None:
+        extras = np.asarray(extras, dtype=np.float64)
+        if extras.ndim == 1:
+            extras = extras[:, None]
+        if extras.shape[0] != k:
+            raise CommError(
+                f"extras must have {k} rows to match G, got {extras.shape}"
+            )
+        parts.append(extras.ravel())
+    return np.concatenate(parts)
+
+
+def unpack_gram(
+    buf: np.ndarray, k: int, extra_cols: int, symmetric: bool
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Inverse of :func:`pack_gram`; returns ``(G, extras-or-None)``.
+
+    The symmetric path mirrors the lower triangle into the upper one.
+    """
+    buf = np.asarray(buf, dtype=np.float64).ravel()
+    expect = packed_length(k, extra_cols, symmetric)
+    if buf.shape[0] != expect:
+        raise CommError(
+            f"packed buffer has length {buf.shape[0]}, expected {expect}"
+        )
+    if symmetric:
+        t = tri_length(k)
+        G = np.zeros((k, k))
+        il, jl = np.tril_indices(k)
+        G[il, jl] = buf[:t]
+        G[jl, il] = buf[:t]
+        rest = buf[t:]
+    else:
+        G = buf[: k * k].reshape(k, k).copy()
+        rest = buf[k * k :]
+    extras = rest.reshape(k, extra_cols).copy() if extra_cols else None
+    return G, extras

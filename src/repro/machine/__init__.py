@@ -1,0 +1,32 @@
+"""Machine performance model (alpha-beta-gamma) and cost accounting.
+
+See DESIGN.md §2: the Cray XC30 testbed is simulated by this model; the
+solvers' numerics are unaffected by it.
+"""
+
+from repro.machine.spec import (
+    MachineSpec,
+    NULL_MACHINE,
+    CRAY_XC30,
+    COMMODITY_CLUSTER,
+    SPARK_LIKE,
+    get_machine,
+)
+from repro.machine.collectives import CollectiveCost, CollectiveModel
+from repro.machine.compute import ComputeModel
+from repro.machine.ledger import CostLedger, CostSnapshot, critical_path
+
+__all__ = [
+    "MachineSpec",
+    "NULL_MACHINE",
+    "CRAY_XC30",
+    "COMMODITY_CLUSTER",
+    "SPARK_LIKE",
+    "get_machine",
+    "CollectiveCost",
+    "CollectiveModel",
+    "ComputeModel",
+    "CostLedger",
+    "CostSnapshot",
+    "critical_path",
+]

@@ -1,0 +1,86 @@
+"""Cost formulas for MPI collectives under the tree model.
+
+The paper's Table I counts latency ``O(H log P)`` and bandwidth
+``O(H mu^2 log P)`` for classical accBCD — i.e. it prices an Allreduce of
+``w`` words as ``ceil(log2 P)`` rounds, each costing ``alpha + beta * w``.
+We adopt exactly that model so measured tracer counts can be checked
+against Table I's formulas.
+
+Costs are returned as :class:`CollectiveCost` (messages, words, seconds)
+so the tracer can accumulate *counts* separately from *time*.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import CostModelError
+from repro.machine.spec import MachineSpec
+
+__all__ = ["CollectiveCost", "CollectiveModel"]
+
+
+@dataclass(frozen=True)
+class CollectiveCost:
+    """Critical-path cost of one collective call."""
+
+    #: number of messages on the critical path (latency units)
+    messages: int
+    #: number of words moved on the critical path
+    words: float
+    #: modelled wall-clock seconds
+    seconds: float
+
+
+class CollectiveModel:
+    """Prices collectives on ``size`` ranks of a :class:`MachineSpec`."""
+
+    def __init__(self, machine: MachineSpec, size: int) -> None:
+        if size < 1:
+            raise CostModelError(f"communicator size must be >= 1, got {size}")
+        self.machine = machine
+        self.size = int(size)
+
+    # -- helpers ---------------------------------------------------------
+    @property
+    def rounds(self) -> int:
+        """Tree depth: ceil(log2 P); 0 for a singleton communicator."""
+        if self.size == 1:
+            return 0
+        return int(math.ceil(math.log2(self.size)))
+
+    def _tree(self, words: float, rounds: int | None = None) -> CollectiveCost:
+        r = self.rounds if rounds is None else rounds
+        seconds = r * (self.machine.alpha + self.machine.beta * words)
+        return CollectiveCost(messages=r, words=float(words) * r, seconds=seconds)
+
+    # -- collectives ------------------------------------------------------
+    def allreduce(self, words: float) -> CollectiveCost:
+        """Tree allreduce: log P rounds of the full payload (paper model)."""
+        return self._tree(words)
+
+    def reduce(self, words: float) -> CollectiveCost:
+        return self._tree(words)
+
+    def bcast(self, words: float) -> CollectiveCost:
+        return self._tree(words)
+
+    def allgather(self, words_per_rank: float) -> CollectiveCost:
+        """Recursive doubling: log P rounds, doubling payload each round."""
+        if self.size == 1:
+            return CollectiveCost(0, 0.0, 0.0)
+        r = self.rounds
+        total_words = words_per_rank * (self.size - 1)
+        seconds = r * self.machine.alpha + self.machine.beta * total_words
+        return CollectiveCost(messages=r, words=total_words, seconds=seconds)
+
+    def barrier(self, words: float = 0.0) -> CollectiveCost:
+        return self._tree(0.0)
+
+    def point_to_point(self, words: float) -> CollectiveCost:
+        """Single message between two ranks."""
+        if self.size == 1:
+            return CollectiveCost(0, 0.0, 0.0)
+        seconds = self.machine.alpha + self.machine.beta * words
+        return CollectiveCost(messages=1, words=float(words), seconds=seconds)

@@ -1,0 +1,49 @@
+"""Local computation pricing.
+
+Solvers report the flops they execute (classified by BLAS level) through
+the :class:`~repro.machine.ledger.CostLedger`; this module converts flop
+counts into modelled seconds using the machine's effective rates,
+including the cache-spill penalty that makes "s too large" slow down
+(paper Fig. 4e-4h: computation speedup > 1 for moderate s thanks to
+BLAS-3 Gram formation, then decays).
+"""
+
+from __future__ import annotations
+
+from repro.machine.spec import MachineSpec
+
+__all__ = ["ComputeModel"]
+
+
+class ComputeModel:
+    """Prices local flops on one core of a :class:`MachineSpec`."""
+
+    def __init__(self, machine: MachineSpec) -> None:
+        self.machine = machine
+
+    def seconds(
+        self,
+        flops: float,
+        kind: str = "blas1",
+        working_set_bytes: float | None = None,
+    ) -> float:
+        """Modelled seconds for ``flops`` floating-point operations.
+
+        Parameters
+        ----------
+        flops:
+            Operation count (multiply-adds count as 2).
+        kind:
+            Kernel class: ``blas1`` (dots/axpy), ``blas2`` (mat-vec),
+            ``blas3`` (mat-mat / Gram), ``spmv`` (sparse mat-vec),
+            ``scalar`` (bookkeeping).
+        working_set_bytes:
+            If given and larger than the cache slice, the machine's
+            ``cache_penalty`` is applied.
+        """
+        if flops < 0:
+            raise ValueError(f"flops must be non-negative, got {flops}")
+        if flops == 0:
+            return 0.0
+        rate = self.machine.flop_rate(kind, working_set_bytes)
+        return float(flops) / rate

@@ -1,0 +1,185 @@
+"""Per-rank cost accounting (flops F, words W, messages L, seconds T).
+
+A :class:`CostLedger` is attached to a communicator. Collectives charge
+communication costs automatically; solvers charge local computation via
+:meth:`CostLedger.add_flops`. At the end of a run, the per-rank ledgers
+are combined with :func:`critical_path` (bulk-synchronous max).
+
+The ledger is also how the virtual-P mode works: with ``flop_divisor = P``
+a single process executes the *full* computation, while the ledger charges
+each rank ``1/P`` of the flops — valid because the paper's algorithms
+partition work evenly (1D row / column partitions with balanced nnz).
+An optional ``imbalance`` factor > 1 models stragglers (paper §VI notes
+rcv1/news20 SVM runs suffered load imbalance).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import CostModelError
+from repro.machine.collectives import CollectiveCost
+from repro.machine.compute import ComputeModel
+from repro.machine.spec import MachineSpec
+
+__all__ = ["CostLedger", "CostSnapshot", "critical_path"]
+
+
+@dataclass(frozen=True)
+class CostSnapshot:
+    """Immutable view of a ledger at one instant."""
+
+    comm_seconds: float
+    compute_seconds: float
+    messages: int
+    words: float
+    flops: float
+
+    @property
+    def seconds(self) -> float:
+        return self.comm_seconds + self.compute_seconds
+
+
+@dataclass
+class CostLedger:
+    """Accumulates modelled costs for one rank."""
+
+    machine: MachineSpec | None = None
+    #: virtual-parallelism divisor applied to every add_flops call
+    flop_divisor: float = 1.0
+    #: multiplicative straggler factor on compute time (>= 1)
+    imbalance: float = 1.0
+    #: dataset-extrapolation multiplier applied before the divisor
+    #: (virtual-P runs on a scaled-down stand-in charge full-size flops)
+    default_scale: float = 1.0
+    #: per-kind overrides of default_scale (e.g. "gather" work scales with
+    #: the row count, not the nnz count)
+    kind_scales: dict = field(default_factory=dict)
+
+    comm_seconds: float = 0.0
+    compute_seconds: float = 0.0
+    messages: int = 0
+    words: float = 0.0
+    flops: float = 0.0
+    #: when False, charges are dropped (used while evaluating diagnostics
+    #: such as objective values that the measured algorithm never computes)
+    enabled: bool = True
+    #: per-collective-name (calls, messages, words, seconds)
+    by_collective: dict = field(default_factory=lambda: defaultdict(lambda: [0, 0, 0.0, 0.0]))
+    #: per-kind flop counts
+    by_kind: dict = field(default_factory=lambda: defaultdict(float))
+
+    def __post_init__(self) -> None:
+        if self.flop_divisor <= 0:
+            raise CostModelError("flop_divisor must be > 0")
+        if self.imbalance < 1.0:
+            raise CostModelError("imbalance must be >= 1")
+        self._compute_model = ComputeModel(self.machine) if self.machine else None
+
+    # -- charging ----------------------------------------------------------
+    def add_collective(self, name: str, cost: CollectiveCost) -> None:
+        """Charge one collective call (called by the communicator)."""
+        if not self.enabled:
+            return
+        self.comm_seconds += cost.seconds
+        self.messages += cost.messages
+        self.words += cost.words
+        entry = self.by_collective[name]
+        entry[0] += 1
+        entry[1] += cost.messages
+        entry[2] += cost.words
+        entry[3] += cost.seconds
+
+    def add_flops(
+        self,
+        flops: float,
+        kind: str = "blas1",
+        working_set_bytes: float | None = None,
+    ) -> None:
+        """Charge local computation, scaled by the virtual-P divisor."""
+        if flops < 0:
+            raise CostModelError(f"flops must be non-negative, got {flops}")
+        if not self.enabled:
+            return
+        scale = self.kind_scales.get(kind, self.default_scale)
+        eff = float(flops) * scale / self.flop_divisor
+        self.flops += eff
+        self.by_kind[kind] += eff
+        if self._compute_model is not None:
+            self.compute_seconds += (
+                self._compute_model.seconds(eff, kind, working_set_bytes)
+                * self.imbalance
+            )
+
+    @contextmanager
+    def paused(self) -> Iterator["CostLedger"]:
+        """Context manager suspending cost accounting (diagnostics)."""
+        prev = self.enabled
+        self.enabled = False
+        try:
+            yield self
+        finally:
+            self.enabled = prev
+
+    # -- reading -----------------------------------------------------------
+    @property
+    def seconds(self) -> float:
+        """Total modelled seconds so far (communication + computation)."""
+        return self.comm_seconds + self.compute_seconds
+
+    def snapshot(self) -> CostSnapshot:
+        return CostSnapshot(
+            comm_seconds=self.comm_seconds,
+            compute_seconds=self.compute_seconds,
+            messages=self.messages,
+            words=self.words,
+            flops=self.flops,
+        )
+
+    def reset(self) -> None:
+        """Zero all counters (ledger can be reused across solver runs)."""
+        self.comm_seconds = 0.0
+        self.compute_seconds = 0.0
+        self.messages = 0
+        self.words = 0.0
+        self.flops = 0.0
+        self.by_collective.clear()
+        self.by_kind.clear()
+
+    def summary(self) -> dict:
+        """Plain-dict summary for reports."""
+        return {
+            "seconds": self.seconds,
+            "comm_seconds": self.comm_seconds,
+            "compute_seconds": self.compute_seconds,
+            "messages": self.messages,
+            "words": self.words,
+            "flops": self.flops,
+            "by_collective": {
+                k: {
+                    "calls": v[0],
+                    "messages": v[1],
+                    "words": v[2],
+                    "seconds": v[3],
+                }
+                for k, v in self.by_collective.items()
+            },
+            "by_kind": dict(self.by_kind),
+        }
+
+
+def critical_path(ledgers: Iterable[CostLedger]) -> CostSnapshot:
+    """Bulk-synchronous critical path: the slowest rank bounds each epoch.
+
+    For the balanced partitions used here, taking the max of rank totals
+    is an adequate critical-path estimate (collectives are charged
+    identically on every rank).
+    """
+    snaps = [led.snapshot() for led in ledgers]
+    if not snaps:
+        raise CostModelError("critical_path needs at least one ledger")
+    slowest = max(snaps, key=lambda s: s.seconds)
+    return slowest

@@ -1,0 +1,38 @@
+"""Simulated MPI: mpi4py-style communicators with cost accounting.
+
+Backends
+--------
+:class:`ThreadComm` (via :func:`spmd_run`)
+    Real SPMD execution with P thread ranks — validates the distributed
+    algorithm logic (partitioned data, partial dot products, Allreduce).
+:class:`VirtualComm`
+    Single process standing in for a virtual P (up to the paper's 12,288
+    cores) with alpha-beta-gamma cost modelling.
+
+See DESIGN.md §2 for why this substitution preserves the paper's
+behaviour.
+"""
+
+from repro.mpi.ops import Op, SUM, MAX, MIN, PROD, LAND, LOR
+from repro.mpi.comm import Comm
+from repro.mpi.thread_backend import ThreadComm, ThreadContext, spmd_run, SpmdResult
+from repro.mpi.virtual_backend import VirtualComm
+from repro.mpi.tracing import CommStats, comm_stats
+
+__all__ = [
+    "Op",
+    "SUM",
+    "MAX",
+    "MIN",
+    "PROD",
+    "LAND",
+    "LOR",
+    "Comm",
+    "ThreadComm",
+    "ThreadContext",
+    "spmd_run",
+    "SpmdResult",
+    "VirtualComm",
+    "CommStats",
+    "comm_stats",
+]

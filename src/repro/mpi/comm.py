@@ -1,0 +1,240 @@
+"""Communicator API.
+
+The interface intentionally mirrors :mod:`mpi4py` conventions (see the
+mpi4py tutorial): lower-case methods communicate generic Python objects;
+Upper-case methods communicate NumPy buffers. Two backends implement it:
+
+* :class:`~repro.mpi.thread_backend.ThreadComm` — P real ranks as threads
+  (validates the distributed algorithm: partitioned data, partial sums);
+* :class:`~repro.mpi.virtual_backend.VirtualComm` — one actual rank
+  standing in for ``virtual_size`` ranks, used for cost-model experiments
+  at the paper's scales (P up to 12,288).
+
+Every collective charges its modelled cost (tree Allreduce:
+``ceil(log2 P) * (alpha + beta*w)``, the model behind the paper's
+Table I) to the attached :class:`~repro.machine.ledger.CostLedger`.
+The *cost* communicator size may exceed the *actual* size (virtual mode);
+``comm.size`` is always the actual number of SPMD participants so that
+data partitioning stays correct.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import CommError
+from repro.machine.collectives import CollectiveModel
+from repro.machine.ledger import CostLedger
+from repro.machine.spec import MachineSpec
+from repro.mpi.ops import Op, SUM
+
+__all__ = ["Comm"]
+
+_WORD_BYTES = 8.0
+
+
+def _words_of(obj: Any) -> float:
+    """Payload size in 8-byte words for cost accounting."""
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes / _WORD_BYTES
+    if isinstance(obj, (int, float, complex, np.generic)):
+        return 1.0
+    if isinstance(obj, (tuple, list)):
+        return float(sum(_words_of(x) for x in obj)) if obj else 0.0
+    if obj is None:
+        return 0.0
+    # generic object: coarse pickle-size proxy
+    return 8.0
+
+
+class Comm(ABC):
+    """Abstract communicator. See module docstring."""
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        cost_size: int | None = None,
+        machine: MachineSpec | None = None,
+        ledger: CostLedger | None = None,
+    ) -> None:
+        if size < 1:
+            raise CommError(f"size must be >= 1, got {size}")
+        if not (0 <= rank < size):
+            raise CommError(f"rank {rank} out of range for size {size}")
+        self._rank = int(rank)
+        self._size = int(size)
+        self._cost_size = int(cost_size if cost_size is not None else size)
+        if self._cost_size < self._size:
+            raise CommError("cost_size cannot be smaller than actual size")
+        self.machine = machine
+        if ledger is None:
+            divisor = self._cost_size / self._size
+            ledger = CostLedger(machine=machine, flop_divisor=divisor)
+        self.ledger = ledger
+        # Without a machine spec, collectives are counted (messages/words)
+        # at zero modelled time — Table-I style count checks still work.
+        from repro.machine.spec import NULL_MACHINE
+
+        self._cost_model = CollectiveModel(
+            machine if machine is not None else NULL_MACHINE, self._cost_size
+        )
+
+    # -- identity ----------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """Rank of the calling process (0-based)."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of actual SPMD participants."""
+        return self._size
+
+    @property
+    def cost_size(self) -> int:
+        """Number of ranks used for cost modelling (>= size)."""
+        return self._cost_size
+
+    def Get_rank(self) -> int:  # noqa: N802 - mpi4py naming
+        return self._rank
+
+    def Get_size(self) -> int:  # noqa: N802 - mpi4py naming
+        return self._size
+
+    # -- backend primitive ---------------------------------------------------
+    @abstractmethod
+    def _allgather_impl(self, tag: str, obj: Any) -> list:
+        """Exchange one object per rank; returns the rank-ordered list.
+
+        ``tag`` names the collective for SPMD-mismatch detection.
+        """
+
+    # -- cost hooks -----------------------------------------------------------
+    def _charge(self, name: str, words: float) -> None:
+        pricer = getattr(self._cost_model, name, None)
+        if pricer is None:
+            pricer = self._cost_model.allreduce
+        self.ledger.add_collective(name, pricer(words))
+
+    def account_flops(
+        self,
+        flops: float,
+        kind: str = "blas1",
+        working_set_bytes: float | None = None,
+    ) -> None:
+        """Charge local computation to this rank's ledger."""
+        self.ledger.add_flops(flops, kind, working_set_bytes)
+
+    # -- object collectives (lower-case, mpi4py style) -------------------------
+    def barrier(self) -> None:
+        """Synchronise all ranks."""
+        self._allgather_impl("barrier", None)
+        self._charge("barrier", 0.0)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root`` to every rank."""
+        self._check_root(root)
+        gathered = self._allgather_impl("bcast", obj if self._rank == root else None)
+        result = gathered[root]
+        self._charge("bcast", _words_of(result))
+        return result
+
+    def gather(self, obj: Any, root: int = 0) -> list | None:
+        """Gather one object per rank on ``root`` (others get None)."""
+        self._check_root(root)
+        gathered = self._allgather_impl("gather", obj)
+        self._charge("reduce", _words_of(obj))
+        return gathered if self._rank == root else None
+
+    def allgather(self, obj: Any) -> list:
+        """Gather one object per rank on every rank."""
+        gathered = self._allgather_impl("allgather", obj)
+        self._charge("allgather", _words_of(obj))
+        return gathered
+
+    def scatter(self, objs: Sequence | None, root: int = 0) -> Any:
+        """Scatter ``objs`` (one per rank, provided on root) to all ranks."""
+        self._check_root(root)
+        if self._rank == root:
+            if objs is None or len(objs) != self._size:
+                raise CommError(
+                    f"scatter on root needs exactly {self._size} objects"
+                )
+            payload = list(objs)
+        else:
+            payload = None
+        gathered = self._allgather_impl("scatter", payload)
+        items = gathered[root]
+        self._charge("bcast", _words_of(items[self._rank]))
+        return items[self._rank]
+
+    def reduce(self, obj: Any, op: Op = SUM, root: int = 0) -> Any:
+        """Reduce to ``root`` (others get None). Deterministic rank order."""
+        self._check_root(root)
+        gathered = self._allgather_impl("reduce", obj)
+        self._charge("reduce", _words_of(obj))
+        if self._rank != root:
+            return None
+        return op.fold(gathered)
+
+    def allreduce(self, obj: Any, op: Op = SUM) -> Any:
+        """Reduce-to-all of generic objects/scalars (deterministic)."""
+        gathered = self._allgather_impl("allreduce", obj)
+        self._charge("allreduce", _words_of(obj))
+        return op.fold(gathered)
+
+    # -- buffer collectives (Upper-case, mpi4py style) ---------------------------
+    def Allreduce(  # noqa: N802 - mpi4py naming
+        self, sendbuf: np.ndarray, op: Op = SUM
+    ) -> np.ndarray:
+        """Reduce-to-all of a NumPy array; returns a fresh array.
+
+        This is the workhorse of every solver in the package: partial
+        Gram matrices and partial dot products are summed here, exactly
+        as in the paper's Fig. 1 step 4.
+        """
+        arr = np.asarray(sendbuf)
+        gathered = self._allgather_impl("Allreduce", arr)
+        self._charge("allreduce", arr.nbytes / _WORD_BYTES)
+        return op.fold(gathered)
+
+    def Bcast(self, buf: np.ndarray, root: int = 0) -> np.ndarray:  # noqa: N802
+        """Broadcast array from root; returns the root's array on all ranks."""
+        self._check_root(root)
+        arr = np.asarray(buf) if self._rank == root else None
+        gathered = self._allgather_impl("Bcast", arr)
+        out = gathered[root]
+        self._charge("bcast", out.nbytes / _WORD_BYTES)
+        return np.array(out, copy=True) if self._rank != root else out
+
+    def Reduce(  # noqa: N802
+        self, sendbuf: np.ndarray, op: Op = SUM, root: int = 0
+    ) -> np.ndarray | None:
+        """Reduce arrays to root; None elsewhere."""
+        self._check_root(root)
+        arr = np.asarray(sendbuf)
+        gathered = self._allgather_impl("Reduce", arr)
+        self._charge("reduce", arr.nbytes / _WORD_BYTES)
+        if self._rank != root:
+            return None
+        return op.fold(gathered)
+
+    def Allgather(self, sendbuf: np.ndarray) -> np.ndarray:  # noqa: N802
+        """Concatenate each rank's 1-D array in rank order, on every rank."""
+        arr = np.asarray(sendbuf)
+        gathered = self._allgather_impl("Allgather", arr)
+        self._charge("allgather", arr.nbytes / _WORD_BYTES)
+        return np.concatenate([np.atleast_1d(g) for g in gathered])
+
+    # -- helpers -----------------------------------------------------------------
+    def _check_root(self, root: int) -> None:
+        if not (0 <= root < self._size):
+            raise CommError(f"root {root} out of range for size {self._size}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        virt = f", cost_size={self._cost_size}" if self._cost_size != self._size else ""
+        return f"{type(self).__name__}(rank={self._rank}, size={self._size}{virt})"

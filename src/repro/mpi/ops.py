@@ -1,0 +1,54 @@
+"""Reduction operations for collectives (mirrors ``mpi4py.MPI.SUM`` etc.).
+
+Reductions are applied *in rank order* by every backend, which makes
+results bit-reproducible across runs and across thread schedules — a
+prerequisite for the paper's key invariant that SA and non-SA methods
+produce identical iterate sequences given the same seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["Op", "SUM", "MAX", "MIN", "PROD", "LAND", "LOR"]
+
+
+@dataclass(frozen=True)
+class Op:
+    """A binary, associative reduction operation."""
+
+    name: str
+    combine: Callable
+
+    def fold(self, contributions: Sequence):
+        """Reduce ``contributions`` left-to-right (rank order).
+
+        NumPy arrays are accumulated into a fresh output buffer so no
+        rank's send buffer is mutated.
+        """
+        if len(contributions) == 0:
+            raise ValueError(f"cannot {self.name}-reduce zero contributions")
+        first = contributions[0]
+        if isinstance(first, np.ndarray):
+            acc = np.array(first, copy=True)
+            for item in contributions[1:]:
+                acc = self.combine(acc, item)
+            return acc
+        acc = first
+        for item in contributions[1:]:
+            acc = self.combine(acc, item)
+        return acc
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Op({self.name})"
+
+
+SUM = Op("sum", lambda a, b: a + b)
+PROD = Op("prod", lambda a, b: a * b)
+MAX = Op("max", lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b))
+MIN = Op("min", lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b))
+LAND = Op("land", lambda a, b: np.logical_and(a, b) if isinstance(a, np.ndarray) else (a and b))
+LOR = Op("lor", lambda a, b: np.logical_or(a, b) if isinstance(a, np.ndarray) else (a or b))

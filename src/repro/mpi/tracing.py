@@ -1,0 +1,60 @@
+"""Views over communication counters for Table-I style verification.
+
+The ledgers already record per-collective calls/messages/words; this
+module shapes those counters into the quantities the paper's Table I
+reports: latency cost L (messages on the critical path) and bandwidth
+cost W (words on the critical path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.machine.ledger import CostLedger
+
+__all__ = ["CommStats", "comm_stats"]
+
+
+@dataclass(frozen=True)
+class CommStats:
+    """Critical-path communication counters of one run."""
+
+    #: total collective calls (synchronisation rounds at the algorithm level)
+    calls: int
+    #: latency cost L: messages along the critical path (calls x tree rounds)
+    messages: int
+    #: bandwidth cost W: words along the critical path
+    words: float
+    #: modelled communication seconds
+    seconds: float
+
+    def per_iteration(self, iterations: int) -> "CommStats":
+        """Average counters per algorithm iteration."""
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        return CommStats(
+            calls=self.calls // iterations,
+            messages=self.messages // iterations,
+            words=self.words / iterations,
+            seconds=self.seconds / iterations,
+        )
+
+
+def comm_stats(ledgers: CostLedger | Iterable[CostLedger]) -> CommStats:
+    """Extract :class:`CommStats` from one ledger or the max over ranks."""
+    if isinstance(ledgers, CostLedger):
+        ledgers = [ledgers]
+    ledgers = list(ledgers)
+    if not ledgers:
+        raise ValueError("need at least one ledger")
+    # Bulk-synchronous algorithms: every rank sees the same collectives, so
+    # the max over ranks equals any rank's counters; max is safe regardless.
+    best = max(ledgers, key=lambda led: led.comm_seconds)
+    calls = sum(entry[0] for entry in best.by_collective.values())
+    return CommStats(
+        calls=calls,
+        messages=best.messages,
+        words=best.words,
+        seconds=best.comm_seconds,
+    )

@@ -1,0 +1,73 @@
+"""Virtual-P communicator.
+
+One actual process stands in for ``virtual_size`` ranks: data is *not*
+partitioned (the single rank holds everything and its "partial" sums are
+already the full sums, so collectives are identity operations), while
+every collective and flop is **charged as if** the run used
+``virtual_size`` ranks:
+
+* collectives are priced by the tree model at P = ``virtual_size``;
+* flops recorded by the solver are divided by ``virtual_size``
+  (balanced-partition assumption; an ``imbalance`` factor models
+  stragglers, cf. paper §VI load-balancing discussion).
+
+This is what lets the benchmark harness sweep P up to the paper's 12,288
+cores on a laptop: the algorithm's numerics are unchanged (in exact
+arithmetic a P-way Allreduce of partials equals the full sum), and the
+timing comes from the explicit machine model.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import CommError
+from repro.machine.ledger import CostLedger
+from repro.machine.spec import MachineSpec
+
+from repro.mpi.comm import Comm
+
+__all__ = ["VirtualComm"]
+
+
+class VirtualComm(Comm):
+    """Single-participant communicator with virtual cost size."""
+
+    def __init__(
+        self,
+        virtual_size: int = 1,
+        machine: MachineSpec | None = None,
+        imbalance: float = 1.0,
+        flop_scale: float = 1.0,
+        kind_scales: dict | None = None,
+    ) -> None:
+        """``flop_scale > 1`` extrapolates computation to a larger dataset:
+        experiments run the numerics on a scaled-down stand-in but charge
+        ``flop_scale`` times the measured flops (e.g. the full-size /
+        stand-in nnz ratio), before the 1/P division. ``kind_scales``
+        overrides the factor per kernel kind (e.g. ``{"gather": m_ratio}``
+        because index-scan work grows with the row count, not the nnz).
+        Communication costs are unaffected — message sizes depend on
+        (mu, s), not the data.
+        """
+        if virtual_size < 1:
+            raise CommError(f"virtual_size must be >= 1, got {virtual_size}")
+        if flop_scale <= 0:
+            raise CommError(f"flop_scale must be > 0, got {flop_scale}")
+        ledger = CostLedger(
+            machine=machine,
+            flop_divisor=float(virtual_size),
+            imbalance=imbalance,
+            default_scale=float(flop_scale),
+            kind_scales=dict(kind_scales or {}),
+        )
+        super().__init__(
+            rank=0,
+            size=1,
+            cost_size=virtual_size,
+            machine=machine,
+            ledger=ledger,
+        )
+
+    def _allgather_impl(self, tag: str, obj: Any) -> list:
+        return [obj]

@@ -1,0 +1,27 @@
+"""Proximal operators and penalty objects."""
+
+from repro.prox.operators import (
+    soft_threshold,
+    elastic_net_prox,
+    group_soft_threshold,
+    box_project,
+)
+from repro.prox.penalties import (
+    Penalty,
+    L1Penalty,
+    ElasticNetPenalty,
+    GroupLassoPenalty,
+    ZeroPenalty,
+)
+
+__all__ = [
+    "soft_threshold",
+    "elastic_net_prox",
+    "group_soft_threshold",
+    "box_project",
+    "Penalty",
+    "L1Penalty",
+    "ElasticNetPenalty",
+    "GroupLassoPenalty",
+    "ZeroPenalty",
+]

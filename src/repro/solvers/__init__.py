@@ -1,0 +1,40 @@
+"""Solvers: the paper's primary contribution plus reference baselines."""
+
+from repro.solvers.base import ConvergenceHistory, SolverResult, Terminator
+from repro.solvers.sampling import BlockSampler, GroupBlockSampler, RowSampler
+from repro.solvers.objectives import (
+    lasso_objective,
+    least_squares_loss,
+    lambda_from_sigma_min,
+    lambda_max,
+    sigma_min,
+    sigma_max,
+)
+from repro.solvers.serialization import (
+    save_result,
+    load_result,
+    result_to_dict,
+    result_from_dict,
+)
+from repro.solvers import lasso, svm
+
+__all__ = [
+    "ConvergenceHistory",
+    "SolverResult",
+    "Terminator",
+    "BlockSampler",
+    "GroupBlockSampler",
+    "RowSampler",
+    "lasso_objective",
+    "least_squares_loss",
+    "lambda_from_sigma_min",
+    "lambda_max",
+    "sigma_min",
+    "sigma_max",
+    "save_result",
+    "load_result",
+    "result_to_dict",
+    "result_from_dict",
+    "lasso",
+    "svm",
+]

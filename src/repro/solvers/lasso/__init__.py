@@ -1,0 +1,25 @@
+"""Lasso-family solvers: (accelerated) BCD and SA variants + references."""
+
+from repro.solvers.lasso.plain import bcd, sa_bcd, cd, sa_cd
+from repro.solvers.lasso.acc import acc_bcd, sa_acc_bcd, acc_cd, sa_acc_cd
+from repro.solvers.lasso.reference import (
+    ista,
+    fista,
+    coordinate_descent_reference,
+    lipschitz_constant,
+)
+
+__all__ = [
+    "bcd",
+    "sa_bcd",
+    "cd",
+    "sa_cd",
+    "acc_bcd",
+    "sa_acc_bcd",
+    "acc_cd",
+    "sa_acc_cd",
+    "ista",
+    "fista",
+    "coordinate_descent_reference",
+    "lipschitz_constant",
+]

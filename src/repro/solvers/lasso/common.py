@@ -1,0 +1,83 @@
+"""Shared plumbing for the Lasso-family solvers (row-partitioned layout)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.linalg.distmatrix import RowPartitionedMatrix
+from repro.mpi.comm import Comm
+from repro.mpi.virtual_backend import VirtualComm
+from repro.prox.penalties import L1Penalty, Penalty
+from repro.solvers.sampling import BlockSampler, GroupBlockSampler
+from repro.utils.validation import check_vector
+
+__all__ = [
+    "setup_problem",
+    "distributed_objective",
+    "make_sampler",
+    "theta_next",
+]
+
+
+def setup_problem(
+    A,
+    b,
+    comm: Comm | None,
+) -> tuple[RowPartitionedMatrix, np.ndarray]:
+    """Normalise inputs to a row-partitioned matrix and local label shard.
+
+    ``A`` may already be a :class:`RowPartitionedMatrix`; otherwise it is
+    wrapped over ``comm`` (default: a sequential :class:`VirtualComm`).
+    ``b`` is always the *global* label vector; each rank keeps its shard.
+    """
+    if isinstance(A, RowPartitionedMatrix):
+        dist = A
+    else:
+        comm = comm if comm is not None else VirtualComm(1)
+        dist = RowPartitionedMatrix.from_global(A, comm)
+    m = dist.shape[0]
+    b = check_vector(b, m, "b")
+    lo, hi = dist.partition.range_of(dist.comm.rank)
+    return dist, b[lo:hi].copy()
+
+
+def as_penalty(penalty) -> Penalty:
+    """Bare floats become the paper's default L1 penalty."""
+    if isinstance(penalty, Penalty):
+        return penalty
+    return L1Penalty(float(penalty))
+
+
+def distributed_objective(
+    dist: RowPartitionedMatrix,
+    r_local: np.ndarray,
+    x: np.ndarray,
+    penalty: Penalty,
+) -> float:
+    """``0.5 ||r||^2 + g(x)`` from the partitioned residual.
+
+    Instrumentation only — the measured algorithm never evaluates the
+    objective (the paper plots it offline), so the ledger is paused.
+    """
+    with dist.comm.ledger.paused():
+        part = float(r_local @ r_local)
+        total = float(dist.comm.allreduce(part))
+    return 0.5 * total + penalty.value(x)
+
+
+def make_sampler(n: int, mu: int, seed, penalty: Penalty):
+    """Build the coordinate sampler; group penalties sample whole groups."""
+    if isinstance(seed, (BlockSampler, GroupBlockSampler)):
+        return seed
+    if penalty.group_ids is not None:
+        return GroupBlockSampler(penalty.group_ids, groups_per_block=mu, seed=seed)
+    return BlockSampler(n, mu, seed)
+
+
+def theta_next(theta: float) -> float:
+    """Momentum recurrence ``theta_h`` from ``theta_{h-1}`` (Alg. 1 line 18)."""
+    if theta <= 0:
+        raise SolverError(f"theta must be positive, got {theta}")
+    t2 = theta * theta
+    return 0.5 * (np.sqrt(t2 * t2 + 4.0 * t2) - t2)

@@ -1,0 +1,24 @@
+"""Linear SVM solvers: dual CD (Alg. 3), SA-SVM (Alg. 4), objectives."""
+
+from repro.solvers.svm.dcd import dcd, sa_dcd
+from repro.solvers.svm.duality import (
+    loss_params,
+    svm_primal_objective,
+    svm_dual_objective,
+    duality_gap,
+    hinge_losses,
+    prediction_accuracy,
+)
+from repro.solvers.svm.reference import dcd_reference
+
+__all__ = [
+    "dcd",
+    "sa_dcd",
+    "loss_params",
+    "svm_primal_objective",
+    "svm_dual_objective",
+    "duality_gap",
+    "hinge_losses",
+    "prediction_accuracy",
+    "dcd_reference",
+]

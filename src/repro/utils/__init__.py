@@ -1,0 +1,24 @@
+"""Small shared utilities: seeding, validation, and table formatting."""
+
+from repro.utils.seeds import SeedBundle, spawn_rank_seed, shared_generator
+from repro.utils.validation import (
+    check_dense_or_csr,
+    check_positive,
+    check_in_range,
+    check_vector,
+    as_float64_array,
+)
+from repro.utils.tables import format_table, format_series
+
+__all__ = [
+    "SeedBundle",
+    "spawn_rank_seed",
+    "shared_generator",
+    "check_dense_or_csr",
+    "check_positive",
+    "check_in_range",
+    "check_vector",
+    "as_float64_array",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,77 @@
+"""Deterministic seeding helpers for SPMD execution.
+
+The synchronization-avoiding derivations in the paper rely on one crucial
+implementation trick (paper §III and §V): *every processor initialises its
+random number generator with the same seed*, so the sampled coordinate
+blocks are known redundantly on all ranks without communication.
+
+:class:`SeedBundle` packages that convention:
+
+* ``shared`` — a seed every rank uses identically (coordinate sampling);
+* ``per_rank(rank)`` — an independent stream per rank (e.g. local noise in
+  dataset generation), derived via :class:`numpy.random.SeedSequence`
+  spawning so streams never collide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SeedBundle", "spawn_rank_seed", "shared_generator"]
+
+
+def shared_generator(seed: int | np.random.SeedSequence | None) -> np.random.Generator:
+    """Return the generator that *all* ranks must construct identically.
+
+    Using ``PCG64`` explicitly (NumPy's default, but pinned here) so the
+    sampled index stream is stable across NumPy versions within a run.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        seq = seed
+    else:
+        seq = np.random.SeedSequence(seed)
+    return np.random.Generator(np.random.PCG64(seq))
+
+
+def spawn_rank_seed(root_seed: int, rank: int) -> np.random.SeedSequence:
+    """Derive a per-rank :class:`~numpy.random.SeedSequence`.
+
+    ``spawn_key`` incorporates the rank, so any two ranks (and the shared
+    stream, which uses an empty spawn key) are statistically independent.
+    """
+    if rank < 0:
+        raise ValueError(f"rank must be non-negative, got {rank}")
+    return np.random.SeedSequence(root_seed, spawn_key=(rank + 1,))
+
+
+@dataclass(frozen=True)
+class SeedBundle:
+    """Seeds for one SPMD run.
+
+    Parameters
+    ----------
+    root:
+        User-facing seed. ``None`` draws fresh OS entropy (irreproducible,
+        allowed but discouraged in experiments).
+    """
+
+    root: int | None = 0
+
+    def shared(self) -> np.random.Generator:
+        """Generator identical on all ranks (coordinate sampling)."""
+        return shared_generator(self.root)
+
+    def per_rank(self, rank: int) -> np.random.Generator:
+        """Generator unique to ``rank`` (local perturbations)."""
+        if self.root is None:
+            return np.random.default_rng()
+        return np.random.Generator(np.random.PCG64(spawn_rank_seed(self.root, rank)))
+
+    def child(self, tag: int) -> "SeedBundle":
+        """A derived bundle for a sub-experiment (e.g. one lambda on a path)."""
+        if self.root is None:
+            return SeedBundle(None)
+        mixed = np.random.SeedSequence(self.root, spawn_key=(0xC0FFEE, tag))
+        return SeedBundle(int(mixed.generate_state(1, dtype=np.uint64)[0] % (2**63)))

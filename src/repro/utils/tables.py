@@ -1,0 +1,79 @@
+"""Plain-text table/series rendering for experiment output.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _fmt_cell(x: object, floatfmt: str) -> str:
+    if isinstance(x, float):
+        return format(x, floatfmt)
+    return str(x)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    floatfmt: str = ".4g",
+) -> str:
+    """Render an ASCII table with one header row.
+
+    Floats are formatted with ``floatfmt``; everything else via ``str``.
+    """
+    str_rows = [[_fmt_cell(c, floatfmt) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[object],
+    ys: Sequence[object],
+    xlabel: str = "x",
+    ylabel: str = "y",
+    max_points: int = 16,
+    floatfmt: str = ".6g",
+) -> str:
+    """Render a named (x, y) series, decimated to ``max_points`` rows.
+
+    Used to print figure data (e.g. objective vs. iteration) in a form
+    that can be eyeballed against the paper's plots.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    n = len(xs)
+    if n == 0:
+        return f"[{name}] (empty series)"
+    if n <= max_points:
+        idx = list(range(n))
+    else:
+        step = (n - 1) / (max_points - 1)
+        idx = sorted({round(i * step) for i in range(max_points)})
+    lines = [f"[{name}] {xlabel} -> {ylabel} ({n} points, showing {len(idx)})"]
+    for i in idx:
+        lines.append(
+            f"  {_fmt_cell(xs[i], floatfmt):>12}  {_fmt_cell(ys[i], floatfmt)}"
+        )
+    return "\n".join(lines)

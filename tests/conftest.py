@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.datasets import make_classification, make_sparse_regression
+
+
+@pytest.fixture(scope="session")
+def small_regression():
+    """(A sparse 60x40, b, x_true) — Lasso-scale problem."""
+    return make_sparse_regression(60, 40, density=0.4, seed=3)
+
+
+@pytest.fixture(scope="session")
+def dense_regression():
+    """(A dense 50x30, b, x_true)."""
+    return make_sparse_regression(50, 30, density=1.0, seed=9)
+
+
+@pytest.fixture(scope="session")
+def small_classification():
+    """(A sparse 80x30, b in {-1,+1}) — SVM-scale problem."""
+    return make_classification(80, 30, density=0.5, seed=5, margin=0.2)
+
+
+@pytest.fixture(scope="session")
+def dense_classification():
+    """(A dense 60x20, b in {-1,+1})."""
+    return make_classification(60, 20, density=1.0, seed=6, margin=0.2)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+def dense_of(A) -> np.ndarray:
+    """Dense view of either sparse or dense matrices."""
+    if sp.issparse(A):
+        return np.asarray(A.todense())
+    return np.asarray(A)

@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets import make_sparse_regression, save_libsvm
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_lasso_defaults(self):
+        args = build_parser().parse_args(["lasso", "--dataset", "covtype"])
+        assert args.solver == "sa-accbcd" and args.s == 16
+
+    def test_dataset_and_file_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["lasso", "--dataset", "covtype", "--file", "x.svm"]
+            )
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lasso", "--dataset", "mnist"])
+
+
+class TestCommands:
+    def test_lasso_on_registry(self, capsys):
+        rc = main(["lasso", "--dataset", "covtype", "--cells", "5000",
+                   "--max-iter", "30", "--s", "4", "--record-every", "10"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "final objective" in out and "non-zeros" in out
+
+    def test_lasso_on_libsvm_file(self, tmp_path, capsys):
+        A, b, _ = make_sparse_regression(30, 15, density=0.4, seed=0)
+        path = tmp_path / "data.svm"
+        save_libsvm(path, A, b)
+        rc = main(["lasso", "--file", str(path), "--max-iter", "20",
+                   "--mu", "2", "--s", "4", "--record-every", "5"])
+        assert rc == 0
+        assert "final objective" in capsys.readouterr().out
+
+    def test_lasso_save_result(self, tmp_path, capsys):
+        out_path = tmp_path / "res.json"
+        rc = main(["lasso", "--dataset", "leu", "--cells", "4000",
+                   "--max-iter", "20", "--s", "4", "--save", str(out_path)])
+        assert rc == 0
+        data = json.loads(out_path.read_text())
+        assert data["solver"].startswith("sa-accbcd")
+
+    def test_svm(self, capsys):
+        rc = main(["svm", "--dataset", "gisette", "--cells", "5000",
+                   "--max-iter", "100", "--s", "16", "--record-every", "50"])
+        assert rc == 0
+        assert "duality gap" in capsys.readouterr().out
+
+    def test_svm_loss_override(self, capsys):
+        rc = main(["svm", "--dataset", "w1a", "--cells", "4000",
+                   "--max-iter", "50", "--loss", "l2", "--record-every", "25"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sa-svm-l2" in out
+
+    def test_scaling(self, capsys):
+        rc = main(["scaling", "--dataset", "covtype", "--cells", "5000",
+                   "--ps", "64,256", "--max-iter", "16", "--s", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "256" in out
+
+    def test_plan(self, capsys):
+        rc = main(["plan", "--dataset", "url", "--p", "12288"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recommended s" in out
+
+    def test_error_reported_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.svm"
+        bad.write_text("not a libsvm line\n")
+        rc = main(["lasso", "--file", str(bad), "--max-iter", "5"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,81 @@
+"""Tests for LIBSVM-style preprocessing."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from conftest import dense_of
+from repro.datasets.preprocess import (
+    add_bias_column,
+    scale_columns_max_abs,
+    scale_rows_unit_norm,
+)
+from repro.errors import DatasetError
+
+
+class TestRowNorm:
+    def test_dense_unit_rows(self):
+        A = np.array([[3.0, 4.0], [0.0, 2.0]])
+        out = scale_rows_unit_norm(A)
+        assert np.allclose(np.linalg.norm(out, axis=1), 1.0)
+
+    def test_sparse_matches_dense(self, small_regression):
+        A, _, _ = small_regression
+        out_sp = scale_rows_unit_norm(A)
+        out_d = scale_rows_unit_norm(dense_of(A))
+        assert np.allclose(dense_of(out_sp), out_d)
+
+    def test_zero_rows_stay_zero(self):
+        A = sp.csr_matrix(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        out = scale_rows_unit_norm(A)
+        assert dense_of(out)[0].sum() == 0.0
+
+    def test_sparsity_preserved(self, small_regression):
+        A, _, _ = small_regression
+        assert scale_rows_unit_norm(A).nnz == A.nnz
+
+
+class TestColMaxAbs:
+    def test_dense_range(self):
+        A = np.array([[2.0, -8.0], [-1.0, 4.0]])
+        out = scale_columns_max_abs(A)
+        assert np.max(np.abs(out)) <= 1.0 + 1e-12
+        assert np.allclose(np.max(np.abs(out), axis=0), 1.0)
+
+    def test_sparse_matches_dense(self, small_regression):
+        A, _, _ = small_regression
+        out_sp = scale_columns_max_abs(A)
+        out_d = scale_columns_max_abs(dense_of(A))
+        assert np.allclose(dense_of(out_sp), out_d)
+
+    def test_empty_column_ok(self):
+        A = sp.csr_matrix(np.array([[1.0, 0.0], [2.0, 0.0]]))
+        out = scale_columns_max_abs(A)
+        assert dense_of(out)[:, 1].sum() == 0.0
+
+
+class TestBias:
+    def test_dense(self):
+        A = np.ones((3, 2))
+        out = add_bias_column(A, 2.0)
+        assert out.shape == (3, 3)
+        assert np.all(out[:, 2] == 2.0)
+
+    def test_sparse(self, small_regression):
+        A, _, _ = small_regression
+        out = add_bias_column(A)
+        assert sp.issparse(out) and out.shape[1] == A.shape[1] + 1
+        assert np.all(dense_of(out)[:, -1] == 1.0)
+
+    def test_zero_bias_rejected(self):
+        with pytest.raises(DatasetError):
+            add_bias_column(np.ones((2, 2)), 0.0)
+
+    def test_svm_uses_bias(self, small_classification):
+        # end-to-end: bias column shifts the decision boundary
+        from repro import fit_svm
+
+        A, b = small_classification
+        Ab = add_bias_column(A)
+        res = fit_svm(Ab, b, loss="l2", max_iter=2000, seed=0)
+        assert np.isfinite(res.final_metric)

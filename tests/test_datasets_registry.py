@@ -1,0 +1,98 @@
+"""Tests for the paper-dataset registry (Tables II and IV)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.datasets.registry import (
+    LASSO_DATASETS,
+    PAPER_DATASETS,
+    SVM_DATASETS,
+    generate,
+    get_dataset,
+)
+from repro.errors import DatasetError
+from repro.utils.validation import nnz_of
+
+
+class TestRegistryContents:
+    def test_table2_rows_present(self):
+        # Table II of the paper
+        for name in ("url", "news20", "covtype", "epsilon", "leu"):
+            assert get_dataset(name).table == "II"
+
+    def test_table4_rows_present(self):
+        for name in ("w1a", "duke", "news20.binary", "rcv1.binary", "gisette"):
+            assert get_dataset(name).table == "IV"
+
+    def test_exact_paper_numbers(self):
+        url = get_dataset("url")
+        assert url.features == 3_231_961
+        assert url.points == 2_396_130
+        assert url.nnz_pct == 0.0036
+        cov = get_dataset("covtype")
+        assert (cov.features, cov.points, cov.nnz_pct) == (54, 581_012, 22.0)
+
+    def test_task_split(self):
+        assert {d.task for d in LASSO_DATASETS} == {"lasso"}
+        assert {d.task for d in SVM_DATASETS} == {"svm"}
+        assert len(LASSO_DATASETS) == 5 and len(SVM_DATASETS) == 6
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            get_dataset("mnist")
+
+    def test_swapped_orientation(self):
+        nb = get_dataset("news20.binary")
+        m_rep, n_rep = nb.dims(as_reported=True)
+        m_conv, n_conv = nb.dims(as_reported=False)
+        assert (m_rep, n_rep) == (n_conv, m_conv)
+        # conventional: 19,996 samples x 1,355,191 features
+        assert m_conv == 19_996
+
+    def test_density(self):
+        assert get_dataset("epsilon").density == 1.0
+        assert get_dataset("url").density == pytest.approx(3.6e-5)
+
+
+class TestScaledDims:
+    def test_scaling_shrinks(self):
+        m, n = get_dataset("url").scaled_dims(1e-6)
+        assert m < 2_396_130 and n < 3_231_961
+
+    def test_skinny_dims_preserved(self):
+        m, n = get_dataset("covtype").scaled_dims(0.001)
+        assert n == 54  # never shrink a 54-feature matrix's features
+
+    def test_invalid_scale(self):
+        with pytest.raises(DatasetError):
+            get_dataset("leu").scaled_dims(0.0)
+
+    def test_max_side(self):
+        m, n = get_dataset("url").scaled_dims(1.0, max_side=100)
+        assert m <= 100 and n <= 100
+
+
+class TestGenerate:
+    def test_lasso_returns_triple(self):
+        A, b, x = generate("news20", scale=0.002, seed=0)
+        assert A.shape[0] == b.shape[0]
+        assert x.shape[0] == A.shape[1]
+
+    def test_svm_returns_pair(self):
+        A, b = generate("rcv1.binary", scale=0.0005, seed=0)
+        assert set(np.unique(b)) <= {-1.0, 1.0}
+
+    def test_density_roughly_preserved(self):
+        A, b, _ = generate("covtype", scale=0.0005, seed=0)
+        d = nnz_of(A) / (A.shape[0] * A.shape[1])
+        assert 0.1 < d < 0.4  # covtype is 22% dense
+
+    def test_dense_dataset_generates_dense(self):
+        A, b, _ = generate("leu", scale=0.5, seed=0)
+        assert isinstance(A, np.ndarray)
+
+    def test_reproducible(self):
+        A1, b1 = generate("w1a", scale=0.01, seed=3)
+        A2, b2 = generate("w1a", scale=0.01, seed=3)
+        assert np.array_equal(b1, b2)

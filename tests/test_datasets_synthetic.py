@@ -1,0 +1,97 @@
+"""Tests for synthetic dataset generators."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from conftest import dense_of
+from repro.datasets.synthetic import (
+    make_classification,
+    make_sparse_regression,
+    sparse_random_matrix,
+)
+from repro.errors import DatasetError
+from repro.utils.seeds import shared_generator
+
+
+class TestSparseRandomMatrix:
+    def test_density_respected(self):
+        rng = shared_generator(0)
+        A = sparse_random_matrix(200, 100, 0.1, rng)
+        actual = A.nnz / (200 * 100)
+        assert 0.05 < actual < 0.15
+
+    def test_high_density_returns_dense(self):
+        rng = shared_generator(0)
+        A = sparse_random_matrix(10, 10, 0.99, rng)
+        assert isinstance(A, np.ndarray)
+
+    def test_no_empty_rows(self):
+        rng = shared_generator(1)
+        A = sparse_random_matrix(50, 500, 0.005, rng)
+        assert np.all(np.diff(A.indptr) >= 1)
+
+    def test_value_dists(self):
+        rng = shared_generator(2)
+        B = sparse_random_matrix(20, 20, 0.5, rng, value_dist="binary")
+        assert np.all(B.data == 1.0)
+        U = sparse_random_matrix(20, 20, 0.5, shared_generator(2), value_dist="uniform")
+        assert np.all(U.data >= 0)
+
+    def test_invalid_args(self):
+        rng = shared_generator(0)
+        with pytest.raises(DatasetError):
+            sparse_random_matrix(0, 5, 0.1, rng)
+        with pytest.raises(DatasetError):
+            sparse_random_matrix(5, 5, 0.0, rng)
+        with pytest.raises(DatasetError):
+            sparse_random_matrix(5, 5, 0.5, rng, value_dist="cauchy")
+
+
+class TestMakeSparseRegression:
+    def test_shapes(self):
+        A, b, x = make_sparse_regression(30, 20, density=0.2, seed=0)
+        assert A.shape == (30, 20) and b.shape == (30,) and x.shape == (20,)
+
+    def test_reproducible(self):
+        A1, b1, x1 = make_sparse_regression(30, 20, density=0.2, seed=5)
+        A2, b2, x2 = make_sparse_regression(30, 20, density=0.2, seed=5)
+        assert np.allclose(dense_of(A1), dense_of(A2))
+        assert np.allclose(b1, b2) and np.allclose(x1, x2)
+
+    def test_x_true_sparsity(self):
+        _, _, x = make_sparse_regression(30, 100, density=0.2, k_nonzero=7, seed=0)
+        assert np.count_nonzero(x) == 7
+
+    def test_noiseless_consistent(self):
+        A, b, x = make_sparse_regression(30, 20, density=0.5, noise=0.0, seed=0)
+        assert np.allclose(np.asarray(A @ x).ravel(), b)
+
+    def test_bad_k(self):
+        with pytest.raises(DatasetError):
+            make_sparse_regression(10, 5, k_nonzero=9)
+
+
+class TestMakeClassification:
+    def test_labels_binary(self):
+        _, b = make_classification(100, 20, density=0.3, seed=1)
+        assert set(np.unique(b)) <= {-1.0, 1.0}
+
+    def test_separable_without_noise(self):
+        A, b = make_classification(100, 40, density=0.5, margin=0.2,
+                                   label_noise=0.0, seed=2)
+        # both classes present
+        assert (b == 1).any() and (b == -1).any()
+
+    def test_label_noise_flips(self):
+        A1, b1 = make_classification(300, 10, density=0.5, label_noise=0.0, seed=3)
+        A2, b2 = make_classification(300, 10, density=0.5, label_noise=0.3, seed=3)
+        assert (b1 != b2).sum() > 0
+
+    def test_invalid_noise(self):
+        with pytest.raises(DatasetError):
+            make_classification(10, 5, label_noise=0.7)
+
+    def test_dense_path(self):
+        A, b = make_classification(20, 10, density=1.0, seed=4)
+        assert isinstance(A, np.ndarray)

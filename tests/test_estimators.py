@@ -1,0 +1,86 @@
+"""Tests for the sklearn-style estimators."""
+
+import numpy as np
+import pytest
+
+from repro import SALasso, SASVMClassifier
+from repro.errors import SolverError
+
+
+class TestSALasso:
+    def test_fit_predict_score(self, small_regression):
+        A, b, _ = small_regression
+        est = SALasso(lam=0.2, max_iter=800, tol=1e-10)
+        est.fit(A, b)
+        assert est.coef_.shape == (A.shape[1],)
+        pred = est.predict(A)
+        assert pred.shape == (A.shape[0],)
+        assert est.score(A, b) > 0.5
+
+    def test_not_fitted(self, small_regression):
+        A, b, _ = small_regression
+        with pytest.raises(SolverError, match="not fitted"):
+            SALasso().predict(A)
+
+    def test_sparsity_property(self, small_regression):
+        A, b, _ = small_regression
+        lam_big = float(np.max(np.abs(A.T @ b)))
+        est = SALasso(lam=lam_big, max_iter=300).fit(A, b)
+        assert est.sparsity_ > 0.5
+
+    def test_get_set_params(self):
+        est = SALasso(lam=1.0)
+        assert est.get_params()["lam"] == 1.0
+        est.set_params(lam=2.0, s=32)
+        assert est.get_params()["lam"] == 2.0
+        with pytest.raises(SolverError):
+            est.set_params(bogus=1)
+
+    def test_classical_and_sa_agree(self, small_regression):
+        A, b, _ = small_regression
+        e1 = SALasso(lam=0.5, solver="accbcd", max_iter=100, tol=None,
+                     seed=3).fit(A, b)
+        e2 = SALasso(lam=0.5, solver="sa-accbcd", s=10, max_iter=100,
+                     tol=None, seed=3).fit(A, b)
+        assert np.allclose(e1.coef_, e2.coef_, atol=1e-9)
+
+    def test_perfect_fit_r2(self):
+        rng = np.random.default_rng(0)
+        A = rng.standard_normal((80, 10))
+        x = rng.standard_normal(10)
+        b = A @ x
+        est = SALasso(lam=1e-8, mu=5, max_iter=4000, tol=1e-14).fit(A, b)
+        assert est.score(A, b) > 0.99
+
+
+class TestSASVMClassifier:
+    def test_fit_predict_score(self, small_classification):
+        A, b = small_classification
+        clf = SASVMClassifier(loss="l2", max_iter=4000, tol=1e-3)
+        clf.fit(A, b)
+        assert clf.score(A, b) > 0.85
+        assert set(np.unique(clf.predict(A))) <= {-1.0, 1.0}
+
+    def test_arbitrary_label_values(self, small_classification):
+        A, b = small_classification
+        y = np.where(b > 0, 7.0, 3.0)  # non {-1,+1} labels
+        clf = SASVMClassifier(loss="l2", max_iter=2000).fit(A, y)
+        assert set(np.unique(clf.predict(A))) <= {3.0, 7.0}
+        assert clf.score(A, y) > 0.8
+
+    def test_multiclass_rejected(self, small_classification):
+        A, _ = small_classification
+        y = np.arange(A.shape[0]) % 3
+        with pytest.raises(SolverError, match="binary"):
+            SASVMClassifier().fit(A, y)
+
+    def test_duality_gap_property(self, small_classification):
+        A, b = small_classification
+        clf = SASVMClassifier(loss="l1", max_iter=1500, tol=None).fit(A, b)
+        assert clf.duality_gap_ >= -1e-9
+        assert clf.dual_coef_.shape == (A.shape[0],)
+
+    def test_not_fitted(self, small_classification):
+        A, _ = small_classification
+        with pytest.raises(SolverError):
+            SASVMClassifier().decision_function(A)

@@ -1,0 +1,49 @@
+"""Smoke checks for the example scripts.
+
+Full example runs take minutes; here we verify each script compiles and
+that the cheap ones execute end to end via their ``main`` entry points
+with the default arguments (heavier ones are exercised by the benchmark
+harness through the same library calls).
+"""
+
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "text_classification_svm", "strong_scaling_study",
+            "regularization_path", "communication_cost_planner"} <= names
+
+
+def test_cost_planner_runs(capsys):
+    import importlib.util
+
+    path = next(p for p in EXAMPLES if p.stem == "communication_cost_planner")
+    spec = importlib.util.spec_from_file_location("planner_example", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    mod.main()
+    out = capsys.readouterr().out
+    assert "recommended s" in out and "covtype" in out
+
+
+def test_scaling_study_runs(capsys):
+    import importlib.util
+
+    path = next(p for p in EXAMPLES if p.stem == "strong_scaling_study")
+    spec = importlib.util.spec_from_file_location("scaling_example", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    mod.main("leu", "cd")
+    out = capsys.readouterr().out
+    assert "best setting" in out

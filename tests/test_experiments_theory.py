@@ -1,0 +1,157 @@
+"""Tests for the analytic cost model — verifies Table I against measured
+tracer counts from real solver runs."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_classification, make_sparse_regression
+from repro.errors import CostModelError
+from repro.experiments.theory import (
+    accbcd_costs,
+    best_s,
+    predicted_speedup,
+    svm_dcd_costs,
+)
+from repro.linalg.packing import packed_length
+from repro.machine.spec import CRAY_XC30
+from repro.mpi.virtual_backend import VirtualComm
+from repro.solvers.lasso import acc_bcd, sa_acc_bcd
+from repro.solvers.svm import dcd, sa_dcd
+
+
+class TestTableIFormulas:
+    """The O(.) entries of Table I, with our constants."""
+
+    def test_latency_ratio_is_s(self):
+        base = accbcd_costs(H=96, mu=4, f=0.1, m=1000, n=100, P=64, s=1)
+        sa = accbcd_costs(H=96, mu=4, f=0.1, m=1000, n=100, P=64, s=8)
+        assert base.latency == 8 * sa.latency
+
+    def test_latency_scales_log_p(self):
+        c1 = accbcd_costs(H=10, mu=1, f=0.1, m=100, n=50, P=1024)
+        c2 = accbcd_costs(H=10, mu=1, f=0.1, m=100, n=50, P=1024**2)
+        assert c2.latency == 2 * c1.latency
+
+    def test_bandwidth_grows_with_s(self):
+        # W = O(H s mu^2 log P): SA moves ~s/2 more words (symmetric pack)
+        base = accbcd_costs(H=64, mu=2, f=0.1, m=1000, n=100, P=64, s=1)
+        sa = accbcd_costs(H=64, mu=2, f=0.1, m=1000, n=100, P=64, s=16)
+        assert sa.bandwidth > 4 * base.bandwidth
+
+    def test_flops_scale_with_s(self):
+        # F = O(H mu^2 s f m / P): SA's Gram flops grow by ~s*mu/(mu+1)
+        # (symmetric packing computes the triangle only)
+        s = 16
+        base = accbcd_costs(H=64, mu=2, f=0.1, m=10_000, n=100, P=16, s=1)
+        sa = accbcd_costs(H=64, mu=2, f=0.1, m=10_000, n=100, P=16, s=s)
+        assert 0.25 * s * base.flops < sa.flops < 1.5 * s * base.flops
+
+    def test_memory_grows_with_s_squared(self):
+        base = accbcd_costs(H=1, mu=2, f=0.1, m=1000, n=100, P=4, s=1)
+        sa = accbcd_costs(H=1, mu=2, f=0.1, m=1000, n=100, P=4, s=10)
+        gram_base = base.memory - (0.1 * 1000 * 100 / 4 + 1000 / 4 + 200)
+        gram_sa = sa.memory - (0.1 * 1000 * 100 / 4 + 1000 / 4 + 200)
+        assert gram_sa == pytest.approx(100 * gram_base)
+
+    def test_p1_has_zero_communication(self):
+        c = accbcd_costs(H=10, mu=1, f=0.5, m=100, n=20, P=1)
+        assert c.latency == 0 and c.bandwidth == 0
+
+    def test_validation(self):
+        with pytest.raises(CostModelError):
+            accbcd_costs(H=0, mu=1, f=0.1, m=10, n=10, P=2)
+        with pytest.raises(CostModelError):
+            accbcd_costs(H=1, mu=1, f=1.5, m=10, n=10, P=2)
+        with pytest.raises(CostModelError):
+            svm_dcd_costs(H=1, f=0.0, m=10, n=10, P=2)
+
+
+class TestAgainstMeasuredCounts:
+    """The analytic L and W must match the tracer *exactly* for Lasso/SVM."""
+
+    def test_lasso_latency_and_bandwidth_exact(self, small_regression=None):
+        A, b, _ = make_sparse_regression(60, 40, density=0.4, seed=3)
+        H, mu, s, P = 64, 2, 8, 256
+        comm = VirtualComm(P, machine=CRAY_XC30)
+        sa_acc_bcd(A, b, 0.9, mu=mu, s=s, max_iter=H, seed=0, comm=comm,
+                   record_every=0)
+        pred = accbcd_costs(H=H, mu=mu, f=0.4, m=60, n=40, P=P, s=s)
+        assert comm.ledger.messages == pred.latency
+        assert comm.ledger.words == pytest.approx(pred.bandwidth)
+
+    def test_lasso_classical_counts(self):
+        A, b, _ = make_sparse_regression(60, 40, density=0.4, seed=3)
+        H, mu, P = 32, 3, 64
+        comm = VirtualComm(P, machine=CRAY_XC30)
+        acc_bcd(A, b, 0.9, mu=mu, max_iter=H, seed=0, comm=comm, record_every=0)
+        pred = accbcd_costs(H=H, mu=mu, f=0.4, m=60, n=40, P=P, s=1)
+        assert comm.ledger.messages == pred.latency
+        assert comm.ledger.words == pytest.approx(pred.bandwidth)
+
+    def test_svm_counts_exact(self):
+        A, b = make_classification(50, 30, density=0.5, seed=1)
+        H, s, P = 60, 12, 128
+        comm = VirtualComm(P, machine=CRAY_XC30)
+        sa_dcd(A, b, loss="l1", s=s, max_iter=H, seed=0, comm=comm,
+               record_every=0)
+        pred = svm_dcd_costs(H=H, f=0.5, m=50, n=30, P=P, s=s)
+        assert comm.ledger.messages == pred.latency
+        assert comm.ledger.words == pytest.approx(pred.bandwidth)
+
+    def test_svm_classical_counts(self):
+        A, b = make_classification(50, 30, density=0.5, seed=1)
+        H, P = 40, 32
+        comm = VirtualComm(P, machine=CRAY_XC30)
+        dcd(A, b, loss="l1", max_iter=H, seed=0, comm=comm, record_every=0)
+        pred = svm_dcd_costs(H=H, f=0.5, m=50, n=30, P=P, s=1)
+        assert comm.ledger.messages == pred.latency
+        assert comm.ledger.words == pytest.approx(pred.bandwidth)
+
+    def test_words_per_outer_formula(self):
+        # one packed Allreduce: tri(s*mu) + 2*s*mu words, log2(P) rounds
+        A, b, _ = make_sparse_regression(30, 20, density=0.5, seed=0)
+        s, mu, P = 4, 2, 16
+        comm = VirtualComm(P, machine=CRAY_XC30)
+        sa_acc_bcd(A, b, 0.5, mu=mu, s=s, max_iter=s, seed=0, comm=comm,
+                   record_every=0)
+        k = s * mu
+        expected = packed_length(k, 2, True) * math.ceil(math.log2(P))
+        assert comm.ledger.words == pytest.approx(expected)
+
+
+class TestSpeedupModel:
+    def test_speedup_unimodal_in_s(self):
+        # paper Fig. 4e-4h: rises, peaks, falls
+        sps = [
+            predicted_speedup(CRAY_XC30, 1000, 1, 0.22, 581_012, 54, 3072, s)
+            for s in (2, 8, 32, 512, 4096)
+        ]
+        assert sps[1] > sps[0]
+        peak = max(sps)
+        assert sps[-1] < peak and sps[-2] < peak
+
+    def test_speedup_grows_with_p(self):
+        s1 = predicted_speedup(CRAY_XC30, 1000, 1, 0.22, 581_012, 54, 768, 16)
+        s2 = predicted_speedup(CRAY_XC30, 1000, 1, 0.22, 581_012, 54, 12288, 16)
+        assert s2 > s1
+
+    def test_best_s_in_paper_range(self):
+        s_star, sp = best_s(CRAY_XC30, 1000, 1, 0.22, 581_012, 54, 3072)
+        assert 4 <= s_star <= 128  # paper's best settings were 16-128
+        assert 1.5 < sp < 15.0  # paper: 1.2x - 5.1x measured totals
+
+    def test_spark_like_machine_benefits_more(self):
+        # paper §VII: higher-latency frameworks should gain more
+        from repro.machine.spec import SPARK_LIKE
+
+        sp_cray = predicted_speedup(CRAY_XC30, 500, 1, 0.1, 10**6, 100, 1024, 32)
+        sp_spark = predicted_speedup(SPARK_LIKE, 500, 1, 0.1, 10**6, 100, 1024, 32)
+        assert sp_spark > sp_cray
+
+    def test_svm_kind(self):
+        sp = predicted_speedup(
+            CRAY_XC30, 1000, 1, 0.99, 6000, 5000, 3072, 64, kind="svm"
+        )
+        assert sp > 1.0

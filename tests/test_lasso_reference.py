@@ -1,0 +1,73 @@
+"""Tests for the sequential reference solvers (ISTA/FISTA/CD mirror)."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.lasso.reference import (
+    coordinate_descent_reference,
+    fista,
+    ista,
+    lipschitz_constant,
+)
+from repro.solvers.objectives import lasso_objective, sigma_max
+
+
+class TestLipschitz:
+    def test_dense(self, dense_regression):
+        A, _, _ = dense_regression
+        assert lipschitz_constant(A) == pytest.approx(sigma_max(A) ** 2, rel=1e-6)
+
+    def test_sparse(self, small_regression):
+        A, _, _ = small_regression
+        assert lipschitz_constant(A) == pytest.approx(sigma_max(A) ** 2, rel=1e-6)
+
+
+class TestIsta:
+    def test_monotone_decrease(self, small_regression):
+        A, b, _ = small_regression
+        _, trace = ista(A, b, 0.9, max_iter=200)
+        assert all(t2 <= t1 + 1e-10 for t1, t2 in zip(trace, trace[1:]))
+
+    def test_fista_not_slower(self, small_regression):
+        A, b, _ = small_regression
+        _, ti = ista(A, b, 0.9, max_iter=300)
+        _, tf = fista(A, b, 0.9, max_iter=300)
+        assert tf[-1] <= ti[-1] * 1.01
+
+    def test_tol_early_stop(self, small_regression):
+        A, b, _ = small_regression
+        _, trace = ista(A, b, 0.9, max_iter=10000, tol=1e-12)
+        assert len(trace) < 10001
+
+    def test_zero_lambda_solves_least_squares(self, dense_regression):
+        A, b, _ = dense_regression
+        x, _ = fista(A, b, 0.0, max_iter=5000)
+        x_ls, *_ = np.linalg.lstsq(A, b, rcond=None)
+        assert lasso_objective(A, b, x, 0.0) == pytest.approx(
+            lasso_objective(A, b, x_ls, 0.0), rel=1e-4, abs=1e-8
+        )
+
+    def test_large_lambda_gives_zero(self, small_regression):
+        A, b, _ = small_regression
+        lam = 10 * float(np.max(np.abs(A.T @ b)))
+        x, _ = ista(A, b, lam, max_iter=50)
+        assert np.count_nonzero(x) == 0
+
+    def test_warm_start(self, small_regression):
+        A, b, _ = small_regression
+        x1, _ = fista(A, b, 0.9, max_iter=200)
+        _, trace = fista(A, b, 0.9, max_iter=5, x0=x1)
+        assert trace[0] == pytest.approx(lasso_objective(A, b, x1, 0.9))
+
+
+class TestCdReference:
+    def test_trace_monotone(self, small_regression):
+        A, b, _ = small_regression
+        _, trace = coordinate_descent_reference(A, b, 0.9, mu=4, max_iter=100, seed=0)
+        assert all(t2 <= t1 + 1e-10 for t1, t2 in zip(trace, trace[1:]))
+
+    def test_reaches_neighbourhood_of_optimum(self, small_regression):
+        A, b, _ = small_regression
+        x, trace = coordinate_descent_reference(A, b, 0.9, mu=8, max_iter=1500, seed=0)
+        _, tf = fista(A, b, 0.9, max_iter=3000)
+        assert trace[-1] == pytest.approx(tf[-1], rel=1e-5)

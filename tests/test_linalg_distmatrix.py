@@ -1,0 +1,216 @@
+"""Tests for the distributed matrices — the paper's communication kernels."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from conftest import dense_of
+from repro.errors import PartitionError
+from repro.linalg.distmatrix import ColPartitionedMatrix, RowPartitionedMatrix
+from repro.linalg.partition import block_partition
+from repro.machine.spec import CRAY_XC30
+from repro.mpi.thread_backend import spmd_run
+from repro.mpi.virtual_backend import VirtualComm
+
+
+class TestRowPartitioned:
+    @pytest.mark.parametrize("P", [1, 2, 3, 4])
+    def test_gram_and_project_matches_dense(self, small_regression, P):
+        A, b, _ = small_regression
+        Ad = dense_of(A)
+        idx = np.array([1, 5, 7, 20])
+
+        def fn(comm, rank):
+            M = RowPartitionedMatrix.from_global(A, comm)
+            lo, hi = M.partition.range_of(rank)
+            S = M.sample_columns(idx)
+            return M.gram_and_project(S, [b[lo:hi]])
+
+        res = spmd_run(fn, P)
+        Sref = Ad[:, idx]
+        for G, R in res.values:
+            assert np.allclose(G, Sref.T @ Sref)
+            assert np.allclose(R[:, 0], Sref.T @ b)
+
+    def test_gram_unsymmetric_pack_same_result(self, small_regression):
+        A, b, _ = small_regression
+        comm = VirtualComm(1)
+        M = RowPartitionedMatrix.from_global(A, comm)
+        S = M.sample_columns(np.array([0, 3]))
+        G1, R1 = M.gram_and_project(S, [b], symmetric=True)
+        G2, R2 = M.gram_and_project(S, [b], symmetric=False)
+        assert np.allclose(G1, G2) and np.allclose(R1, R2)
+
+    def test_symmetric_pack_sends_fewer_words(self, small_regression):
+        A, b, _ = small_regression
+        idx = np.arange(10)
+
+        def run(symmetric):
+            comm = VirtualComm(64, machine=CRAY_XC30)
+            M = RowPartitionedMatrix.from_global(A, comm)
+            S = M.sample_columns(idx)
+            M.gram_and_project(S, [b], symmetric=symmetric)
+            return comm.ledger.words
+
+        assert run(True) < run(False)
+
+    def test_no_vectors(self, small_regression):
+        A, _, _ = small_regression
+        M = RowPartitionedMatrix.from_global(A, VirtualComm(1))
+        S = M.sample_columns(np.array([2]))
+        G, R = M.gram_and_project(S, [])
+        assert G.shape == (1, 1) and R.shape == (1, 0)
+
+    def test_matvec_local(self, small_regression):
+        A, _, _ = small_regression
+        Ad = dense_of(A)
+        x = np.arange(A.shape[1], dtype=float)
+
+        def fn(comm, rank):
+            M = RowPartitionedMatrix.from_global(A, comm)
+            return M.gather_rows(M.matvec_local(x))
+
+        res = spmd_run(fn, 3)
+        for v in res.values:
+            assert np.allclose(v, Ad @ x)
+
+    def test_apply_column_update(self, small_regression):
+        A, _, _ = small_regression
+        Ad = dense_of(A)
+        M = RowPartitionedMatrix.from_global(A, VirtualComm(1))
+        idx = np.array([0, 4])
+        S = M.sample_columns(idx)
+        out = np.zeros(A.shape[0])
+        delta = np.array([2.0, -1.0])
+        M.apply_column_update(S, delta, out)
+        assert np.allclose(out, Ad[:, idx] @ delta)
+
+    def test_dot_and_norm_partitioned(self, small_regression):
+        A, b, _ = small_regression
+
+        def fn(comm, rank):
+            M = RowPartitionedMatrix.from_global(A, comm)
+            lo, hi = M.partition.range_of(rank)
+            return M.norm2_partitioned(b[lo:hi])
+
+        res = spmd_run(fn, 4)
+        for v in res.values:
+            assert v == pytest.approx(float(b @ b))
+
+    def test_dense_input(self, dense_regression):
+        A, b, _ = dense_regression
+        M = RowPartitionedMatrix.from_global(A, VirtualComm(1))
+        assert not M.is_sparse
+        S = M.sample_columns(np.array([1, 2]))
+        G, R = M.gram_and_project(S, [b])
+        assert np.allclose(G, A[:, [1, 2]].T @ A[:, [1, 2]])
+
+    def test_partition_mismatch_rejected(self, small_regression):
+        A, _, _ = small_regression
+        bad = block_partition(A.shape[0] + 1, 1)
+        with pytest.raises(PartitionError):
+            RowPartitionedMatrix.from_global(A, VirtualComm(1), partition=bad)
+
+
+class TestColPartitioned:
+    @pytest.mark.parametrize("P", [1, 2, 4])
+    def test_gram_rows_matches_dense(self, small_classification, P):
+        A, b = small_classification
+        Ad = dense_of(A)
+        idx = np.array([3, 9, 11])
+        n = A.shape[1]
+        x_full = np.linspace(-1, 1, n)
+
+        def fn(comm, rank):
+            M = ColPartitionedMatrix.from_global(A, comm)
+            lo, hi = M.partition.range_of(rank)
+            Y = M.sample_rows(idx)
+            return M.gram_rows_and_project(Y, x_full[lo:hi])
+
+        res = spmd_run(fn, P)
+        Yref = Ad[idx, :]
+        for G, xp in res.values:
+            assert np.allclose(G, Yref @ Yref.T)
+            assert np.allclose(xp, Yref @ x_full)
+
+    def test_apply_row_update(self, small_classification):
+        A, _ = small_classification
+        Ad = dense_of(A)
+        M = ColPartitionedMatrix.from_global(A, VirtualComm(1))
+        idx = np.array([1, 2])
+        Y = M.sample_rows(idx)
+        x = np.zeros(A.shape[1])
+        coeffs = np.array([0.5, -2.0])
+        M.apply_row_update(Y, coeffs, x)
+        assert np.allclose(x, Ad[idx, :].T @ coeffs)
+
+    def test_matvec_full(self, small_classification):
+        A, _ = small_classification
+        Ad = dense_of(A)
+        n = A.shape[1]
+        x_full = np.arange(n, dtype=float)
+
+        def fn(comm, rank):
+            M = ColPartitionedMatrix.from_global(A, comm)
+            lo, hi = M.partition.range_of(rank)
+            return M.matvec_full(x_full[lo:hi])
+
+        res = spmd_run(fn, 3)
+        for v in res.values:
+            assert np.allclose(v, Ad @ x_full)
+
+    def test_gather_cols_roundtrip(self, small_classification):
+        A, _ = small_classification
+        n = A.shape[1]
+        x_full = np.arange(n, dtype=float)
+
+        def fn(comm, rank):
+            M = ColPartitionedMatrix.from_global(A, comm)
+            lo, hi = M.partition.range_of(rank)
+            return M.gather_cols(x_full[lo:hi])
+
+        res = spmd_run(fn, 4)
+        for v in res.values:
+            assert np.array_equal(v, x_full)
+
+    def test_dense_input(self, dense_classification):
+        A, _ = dense_classification
+        M = ColPartitionedMatrix.from_global(A, VirtualComm(1))
+        Y = M.sample_rows(np.array([0]))
+        G, xp = M.gram_rows_and_project(Y, np.zeros(A.shape[1]))
+        assert G[0, 0] == pytest.approx(float(A[0] @ A[0]))
+
+    def test_dot_with_x(self, small_classification):
+        A, _ = small_classification
+        Ad = dense_of(A)
+        M = ColPartitionedMatrix.from_global(A, VirtualComm(1))
+        Y = M.sample_rows(np.array([5]))
+        x = np.ones(A.shape[1])
+        out = M.dot_with_x(Y, x)
+        assert np.allclose(out, Ad[[5], :] @ x)
+
+
+class TestCostAccounting:
+    def test_gram_charges_blas3_for_blocks(self, small_regression):
+        A, b, _ = small_regression
+        comm = VirtualComm(1, machine=CRAY_XC30)
+        M = RowPartitionedMatrix.from_global(A, comm)
+        S = M.sample_columns(np.arange(8))
+        M.gram_and_project(S, [b])
+        assert comm.ledger.by_kind.get("blas3", 0) > 0
+
+    def test_single_column_charges_blas1(self, small_regression):
+        A, b, _ = small_regression
+        comm = VirtualComm(1, machine=CRAY_XC30)
+        M = RowPartitionedMatrix.from_global(A, comm)
+        S = M.sample_columns(np.array([0]))
+        M.gram_and_project(S, [b])
+        assert comm.ledger.by_kind.get("blas1", 0) > 0
+        assert comm.ledger.by_kind.get("blas3", 0) == 0
+
+    def test_sampling_charges_gather(self, small_regression):
+        A, _, _ = small_regression
+        comm = VirtualComm(1, machine=CRAY_XC30)
+        M = RowPartitionedMatrix.from_global(A, comm)
+        M.sample_columns(np.array([0, 1]))
+        assert comm.ledger.by_kind.get("gather", 0) > 0

@@ -1,0 +1,84 @@
+"""Tests for Gram packing (footnote-3 symmetric compression)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CommError
+from repro.linalg.packing import pack_gram, packed_length, tri_length, unpack_gram
+
+
+class TestLengths:
+    def test_tri_length(self):
+        assert tri_length(1) == 1
+        assert tri_length(4) == 10
+
+    def test_packed_length(self):
+        assert packed_length(3, 2, symmetric=False) == 9 + 6
+        assert packed_length(3, 2, symmetric=True) == 6 + 6
+
+    def test_symmetric_halves_large_k(self):
+        full = packed_length(100, 0, symmetric=False)
+        tri = packed_length(100, 0, symmetric=True)
+        assert tri < 0.51 * full + 51
+
+
+class TestRoundTrip:
+    def _sym(self, k, seed=0):
+        rng = np.random.default_rng(seed)
+        M = rng.standard_normal((k, k))
+        return M + M.T
+
+    @pytest.mark.parametrize("symmetric", [True, False])
+    @pytest.mark.parametrize("k,c", [(1, 0), (1, 1), (3, 2), (8, 1)])
+    def test_roundtrip(self, k, c, symmetric):
+        G = self._sym(k)
+        extras = np.random.default_rng(1).standard_normal((k, c)) if c else None
+        buf = pack_gram(G, extras, symmetric)
+        assert buf.shape == (packed_length(k, c, symmetric),)
+        G2, E2 = unpack_gram(buf, k, c, symmetric)
+        assert np.allclose(G, G2)
+        if c:
+            assert np.allclose(extras, E2)
+        else:
+            assert E2 is None
+
+    def test_1d_extras_promoted(self):
+        G = self._sym(2)
+        buf = pack_gram(G, np.array([1.0, 2.0]), True)
+        _, E = unpack_gram(buf, 2, 1, True)
+        assert E.shape == (2, 1)
+
+    def test_unpacked_symmetric_is_symmetric(self):
+        G = self._sym(5)
+        G2, _ = unpack_gram(pack_gram(G, None, True), 5, 0, True)
+        assert np.array_equal(G2, G2.T)
+
+
+class TestValidation:
+    def test_non_square_rejected(self):
+        with pytest.raises(CommError):
+            pack_gram(np.ones((2, 3)), None, True)
+
+    def test_extras_wrong_rows(self):
+        with pytest.raises(CommError):
+            pack_gram(np.eye(3), np.ones((2, 1)), True)
+
+    def test_wrong_buffer_length(self):
+        with pytest.raises(CommError):
+            unpack_gram(np.ones(5), 3, 0, True)
+
+
+@settings(max_examples=60, deadline=None)
+@given(k=st.integers(1, 12), c=st.integers(0, 4), symmetric=st.booleans(),
+       seed=st.integers(0, 100))
+def test_pack_unpack_identity(k, c, symmetric, seed):
+    rng = np.random.default_rng(seed)
+    M = rng.standard_normal((k, k))
+    G = M @ M.T  # symmetric PSD like a real Gram matrix
+    extras = rng.standard_normal((k, c)) if c else None
+    G2, E2 = unpack_gram(pack_gram(G, extras, symmetric), k, c, symmetric)
+    assert np.allclose(G, G2, atol=1e-12)
+    if c:
+        assert np.allclose(extras, E2, atol=1e-12)

@@ -1,0 +1,139 @@
+"""Tests for 1-D partitions, including hypothesis invariants."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitionError
+from repro.linalg.partition import (
+    Partition1D,
+    balanced_nnz_partition,
+    block_partition,
+)
+
+
+class TestBlockPartition:
+    def test_even_split(self):
+        p = block_partition(12, 3)
+        assert p.offsets == (0, 4, 8, 12)
+
+    def test_remainder_goes_first(self):
+        p = block_partition(10, 3)
+        assert tuple(p.counts()) == (4, 3, 3)
+
+    def test_more_ranks_than_items(self):
+        p = block_partition(2, 5)
+        assert p.n == 2 and p.size == 5
+        assert sum(p.counts()) == 2
+
+    def test_zero_items(self):
+        p = block_partition(0, 3)
+        assert all(c == 0 for c in p.counts())
+
+    def test_invalid(self):
+        with pytest.raises(PartitionError):
+            block_partition(-1, 2)
+        with pytest.raises(PartitionError):
+            block_partition(5, 0)
+
+
+class TestQueries:
+    def test_owner_of(self):
+        p = block_partition(10, 3)
+        assert p.owner_of(0) == 0 and p.owner_of(3) == 0
+        assert p.owner_of(4) == 1 and p.owner_of(9) == 2
+
+    def test_owner_out_of_range(self):
+        p = block_partition(10, 3)
+        with pytest.raises(PartitionError):
+            p.owner_of(10)
+
+    def test_to_local(self):
+        p = block_partition(10, 3)
+        assert p.to_local(1, 4) == 0
+        with pytest.raises(PartitionError):
+            p.to_local(0, 4)
+
+    def test_local_slice(self):
+        p = block_partition(10, 2)
+        assert p.local_slice(1) == slice(5, 10)
+
+    def test_bad_rank(self):
+        with pytest.raises(PartitionError):
+            block_partition(4, 2).range_of(2)
+
+    def test_invalid_offsets(self):
+        with pytest.raises(PartitionError):
+            Partition1D((1, 3))
+        with pytest.raises(PartitionError):
+            Partition1D((0, 5, 3))
+        with pytest.raises(PartitionError):
+            Partition1D((0,))
+
+
+class TestBalancedNnz:
+    def test_dense_falls_back_to_block(self):
+        A = np.ones((10, 4))
+        p = balanced_nnz_partition(A, 2, axis=0)
+        assert p.offsets == block_partition(10, 2).offsets
+
+    def test_balances_skewed_rows(self):
+        # first row holds almost all non-zeros
+        rows = [0] * 90 + list(range(1, 11))
+        cols = list(range(90)) + [0] * 10
+        A = sp.coo_matrix((np.ones(100), (rows, cols)), shape=(11, 90)).tocsr()
+        p = balanced_nnz_partition(A, 2, axis=0)
+        counts = np.diff(A.indptr)
+        nnz0 = counts[p.local_slice(0)].sum()
+        nnz1 = counts[p.local_slice(1)].sum()
+        # naive row split would be 95/5; balanced should be ~90/10
+        assert nnz0 <= 92
+
+    def test_column_axis(self):
+        A = sp.random(20, 30, density=0.3, random_state=0, format="csr")
+        p = balanced_nnz_partition(A, 4, axis=1)
+        assert p.n == 30 and p.size == 4
+
+    def test_empty_matrix(self):
+        A = sp.csr_matrix((5, 5))
+        p = balanced_nnz_partition(A, 2, axis=0)
+        assert p.n == 5 and p.size == 2
+
+    def test_invalid_axis(self):
+        with pytest.raises(PartitionError):
+            balanced_nnz_partition(sp.eye(3, format="csr"), 2, axis=2)
+
+
+@settings(max_examples=60, deadline=None)
+@given(n=st.integers(0, 300), size=st.integers(1, 17))
+def test_block_partition_covers_everything(n, size):
+    p = block_partition(n, size)
+    assert p.n == n and p.size == size
+    assert sum(p.counts()) == n
+    # contiguity + monotonicity
+    for r in range(size):
+        lo, hi = p.range_of(r)
+        assert 0 <= lo <= hi <= n
+    # near-even: counts differ by at most 1
+    counts = p.counts()
+    assert counts.max() - counts.min() <= 1 if n else True
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(1, 200),
+    size=st.integers(1, 9),
+    density=st.floats(0.01, 0.9),
+    seed=st.integers(0, 5),
+)
+def test_balanced_partition_is_valid_partition(n, size, density, seed):
+    A = sp.random(n, 13, density=density, random_state=seed, format="csr")
+    p = balanced_nnz_partition(A, size, axis=0)
+    assert p.n == n and p.size == size
+    assert sum(p.counts()) == n
+    for i in range(n):
+        r = p.owner_of(i)
+        lo, hi = p.range_of(r)
+        assert lo <= i < hi

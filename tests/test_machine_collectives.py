@@ -1,0 +1,66 @@
+"""Tests for repro.machine.collectives — the paper's Table-I cost model."""
+
+import math
+
+import pytest
+
+from repro.errors import CostModelError
+from repro.machine.collectives import CollectiveModel
+from repro.machine.spec import CRAY_XC30, MachineSpec
+
+
+UNIT = MachineSpec(name="unit", alpha=1.0, beta=1.0)
+
+
+class TestRounds:
+    @pytest.mark.parametrize("p,expected", [(1, 0), (2, 1), (3, 2), (4, 2), (1024, 10), (12288, 14)])
+    def test_tree_depth(self, p, expected):
+        assert CollectiveModel(UNIT, p).rounds == expected
+
+    def test_invalid_size(self):
+        with pytest.raises(CostModelError):
+            CollectiveModel(UNIT, 0)
+
+
+class TestAllreduce:
+    def test_singleton_free(self):
+        c = CollectiveModel(UNIT, 1).allreduce(100)
+        assert c.messages == 0 and c.words == 0 and c.seconds == 0
+
+    def test_paper_model(self):
+        # ceil(log2 P) * (alpha + beta*w)
+        P, w = 8, 10.0
+        c = CollectiveModel(UNIT, P).allreduce(w)
+        assert c.messages == 3
+        assert c.words == 3 * w
+        assert c.seconds == pytest.approx(3 * (1.0 + w))
+
+    def test_latency_scales_logarithmically(self):
+        t1 = CollectiveModel(CRAY_XC30, 1024).allreduce(1.0).seconds
+        t2 = CollectiveModel(CRAY_XC30, 1024 * 1024).allreduce(1.0).seconds
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_reduce_and_bcast_match_tree(self):
+        m = CollectiveModel(UNIT, 16)
+        assert m.reduce(5.0).seconds == m.bcast(5.0).seconds == m.allreduce(5.0).seconds
+
+
+class TestOthers:
+    def test_allgather_total_words(self):
+        m = CollectiveModel(UNIT, 4)
+        c = m.allgather(10.0)
+        assert c.words == 30.0  # (P-1) * w
+        assert c.messages == 2
+
+    def test_allgather_singleton(self):
+        c = CollectiveModel(UNIT, 1).allgather(10.0)
+        assert c.seconds == 0
+
+    def test_barrier_is_zero_words(self):
+        c = CollectiveModel(UNIT, 8).barrier()
+        assert c.words == 0 and c.messages == 3
+
+    def test_point_to_point(self):
+        c = CollectiveModel(UNIT, 2).point_to_point(7.0)
+        assert c.messages == 1 and c.seconds == pytest.approx(8.0)
+        assert CollectiveModel(UNIT, 1).point_to_point(7.0).messages == 0

@@ -1,0 +1,117 @@
+"""Tests for repro.machine.ledger."""
+
+import pytest
+
+from repro.errors import CostModelError
+from repro.machine.collectives import CollectiveCost
+from repro.machine.ledger import CostLedger, critical_path
+from repro.machine.spec import CRAY_XC30
+
+
+class TestCharging:
+    def test_collective_accumulates(self):
+        led = CostLedger()
+        led.add_collective("allreduce", CollectiveCost(3, 30.0, 1e-5))
+        led.add_collective("allreduce", CollectiveCost(3, 30.0, 1e-5))
+        assert led.messages == 6 and led.words == 60.0
+        assert led.comm_seconds == pytest.approx(2e-5)
+        assert led.by_collective["allreduce"][0] == 2
+
+    def test_flops_with_machine(self):
+        led = CostLedger(machine=CRAY_XC30)
+        led.add_flops(2.5e9, "blas1")
+        assert led.compute_seconds == pytest.approx(1.0)
+        assert led.flops == 2.5e9
+
+    def test_flops_without_machine_counted_but_free(self):
+        led = CostLedger()
+        led.add_flops(1000, "blas3")
+        assert led.flops == 1000 and led.compute_seconds == 0.0
+
+    def test_divisor(self):
+        led = CostLedger(machine=CRAY_XC30, flop_divisor=10.0)
+        led.add_flops(100.0)
+        assert led.flops == pytest.approx(10.0)
+
+    def test_kind_scales_override_default(self):
+        led = CostLedger(default_scale=100.0, kind_scales={"fixed": 1.0})
+        led.add_flops(10.0, "blas1")
+        led.add_flops(10.0, "fixed")
+        assert led.by_kind["blas1"] == pytest.approx(1000.0)
+        assert led.by_kind["fixed"] == pytest.approx(10.0)
+
+    def test_imbalance_scales_compute_time(self):
+        l1 = CostLedger(machine=CRAY_XC30)
+        l2 = CostLedger(machine=CRAY_XC30, imbalance=2.0)
+        l1.add_flops(1e9)
+        l2.add_flops(1e9)
+        assert l2.compute_seconds == pytest.approx(2 * l1.compute_seconds)
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(CostModelError):
+            CostLedger().add_flops(-1)
+
+    def test_invalid_configs(self):
+        with pytest.raises(CostModelError):
+            CostLedger(flop_divisor=0.0)
+        with pytest.raises(CostModelError):
+            CostLedger(imbalance=0.5)
+
+
+class TestPausing:
+    def test_paused_drops_charges(self):
+        led = CostLedger(machine=CRAY_XC30)
+        with led.paused():
+            led.add_flops(1e9)
+            led.add_collective("allreduce", CollectiveCost(1, 1.0, 1.0))
+        assert led.seconds == 0.0 and led.flops == 0.0
+
+    def test_paused_restores_state(self):
+        led = CostLedger()
+        with led.paused():
+            pass
+        led.add_flops(5.0)
+        assert led.flops == 5.0
+
+    def test_paused_nested(self):
+        led = CostLedger()
+        with led.paused():
+            with led.paused():
+                led.add_flops(1.0)
+            led.add_flops(1.0)
+        assert led.flops == 0.0
+
+
+class TestReading:
+    def test_snapshot_immutable_view(self):
+        led = CostLedger(machine=CRAY_XC30)
+        led.add_flops(2.5e9, "blas1")
+        snap = led.snapshot()
+        led.add_flops(2.5e9, "blas1")
+        assert snap.compute_seconds == pytest.approx(1.0)
+        assert snap.seconds == snap.comm_seconds + snap.compute_seconds
+
+    def test_reset(self):
+        led = CostLedger(machine=CRAY_XC30)
+        led.add_flops(100)
+        led.add_collective("bcast", CollectiveCost(1, 2.0, 3.0))
+        led.reset()
+        assert led.seconds == 0 and led.flops == 0 and not led.by_collective
+
+    def test_summary_structure(self):
+        led = CostLedger(machine=CRAY_XC30)
+        led.add_collective("allreduce", CollectiveCost(2, 4.0, 0.5))
+        s = led.summary()
+        assert s["by_collective"]["allreduce"]["calls"] == 1
+        assert s["messages"] == 2
+
+    def test_critical_path_takes_slowest(self):
+        l1, l2 = CostLedger(machine=CRAY_XC30), CostLedger(machine=CRAY_XC30)
+        l1.add_flops(1e9)
+        l2.add_flops(3e9)
+        cp = critical_path([l1, l2])
+        assert cp.compute_seconds == pytest.approx(l2.compute_seconds)
+
+    def test_critical_path_empty_rejected(self):
+        with pytest.raises(CostModelError):
+            critical_path([])

@@ -1,0 +1,81 @@
+"""Tests for repro.machine.spec."""
+
+import pytest
+
+from repro.errors import CostModelError
+from repro.machine.spec import (
+    COMMODITY_CLUSTER,
+    CRAY_XC30,
+    NULL_MACHINE,
+    SPARK_LIKE,
+    FLOP_KINDS,
+    MachineSpec,
+    get_machine,
+)
+
+
+class TestPresets:
+    def test_registry_lookup(self):
+        assert get_machine("cray-xc30") is CRAY_XC30
+        assert get_machine("commodity") is COMMODITY_CLUSTER
+        assert get_machine("spark-like") is SPARK_LIKE
+
+    def test_unknown_machine(self):
+        with pytest.raises(CostModelError):
+            get_machine("bluegene")
+
+    def test_spark_has_much_higher_latency(self):
+        # paper SVII: Spark-like frameworks have large latency costs
+        assert SPARK_LIKE.alpha > 100 * CRAY_XC30.alpha
+
+    def test_null_machine_free(self):
+        assert NULL_MACHINE.alpha == 0.0 and NULL_MACHINE.beta == 0.0
+
+    def test_all_kinds_have_rates(self):
+        for kind in FLOP_KINDS:
+            assert CRAY_XC30.flop_rate(kind) > 0
+
+
+class TestFlopRate:
+    def test_blas3_faster_than_blas1(self):
+        # the driver of the paper's Fig. 4 computation speedups
+        assert CRAY_XC30.flop_rate("blas3") > CRAY_XC30.flop_rate("blas1")
+
+    def test_cache_penalty_applied(self):
+        small = CRAY_XC30.flop_rate("blas3", working_set_bytes=1024)
+        big = CRAY_XC30.flop_rate("blas3", working_set_bytes=1e9)
+        assert big == pytest.approx(small * CRAY_XC30.cache_penalty)
+
+    def test_no_working_set_no_penalty(self):
+        assert CRAY_XC30.flop_rate("blas1") == CRAY_XC30.flop_rate(
+            "blas1", working_set_bytes=None
+        )
+
+    def test_unknown_kind(self):
+        with pytest.raises(CostModelError):
+            CRAY_XC30.flop_rate("quantum")
+
+
+class TestValidation:
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(CostModelError):
+            MachineSpec(name="bad", alpha=-1.0, beta=0.0)
+
+    def test_missing_gamma_kind_rejected(self):
+        with pytest.raises(CostModelError):
+            MachineSpec(name="bad", alpha=0.0, beta=0.0, gamma={"blas1": 1e9})
+
+    def test_nonpositive_rate_rejected(self):
+        gam = dict(CRAY_XC30.gamma)
+        gam["blas1"] = 0.0
+        with pytest.raises(CostModelError):
+            MachineSpec(name="bad", alpha=0.0, beta=0.0, gamma=gam)
+
+    def test_cache_penalty_range(self):
+        with pytest.raises(CostModelError):
+            MachineSpec(name="bad", alpha=0.0, beta=0.0, cache_penalty=0.0)
+
+    def test_with_overrides(self):
+        m = CRAY_XC30.with_overrides(alpha=1e-3)
+        assert m.alpha == 1e-3 and m.beta == CRAY_XC30.beta
+        assert CRAY_XC30.alpha != 1e-3  # original untouched

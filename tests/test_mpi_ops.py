@@ -1,0 +1,56 @@
+"""Tests for repro.mpi.ops — deterministic rank-order reductions."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.ops import LAND, LOR, MAX, MIN, PROD, SUM
+
+
+class TestScalarFolds:
+    def test_sum(self):
+        assert SUM.fold([1, 2, 3]) == 6
+
+    def test_prod(self):
+        assert PROD.fold([2, 3, 4]) == 24
+
+    def test_max_min(self):
+        assert MAX.fold([3, 1, 2]) == 3
+        assert MIN.fold([3, 1, 2]) == 1
+
+    def test_logical(self):
+        assert LAND.fold([True, True, False]) is False
+        assert LOR.fold([False, False, True]) is True
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SUM.fold([])
+
+    def test_single(self):
+        assert SUM.fold([5]) == 5
+
+
+class TestArrayFolds:
+    def test_sum_arrays(self):
+        out = SUM.fold([np.ones(3), 2 * np.ones(3)])
+        assert np.array_equal(out, 3 * np.ones(3))
+
+    def test_input_not_mutated(self):
+        a = np.ones(3)
+        SUM.fold([a, np.ones(3)])
+        assert np.array_equal(a, np.ones(3))
+
+    def test_max_elementwise(self):
+        out = MAX.fold([np.array([1.0, 5.0]), np.array([4.0, 2.0])])
+        assert np.array_equal(out, [4.0, 5.0])
+
+    def test_fold_is_left_to_right(self):
+        # Floating-point check: fold order must be rank order, always.
+        xs = [np.array([1e16]), np.array([1.0]), np.array([-1e16])]
+        expected = (xs[0] + xs[1]) + xs[2]
+        assert SUM.fold(xs)[0] == expected[0]
+
+    def test_single_array_copies(self):
+        a = np.ones(2)
+        out = SUM.fold([a])
+        out += 1
+        assert np.array_equal(a, np.ones(2))

@@ -1,0 +1,41 @@
+"""Tests for repro.mpi.tracing."""
+
+import numpy as np
+import pytest
+
+from repro.machine.spec import CRAY_XC30
+from repro.mpi.tracing import comm_stats
+from repro.mpi.virtual_backend import VirtualComm
+
+
+class TestCommStats:
+    def _comm_with_traffic(self):
+        c = VirtualComm(virtual_size=16, machine=CRAY_XC30)
+        for _ in range(5):
+            c.Allreduce(np.ones(8))
+        return c
+
+    def test_counts(self):
+        c = self._comm_with_traffic()
+        stats = comm_stats(c.ledger)
+        assert stats.calls == 5
+        assert stats.messages == 5 * 4  # log2(16) rounds each
+        assert stats.words == pytest.approx(5 * 4 * 8)
+
+    def test_per_iteration(self):
+        stats = comm_stats(self._comm_with_traffic().ledger).per_iteration(5)
+        assert stats.calls == 1 and stats.messages == 4
+
+    def test_per_iteration_invalid(self):
+        with pytest.raises(ValueError):
+            comm_stats(self._comm_with_traffic().ledger).per_iteration(0)
+
+    def test_accepts_iterable(self):
+        c1, c2 = self._comm_with_traffic(), self._comm_with_traffic()
+        c2.Allreduce(np.ones(1))
+        stats = comm_stats([c1.ledger, c2.ledger])
+        assert stats.calls == 6  # slowest rank
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            comm_stats([])

@@ -1,0 +1,74 @@
+"""Tests for the virtual-P backend."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import CommError
+from repro.machine.spec import CRAY_XC30
+from repro.mpi.virtual_backend import VirtualComm
+
+
+class TestSemantics:
+    def test_identity_collectives(self):
+        c = VirtualComm(virtual_size=64)
+        assert c.allreduce(5) == 5
+        assert np.array_equal(c.Allreduce(np.arange(3.0)), np.arange(3.0))
+        assert c.bcast("x") == "x"
+        assert c.allgather("y") == ["y"]
+
+    def test_rank_and_sizes(self):
+        c = VirtualComm(virtual_size=128)
+        assert c.rank == 0 and c.size == 1 and c.cost_size == 128
+        assert c.Get_rank() == 0 and c.Get_size() == 1
+
+    def test_invalid_size(self):
+        with pytest.raises(CommError):
+            VirtualComm(virtual_size=0)
+
+
+class TestCosts:
+    def test_allreduce_priced_at_virtual_p(self):
+        c = VirtualComm(virtual_size=1024, machine=CRAY_XC30)
+        c.Allreduce(np.ones(10))
+        rounds = math.ceil(math.log2(1024))
+        assert c.ledger.messages == rounds
+        assert c.ledger.words == rounds * 10
+        assert c.ledger.comm_seconds == pytest.approx(
+            rounds * (CRAY_XC30.alpha + CRAY_XC30.beta * 10)
+        )
+
+    def test_flops_divided_by_p(self):
+        c = VirtualComm(virtual_size=100, machine=CRAY_XC30)
+        c.account_flops(1000.0)
+        assert c.ledger.flops == pytest.approx(10.0)
+
+    def test_flop_scale_extrapolates(self):
+        c = VirtualComm(virtual_size=100, machine=CRAY_XC30, flop_scale=50.0)
+        c.account_flops(1000.0)
+        assert c.ledger.flops == pytest.approx(500.0)
+
+    def test_kind_scales(self):
+        c = VirtualComm(
+            virtual_size=10, flop_scale=100.0, kind_scales={"fixed": 1.0}
+        )
+        c.account_flops(10.0, "fixed")
+        c.account_flops(10.0, "blas1")
+        assert c.ledger.by_kind["fixed"] == pytest.approx(1.0)
+        assert c.ledger.by_kind["blas1"] == pytest.approx(100.0)
+
+    def test_invalid_flop_scale(self):
+        with pytest.raises(CommError):
+            VirtualComm(virtual_size=1, flop_scale=0.0)
+
+    def test_size_one_no_comm_cost(self):
+        c = VirtualComm(virtual_size=1, machine=CRAY_XC30)
+        c.Allreduce(np.ones(100))
+        assert c.ledger.comm_seconds == 0.0
+
+    def test_no_machine_counts_only(self):
+        c = VirtualComm(virtual_size=256)
+        c.Allreduce(np.ones(4))
+        assert c.ledger.messages == 8
+        assert c.ledger.comm_seconds == 0.0

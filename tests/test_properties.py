@@ -1,0 +1,123 @@
+"""Property-based tests of the paper's central invariants.
+
+The headline claim (paper §III, §V): the SA re-arrangement changes *no
+mathematics* — for any problem shape, block size mu, unrolling s, seed,
+and penalty, the SA solver reproduces the classical iterate sequence up
+to floating-point roundoff. Hypothesis searches that space.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.synthetic import make_classification, make_sparse_regression
+from repro.solvers.lasso import acc_bcd, bcd, sa_acc_bcd, sa_bcd
+from repro.solvers.svm import dcd, sa_dcd
+
+
+lasso_shapes = st.tuples(
+    st.integers(8, 40),  # m
+    st.integers(4, 24),  # n
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    shape=lasso_shapes,
+    mu=st.integers(1, 4),
+    s=st.integers(1, 20),
+    seed=st.integers(0, 1000),
+    lam=st.floats(0.01, 5.0),
+    density=st.floats(0.2, 1.0),
+)
+def test_sa_bcd_equivalence_property(shape, mu, s, seed, lam, density):
+    m, n = shape
+    mu = min(mu, n)
+    A, b, _ = make_sparse_regression(m, n, density=density, seed=seed % 7)
+    H = 30
+    r = bcd(A, b, lam, mu=mu, max_iter=H, seed=seed, record_every=0)
+    rs = sa_bcd(A, b, lam, mu=mu, s=s, max_iter=H, seed=seed, record_every=0)
+    assert np.allclose(r.x, rs.x, atol=1e-9, rtol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    shape=lasso_shapes,
+    mu=st.integers(1, 4),
+    s=st.integers(2, 16),
+    seed=st.integers(0, 1000),
+    lam=st.floats(0.01, 5.0),
+)
+def test_sa_acc_bcd_equivalence_property(shape, mu, s, seed, lam):
+    m, n = shape
+    mu = min(mu, n)
+    A, b, _ = make_sparse_regression(m, n, density=0.5, seed=seed % 5)
+    H = 30
+    r = acc_bcd(A, b, lam, mu=mu, max_iter=H, seed=seed, record_every=0)
+    rs = sa_acc_bcd(A, b, lam, mu=mu, s=s, max_iter=H, seed=seed, record_every=0)
+    assert np.allclose(r.x, rs.x, atol=1e-8, rtol=1e-8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    m=st.integers(6, 40),
+    n=st.integers(4, 20),
+    s=st.integers(2, 25),
+    seed=st.integers(0, 1000),
+    loss=st.sampled_from(["l1", "l2"]),
+    lam=st.floats(0.1, 4.0),
+)
+def test_sa_svm_equivalence_property(m, n, s, seed, loss, lam):
+    A, b = make_classification(m, n, density=0.6, seed=seed % 5)
+    H = 40
+    r = dcd(A, b, loss=loss, lam=lam, max_iter=H, seed=seed, record_every=0)
+    rs = sa_dcd(A, b, loss=loss, lam=lam, s=s, max_iter=H, seed=seed,
+                record_every=0)
+    assert np.allclose(r.x, rs.x, atol=1e-9, rtol=1e-9)
+    assert np.allclose(r.extras["alpha"], rs.extras["alpha"], atol=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 500), lam=st.floats(0.05, 2.0))
+def test_bcd_objective_monotone_property(seed, lam):
+    A, b, _ = make_sparse_regression(30, 20, density=0.5, seed=seed % 5)
+    r = bcd(A, b, lam, mu=2, max_iter=40, seed=seed)
+    h = r.history.metric
+    assert all(b2 <= a2 + 1e-9 * max(1, abs(a2)) for a2, b2 in zip(h, h[1:]))
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 500), loss=st.sampled_from(["l1", "l2"]))
+def test_svm_dual_feasible_property(seed, loss):
+    from repro.solvers.svm.duality import loss_params
+
+    A, b = make_classification(25, 12, density=0.7, seed=seed % 5)
+    lam = 1.0
+    r = dcd(A, b, loss=loss, lam=lam, max_iter=60, seed=seed, record_every=0)
+    _, nu = loss_params(loss, lam)
+    alpha = r.extras["alpha"]
+    assert np.all(alpha >= -1e-12)
+    assert np.all(alpha <= nu + 1e-12)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 500),
+    s=st.integers(1, 10),
+    mu=st.integers(1, 3),
+)
+def test_sa_message_count_property(seed, s, mu):
+    """L(SA) = ceil(H/s) * rounds — exactly, for any (H, s, mu)."""
+    import math
+
+    from repro.machine.spec import CRAY_XC30
+    from repro.mpi.virtual_backend import VirtualComm
+
+    A, b, _ = make_sparse_regression(20, 12, density=0.5, seed=seed % 3)
+    H, P = 24, 64
+    comm = VirtualComm(P, machine=CRAY_XC30)
+    sa_bcd(A, b, 0.5, mu=mu, s=s, max_iter=H, seed=seed, comm=comm,
+           record_every=0)
+    rounds = math.ceil(math.log2(P))
+    assert comm.ledger.messages == math.ceil(H / s) * rounds

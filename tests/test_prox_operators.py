@@ -1,0 +1,142 @@
+"""Tests for proximal operators, incl. hypothesis property checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import SolverError
+from repro.prox.operators import (
+    box_project,
+    elastic_net_prox,
+    group_soft_threshold,
+    soft_threshold,
+)
+
+finite_vec = hnp.arrays(
+    np.float64,
+    st.integers(1, 24),
+    elements=st.floats(-1e6, 1e6, allow_nan=False),
+)
+
+
+class TestSoftThreshold:
+    def test_known_values(self):
+        out = soft_threshold(np.array([-2.0, -0.5, 0.0, 0.5, 2.0]), 1.0)
+        assert np.allclose(out, [-1.0, 0.0, 0.0, 0.0, 1.0])
+
+    def test_zero_threshold_identity(self):
+        v = np.array([1.5, -2.5])
+        assert np.array_equal(soft_threshold(v, 0.0), v)
+
+    def test_creates_exact_zeros(self):
+        out = soft_threshold(np.array([0.3, -0.2]), 0.5)
+        assert np.count_nonzero(out) == 0
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(SolverError):
+            soft_threshold(np.ones(2), -0.1)
+
+    @settings(max_examples=80, deadline=None)
+    @given(v=finite_vec, t=st.floats(0, 1e6, allow_nan=False))
+    def test_shrinks_magnitude(self, v, t):
+        out = soft_threshold(v, t)
+        assert np.all(np.abs(out) <= np.abs(v) + 1e-12)
+        assert np.all(out * v >= 0)  # never flips sign
+
+    @settings(max_examples=80, deadline=None)
+    @given(v=finite_vec, w=finite_vec, t=st.floats(0, 100, allow_nan=False))
+    def test_nonexpansive(self, v, w, t):
+        # prox operators are 1-Lipschitz
+        k = min(len(v), len(w))
+        v, w = v[:k], w[:k]
+        d_out = np.linalg.norm(soft_threshold(v, t) - soft_threshold(w, t))
+        d_in = np.linalg.norm(v - w)
+        assert d_out <= d_in + 1e-9 * max(1, d_in)
+
+    @settings(max_examples=50, deadline=None)
+    @given(v=finite_vec, t=st.floats(0.01, 100, allow_nan=False))
+    def test_optimality_condition(self, v, t):
+        # x = prox(v) minimises 0.5||x-v||^2 + t||x||_1:
+        # subgradient: v - x in t*sign(x) elementwise
+        x = soft_threshold(v, t)
+        r = v - x
+        on = x != 0
+        assert np.allclose(r[on], t * np.sign(x[on]))
+        assert np.all(np.abs(r[~on]) <= t + 1e-12)
+
+
+class TestElasticNetProx:
+    def test_reduces_to_soft_threshold_at_lam0(self):
+        v = np.array([2.0, -3.0, 0.1])
+        assert np.allclose(elastic_net_prox(v, 0.5, 0.0), soft_threshold(v, 0.5))
+
+    def test_pure_ridge_at_lam1(self):
+        v = np.array([2.0, -4.0])
+        out = elastic_net_prox(v, 0.5, 1.0)
+        assert np.allclose(out, v / 2.0)  # 1/(1+2*0.5*1)
+
+    def test_bad_mixing(self):
+        with pytest.raises(SolverError):
+            elastic_net_prox(np.ones(2), 0.1, 1.5)
+
+    @settings(max_examples=60, deadline=None)
+    @given(v=finite_vec, eta=st.floats(0, 10, allow_nan=False),
+           lam=st.floats(0, 1, allow_nan=False))
+    def test_shrinks(self, v, eta, lam):
+        out = elastic_net_prox(v, eta, lam)
+        assert np.all(np.abs(out) <= np.abs(v) + 1e-12)
+
+
+class TestGroupSoftThreshold:
+    def test_kills_small_group(self):
+        v = np.array([0.3, 0.4, 10.0])
+        gid = np.array([0, 0, 1])
+        out = group_soft_threshold(v, 1.0, gid)
+        assert np.allclose(out[:2], 0.0)
+        assert out[2] == pytest.approx(9.0)
+
+    def test_group_direction_preserved(self):
+        v = np.array([3.0, 4.0])
+        out = group_soft_threshold(v, 1.0, np.zeros(2, dtype=int))
+        # norm 5 -> scaled by (1 - 1/5)
+        assert np.allclose(out, v * 0.8)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(SolverError):
+            group_soft_threshold(np.ones(3), 1.0, np.zeros(2, dtype=int))
+
+    @settings(max_examples=60, deadline=None)
+    @given(v=finite_vec, t=st.floats(0, 1e3, allow_nan=False),
+           seed=st.integers(0, 99))
+    def test_group_norms_shrink_by_t(self, v, t, seed):
+        rng = np.random.default_rng(seed)
+        gid = rng.integers(0, 3, size=v.shape[0])
+        out = group_soft_threshold(v, t, gid)
+        for g in np.unique(gid):
+            n_in = np.linalg.norm(v[gid == g])
+            n_out = np.linalg.norm(out[gid == g])
+            expected = max(n_in - t, 0.0)
+            assert n_out == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+
+class TestBoxProject:
+    def test_clip(self):
+        out = box_project(np.array([-1.0, 0.5, 9.0]), 0.0, 1.0)
+        assert np.allclose(out, [0.0, 0.5, 1.0])
+
+    def test_infinite_upper(self):
+        out = box_project(np.array([1e30]), 0.0, np.inf)
+        assert out[0] == 1e30
+
+    def test_empty_box_rejected(self):
+        with pytest.raises(SolverError):
+            box_project(np.ones(1), 2.0, 1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(v=finite_vec, lo=st.floats(-100, 0), hi=st.floats(0, 100))
+    def test_idempotent(self, v, lo, hi):
+        once = box_project(v, lo, hi)
+        twice = box_project(once, lo, hi)
+        assert np.array_equal(once, twice)

@@ -1,0 +1,88 @@
+"""Tests for penalty objects."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.prox.operators import soft_threshold
+from repro.prox.penalties import (
+    ElasticNetPenalty,
+    GroupLassoPenalty,
+    L1Penalty,
+    ZeroPenalty,
+)
+
+
+class TestL1:
+    def test_value(self):
+        assert L1Penalty(2.0).value(np.array([1.0, -3.0])) == 8.0
+
+    def test_prox_block_matches_operator(self):
+        pen = L1Penalty(0.5)
+        v = np.array([1.0, -0.2])
+        out = pen.prox_block(v, 0.3, np.array([0, 1]))
+        assert np.allclose(out, soft_threshold(v, 0.15))
+
+    def test_negative_lam_rejected(self):
+        with pytest.raises(SolverError):
+            L1Penalty(-1.0)
+
+    def test_zero_lam_identity_prox(self):
+        v = np.array([1.0, 2.0])
+        assert np.allclose(L1Penalty(0.0).prox_block(v, 1.0, np.arange(2)), v)
+
+
+class TestElasticNet:
+    def test_value_combines_terms(self):
+        pen = ElasticNetPenalty(lam=0.25, scale=2.0)
+        x = np.array([1.0, -1.0])
+        # 2 * (0.25*2 + 0.75*2) = 4
+        assert pen.value(x) == pytest.approx(4.0)
+
+    def test_prox_shrinks(self):
+        pen = ElasticNetPenalty(lam=0.5, scale=1.0)
+        v = np.array([4.0])
+        out = pen.prox_block(v, 1.0, np.array([0]))
+        assert 0 < out[0] < 4.0
+
+    def test_bad_mixing_rejected(self):
+        with pytest.raises(SolverError):
+            ElasticNetPenalty(lam=2.0)
+
+
+class TestGroupLasso:
+    def test_requires_group_ids(self):
+        with pytest.raises(SolverError):
+            GroupLassoPenalty(1.0, group_ids=None)
+
+    def test_value_sums_group_norms(self):
+        pen = GroupLassoPenalty(2.0, group_ids=np.array([0, 0, 1]))
+        x = np.array([3.0, 4.0, 12.0])
+        assert pen.value(x) == pytest.approx(2.0 * (5.0 + 12.0))
+
+    def test_value_shape_mismatch(self):
+        pen = GroupLassoPenalty(1.0, group_ids=np.array([0, 1]))
+        with pytest.raises(SolverError):
+            pen.value(np.ones(3))
+
+    def test_prox_block_whole_groups(self):
+        gid = np.array([0, 0, 1, 1])
+        pen = GroupLassoPenalty(1.0, group_ids=gid)
+        v = np.array([3.0, 4.0])
+        out = pen.prox_block(v, 1.0, np.array([0, 1]))
+        assert np.allclose(out, v * (1 - 1.0 / 5.0))
+
+    def test_partial_group_rejected(self):
+        gid = np.array([0, 0, 1])
+        pen = GroupLassoPenalty(1.0, group_ids=gid)
+        with pytest.raises(SolverError, match="sampled partially"):
+            pen.prox_block(np.ones(2), 1.0, np.array([0, 2]))
+
+
+class TestZero:
+    def test_value(self):
+        assert ZeroPenalty().value(np.ones(5)) == 0.0
+
+    def test_prox_identity(self):
+        v = np.array([1.0, -2.0])
+        assert np.array_equal(ZeroPenalty().prox_block(v, 10.0, np.arange(2)), v)

@@ -1,0 +1,77 @@
+"""Tests for SolverResult JSON serialization."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro import fit_lasso, fit_svm
+from repro.errors import SolverError
+from repro.solvers.serialization import (
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+
+
+@pytest.fixture(scope="module")
+def lasso_result(small_regression_module=None):
+    from repro.datasets import make_sparse_regression
+
+    A, b, _ = make_sparse_regression(40, 25, density=0.4, seed=1)
+    return fit_lasso(A, b, lam=0.5, solver="sa-accbcd", mu=2, s=8,
+                     max_iter=60, record_every=10)
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self, lasso_result):
+        data = result_to_dict(lasso_result)
+        back = result_from_dict(data)
+        assert back.solver == lasso_result.solver
+        assert np.allclose(back.x, lasso_result.x)
+        assert back.iterations == lasso_result.iterations
+        assert back.final_metric == lasso_result.final_metric
+        assert back.history.metric == lasso_result.history.metric
+        assert back.cost.messages == lasso_result.cost.messages
+
+    def test_file_roundtrip(self, tmp_path, lasso_result):
+        path = tmp_path / "res.json"
+        save_result(path, lasso_result)
+        back = load_result(path)
+        assert np.allclose(back.x, lasso_result.x)
+
+    def test_stream_roundtrip(self, lasso_result):
+        buf = io.StringIO()
+        save_result(buf, lasso_result)
+        buf.seek(0)
+        back = load_result(buf)
+        assert back.converged == lasso_result.converged
+
+    def test_svm_extras_arrays(self, small_classification):
+        A, b = small_classification
+        res = fit_svm(A, b, loss="l1", max_iter=100, seed=0)
+        back = result_from_dict(result_to_dict(res))
+        assert np.allclose(back.extras["alpha"], res.extras["alpha"])
+        assert back.extras["loss"] == "l1"
+
+    def test_unserialisable_extras_dropped(self, lasso_result):
+        lasso_result.extras["weird"] = object()
+        data = result_to_dict(lasso_result)
+        assert "weird" in data["dropped_extras"]
+        del lasso_result.extras["weird"]
+
+    def test_bad_version_rejected(self, lasso_result):
+        data = result_to_dict(lasso_result)
+        data["format_version"] = 99
+        with pytest.raises(SolverError):
+            result_from_dict(data)
+
+    def test_json_is_plain_text(self, tmp_path, lasso_result):
+        path = tmp_path / "res.json"
+        save_result(path, lasso_result)
+        import json
+
+        with open(path) as fh:
+            parsed = json.load(fh)
+        assert parsed["solver"].startswith("sa-accbcd")

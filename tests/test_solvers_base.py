@@ -1,0 +1,63 @@
+"""Tests for solver infrastructure (history, result, termination)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.machine.spec import CRAY_XC30
+from repro.mpi.virtual_backend import VirtualComm
+from repro.solvers.base import ConvergenceHistory, Terminator
+
+
+class TestConvergenceHistory:
+    def test_record_reads_ledger(self):
+        comm = VirtualComm(16, machine=CRAY_XC30)
+        hist = ConvergenceHistory()
+        hist.record(0, 10.0, comm)
+        comm.Allreduce(np.ones(4))
+        hist.record(1, 5.0, comm)
+        assert hist.seconds[0] == 0.0
+        assert hist.seconds[1] > 0.0
+        assert hist.metric == [10.0, 5.0]
+        assert len(hist) == 2
+
+    def test_final_metric(self):
+        comm = VirtualComm(1)
+        hist = ConvergenceHistory()
+        with pytest.raises(SolverError):
+            _ = hist.final_metric
+        hist.record(0, 3.0, comm)
+        assert hist.final_metric == 3.0
+
+    def test_as_arrays(self):
+        comm = VirtualComm(1)
+        hist = ConvergenceHistory("duality_gap")
+        hist.record(0, 1.0, comm)
+        arrs = hist.as_arrays()
+        assert "duality_gap" in arrs
+        assert arrs["iterations"].dtype.kind == "i"
+
+
+class TestTerminator:
+    def test_gap_mode(self):
+        t = Terminator(100, tol=0.1, mode="gap")
+        assert not t.done(0.5)
+        assert t.done(0.05)
+
+    def test_objective_mode_relative_change(self):
+        t = Terminator(100, tol=1e-3, mode="objective")
+        assert not t.done(100.0)  # first call: no previous value
+        assert not t.done(50.0)  # 50% change
+        assert t.done(50.001)  # ~2e-5 relative change
+
+    def test_no_tol_never_done(self):
+        t = Terminator(10)
+        assert not t.done(0.0)
+
+    def test_validation(self):
+        with pytest.raises(SolverError):
+            Terminator(0)
+        with pytest.raises(SolverError):
+            Terminator(10, mode="wat")
+        with pytest.raises(SolverError):
+            Terminator(10, tol=-1.0)

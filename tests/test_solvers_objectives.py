@@ -1,0 +1,75 @@
+"""Tests for objectives and the lambda = 100 sigma_min convention."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from conftest import dense_of
+from repro.prox.penalties import ElasticNetPenalty, L1Penalty
+from repro.solvers.objectives import (
+    lambda_from_sigma_min,
+    lasso_objective,
+    least_squares_loss,
+    sigma_max,
+    sigma_min,
+)
+
+
+class TestLeastSquares:
+    def test_zero_solution(self):
+        A = np.eye(3)
+        b = np.array([1.0, 2.0, 3.0])
+        assert least_squares_loss(A, b, np.zeros(3)) == pytest.approx(0.5 * 14)
+
+    def test_exact_solution(self):
+        A = np.eye(2)
+        b = np.array([1.0, -1.0])
+        assert least_squares_loss(A, b, b) == 0.0
+
+    def test_sparse_matches_dense(self, small_regression):
+        A, b, x = small_regression
+        xd = np.linspace(-1, 1, A.shape[1])
+        assert least_squares_loss(A, b, xd) == pytest.approx(
+            least_squares_loss(dense_of(A), b, xd)
+        )
+
+
+class TestLassoObjective:
+    def test_float_penalty_is_l1(self, small_regression):
+        A, b, _ = small_regression
+        x = np.ones(A.shape[1])
+        assert lasso_objective(A, b, x, 0.5) == pytest.approx(
+            lasso_objective(A, b, x, L1Penalty(0.5))
+        )
+
+    def test_penalty_object(self, small_regression):
+        A, b, _ = small_regression
+        x = np.ones(A.shape[1])
+        pen = ElasticNetPenalty(0.3, scale=0.5)
+        assert lasso_objective(A, b, x, pen) == pytest.approx(
+            least_squares_loss(A, b, x) + pen.value(x)
+        )
+
+
+class TestSigmas:
+    def test_identity(self):
+        assert sigma_min(np.eye(4)) == pytest.approx(1.0)
+        assert sigma_max(np.eye(4)) == pytest.approx(1.0)
+
+    def test_matches_numpy_dense(self):
+        rng = np.random.default_rng(0)
+        A = rng.standard_normal((20, 8))
+        svals = np.linalg.svd(A, compute_uv=False)
+        assert sigma_min(A) == pytest.approx(svals[-1])
+        assert sigma_max(A) == pytest.approx(svals[0])
+
+    def test_sparse_matches_dense(self):
+        A = sp.random(40, 15, density=0.5, random_state=1, format="csr")
+        dense = dense_of(A)
+        svals = np.linalg.svd(dense, compute_uv=False)
+        assert sigma_min(A) == pytest.approx(svals[-1], rel=1e-6)
+
+    def test_lambda_factor(self):
+        A = np.eye(3) * 2.0
+        assert lambda_from_sigma_min(A, 100.0) == pytest.approx(200.0)
+        assert lambda_from_sigma_min(A, 1.0) == pytest.approx(2.0)

@@ -1,0 +1,74 @@
+"""Tests for SVM objectives and the duality gap."""
+
+import numpy as np
+import pytest
+
+from conftest import dense_of
+from repro.errors import SolverError
+from repro.solvers.svm.duality import (
+    duality_gap,
+    hinge_losses,
+    loss_params,
+    prediction_accuracy,
+    svm_dual_objective,
+    svm_primal_objective,
+)
+
+
+class TestLossParams:
+    def test_l1(self):
+        gamma, nu = loss_params("l1", 2.0)
+        assert gamma == 0.0 and nu == 2.0
+
+    def test_l2(self):
+        gamma, nu = loss_params("l2", 2.0)
+        assert gamma == pytest.approx(0.25)  # 1/(2 lam), the Hsieh et al. D_ii
+        assert nu == np.inf
+
+    def test_aliases(self):
+        assert loss_params("hinge", 1.0) == loss_params("SVM-L1", 1.0)
+        assert loss_params("squared-hinge", 1.0) == loss_params("L2", 1.0)
+
+    def test_invalid(self):
+        with pytest.raises(SolverError):
+            loss_params("l3", 1.0)
+        with pytest.raises(SolverError):
+            loss_params("l1", 0.0)
+
+
+class TestObjectives:
+    def test_hinge_values(self):
+        margins = np.array([-1.0, 0.0, 2.0])
+        assert np.allclose(hinge_losses(margins, "l1"), [0.0, 0.0, 2.0])
+        assert np.allclose(hinge_losses(margins, "l2"), [0.0, 0.0, 4.0])
+
+    def test_primal_at_zero(self):
+        b = np.array([1.0, -1.0])
+        # x = 0: P = lam * sum loss(1)
+        p = svm_primal_objective(np.zeros(2), b, 0.0, 3.0, "l1")
+        assert p == pytest.approx(6.0)
+
+    def test_dual_at_zero(self):
+        assert svm_dual_objective(np.zeros(4), 0.0, 0.5) == 0.0
+
+    def test_gap_at_zero_start(self):
+        b = np.array([1.0, -1.0, 1.0])
+        gap = duality_gap(np.zeros(3), b, np.zeros(3), 0.0, 1.0, "l1")
+        assert gap == pytest.approx(3.0)  # P(0) - D(0) = m * lam
+
+    def test_gap_nonnegative_after_solve(self, small_classification):
+        from repro.solvers.svm import dcd
+
+        A, b = small_classification
+        res = dcd(A, b, loss="l2", max_iter=800, seed=0)
+        assert res.final_metric >= -1e-9
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        b = np.array([1.0, -1.0])
+        assert prediction_accuracy(np.array([2.0, -0.5]), b) == 1.0
+
+    def test_zero_score_counts_positive(self):
+        assert prediction_accuracy(np.zeros(1), np.array([1.0])) == 1.0
+        assert prediction_accuracy(np.zeros(1), np.array([-1.0])) == 0.0

@@ -1,0 +1,49 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bbb"], [[1, 2.5], [10, 0.125]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        header, sep, r1, r2 = lines
+        assert header.index("|") == sep.index("+")
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.123456789]], floatfmt=".2f")
+        assert "0.12" in out
+
+
+class TestFormatSeries:
+    def test_short_series_full(self):
+        out = format_series("s", [1, 2, 3], [4.0, 5.0, 6.0])
+        assert out.count("\n") == 3
+
+    def test_decimation(self):
+        xs = list(range(100))
+        out = format_series("s", xs, xs, max_points=8)
+        assert out.count("\n") <= 8
+
+    def test_empty(self):
+        assert "empty" in format_series("s", [], [])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1], [1, 2])
+
+    def test_endpoints_kept(self):
+        xs = list(range(50))
+        out = format_series("s", xs, xs, max_points=5)
+        assert "49" in out and "0" in out
