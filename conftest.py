@@ -1,0 +1,15 @@
+"""Repo-root pytest bootstrap.
+
+Makes ``src/`` importable so the suite (and the benches) run without the
+``PYTHONPATH=src`` hack or an editable install. Harmless when the package
+is properly installed — site-packages wins only if ``src/`` is removed.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

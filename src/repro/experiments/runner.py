@@ -183,8 +183,13 @@ def run_lasso(
     seed: int = 0,
     record_every: int = 1,
     lam: float | None = None,
+    fast: bool = True,
 ) -> SolverResult:
-    """Run one Lasso-family solver on a scaled dataset at virtual P."""
+    """Run one Lasso-family solver on a scaled dataset at virtual P.
+
+    ``fast`` toggles the SA solvers' fused inner loop (bit-identical
+    iterates; exposed for before/after benchmarking).
+    """
     if solver not in LASSO_SOLVERS:
         raise SolverError(f"unknown lasso solver {solver!r}; known: {sorted(LASSO_SOLVERS)}")
     fn = LASSO_SOLVERS[solver]
@@ -197,6 +202,7 @@ def run_lasso(
         kwargs["mu"] = mu
     if solver.startswith("sa-"):
         kwargs["s"] = s if s is not None else 8
+        kwargs["fast"] = fast
     return fn(ds.A, ds.b, lam_val, **kwargs)
 
 
@@ -212,6 +218,7 @@ def run_svm(
     seed: int = 0,
     record_every: int = 0,
     tol: float | None = None,
+    fast: bool = True,
 ) -> SolverResult:
     """Run one SVM solver on a scaled dataset at virtual P."""
     if solver not in SVM_SOLVERS:
@@ -228,6 +235,7 @@ def run_svm(
     )
     if solver.startswith("sa-"):
         kwargs["s"] = s if s is not None else 8
+        kwargs["fast"] = fast
     return fn(ds.A, ds.b, **kwargs)
 
 

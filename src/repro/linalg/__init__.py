@@ -1,8 +1,16 @@
-"""Distributed linear algebra: partitions, sharded matrices, Gram packing."""
+"""Distributed linear algebra: partitions, sharded matrices, Gram packing,
+and the kernel fast-path layer."""
 
 from repro.linalg.partition import Partition1D, block_partition, balanced_nnz_partition
 from repro.linalg.packing import pack_gram, unpack_gram, packed_length, tri_length
 from repro.linalg.eig import largest_eigenvalue, power_iteration
+from repro.linalg.kernels import (
+    GatherWorkspace,
+    gather_columns,
+    gather_rows,
+    largest_eigenvalue_cached,
+    tri_plan,
+)
 from repro.linalg.distmatrix import RowPartitionedMatrix, ColPartitionedMatrix
 
 __all__ = [
@@ -15,6 +23,11 @@ __all__ = [
     "tri_length",
     "largest_eigenvalue",
     "power_iteration",
+    "GatherWorkspace",
+    "gather_columns",
+    "gather_rows",
+    "largest_eigenvalue_cached",
+    "tri_plan",
     "RowPartitionedMatrix",
     "ColPartitionedMatrix",
 ]

@@ -21,7 +21,8 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.errors import PartitionError
-from repro.linalg.packing import pack_gram, unpack_gram
+from repro.linalg.kernels import GatherWorkspace, gather_columns, gather_rows
+from repro.linalg.packing import pack_gram, packed_length, unpack_gram
 from repro.linalg.partition import Partition1D, balanced_nnz_partition, block_partition
 from repro.mpi.comm import Comm
 from repro.utils.validation import check_dense_or_csr, nnz_of
@@ -37,18 +38,40 @@ def _densify_small(M) -> np.ndarray:
 
 
 class _PartitionedBase:
-    """Shared plumbing for the two layouts."""
+    """Shared plumbing for the two layouts.
+
+    Construction normalises sparse shards to canonical CSR and builds the
+    layout's sampling view (see subclasses). Packed collectives reuse a
+    pair of per-instance send/receive buffers — with the fold-inside-
+    collective backends this is the zero-allocation steady-state path.
+    """
 
     def __init__(self, comm: Comm, partition: Partition1D, local, shape) -> None:
         self.comm = comm
         self.partition = partition
+        if sp.issparse(local):
+            local = local.tocsr()
         self.local = local
         self.shape = tuple(shape)
         self.local_nnz = nnz_of(local)
+        self._gather_ws = GatherWorkspace()
+        self._send_buf: np.ndarray | None = None
+        self._recv_buf: np.ndarray | None = None
+        self._build_sampling_view()
+
+    def _build_sampling_view(self) -> None:
+        """Hook: cache the layout's cheap-slice-gather view of the shard."""
 
     @property
     def is_sparse(self) -> bool:
         return sp.issparse(self.local)
+
+    def _packed_buffers(self, length: int) -> tuple[np.ndarray, np.ndarray]:
+        """Reusable (send, recv) float64 views of exactly ``length``."""
+        if self._send_buf is None or self._send_buf.shape[0] < length:
+            self._send_buf = np.empty(length, dtype=np.float64)
+            self._recv_buf = np.empty(length, dtype=np.float64)
+        return self._send_buf[:length], self._recv_buf[:length]
 
     def _charge_gram(self, nnz_block: float, k: int, extra_cols: int, symmetric: bool) -> None:
         """Charge Gram + projection flops for a sampled block."""
@@ -103,8 +126,27 @@ class RowPartitionedMatrix(_PartitionedBase):
         return cls(comm, partition, local, (m, n))
 
     # -- sampling -------------------------------------------------------------
+    def _build_sampling_view(self) -> None:
+        # Column sampling out of a CSR shard is the classical method's
+        # dominant local cost (scipy scans every local non-zero). A CSC
+        # view turns it into a cheap slice-gather, at the price of
+        # holding the shard twice (CSR for matvecs, CSC for sampling).
+        # Built on first use so matvec-only workloads don't pay the 2x.
+        self._csc_cache = None
+
+    @property
+    def _local_csc(self):
+        if self._csc_cache is None and sp.issparse(self.local):
+            self._csc_cache = self.local.tocsc()
+        return self._csc_cache
+
     def sample_columns(self, idx: np.ndarray):
         """Local rows of the sampled columns ``A I_h`` (m_loc x k).
+
+        Sparse shards gather out of the cached CSC view in
+        O(k + extracted nnz) — the returned block is CSC, with its arrays
+        living in a reusable workspace (valid until the next sampling
+        call, which is how every solver consumes it).
 
         Charges the gather cost of pulling ``k`` columns out of the
         row-major local shard (an index scan over the local rows plus a
@@ -114,7 +156,10 @@ class RowPartitionedMatrix(_PartitionedBase):
         blocked SA Gram formation.
         """
         idx = np.asarray(idx, dtype=np.intp)
-        S = self.local[:, idx]
+        if self._local_csc is not None:
+            S = gather_columns(self._local_csc, idx, self._gather_ws)
+        else:
+            S = self.local[:, idx]
         # row-scan term grows with local rows; copy term with extracted nnz
         self.comm.account_flops(2.0 * self.local.shape[0], "gather")
         self.comm.account_flops(6.0 * nnz_of(S), "scalar")
@@ -151,8 +196,9 @@ class RowPartitionedMatrix(_PartitionedBase):
         Gp = _densify_small(Sd)
         Rp = _densify_small(S.T @ V) if c else None
         self._charge_gram(nnz_of(S), k, c, symmetric)
-        buf = pack_gram(Gp, Rp, symmetric)
-        total = self.comm.Allreduce(buf)
+        send, recv = self._packed_buffers(packed_length(k, c, symmetric))
+        pack_gram(Gp, Rp, symmetric, out=send)
+        total = self.comm.Allreduce(send, out=recv)
         G, R = unpack_gram(total, k, c, symmetric)
         return G, (R if c else np.zeros((k, 0)))
 
@@ -223,12 +269,17 @@ class ColPartitionedMatrix(_PartitionedBase):
     def sample_rows(self, idx: np.ndarray):
         """Local columns of the sampled rows (k x n_loc).
 
-        Row extraction from the row-major shard is cheaper than the
-        Lasso layout's column gather, but still charged (index lookup
-        plus non-zero copy).
+        The shard is kept in CSR (compressed along the sampled axis), so
+        sampling is a slice-gather in O(k + extracted nnz) with reusable
+        output buffers. Row extraction is cheaper than the Lasso layout's
+        column gather, but still charged (index lookup plus non-zero
+        copy).
         """
         idx = np.asarray(idx, dtype=np.intp)
-        Y = self.local[idx, :]
+        if sp.issparse(self.local):
+            Y = gather_rows(self.local, idx, self._gather_ws)
+        else:
+            Y = self.local[idx, :]
         self.comm.account_flops(2.0 * idx.shape[0], "gather")
         self.comm.account_flops(6.0 * nnz_of(Y), "scalar")
         return Y
@@ -249,8 +300,9 @@ class ColPartitionedMatrix(_PartitionedBase):
         Gp = _densify_small(Y @ Y.T)
         xp = np.asarray(Y @ x_local).ravel()
         self._charge_gram(nnz_of(Y), k, 1, symmetric)
-        buf = pack_gram(Gp, xp, symmetric)
-        total = self.comm.Allreduce(buf)
+        send, recv = self._packed_buffers(packed_length(k, 1, symmetric))
+        pack_gram(Gp, xp, symmetric, out=send)
+        total = self.comm.Allreduce(send, out=recv)
         G, R = unpack_gram(total, k, 1, symmetric)
         return G, R[:, 0]
 

@@ -5,6 +5,11 @@ The SA methods synchronise once per outer iteration by packing the
 a single buffer (paper Alg. 2 lines 11-12; Alg. 4 lines 9-10). Footnote 3
 notes G is symmetric, so sending the lower triangle halves the message —
 implemented here as ``symmetric=True``.
+
+Steady-state path: the lower-triangle index plan is cached per ``k``
+(:func:`repro.linalg.kernels.tri_plan`) and ``pack_gram`` accepts an
+``out`` buffer, so packing a Gram block allocates nothing after the
+first iteration. The packed values and their order are unchanged.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import CommError
+from repro.linalg.kernels import tri_plan
 
 __all__ = ["pack_gram", "unpack_gram", "packed_length", "tri_length"]
 
@@ -27,20 +33,22 @@ def packed_length(k: int, extra_cols: int, symmetric: bool) -> int:
     return gram + k * extra_cols
 
 
-def pack_gram(G: np.ndarray, extras: np.ndarray | None, symmetric: bool) -> np.ndarray:
+def pack_gram(
+    G: np.ndarray,
+    extras: np.ndarray | None,
+    symmetric: bool,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
     """Pack ``G`` (k x k) and ``extras`` (k x c, optional) into one vector.
 
-    ``symmetric=True`` stores only the lower triangle of ``G``.
+    ``symmetric=True`` stores only the lower triangle of ``G``. With
+    ``out`` (a preallocated float64 vector of exactly the packed length)
+    the payload is written in place — zero allocations on the hot path.
     """
     G = np.asarray(G, dtype=np.float64)
     k = G.shape[0]
     if G.shape != (k, k):
         raise CommError(f"G must be square, got {G.shape}")
-    parts = []
-    if symmetric:
-        parts.append(G[np.tril_indices(k)])
-    else:
-        parts.append(G.ravel())
     if extras is not None:
         extras = np.asarray(extras, dtype=np.float64)
         if extras.ndim == 1:
@@ -49,8 +57,24 @@ def pack_gram(G: np.ndarray, extras: np.ndarray | None, symmetric: bool) -> np.n
             raise CommError(
                 f"extras must have {k} rows to match G, got {extras.shape}"
             )
-        parts.append(extras.ravel())
-    return np.concatenate(parts)
+    c = 0 if extras is None else extras.shape[1]
+    t = tri_length(k) if symmetric else k * k
+    length = t + k * c
+    if out is None:
+        out = np.empty(length, dtype=np.float64)
+    elif out.shape != (length,) or out.dtype != np.float64:
+        raise CommError(
+            f"out buffer must be a float64 vector of length {length}, "
+            f"got {out.dtype}{out.shape}"
+        )
+    if symmetric:
+        _, _, flat = tri_plan(k)
+        np.take(np.ravel(G), flat, out=out[:t])
+    else:
+        out[:t] = np.ravel(G)
+    if c:
+        out[t:] = np.ravel(extras)
+    return out
 
 
 def unpack_gram(
@@ -59,6 +83,8 @@ def unpack_gram(
     """Inverse of :func:`pack_gram`; returns ``(G, extras-or-None)``.
 
     The symmetric path mirrors the lower triangle into the upper one.
+    The outputs are fresh arrays (never views of ``buf``), so callers may
+    reuse ``buf`` as a receive buffer on the next collective.
     """
     buf = np.asarray(buf, dtype=np.float64).ravel()
     expect = packed_length(k, extra_cols, symmetric)
@@ -68,10 +94,11 @@ def unpack_gram(
         )
     if symmetric:
         t = tri_length(k)
-        G = np.zeros((k, k))
-        il, jl = np.tril_indices(k)
-        G[il, jl] = buf[:t]
-        G[jl, il] = buf[:t]
+        il, jl, _ = tri_plan(k)
+        G = np.empty((k, k))
+        tri = buf[:t]
+        G[il, jl] = tri
+        G[jl, il] = tri
         rest = buf[t:]
     else:
         G = buf[: k * k].reshape(k, k).copy()

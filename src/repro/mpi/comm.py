@@ -113,6 +113,16 @@ class Comm(ABC):
         ``tag`` names the collective for SPMD-mismatch detection.
         """
 
+    def _exchange_fold(self, tag: str, obj: Any, fold) -> Any:
+        """Exchange and fold the rank-ordered contributions.
+
+        Backends override this to run ``fold`` *inside* their collective
+        critical section, which makes it safe for callers to reuse send
+        buffers across iterations (the zero-copy packed-collective path:
+        once the call returns, no peer still reads this rank's buffer).
+        """
+        return fold(self._allgather_impl(tag, obj))
+
     # -- cost hooks -----------------------------------------------------------
     def _charge(self, name: str, words: float) -> None:
         pricer = getattr(self._cost_model, name, None)
@@ -189,18 +199,37 @@ class Comm(ABC):
 
     # -- buffer collectives (Upper-case, mpi4py style) ---------------------------
     def Allreduce(  # noqa: N802 - mpi4py naming
-        self, sendbuf: np.ndarray, op: Op = SUM
+        self, sendbuf: np.ndarray, op: Op = SUM, out: np.ndarray | None = None
     ) -> np.ndarray:
-        """Reduce-to-all of a NumPy array; returns a fresh array.
+        """Reduce-to-all of a NumPy array.
 
         This is the workhorse of every solver in the package: partial
         Gram matrices and partial dot products are summed here, exactly
         as in the paper's Fig. 1 step 4.
+
+        With ``out`` the reduction accumulates into the given buffer
+        (zero allocations on the steady-state path) and both ``sendbuf``
+        and ``out`` may be reused by the caller on the next iteration:
+        backends complete the fold before releasing their peers. Without
+        ``out`` a fresh array is returned, as before. The arithmetic is
+        identical either way (rank-ordered accumulation).
         """
         arr = np.asarray(sendbuf)
-        gathered = self._allgather_impl("Allreduce", arr)
+        if out is None:
+            fold = op.fold
+        else:
+            if np.may_share_memory(arr, out):
+                # backends fold while peers still read the deposited send
+                # buffers; an aliased out would corrupt this rank's
+                # contribution mid-reduction
+                raise CommError("Allreduce out must not alias sendbuf")
+
+            def fold(gathered, _op=op, _out=out):
+                return _op.fold_into(gathered, _out)
+
+        result = self._exchange_fold("Allreduce", arr, fold)
         self._charge("allreduce", arr.nbytes / _WORD_BYTES)
-        return op.fold(gathered)
+        return result
 
     def Bcast(self, buf: np.ndarray, root: int = 0) -> np.ndarray:  # noqa: N802
         """Broadcast array from root; returns the root's array on all ranks."""

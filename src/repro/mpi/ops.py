@@ -18,10 +18,17 @@ __all__ = ["Op", "SUM", "MAX", "MIN", "PROD", "LAND", "LOR"]
 
 @dataclass(frozen=True)
 class Op:
-    """A binary, associative reduction operation."""
+    """A binary, associative reduction operation.
+
+    ``ufunc`` (optional) is the NumPy ufunc equivalent of ``combine``;
+    when present, :meth:`fold_into` accumulates in place with
+    ``ufunc(out, item, out=out)`` — the same arithmetic as
+    ``combine(out, item)`` without the per-rank allocation.
+    """
 
     name: str
     combine: Callable
+    ufunc: Callable | None = None
 
     def fold(self, contributions: Sequence):
         """Reduce ``contributions`` left-to-right (rank order).
@@ -42,13 +49,38 @@ class Op:
             acc = self.combine(acc, item)
         return acc
 
+    def fold_into(self, contributions: Sequence, out: np.ndarray) -> np.ndarray:
+        """Rank-order reduce array contributions into preallocated ``out``.
+
+        Bit-identical to :meth:`fold` (same binary ops, same order); the
+        only difference is where the accumulator lives. This is the
+        zero-allocation path behind ``Comm.Allreduce(..., out=...)``.
+        """
+        if len(contributions) == 0:
+            raise ValueError(f"cannot {self.name}-reduce zero contributions")
+        np.copyto(out, contributions[0])
+        for item in contributions[1:]:
+            if self.ufunc is not None:
+                self.ufunc(out, item, out=out)
+            else:
+                np.copyto(out, self.combine(out, item))
+        return out
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Op({self.name})"
 
 
-SUM = Op("sum", lambda a, b: a + b)
-PROD = Op("prod", lambda a, b: a * b)
-MAX = Op("max", lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b))
-MIN = Op("min", lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b))
+SUM = Op("sum", lambda a, b: a + b, np.add)
+PROD = Op("prod", lambda a, b: a * b, np.multiply)
+MAX = Op(
+    "max",
+    lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b),
+    np.maximum,
+)
+MIN = Op(
+    "min",
+    lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b),
+    np.minimum,
+)
 LAND = Op("land", lambda a, b: np.logical_and(a, b) if isinstance(a, np.ndarray) else (a and b))
 LOR = Op("lor", lambda a, b: np.logical_or(a, b) if isinstance(a, np.ndarray) else (a or b))

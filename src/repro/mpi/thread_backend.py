@@ -42,8 +42,16 @@ class ThreadContext:
         self.tags: list[str | None] = [None] * size
         self.generation = 0
 
-    def exchange(self, rank: int, tag: str, obj: Any) -> list:
-        """Deposit, synchronise, snapshot, synchronise."""
+    def exchange(self, rank: int, tag: str, obj: Any, fold=None) -> Any:
+        """Deposit, synchronise, snapshot (or fold), synchronise.
+
+        With ``fold`` each rank reduces the contributions *between* the
+        two barriers — i.e. before any peer can overwrite its slot for
+        the next collective. That is what lets callers reuse their send
+        buffers across iterations (zero-copy packed collectives): by the
+        time ``exchange`` returns, every rank has finished reading every
+        buffer.
+        """
         self.slots[rank] = obj
         self.tags[rank] = tag
         try:
@@ -58,7 +66,7 @@ class ThreadContext:
                 raise RankMismatchError(
                     f"SPMD mismatch: ranks called different collectives {self.tags}"
                 )
-            snapshot = list(self.slots)
+            snapshot = fold(list(self.slots)) if fold is not None else list(self.slots)
         finally:
             # Second barrier: nobody may overwrite slots until all have read.
             # On mismatch every rank raises the same error after this point.
@@ -97,6 +105,10 @@ class ThreadComm(Comm):
 
     def _allgather_impl(self, tag: str, obj: Any) -> list:
         return self._ctx.exchange(self._rank, tag, obj)
+
+    def _exchange_fold(self, tag: str, obj: Any, fold) -> Any:
+        # fold inside the critical section so send buffers are reusable
+        return self._ctx.exchange(self._rank, tag, obj, fold=fold)
 
 
 @dataclass

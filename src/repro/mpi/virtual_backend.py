@@ -71,3 +71,9 @@ class VirtualComm(Comm):
 
     def _allgather_impl(self, tag: str, obj: Any) -> list:
         return [obj]
+
+    def _exchange_fold(self, tag: str, obj: Any, fold) -> Any:
+        # single participant: fold over the singleton without the list
+        # round-trip (the fold still copies, so reusable send buffers
+        # never alias the returned reduction)
+        return fold((obj,))

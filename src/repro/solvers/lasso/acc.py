@@ -23,6 +23,19 @@ with ``c_{j,t} = th_{j-1}^2 (1 - q th_{t-1}) / th_{t-1}^2 - 1`` and
 ``cur_j = z_sk[I_j] + sum_{t<j} I_j^T I_t dz_t``. One packed Allreduce
 per outer step carries ``G = Y^T Y`` and ``Y^T [ytil, ztil]``
 (Alg. 2 lines 11-12).
+
+Fast inner loop (``fast=True``, the default): the theta/eta/momentum
+coefficient tables are precomputed once per outer step
+(:func:`repro.linalg.kernels.acc_coef_tables`), the overlap bookkeeping
+``cur_j = z_sk[I_j] + sum I_j^T I_t dz_t`` collapses to a read of the
+incrementally-updated ``z`` (same additions, same order), the block
+Lipschitz eigensolve is memoised per Gram-block bytes, and at ``mu = 1``
+the whole eq. (3)-(5) recurrence runs on scalars with sparse
+column-scatter residual updates (O(nnz of the sampled column) instead of
+O(nnz of all s columns) per inner iteration). Every fast-path operation
+keeps the naive loop's operation order, so the iterate sequence is
+bit-identical to ``fast=False`` — that invariant is enforced by
+``tests/test_fast_parity.py``.
 """
 
 from __future__ import annotations
@@ -31,6 +44,11 @@ import numpy as np
 
 from repro.errors import SolverError
 from repro.linalg.eig import largest_eigenvalue
+from repro.linalg.kernels import (
+    acc_coef_tables,
+    largest_eigenvalue_cached,
+    sparse_columns,
+)
 from repro.mpi.comm import Comm
 from repro.solvers.base import (
     FIXED_SUBPROBLEM_FLOPS,
@@ -42,8 +60,10 @@ from repro.solvers.lasso.common import (
     as_penalty,
     distributed_objective,
     make_sampler,
+    momentum_coef,
     setup_problem,
     theta_next,
+    theta_schedule,
 )
 from repro.solvers.lasso.plain import _overlap_apply
 from repro.utils.validation import nnz_of
@@ -127,7 +147,7 @@ def acc_bcd(
             g = z[idx] - eta * R[:, 0]
             z_new = pen.prox_block(g, eta, idx)
             dz = z_new - z[idx]
-            coef = (1.0 - q * theta) / t2
+            coef = momentum_coef(theta, q)
             z[idx] = z_new
             y[idx] -= coef * dz
             Sdz = np.asarray(S @ dz).ravel()
@@ -163,6 +183,209 @@ def acc_bcd(
     )
 
 
+def _sa_acc_outer_naive(
+    dist, pen, Y, G, R, blocks, widths, offsets, thetas, q,
+    y, z, ytil, ztil, done, max_iter, record_every, term, history,
+):
+    """Reference inner loop: eqs. (3)-(5) exactly as written.
+
+    Kept as the ``fast=False`` escape hatch and as the ground truth for
+    the bit-identical parity tests.
+    """
+    s_eff = len(blocks)
+    z_outer = z.copy()
+    deltas: list[np.ndarray] = []
+    theta_used = thetas[0]
+    for j in range(s_eff):
+        sl_j = slice(offsets[j], offsets[j + 1])
+        th_prev = thetas[j]
+        theta_used = th_prev
+        t2 = th_prev * th_prev
+        # eq. (3): start from the projected history vectors
+        r = t2 * R[sl_j, 0] + R[sl_j, 1]
+        cur = z_outer[blocks[j]].copy()
+        for t in range(j):
+            sl_t = slice(offsets[t], offsets[t + 1])
+            c_jt = t2 * (1.0 - q * thetas[t]) / (thetas[t] * thetas[t]) - 1.0
+            r -= c_jt * (G[sl_j, sl_t] @ deltas[t])
+            cur += _overlap_apply(blocks[j], blocks[t], deltas[t])
+        dist.comm.account_flops(
+            FIXED_SUBPROBLEM_FLOPS
+            + 10.0 * float(widths[j]) ** 3
+            + 2.0 * widths[j] * (offsets[j] + 4),
+            "fixed",
+        )
+        v = largest_eigenvalue(G[sl_j, sl_j])
+        if v > 0.0:
+            eta = 1.0 / (q * th_prev * v)
+            g = cur - eta * r  # eq. (4)
+            new = pen.prox_block(g, eta, blocks[j])
+            dz = new - cur  # eq. (5)
+        else:
+            dz = np.zeros(widths[j])
+        deltas.append(dz)
+        coef = momentum_coef(th_prev, q)
+        # incremental updates (Alg. 2 lines 19-22); all local/replicated
+        z[blocks[j]] += dz
+        y[blocks[j]] -= coef * dz
+        if np.any(dz):
+            Sj = Y[:, sl_j]
+            Sdz = np.asarray(Sj @ dz).ravel()
+            dist.comm.account_flops(2.0 * nnz_of(Sj), "blas1")
+            dist.comm.account_flops(3.0 * Sdz.shape[0], "gather")
+            ztil += Sdz
+            ytil -= coef * Sdz
+        it = done + j + 1
+        if record_every and (it % record_every == 0 or it == max_iter):
+            obj = _acc_objective(dist, th_prev, y, z, ytil, ztil, pen)
+            history.record(it, obj, dist.comm)
+            if term.done(obj):
+                return True, it, thetas[j + 1], th_prev
+    return False, done + s_eff, thetas[s_eff], theta_used
+
+
+def _sa_acc_outer_fast(
+    dist, pen, Y, G, R, blocks, widths, offsets, thetas, q,
+    y, z, ytil, ztil, done, max_iter, record_every, term, history,
+):
+    """Fused inner loop — bit-identical iterates, fraction of the work.
+
+    * coefficient tables (theta^2, q*theta, momentum, eq. (3)'s c_{j,t})
+      are built once per outer step with naive-matching associativity;
+    * ``cur_j`` reads the incrementally-updated ``z`` instead of
+      re-deriving overlaps with O(mu^2) comparisons — ``z`` accumulates
+      the exact same additions in the exact same order;
+    * the block Lipschitz constant is memoised on the Gram block's bytes;
+    * at ``mu = 1`` the recurrence runs on Python scalars and residual
+      updates scatter single sparse columns.
+    """
+    s_eff = len(blocks)
+    t2v, qth, coefv, C = acc_coef_tables(thetas[:s_eff], q)
+    account = dist.comm.account_flops
+    if max(widths) == 1:
+        return _sa_acc_inner_scalar(
+            dist, pen, Y, G, R, blocks, offsets, thetas, t2v, qth, coefv, C,
+            y, z, ytil, ztil, done, max_iter, record_every, term, history,
+        )
+    deltas: list[np.ndarray] = []
+    nonzero: list[bool] = []
+    theta_used = thetas[0]
+    for j in range(s_eff):
+        sl_j = slice(offsets[j], offsets[j + 1])
+        th_prev = thetas[j]
+        theta_used = th_prev
+        r = t2v[j] * R[sl_j, 0] + R[sl_j, 1]
+        for t in range(j):
+            if nonzero[t]:
+                sl_t = slice(offsets[t], offsets[t + 1])
+                r -= C[j, t] * (G[sl_j, sl_t] @ deltas[t])
+        account(
+            FIXED_SUBPROBLEM_FLOPS
+            + 10.0 * float(widths[j]) ** 3
+            + 2.0 * widths[j] * (offsets[j] + 4),
+            "fixed",
+        )
+        v = largest_eigenvalue_cached(G[sl_j, sl_j])
+        if v > 0.0:
+            eta = 1.0 / (qth[j] * v)
+            cur = z[blocks[j]].copy()
+            g = cur - eta * r
+            new = pen.prox_block(g, eta, blocks[j])
+            dz = new - cur
+        else:
+            dz = np.zeros(widths[j])
+        nz = bool(np.any(dz))
+        deltas.append(dz)
+        nonzero.append(nz)
+        coef = coefv[j]
+        z[blocks[j]] += dz
+        y[blocks[j]] -= coef * dz
+        if nz:
+            Sj = Y[:, sl_j]
+            Sdz = np.asarray(Sj @ dz).ravel()
+            account(2.0 * nnz_of(Sj), "blas1")
+            account(3.0 * Sdz.shape[0], "gather")
+            ztil += Sdz
+            ytil -= coef * Sdz
+        it = done + j + 1
+        if record_every and (it % record_every == 0 or it == max_iter):
+            obj = _acc_objective(dist, th_prev, y, z, ytil, ztil, pen)
+            history.record(it, obj, dist.comm)
+            if term.done(obj):
+                return True, it, thetas[j + 1], th_prev
+    return False, done + s_eff, thetas[s_eff], theta_used
+
+
+def _sa_acc_inner_scalar(
+    dist, pen, Y, G, R, blocks, offsets, thetas, t2v, qth, coefv, C,
+    y, z, ytil, ztil, done, max_iter, record_every, term, history,
+):
+    """mu = 1 fused loop: pure-scalar recurrence + sparse column scatter."""
+    s_eff = len(blocks)
+    Gl = G.tolist()
+    R0 = R[:, 0].tolist()
+    R1 = R[:, 1].tolist()
+    Cl = C.tolist()
+    t2l = t2v.tolist()
+    qthl = qth.tolist()
+    coefl = coefv.tolist()
+    cols = [int(b[0]) for b in blocks]
+    dvals = [0.0] * s_eff
+    m_loc = ztil.shape[0]
+    Ycsc = sparse_columns(Y)
+    if Ycsc is not None:
+        Yp, Yi, Yd = Ycsc.indptr, Ycsc.indices, Ycsc.data
+    account = dist.comm.account_flops
+    fixed = FIXED_SUBPROBLEM_FLOPS + 10.0
+    theta_used = thetas[0]
+    for j in range(s_eff):
+        th_prev = thetas[j]
+        theta_used = th_prev
+        r = t2l[j] * R0[j] + R1[j]
+        Crow = Cl[j]
+        Grow = Gl[j]
+        for t in range(j):
+            d = dvals[t]
+            if d != 0.0:
+                r -= Crow[t] * (Grow[t] * d)
+        account(fixed + 2.0 * (offsets[j] + 4), "fixed")
+        i = cols[j]
+        v = Grow[j]
+        if v > 0.0:
+            eta = 1.0 / (qthl[j] * v)
+            cur = z[i]
+            g = cur - eta * r
+            new = pen.prox_block(np.array([g]), eta, blocks[j])
+            dz = new[0] - cur
+        else:
+            dz = 0.0
+        dvals[j] = dz
+        coef = coefl[j]
+        z[i] += dz
+        y[i] -= coef * dz
+        if dz != 0.0:
+            if Ycsc is not None:
+                lo, hi = Yp[j], Yp[j + 1]
+                rows = Yi[lo:hi]
+                upd = Yd[lo:hi] * dz
+                ztil[rows] += upd
+                ytil[rows] -= coef * upd
+                account(2.0 * (hi - lo), "blas1")
+            else:
+                upd = Y[:, j] * dz
+                ztil += upd
+                ytil -= coef * upd
+                account(2.0 * m_loc, "blas1")
+            account(3.0 * m_loc, "gather")
+        it = done + j + 1
+        if record_every and (it % record_every == 0 or it == max_iter):
+            obj = _acc_objective(dist, th_prev, y, z, ytil, ztil, pen)
+            history.record(it, obj, dist.comm)
+            if term.done(obj):
+                return True, it, thetas[j + 1], th_prev
+    return False, done + s_eff, thetas[s_eff], theta_used
+
+
 def sa_acc_bcd(
     A,
     b,
@@ -177,11 +400,17 @@ def sa_acc_bcd(
     tol: float | None = None,
     record_every: int = 1,
     symmetric_pack: bool = True,
+    fast: bool = True,
 ) -> SolverResult:
     """Synchronization-avoiding accelerated BCD (paper Algorithm 2).
 
     One packed Allreduce per ``s`` iterations; identical iterate sequence
     to :func:`acc_bcd` in exact arithmetic for equal seeds.
+
+    ``fast`` selects the fused inner loop (default); ``fast=False`` runs
+    the reference eq. (3)-(5) recurrences. The two produce bit-identical
+    iterate sequences — ``fast`` only removes overhead, never changes
+    the arithmetic.
     """
     if s < 1:
         raise SolverError(f"s must be >= 1, got {s}")
@@ -197,80 +426,25 @@ def sa_acc_bcd(
     history.record(0, _acc_objective(dist, theta, y, z, ytil, ztil, pen), dist.comm)
     term.done(history.final_metric)
 
+    step = _sa_acc_outer_fast if fast else _sa_acc_outer_naive
     done = 0
     converged = False
     theta_used = theta
     while done < max_iter and not converged:
         s_eff = min(s, max_iter - done)
         blocks = [sampler.next_block() for _ in range(s_eff)]
-        widths = [blk.shape[0] for blk in blocks]
+        widths = [int(blk.shape[0]) for blk in blocks]
         offsets = np.concatenate([[0], np.cumsum(widths)])
         all_idx = np.concatenate(blocks)
         # thetas for the whole outer step depend only on theta_sk (Alg. 2 line 9)
-        thetas = [theta]
-        for _ in range(s_eff):
-            thetas.append(theta_next(thetas[-1]))
+        thetas = theta_schedule(theta, s_eff)
         Y = dist.sample_columns(all_idx)
         # one message: G = Y^T Y and Y^T [ytil, ztil]  (Alg. 2 lines 11-12)
         G, R = dist.gram_and_project(Y, [ytil, ztil], symmetric=symmetric_pack)
-        z_outer = z.copy()
-
-        deltas: list[np.ndarray] = []
-        coefs: list[float] = []
-        for j in range(s_eff):
-            sl_j = slice(offsets[j], offsets[j + 1])
-            th_prev = thetas[j]
-            theta_used = th_prev
-            t2 = th_prev * th_prev
-            # eq. (3): start from the projected history vectors
-            r = t2 * R[sl_j, 0] + R[sl_j, 1]
-            cur = z_outer[blocks[j]].copy()
-            for t in range(j):
-                sl_t = slice(offsets[t], offsets[t + 1])
-                c_jt = t2 * (1.0 - q * thetas[t]) / (thetas[t] * thetas[t]) - 1.0
-                r -= c_jt * (G[sl_j, sl_t] @ deltas[t])
-                cur += _overlap_apply(blocks[j], blocks[t], deltas[t])
-            dist.comm.account_flops(
-                FIXED_SUBPROBLEM_FLOPS
-                + 10.0 * float(widths[j]) ** 3
-                + 2.0 * widths[j] * (offsets[j] + 4),
-                "fixed",
-            )
-            v = largest_eigenvalue(G[sl_j, sl_j])
-            if v > 0.0:
-                eta = 1.0 / (q * th_prev * v)
-                g = cur - eta * r  # eq. (4)
-                new = pen.prox_block(g, eta, blocks[j])
-                dz = new - cur  # eq. (5)
-            else:
-                dz = np.zeros(widths[j])
-            deltas.append(dz)
-            coef = (1.0 - q * th_prev) / t2
-            coefs.append(coef)
-            # incremental updates (Alg. 2 lines 19-22); all local/replicated
-            z[blocks[j]] += dz
-            y[blocks[j]] -= coef * dz
-            if np.any(dz):
-                Sj = Y[:, sl_j]
-                Sdz = np.asarray(Sj @ dz).ravel()
-                dist.comm.account_flops(2.0 * nnz_of(Sj), "blas1")
-                dist.comm.account_flops(3.0 * Sdz.shape[0], "gather")
-                ztil += Sdz
-                ytil -= coef * Sdz
-            it = done + j + 1
-            if record_every and (it % record_every == 0 or it == max_iter):
-                obj = _acc_objective(
-                    dist, thetas[j], y, z, ytil, ztil, pen
-                )
-                history.record(it, obj, dist.comm)
-                if term.done(obj):
-                    converged = True
-                    done = it
-                    theta = thetas[j + 1]
-                    break
-        else:
-            done += s_eff
-            theta = thetas[s_eff]
+        converged, done, theta, theta_used = step(
+            dist, pen, Y, G, R, blocks, widths, offsets, thetas, q,
+            y, z, ytil, ztil, done, max_iter, record_every, term, history,
+        )
     if not record_every or history.iterations[-1] != done:
         history.record(
             done, _acc_objective(dist, theta_used, y, z, ytil, ztil, pen), dist.comm

@@ -17,6 +17,8 @@ __all__ = [
     "distributed_objective",
     "make_sampler",
     "theta_next",
+    "theta_schedule",
+    "momentum_coef",
 ]
 
 
@@ -81,3 +83,23 @@ def theta_next(theta: float) -> float:
         raise SolverError(f"theta must be positive, got {theta}")
     t2 = theta * theta
     return 0.5 * (np.sqrt(t2 * t2 + 4.0 * t2) - t2)
+
+
+def theta_schedule(theta: float, s: int) -> list:
+    """``[theta, theta_next(theta), ...]`` — s+1 momentum values.
+
+    The whole outer step's thetas depend only on ``theta_sk`` (paper
+    Alg. 2 line 9), which is what lets SA-accBCD precompute them; the
+    classical method consumes the same schedule one entry per iteration,
+    so both see bit-identical momentum states.
+    """
+    thetas = [theta]
+    for _ in range(s):
+        thetas.append(theta_next(thetas[-1]))
+    return thetas
+
+
+def momentum_coef(theta: float, q: float) -> float:
+    """y-update coefficient ``(1 - q theta)/theta^2`` (Alg. 1 line 17)."""
+    t2 = theta * theta
+    return (1.0 - q * theta) / t2

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.errors import SolverError
 from repro.linalg.eig import largest_eigenvalue
+from repro.linalg.kernels import largest_eigenvalue_cached, sparse_columns
 from repro.mpi.comm import Comm
 from repro.solvers.base import (
     FIXED_SUBPROBLEM_FLOPS,
@@ -143,6 +144,169 @@ def bcd(
     )
 
 
+def _sa_outer_naive(
+    dist, pen, Y, G, R, blocks, widths, offsets,
+    x, r_local, done, max_iter, record_every, term, history,
+):
+    """Reference inner loop (the ``fast=False`` escape hatch)."""
+    s_eff = len(blocks)
+    x_outer = x.copy()
+    deltas: list[np.ndarray] = []
+    for j in range(s_eff):
+        sl_j = slice(offsets[j], offsets[j + 1])
+        rho = R[sl_j, 0].copy()
+        cur = x_outer[blocks[j]].copy()
+        for t in range(j):
+            sl_t = slice(offsets[t], offsets[t + 1])
+            rho += G[sl_j, sl_t] @ deltas[t]
+            cur += _overlap_apply(blocks[j], blocks[t], deltas[t])
+        dist.comm.account_flops(
+            FIXED_SUBPROBLEM_FLOPS
+            + 10.0 * float(widths[j]) ** 3
+            + 2.0 * widths[j] * (offsets[j] + 3),
+            "fixed",
+        )
+        v = largest_eigenvalue(G[sl_j, sl_j])
+        if v > 0.0:
+            eta = 1.0 / v
+            g = cur - eta * rho
+            new = pen.prox_block(g, eta, blocks[j])
+            delta = new - cur
+        else:
+            delta = np.zeros(widths[j])
+        deltas.append(delta)
+        # incremental replicated/local updates (so the objective is
+        # observable at every inner iteration, like Alg. 2 lines 19-22)
+        x[blocks[j]] += delta
+        if np.any(delta):
+            Sj = Y[:, sl_j]
+            dist.apply_column_update(Sj, delta, r_local)
+        it = done + j + 1
+        if record_every and (it % record_every == 0 or it == max_iter):
+            obj = distributed_objective(dist, r_local, x, pen)
+            history.record(it, obj, dist.comm)
+            if term.done(obj):
+                # finish the remaining local iterations of this outer
+                # step? No communication is saved by stopping early,
+                # but matching bcd's stopping point matters more.
+                return True, it
+    return False, done + s_eff
+
+
+def _sa_outer_fast(
+    dist, pen, Y, G, R, blocks, widths, offsets,
+    x, r_local, done, max_iter, record_every, term, history,
+):
+    """Fused inner loop: bit-identical to :func:`_sa_outer_naive`.
+
+    Same fusion strategy as SA-accBCD minus the momentum tables: ``cur``
+    reads the incrementally-updated ``x``, eigensolves are memoised, and
+    ``mu = 1`` runs on scalars with sparse column scatters.
+    """
+    s_eff = len(blocks)
+    account = dist.comm.account_flops
+    if max(widths) == 1:
+        return _sa_inner_scalar(
+            dist, pen, Y, G, R, blocks, offsets,
+            x, r_local, done, max_iter, record_every, term, history,
+        )
+    deltas: list[np.ndarray] = []
+    nonzero: list[bool] = []
+    for j in range(s_eff):
+        sl_j = slice(offsets[j], offsets[j + 1])
+        rho = R[sl_j, 0].copy()
+        for t in range(j):
+            if nonzero[t]:
+                sl_t = slice(offsets[t], offsets[t + 1])
+                rho += G[sl_j, sl_t] @ deltas[t]
+        account(
+            FIXED_SUBPROBLEM_FLOPS
+            + 10.0 * float(widths[j]) ** 3
+            + 2.0 * widths[j] * (offsets[j] + 3),
+            "fixed",
+        )
+        v = largest_eigenvalue_cached(G[sl_j, sl_j])
+        if v > 0.0:
+            eta = 1.0 / v
+            cur = x[blocks[j]].copy()
+            g = cur - eta * rho
+            new = pen.prox_block(g, eta, blocks[j])
+            delta = new - cur
+        else:
+            delta = np.zeros(widths[j])
+        nz = bool(np.any(delta))
+        deltas.append(delta)
+        nonzero.append(nz)
+        x[blocks[j]] += delta
+        if nz:
+            Sj = Y[:, sl_j]
+            dist.apply_column_update(Sj, delta, r_local)
+        it = done + j + 1
+        if record_every and (it % record_every == 0 or it == max_iter):
+            obj = distributed_objective(dist, r_local, x, pen)
+            history.record(it, obj, dist.comm)
+            if term.done(obj):
+                return True, it
+    return False, done + s_eff
+
+
+def _sa_inner_scalar(
+    dist, pen, Y, G, R, blocks, offsets,
+    x, r_local, done, max_iter, record_every, term, history,
+):
+    """mu = 1 fused loop: pure-scalar recurrence + sparse column scatter.
+
+    Mirrors :func:`repro.solvers.lasso.acc._sa_acc_inner_scalar` minus
+    the momentum tables.
+    """
+    s_eff = len(blocks)
+    Gl = G.tolist()
+    R0 = R[:, 0].tolist()
+    cols = [int(b[0]) for b in blocks]
+    dvals = [0.0] * s_eff
+    Ycsc = sparse_columns(Y)
+    if Ycsc is not None:
+        Yp, Yi, Yd = Ycsc.indptr, Ycsc.indices, Ycsc.data
+    m_loc = r_local.shape[0]
+    account = dist.comm.account_flops
+    fixed = FIXED_SUBPROBLEM_FLOPS + 10.0
+    for j in range(s_eff):
+        rho = R0[j]
+        Grow = Gl[j]
+        for t in range(j):
+            d = dvals[t]
+            if d != 0.0:
+                rho += Grow[t] * d
+        account(fixed + 2.0 * (offsets[j] + 3), "fixed")
+        i = cols[j]
+        v = Grow[j]
+        if v > 0.0:
+            eta = 1.0 / v
+            cur = x[i]
+            g = cur - eta * rho
+            new = pen.prox_block(np.array([g]), eta, blocks[j])
+            delta = new[0] - cur
+        else:
+            delta = 0.0
+        dvals[j] = delta
+        x[i] += delta
+        if delta != 0.0:
+            if Ycsc is not None:
+                lo, hi = Yp[j], Yp[j + 1]
+                r_local[Yi[lo:hi]] += Yd[lo:hi] * delta
+                account(2.0 * (hi - lo), "blas1")
+            else:
+                r_local += Y[:, j] * delta
+                account(2.0 * m_loc, "blas1")
+        it = done + j + 1
+        if record_every and (it % record_every == 0 or it == max_iter):
+            obj = distributed_objective(dist, r_local, x, pen)
+            history.record(it, obj, dist.comm)
+            if term.done(obj):
+                return True, it
+    return False, done + s_eff
+
+
 def sa_bcd(
     A,
     b,
@@ -157,12 +321,15 @@ def sa_bcd(
     tol: float | None = None,
     record_every: int = 1,
     symmetric_pack: bool = True,
+    fast: bool = True,
 ) -> SolverResult:
     """Synchronization-avoiding BCD: one Allreduce per ``s`` iterations.
 
     Same iterate sequence as :func:`bcd` for equal seeds (exact
     arithmetic); trades a factor-``s`` larger Gram/message for an
-    ``s``-fold latency reduction (paper Table I).
+    ``s``-fold latency reduction (paper Table I). ``fast`` selects the
+    fused inner loop (bit-identical iterates); ``fast=False`` runs the
+    reference recurrences.
     """
     if s < 1:
         raise SolverError(f"s must be >= 1, got {s}")
@@ -176,61 +343,21 @@ def sa_bcd(
     history.record(0, distributed_objective(dist, r_local, x, pen), dist.comm)
     term.done(history.final_metric)
 
+    step = _sa_outer_fast if fast else _sa_outer_naive
     done = 0
     converged = False
     while done < max_iter and not converged:
         s_eff = min(s, max_iter - done)
         blocks = [sampler.next_block() for _ in range(s_eff)]
-        widths = [blk.shape[0] for blk in blocks]
+        widths = [int(blk.shape[0]) for blk in blocks]
         offsets = np.concatenate([[0], np.cumsum(widths)])
         all_idx = np.concatenate(blocks)
         Y = dist.sample_columns(all_idx)
         G, R = dist.gram_and_project(Y, [r_local], symmetric=symmetric_pack)
-        x_outer = x.copy()
-
-        deltas: list[np.ndarray] = []
-        for j in range(s_eff):
-            sl_j = slice(offsets[j], offsets[j + 1])
-            rho = R[sl_j, 0].copy()
-            cur = x_outer[blocks[j]].copy()
-            for t in range(j):
-                sl_t = slice(offsets[t], offsets[t + 1])
-                rho += G[sl_j, sl_t] @ deltas[t]
-                cur += _overlap_apply(blocks[j], blocks[t], deltas[t])
-            dist.comm.account_flops(
-                FIXED_SUBPROBLEM_FLOPS
-                + 10.0 * float(widths[j]) ** 3
-                + 2.0 * widths[j] * (offsets[j] + 3),
-                "fixed",
-            )
-            v = largest_eigenvalue(G[sl_j, sl_j])
-            if v > 0.0:
-                eta = 1.0 / v
-                g = cur - eta * rho
-                new = pen.prox_block(g, eta, blocks[j])
-                delta = new - cur
-            else:
-                delta = np.zeros(widths[j])
-            deltas.append(delta)
-            # incremental replicated/local updates (so the objective is
-            # observable at every inner iteration, like Alg. 2 lines 19-22)
-            x[blocks[j]] += delta
-            if np.any(delta):
-                Sj = Y[:, sl_j]
-                dist.apply_column_update(Sj, delta, r_local)
-            it = done + j + 1
-            if record_every and (it % record_every == 0 or it == max_iter):
-                obj = distributed_objective(dist, r_local, x, pen)
-                history.record(it, obj, dist.comm)
-                if term.done(obj):
-                    converged = True
-                    # finish the remaining local iterations of this outer
-                    # step? No communication is saved by stopping early,
-                    # but matching bcd's stopping point matters more.
-                    done = it
-                    break
-        else:
-            done += s_eff
+        converged, done = step(
+            dist, pen, Y, G, R, blocks, widths, offsets,
+            x, r_local, done, max_iter, record_every, term, history,
+        )
     if not record_every or history.iterations[-1] != done:
         history.record(done, distributed_objective(dist, r_local, x, pen), dist.comm)
 

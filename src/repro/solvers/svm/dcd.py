@@ -20,6 +20,7 @@ exact arithmetic.
 from __future__ import annotations
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.errors import SolverError
 from repro.linalg.distmatrix import ColPartitionedMatrix
@@ -33,7 +34,7 @@ from repro.solvers.base import (
 )
 from repro.solvers.sampling import RowSampler
 from repro.solvers.svm.duality import duality_gap, loss_params
-from repro.utils.validation import check_vector, nnz_of
+from repro.utils.validation import check_vector
 
 __all__ = ["dcd", "sa_dcd"]
 
@@ -162,6 +163,106 @@ def dcd(
     )
 
 
+def _sa_dcd_outer_naive(
+    dist, b, Y, G, xp, idx, gamma, nu,
+    alpha, x_local, lam, loss, done, max_iter, record_every, term, history,
+):
+    """Reference inner loop (the ``fast=False`` escape hatch)."""
+    s_eff = idx.shape[0]
+    # add gamma I once, after the reduction (Alg. 4 line 9)
+    if gamma:
+        G = G + gamma * np.eye(s_eff)
+    etas = np.diag(G)
+    alpha_outer = alpha.copy()
+    bsel = b[idx]
+    thetas = np.zeros(s_eff)
+    for j in range(s_eff):
+        # eq. (14): replay same-coordinate updates from this outer step
+        beta = alpha_outer[idx[j]]
+        dup = idx[:j] == idx[j]
+        if dup.any():
+            beta += float(np.sum(thetas[:j][dup]))
+        # eq. (15): Gram-row corrections for all previous inner updates
+        # (G stores gamma on the diagonal only, so G[j, t<j] is exactly
+        # A_j A_t^T even when the same row was sampled twice)
+        g = bsel[j] * float(xp[j]) - 1.0 + gamma * beta
+        if j:
+            g += bsel[j] * float(np.sum(thetas[:j] * bsel[:j] * G[j, :j]))
+        dist.comm.account_flops(FIXED_SUBPROBLEM_FLOPS + 4.0 * j, "fixed")
+        theta = _pg_step(beta, g, float(etas[j]), nu)
+        thetas[j] = theta
+        if theta != 0.0:
+            alpha[idx[j]] += theta
+            # incremental primal update (Alg. 4 line 21), local shard
+            row_j = Y[j : j + 1, :]
+            dist.apply_row_update(row_j, np.array([theta * bsel[j]]), x_local)
+        it = done + j + 1
+        if record_every and (it % record_every == 0 or it == max_iter):
+            gap = _record_gap(dist, b, alpha, x_local, lam, loss)
+            history.record(it, gap, dist.comm)
+            if term.done(gap):
+                return True, it
+    return False, done + s_eff
+
+
+def _sa_dcd_outer_fast(
+    dist, b, Y, G, xp, idx, gamma, nu,
+    alpha, x_local, lam, loss, done, max_iter, record_every, term, history,
+):
+    """Fused inner loop: bit-identical to :func:`_sa_dcd_outer_naive`.
+
+    gamma is added to the diagonal in place (the off-diagonal ``+ 0``
+    adds of ``gamma * eye`` change nothing), ``b_i (Y x)_i`` and the
+    ``theta_t b_t`` products feeding eq. (15) are precomputed, and the
+    primal update scatters one sparse row instead of materialising a
+    dense n_loc vector per inner iteration.
+    """
+    s_eff = idx.shape[0]
+    if gamma:
+        G = G.copy()
+        diag = np.einsum("ii->i", G)
+        diag += gamma
+    bsel = b[idx]
+    bx = bsel * xp
+    alpha_outer = alpha.copy()
+    thetas = np.zeros(s_eff)
+    tb = np.zeros(s_eff)  # tb[t] = thetas[t] * bsel[t], filled as we go
+    sparse_rows = sp.issparse(Y)
+    if sparse_rows:
+        Yp, Yi, Yd = Y.indptr, Y.indices, Y.data
+    account = dist.comm.account_flops
+    for j in range(s_eff):
+        ij = idx[j]
+        beta = alpha_outer[ij]
+        dup = idx[:j] == ij
+        if dup.any():
+            beta += float(np.sum(thetas[:j][dup]))
+        g = bx[j] - 1.0 + gamma * beta
+        if j:
+            g += bsel[j] * float(np.sum(tb[:j] * G[j, :j]))
+        account(FIXED_SUBPROBLEM_FLOPS + 4.0 * j, "fixed")
+        theta = _pg_step(beta, g, float(G[j, j]), nu)
+        thetas[j] = theta
+        tb[j] = theta * bsel[j]
+        if theta != 0.0:
+            alpha[ij] += theta
+            coeff = theta * bsel[j]
+            if sparse_rows:
+                lo, hi = Yp[j], Yp[j + 1]
+                x_local[Yi[lo:hi]] += Yd[lo:hi] * coeff
+                account(2.0 * (hi - lo), "blas1")
+            else:
+                x_local += Y[j] * coeff
+                account(2.0 * Y.shape[1], "blas1")
+        it = done + j + 1
+        if record_every and (it % record_every == 0 or it == max_iter):
+            gap = _record_gap(dist, b, alpha, x_local, lam, loss)
+            history.record(it, gap, dist.comm)
+            if term.done(gap):
+                return True, it
+    return False, done + s_eff
+
+
 def sa_dcd(
     A,
     b,
@@ -176,11 +277,14 @@ def sa_dcd(
     tol: float | None = None,
     record_every: int = 0,
     symmetric_pack: bool = True,
+    fast: bool = True,
 ) -> SolverResult:
     """Synchronization-avoiding dual CD for SVM (paper Algorithm 4).
 
     One packed Allreduce (s x s Gram + ``Y x``) per ``s`` iterations;
-    identical iterates to :func:`dcd` in exact arithmetic for equal seeds.
+    identical iterates to :func:`dcd` in exact arithmetic for equal
+    seeds. ``fast`` selects the fused inner loop (bit-identical
+    iterates); ``fast=False`` runs the reference recurrences.
     """
     if s < 1:
         raise SolverError(f"s must be >= 1, got {s}")
@@ -193,6 +297,7 @@ def sa_dcd(
     history = ConvergenceHistory("duality_gap")
     history.record(0, _record_gap(dist, b, alpha, x_local, lam, loss), dist.comm)
 
+    step = _sa_dcd_outer_fast if fast else _sa_dcd_outer_naive
     done = 0
     converged = term.done(history.final_metric)
     while done < max_iter and not converged:
@@ -200,43 +305,10 @@ def sa_dcd(
         idx = sampler.next_indices(s_eff)
         Y = dist.sample_rows(idx)
         G, xp = dist.gram_rows_and_project(Y, x_local, symmetric=symmetric_pack)
-        # add gamma I once, after the reduction (Alg. 4 line 9)
-        if gamma:
-            G = G + gamma * np.eye(s_eff)
-        etas = np.diag(G)
-        alpha_outer = alpha.copy()
-        bsel = b[idx]
-        thetas = np.zeros(s_eff)
-        for j in range(s_eff):
-            # eq. (14): replay same-coordinate updates from this outer step
-            beta = alpha_outer[idx[j]]
-            dup = idx[:j] == idx[j]
-            if dup.any():
-                beta += float(np.sum(thetas[:j][dup]))
-            # eq. (15): Gram-row corrections for all previous inner updates
-            # (G stores gamma on the diagonal only, so G[j, t<j] is exactly
-            # A_j A_t^T even when the same row was sampled twice)
-            g = bsel[j] * float(xp[j]) - 1.0 + gamma * beta
-            if j:
-                g += bsel[j] * float(np.sum(thetas[:j] * bsel[:j] * G[j, :j]))
-            dist.comm.account_flops(FIXED_SUBPROBLEM_FLOPS + 4.0 * j, "fixed")
-            theta = _pg_step(beta, g, float(etas[j]), nu)
-            thetas[j] = theta
-            if theta != 0.0:
-                alpha[idx[j]] += theta
-                # incremental primal update (Alg. 4 line 21), local shard
-                row_j = Y[j : j + 1, :]
-                dist.apply_row_update(row_j, np.array([theta * bsel[j]]), x_local)
-            it = done + j + 1
-            if record_every and (it % record_every == 0 or it == max_iter):
-                gap = _record_gap(dist, b, alpha, x_local, lam, loss)
-                history.record(it, gap, dist.comm)
-                if term.done(gap):
-                    converged = True
-                    done = it
-                    break
-        else:
-            done += s_eff
+        converged, done = step(
+            dist, b, Y, G, xp, idx, gamma, nu,
+            alpha, x_local, lam, loss, done, max_iter, record_every, term, history,
+        )
     if not record_every or not history.iterations or history.iterations[-1] != done:
         history.record(done, _record_gap(dist, b, alpha, x_local, lam, loss), dist.comm)
 

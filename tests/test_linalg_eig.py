@@ -68,3 +68,28 @@ class TestPowerIteration:
         G = np.diag([1.0, 5.0])
         v = power_iteration(G, max_iter=2000)
         assert v <= 5.0 + 1e-9
+
+    def test_rank_one_gram(self):
+        # rank-deficient Gram of a repeated sampled column
+        u = np.array([1.0, -2.0, 0.5, 3.0])
+        G = np.outer(u, u)
+        assert power_iteration(G) == pytest.approx(float(u @ u), rel=1e-8)
+
+    def test_rank_deficient_with_null_rows(self):
+        # zero rows/columns (a sampled column with no local non-zeros)
+        G = np.zeros((5, 5))
+        G[1, 1] = 4.0
+        assert power_iteration(G) == pytest.approx(4.0, rel=1e-8)
+
+    def test_start_vector_in_nullspace_returns_zero(self):
+        # norm == 0.0 early-return: the deterministic all-ones start lies
+        # exactly in the nullspace of the centering projector, so the
+        # very first matvec vanishes and the guard must fire (returning 0
+        # rather than dividing by zero)
+        k = 4
+        G = np.eye(k) - np.full((k, k), 1.0 / k)
+        assert power_iteration(G) == 0.0
+
+    def test_zero_gram_via_largest_eigenvalue_large(self):
+        # the > _DIRECT_MAX route hits power_iteration's zero guard too
+        assert largest_eigenvalue(np.zeros((80, 80))) == 0.0

@@ -1,0 +1,162 @@
+"""Tests for the fast-path kernel layer (:mod:`repro.linalg.kernels`)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.linalg.eig import largest_eigenvalue
+from repro.linalg.kernels import (
+    GatherWorkspace,
+    acc_coef_tables,
+    eig_cache_info,
+    gather_columns,
+    gather_rows,
+    largest_eigenvalue_cached,
+    sparse_columns,
+    tri_plan,
+)
+from repro.solvers.lasso.common import theta_schedule
+
+
+def _csr(m, n, density=0.3, seed=0):
+    rng = np.random.default_rng(seed)
+    return sp.random(m, n, density=density, format="csr", random_state=rng)
+
+
+class TestGather:
+    @pytest.mark.parametrize("idx", [[0], [3, 1, 4], [2, 2, 0], []])
+    def test_gather_columns_matches_fancy_indexing(self, idx):
+        A = _csr(30, 8, seed=1)
+        csc = A.tocsc()
+        idx = np.asarray(idx, dtype=np.intp)
+        got = gather_columns(csc, idx)
+        want = A[:, idx] if idx.size else sp.csr_matrix((30, 0))
+        assert got.shape == (30, idx.size)
+        assert np.array_equal(got.toarray(), want.toarray())
+
+    def test_gather_rows_matches_fancy_indexing(self):
+        A = _csr(12, 40, seed=2)
+        idx = np.array([7, 0, 7, 11], dtype=np.intp)
+        got = gather_rows(A, idx)
+        assert got.shape == (4, 40)
+        assert np.array_equal(got.toarray(), A[idx, :].toarray())
+
+    def test_gather_preserves_values_bitwise(self):
+        A = _csr(25, 10, seed=3)
+        csc = A.tocsc()
+        idx = np.array([4, 9, 0], dtype=np.intp)
+        got = gather_columns(csc, idx)
+        for out_j, src_j in enumerate(idx):
+            lo, hi = csc.indptr[src_j], csc.indptr[src_j + 1]
+            glo, ghi = got.indptr[out_j], got.indptr[out_j + 1]
+            assert np.array_equal(got.data[glo:ghi], csc.data[lo:hi])
+            assert np.array_equal(got.indices[glo:ghi], csc.indices[lo:hi])
+
+    def test_empty_columns(self):
+        A = sp.csc_matrix((8, 5))
+        got = gather_columns(A, np.array([1, 3], dtype=np.intp))
+        assert got.nnz == 0
+        assert got.shape == (8, 2)
+
+    def test_workspace_reuse_no_regrow(self):
+        ws = GatherWorkspace()
+        A = _csr(50, 20, density=0.4, seed=4).tocsc()
+        idx = np.arange(10, dtype=np.intp)
+        gather_columns(A, idx, ws)
+        data_buf = ws._data
+        indices_buf = ws._indices
+        got = gather_columns(A, idx, ws)
+        # steady state: same backing buffers, correct values
+        assert ws._data is data_buf
+        assert ws._indices is indices_buf
+        assert np.array_equal(got.toarray(), A[:, idx].toarray())
+
+    def test_workspace_output_invalidated_by_next_gather(self):
+        # the documented lifetime contract: a gather's output aliases the
+        # workspace, so the *next* gather may overwrite it
+        ws = GatherWorkspace()
+        A = sp.csc_matrix(np.arange(1.0, 10.0).reshape(3, 3))
+        first = gather_columns(A, np.array([0], dtype=np.intp), ws)
+        before = first.toarray().copy()
+        gather_columns(A, np.array([2], dtype=np.intp), ws)
+        assert not np.array_equal(first.toarray(), before)
+
+    def test_matvec_and_gram_consistency(self):
+        A = _csr(40, 15, seed=5)
+        csc = A.tocsc()
+        idx = np.array([3, 8, 14, 0], dtype=np.intp)
+        S = gather_columns(csc, idx)
+        ref = A[:, idx]
+        x = np.random.default_rng(0).standard_normal(4)
+        assert np.allclose(S @ x, ref @ x)
+        assert np.allclose((S.T @ S).toarray(), (ref.T @ ref).toarray())
+
+
+class TestTriPlan:
+    @pytest.mark.parametrize("k", [1, 2, 5, 17])
+    def test_matches_tril_indices(self, k):
+        il, jl, flat = tri_plan(k)
+        ref_il, ref_jl = np.tril_indices(k)
+        assert np.array_equal(il, ref_il)
+        assert np.array_equal(jl, ref_jl)
+        assert np.array_equal(flat, ref_il * k + ref_jl)
+
+    def test_cached_identity(self):
+        assert tri_plan(7)[2] is tri_plan(7)[2]
+
+
+class TestEigCache:
+    def test_matches_uncached(self):
+        rng = np.random.default_rng(8)
+        M = rng.standard_normal((10, 6))
+        G = M.T @ M
+        assert largest_eigenvalue_cached(G) == largest_eigenvalue(G)
+
+    def test_scalar_block(self):
+        assert largest_eigenvalue_cached(np.array([[3.5]])) == 3.5
+        assert largest_eigenvalue_cached(np.array([[-1.0]])) == 0.0
+
+    def test_repeat_hits_cache(self):
+        rng = np.random.default_rng(9)
+        M = rng.standard_normal((12, 5))
+        G = M.T @ M
+        v1 = largest_eigenvalue_cached(G)
+        hits_before = eig_cache_info().hits
+        v2 = largest_eigenvalue_cached(G.copy())  # same bytes, new array
+        assert v1 == v2
+        assert eig_cache_info().hits == hits_before + 1
+
+    def test_noncontiguous_input(self):
+        rng = np.random.default_rng(10)
+        M = rng.standard_normal((16, 16))
+        big = M @ M.T
+        view = big[2:6, 2:6]  # non-contiguous slice, like G[sl_j, sl_j]
+        assert largest_eigenvalue_cached(view) == largest_eigenvalue(view)
+
+
+class TestCoefTables:
+    def test_matches_scalar_recurrences(self):
+        q = 11.0
+        thetas = theta_schedule(0.17, 6)[:6]
+        t2, qth, coefs, C = acc_coef_tables(thetas, q)
+        for j, th in enumerate(thetas):
+            assert t2[j] == th * th
+            assert qth[j] == q * th
+            assert coefs[j] == (1.0 - q * th) / (th * th)
+            for t in range(j):
+                tt = thetas[t]
+                c_jt = (th * th) * (1.0 - q * tt) / (tt * tt) - 1.0
+                assert C[j, t] == c_jt
+
+    def test_single_step(self):
+        t2, qth, coefs, C = acc_coef_tables([0.5], 2.0)
+        assert t2.shape == (1,) and C.shape == (1, 1)
+
+
+class TestSparseColumns:
+    def test_dense_passthrough(self):
+        assert sparse_columns(np.ones((3, 2))) is None
+
+    def test_csc_is_free(self):
+        A = _csr(5, 5).tocsc()
+        assert sparse_columns(A) is A

@@ -56,6 +56,62 @@ class TestRoundTrip:
         assert np.array_equal(G2, G2.T)
 
 
+class TestEdgeCases:
+    """k=1 / extra_cols=0 / symmetric-vs-dense exactness (fast-path plans)."""
+
+    def test_k1_symmetric_exact(self):
+        G = np.array([[2.5]])
+        buf = pack_gram(G, None, True)
+        assert np.array_equal(buf, np.array([2.5]))
+        G2, E2 = unpack_gram(buf, 1, 0, True)
+        assert np.array_equal(G2, G) and E2 is None
+
+    def test_k1_with_extras_exact(self):
+        buf = pack_gram(np.array([[4.0]]), np.array([[1.0, -2.0]]), True)
+        G2, E2 = unpack_gram(buf, 1, 2, True)
+        assert np.array_equal(G2, np.array([[4.0]]))
+        assert np.array_equal(E2, np.array([[1.0, -2.0]]))
+
+    def test_extra_cols_zero_lengths(self):
+        for k in (1, 3, 9):
+            assert pack_gram(np.eye(k), None, True).shape == (tri_length(k),)
+            assert pack_gram(np.eye(k), None, False).shape == (k * k,)
+
+    @pytest.mark.parametrize("k", [1, 2, 6, 13])
+    def test_symmetric_vs_dense_roundtrip_exact(self, k):
+        # for a symmetric G the two packings must reconstruct the *same*
+        # matrix bit for bit — the tri plan mirrors, never recomputes
+        rng = np.random.default_rng(k)
+        M = rng.standard_normal((k, k))
+        G = M + M.T
+        G_sym, _ = unpack_gram(pack_gram(G, None, True), k, 0, True)
+        G_dense, _ = unpack_gram(pack_gram(G, None, False), k, 0, False)
+        assert np.array_equal(G_sym, G_dense)
+        assert np.array_equal(G_sym, G)
+
+    def test_out_buffer_reuse(self):
+        G = np.arange(9.0).reshape(3, 3)
+        G = G + G.T
+        extras = np.ones((3, 2))
+        length = packed_length(3, 2, True)
+        out = np.empty(length)
+        got = pack_gram(G, extras, True, out=out)
+        assert got is out
+        assert np.array_equal(out, pack_gram(G, extras, True))
+
+    def test_out_buffer_wrong_shape_rejected(self):
+        with pytest.raises(CommError):
+            pack_gram(np.eye(2), None, True, out=np.empty(7))
+
+    def test_unpack_never_aliases_buffer(self):
+        G = np.eye(2)
+        buf = pack_gram(G, np.ones(2), True)
+        G2, E2 = unpack_gram(buf, 2, 1, True)
+        buf[:] = -99.0
+        assert np.array_equal(G2, np.eye(2))
+        assert np.array_equal(E2, np.ones((2, 1)))
+
+
 class TestValidation:
     def test_non_square_rejected(self):
         with pytest.raises(CommError):
