@@ -1,0 +1,106 @@
+"""Benchmark regression guard.
+
+Compares the freshly-produced benchmark JSON against the committed
+baseline and fails (exit 1) when any tracked ``speedup`` entry drops
+below ``min_ratio`` times its recorded value, or disappears entirely.
+CI copies the committed ``BENCH_*.json`` files aside before re-running
+the benchmarks, then invokes this script on each pair:
+
+    python benchmarks/check_regression.py \
+        --baseline /tmp/bench-baselines/BENCH_hot_paths.json \
+        --current BENCH_hot_paths.json --min-ratio 0.8
+
+Every numeric ``"speedup"`` key anywhere in the JSON tree is tracked,
+addressed by its dotted path (e.g. ``kernels.sample_columns``).
+Entries whose timed sides are both below ``--noise-floor`` seconds
+(default 2 microseconds) are reported but not gated: at that scale the
+run-to-run jitter of a shared runner exceeds the regression threshold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Iterator
+
+NOISE_FLOOR_SECONDS = 2e-6
+
+
+def iter_speedups(node, prefix: str = "") -> Iterator[tuple[str, float, float]]:
+    """Yield (dotted-path, speedup, timed-seconds) for every tracked entry.
+
+    ``timed-seconds`` is the larger of the entry's before/after timings
+    (inf when absent), used for the noise-floor exemption.
+    """
+    if not isinstance(node, dict):
+        return
+    for key, value in node.items():
+        path = f"{prefix}.{key}" if prefix else key
+        if key == "speedup" and isinstance(value, (int, float)):
+            scale = max(
+                float(node.get("before_seconds", float("inf"))),
+                float(node.get("after_seconds", 0.0)),
+            )
+            yield prefix or key, float(value), scale
+        else:
+            yield from iter_speedups(value, path)
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    min_ratio: float = 0.8,
+    noise_floor: float = NOISE_FLOOR_SECONDS,
+) -> list[str]:
+    """Human-readable failure lines; empty means the guard passes."""
+    base = {k: v for k, v, _ in iter_speedups(baseline)}
+    cur = {k: (v, scale) for k, v, scale in iter_speedups(current)}
+    failures = []
+    for key, bval in sorted(base.items()):
+        got = cur.get(key)
+        if got is None:
+            failures.append(f"{key}: tracked speedup missing from current run "
+                            f"(baseline {bval:.2f}x)")
+            continue
+        cval, scale = got
+        if cval < min_ratio * bval:
+            if scale < noise_floor:
+                print(f"  note {key}: {cval:.2f}x below threshold but timings "
+                      f"(< {noise_floor:g}s) are under the noise floor; not gated")
+                continue
+            failures.append(f"{key}: {cval:.2f}x < {min_ratio:.2f} * baseline "
+                            f"{bval:.2f}x")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, type=Path,
+                        help="committed benchmark JSON")
+    parser.add_argument("--current", required=True, type=Path,
+                        help="freshly produced benchmark JSON")
+    parser.add_argument("--min-ratio", type=float, default=0.8,
+                        help="fail when current < min_ratio * baseline")
+    parser.add_argument("--noise-floor", type=float,
+                        default=NOISE_FLOOR_SECONDS,
+                        help="don't gate entries timed below this many seconds")
+    args = parser.parse_args(argv)
+    baseline = json.loads(args.baseline.read_text())
+    current = json.loads(args.current.read_text())
+    tracked = {k: v for k, v, _ in iter_speedups(baseline)}
+    failures = compare(baseline, current, args.min_ratio, args.noise_floor)
+    name = args.current.name
+    if failures:
+        print(f"{name}: {len(failures)} regression(s) "
+              f"(threshold {args.min_ratio:.2f}x of baseline):")
+        for line in failures:
+            print(f"  FAIL {line}")
+        return 1
+    print(f"{name}: {len(tracked)} tracked speedups within "
+          f"{args.min_ratio:.2f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,18 +1,20 @@
 #!/usr/bin/env python3
-"""Lasso regularization path with warm-started SA-accBCD.
+"""Lasso regularization path with the warm-started path engine.
 
 The workload the paper's introduction motivates: high-dimensional sparse
-feature selection. We trace the solution path over a geometric grid of
-lambda values, warm-starting each solve from the previous solution, and
-show how the selected support grows as lambda decreases — with every
-solve running the synchronization-avoiding solver.
+feature selection. One ``lasso_path`` call traces the solution path over
+a descending geometric lambda grid through a single ``SweepContext`` —
+the partitioned matrix, sampling views, collective buffers, Gram output
+buffers, and the eigenvalue memo are built once and shared by every
+point, and each solve warm-starts from the previous solution. Every
+point still runs the synchronization-avoiding solver.
 
 Run:  python examples/regularization_path.py
 """
 
 import numpy as np
 
-from repro import fit_lasso
+from repro import lasso_path
 from repro.datasets import make_sparse_regression
 from repro.solvers.objectives import lambda_max
 from repro.utils.tables import format_table
@@ -23,20 +25,18 @@ def main() -> None:
         1500, 400, density=0.08, k_nonzero=12, noise=0.02, seed=11
     )
     lam_hi = lambda_max(A, b)
-    lams = lam_hi * np.geomspace(0.5, 0.005, 10)
     true_support = set(np.flatnonzero(x_true).tolist())
     print(f"problem: A {A.shape}, ||A^T b||_inf = {lam_hi:.4g}, "
           f"|true support| = {len(true_support)}")
 
+    path = lasso_path(
+        A, b, lam_hi * np.geomspace(0.5, 0.005, 10),
+        solver="sa-accbcd", mu=8, s=16, max_iter=600, seed=0,
+        tol=1e-8, record_every=25,
+    )
+
     rows = []
-    x_warm = None
-    total_iters = 0
-    for lam in lams:
-        res = fit_lasso(A, b, lam=float(lam), solver="sa-accbcd", mu=8, s=16,
-                        max_iter=600, seed=0, x0=x_warm, tol=1e-8,
-                        record_every=25)
-        x_warm = res.x
-        total_iters += res.iterations
+    for lam, res in zip(path.lambdas, path.results):
         support = np.flatnonzero(np.abs(res.x) > 1e-8)
         hit = len(set(support.tolist()) & true_support)
         rows.append(
@@ -56,7 +56,7 @@ def main() -> None:
         rows,
         title="Lasso path (warm-started SA-accBCD, mu=8, s=16)",
     ))
-    print(f"\ntotal iterations across the path: {total_iters}")
+    print(f"\ntotal iterations across the path: {sum(path.iterations)}")
     print("note how warm starts shrink the per-lambda iteration count "
           "as the path progresses.")
 

@@ -29,17 +29,23 @@ Package layout (see DESIGN.md):
 """
 
 from repro._api import fit_lasso, fit_svm
-from repro.estimators import SALasso, SASVMClassifier
+from repro.estimators import SALasso, SALassoCV, SASVMClassifier
 from repro.errors import ReproError
+from repro.path import PathResult, SweepContext, lasso_path, svm_path
 from repro.prox import L1Penalty, ElasticNetPenalty, GroupLassoPenalty
 from repro.solvers.base import SolverResult
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "fit_lasso",
     "fit_svm",
+    "lasso_path",
+    "svm_path",
+    "SweepContext",
+    "PathResult",
     "SALasso",
+    "SALassoCV",
     "SASVMClassifier",
     "ReproError",
     "L1Penalty",

@@ -15,6 +15,7 @@ from repro.mpi.comm import Comm
 from repro.mpi.virtual_backend import VirtualComm
 from repro.solvers.base import SolverResult
 from repro.solvers.lasso import acc_bcd, bcd, sa_acc_bcd, sa_bcd
+from repro.solvers.lasso.common import check_parity
 from repro.solvers.svm import dcd, sa_dcd
 
 __all__ = ["fit_lasso", "fit_svm"]
@@ -43,6 +44,8 @@ def fit_lasso(
     machine: MachineSpec | None = None,
     record_every: int = 1,
     x0=None,
+    fast: bool = True,
+    parity: str = "exact",
 ) -> SolverResult:
     """Solve ``min_x 0.5||Ax-b||^2 + g(x)``.
 
@@ -61,6 +64,13 @@ def fit_lasso(
     virtual_p, machine:
         Model the run on ``virtual_p`` ranks of ``machine`` (the result's
         ``cost`` then carries modelled seconds, Fig. 3-style).
+    x0:
+        Warm-start solution (length-n). Regularization-path sweeps thread
+        the previous point's solution through here.
+    fast, parity:
+        SA-solver inner-loop knobs: ``fast=False`` runs the reference
+        recurrences; ``parity`` selects the fused loop's contract
+        (``"exact"`` bit-parity, ``"fp-tolerant"`` re-association).
     """
     try:
         fn, is_sa = _LASSO[solver]
@@ -68,6 +78,9 @@ def fit_lasso(
         raise SolverError(
             f"unknown lasso solver {solver!r}; known: {sorted(_LASSO)}"
         ) from exc
+    # validated for every solver, so a typo fails even where the knob is
+    # a no-op (non-SA solvers have no fused loop)
+    check_parity(parity)
     if comm is None:
         comm = VirtualComm(virtual_size=virtual_p, machine=machine)
     kwargs = dict(
@@ -75,7 +88,7 @@ def fit_lasso(
         tol=tol, record_every=record_every, x0=x0,
     )
     if is_sa:
-        kwargs["s"] = s
+        kwargs.update(s=s, fast=fast, parity=parity)
     return fn(A, b, lam, **kwargs)
 
 
@@ -94,6 +107,9 @@ def fit_svm(
     virtual_p: int = 1,
     machine: MachineSpec | None = None,
     record_every: int = 0,
+    alpha0=None,
+    fast: bool = True,
+    parity: str = "exact",
 ) -> SolverResult:
     """Train a linear SVM by dual coordinate descent.
 
@@ -105,15 +121,22 @@ def fit_svm(
         ``"svm"`` (paper Alg. 3) or ``"sa-svm"`` (paper Alg. 4, default).
     tol:
         Optional duality-gap stopping tolerance (checked when recording).
+    alpha0:
+        Warm-start dual vector (length-m); the primal is rebuilt from it
+        (Alg. 3 line 2). Path sweeps thread the previous point's
+        ``extras["alpha"]`` through here.
+    fast, parity:
+        SA-solver inner-loop knobs (see :func:`fit_lasso`).
     """
     if solver not in ("svm", "sa-svm"):
         raise SolverError(f"unknown svm solver {solver!r}; known: ['svm', 'sa-svm']")
+    check_parity(parity)
     if comm is None:
         comm = VirtualComm(virtual_size=virtual_p, machine=machine)
     kwargs = dict(
         loss=loss, lam=lam, max_iter=max_iter, seed=seed, comm=comm,
-        tol=tol, record_every=record_every,
+        tol=tol, record_every=record_every, alpha0=alpha0,
     )
     if solver == "sa-svm":
-        return sa_dcd(A, b, s=s, **kwargs)
+        return sa_dcd(A, b, s=s, fast=fast, parity=parity, **kwargs)
     return dcd(A, b, **kwargs)

@@ -1,11 +1,14 @@
 """Command-line interface.
 
-Four subcommands cover the library's workflows:
+Five subcommands cover the library's workflows:
 
-* ``repro lasso``   — solve a Lasso problem (registry stand-in or LIBSVM file);
-* ``repro svm``     — train a linear SVM the same way;
-* ``repro scaling`` — Fig.-4-style strong-scaling study;
-* ``repro plan``    — recommend the unrolling parameter s from the
+* ``repro lasso``      — solve a Lasso problem (registry stand-in or
+  LIBSVM file);
+* ``repro lasso-path`` — warm-started regularization-path sweep over a
+  descending lambda grid (one shared cache context);
+* ``repro svm``        — train a linear SVM the same way;
+* ``repro scaling``    — Fig.-4-style strong-scaling study;
+* ``repro plan``       — recommend the unrolling parameter s from the
   analytic Table-I model.
 
 Examples
@@ -13,6 +16,7 @@ Examples
 ::
 
     python -m repro.cli lasso --dataset covtype --solver sa-accbcd --s 16
+    python -m repro.cli lasso-path --dataset news20 --n-lambdas 16 --s 16
     python -m repro.cli svm --file data.svm --loss l2 --s 64 --tol 1e-2
     python -m repro.cli scaling --dataset url --ps 3072,6144,12288 --s 32
     python -m repro.cli plan --dataset covtype --p 3072
@@ -39,6 +43,7 @@ from repro.experiments.runner import (
 )
 from repro.experiments.theory import best_s
 from repro.machine.spec import get_machine
+from repro.path import lasso_path
 from repro.solvers.objectives import lambda_max
 from repro.solvers.serialization import save_result
 from repro.utils.tables import format_series, format_table
@@ -56,11 +61,12 @@ def _add_data_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=0)
 
 
-def _add_model_args(p: argparse.ArgumentParser) -> None:
+def _add_model_args(p: argparse.ArgumentParser, save: bool = True) -> None:
     p.add_argument("--p", type=int, default=1, help="virtual processor count")
     p.add_argument("--machine", default="cray-xc30",
                    help="machine preset: cray-xc30 | commodity | spark-like")
-    p.add_argument("--save", help="write the SolverResult as JSON here")
+    if save:
+        p.add_argument("--save", help="write the SolverResult as JSON here")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -82,6 +88,30 @@ def build_parser() -> argparse.ArgumentParser:
     lasso.add_argument("--lam", type=float, default=None,
                        help="L1 penalty (default: 0.1 * lambda_max)")
     lasso.add_argument("--record-every", type=int, default=50)
+
+    lpath = sub.add_parser(
+        "lasso-path",
+        help="warm-started Lasso regularization-path sweep",
+    )
+    _add_data_args(lpath)
+    _add_model_args(lpath, save=False)  # a sweep is not one SolverResult
+    lpath.add_argument("--solver", default="sa-accbcd",
+                       choices=["bcd", "sa-bcd", "accbcd", "sa-accbcd"])
+    lpath.add_argument("--n-lambdas", type=int, default=16)
+    lpath.add_argument("--eps", type=float, default=1e-3,
+                       help="grid floor as a fraction of lambda_max")
+    lpath.add_argument("--mu", type=int, default=8)
+    lpath.add_argument("--s", type=int, default=16)
+    lpath.add_argument("--max-iter", type=int, default=500)
+    lpath.add_argument("--tol", type=float, default=1e-6)
+    lpath.add_argument("--record-every", type=int, default=10)
+    lpath.add_argument("--parity", default="exact",
+                       choices=["exact", "fp-tolerant"],
+                       help="fused inner-loop contract (fp-tolerant fuses "
+                            "the mu>1 correction GEMVs)")
+    lpath.add_argument("--cold", action="store_true",
+                       help="disable warm starts (independent solves that "
+                            "still share the sweep caches)")
 
     svm = sub.add_parser("svm", help="train a linear SVM")
     _add_data_args(svm)
@@ -159,6 +189,44 @@ def _cmd_lasso(args) -> int:
     return 0
 
 
+def _cmd_lasso_path(args) -> int:
+    ds = _load_problem(args)
+    path = lasso_path(
+        ds.A, ds.b, n_lambdas=args.n_lambdas, eps=args.eps,
+        solver=args.solver, mu=args.mu, s=args.s, max_iter=args.max_iter,
+        tol=args.tol, seed=args.seed, record_every=args.record_every,
+        warm_start=not args.cold, parity=args.parity,
+        virtual_p=args.p, machine=get_machine(args.machine),
+    )
+    n = path.results[0].x.shape[0]
+    # like `repro lasso`, modelled time is only meaningful at P > 1
+    # (a 1-rank tree Allreduce has zero rounds)
+    headers = ["lambda", "iters", "support", "objective"]
+    if args.p > 1:
+        headers.append("model ms")
+    rows = []
+    for lam, res, nnz in zip(path.lambdas, path.results,
+                             path.support_sizes(1e-10)):
+        row = [f"{lam:.4g}", res.iterations, f"{nnz}/{n}",
+               f"{res.final_metric:.6g}"]
+        if args.p > 1:
+            row.append(f"{res.cost.seconds * 1e3:.4g}")
+        rows.append(row)
+    mode = "cold (shared caches)" if args.cold else "warm-started"
+    print(format_table(
+        headers,
+        rows,
+        title=f"{args.solver} regularization path, {mode} "
+              f"(mu={args.mu}, s={args.s}, parity={args.parity})",
+    ))
+    print(f"total iterations: {sum(path.iterations)}")
+    if args.p > 1:
+        total = path.total_cost
+        print(f"total modelled time at P={args.p} on {args.machine}: "
+              f"{total.seconds * 1e3:.4g} ms ({total.messages} messages)")
+    return 0
+
+
 def _cmd_svm(args) -> int:
     ds = _load_problem(args)
     solver = args.solver
@@ -222,6 +290,7 @@ def _cmd_plan(args) -> int:
 
 _COMMANDS = {
     "lasso": _cmd_lasso,
+    "lasso-path": _cmd_lasso_path,
     "svm": _cmd_svm,
     "scaling": _cmd_scaling,
     "plan": _cmd_plan,

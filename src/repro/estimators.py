@@ -12,10 +12,12 @@ import numpy as np
 
 from repro._api import fit_lasso, fit_svm
 from repro.errors import SolverError
+from repro.path import PathResult, lambda_grid, lasso_path
 from repro.solvers.base import SolverResult
+from repro.solvers.objectives import lambda_max
 from repro.solvers.svm.duality import prediction_accuracy
 
-__all__ = ["SALasso", "SASVMClassifier"]
+__all__ = ["SALasso", "SALassoCV", "SASVMClassifier"]
 
 
 class _FittedMixin:
@@ -37,7 +39,27 @@ class _FittedMixin:
         return self
 
 
-class SALasso(_FittedMixin):
+class _RegressorMixin(_FittedMixin):
+    """Shared predict/score for the linear-regression estimators."""
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted()
+        return np.asarray(X @ self.coef_).ravel()
+
+    def score(self, X, y) -> float:
+        """Coefficient of determination R^2 (sklearn convention)."""
+        self._check_fitted()
+        y = np.asarray(y, dtype=np.float64).ravel()
+        resid = y - self.predict(X)
+        ss_res = float(resid @ resid)
+        centered = y - y.mean()
+        ss_tot = float(centered @ centered)
+        if ss_tot == 0.0:
+            return 0.0 if ss_res > 0 else 1.0
+        return 1.0 - ss_res / ss_tot
+
+
+class SALasso(_RegressorMixin):
     """Lasso / sparse linear regression via (SA-)accelerated BCD.
 
     Parameters
@@ -82,27 +104,127 @@ class SALasso(_FittedMixin):
         self.n_iter_ = res.iterations
         return self
 
-    def predict(self, X) -> np.ndarray:
-        self._check_fitted()
-        return np.asarray(X @ self.coef_).ravel()
-
-    def score(self, X, y) -> float:
-        """Coefficient of determination R^2 (sklearn convention)."""
-        self._check_fitted()
-        y = np.asarray(y, dtype=np.float64).ravel()
-        resid = y - self.predict(X)
-        ss_res = float(resid @ resid)
-        centered = y - y.mean()
-        ss_tot = float(centered @ centered)
-        if ss_tot == 0.0:
-            return 0.0 if ss_res > 0 else 1.0
-        return 1.0 - ss_res / ss_tot
-
     @property
     def sparsity_(self) -> float:
         """Fraction of exactly zero coefficients."""
         self._check_fitted()
         return float(np.mean(self.coef_ == 0.0))
+
+    def path(
+        self,
+        X,
+        y,
+        lambdas=None,
+        n_lambdas: int = 16,
+        eps: float = 1e-3,
+    ) -> PathResult:
+        """Warm-started regularization path with this estimator's knobs.
+
+        Solves a descending lambda grid (default: geometric from
+        ``lambda_max`` down to ``eps * lambda_max``) through one shared
+        :class:`~repro.path.SweepContext`; see :func:`repro.lasso_path`.
+        Does not change the fitted state.
+        """
+        p = self._params
+        return lasso_path(
+            X, y, lambdas, n_lambdas=n_lambdas, eps=eps, solver=p["solver"],
+            mu=p["mu"], s=p["s"], max_iter=p["max_iter"], tol=p["tol"],
+            seed=p["seed"],
+        )
+
+
+def _lasso_mse(X, y, coef: np.ndarray) -> float:
+    resid = np.asarray(X @ coef).ravel() - y
+    return float(resid @ resid) / y.shape[0]
+
+
+class SALassoCV(_RegressorMixin):
+    """Lasso with lambda chosen by cross-validated warm-started paths.
+
+    For each fold, one warm-started :func:`~repro.path.lasso_path` sweep
+    over a shared lambda grid is solved on the training split and scored
+    (MSE) on the held-out split; the lambda with the best mean score is
+    refit on the full data — again via a warm path sweep, so the refit
+    reuses the grid's earlier points as warm starts.
+
+    Parameters
+    ----------
+    n_lambdas, eps:
+        Grid: geometric from ``lambda_max(train)`` down to
+        ``eps * lambda_max``.
+    cv:
+        Number of folds (contiguous splits of a seeded permutation).
+    solver, mu, s, max_iter, tol, seed:
+        Per-solve knobs, as in :class:`SALasso`.
+
+    Attributes (after fit)
+    ----------------------
+    lambda_:
+        Selected regularisation strength.
+    lambdas_:
+        The grid (descending).
+    mse_path_:
+        (n_lambdas, cv) held-out MSE per grid point and fold.
+    coef_, result_:
+        Full-data refit at ``lambda_``.
+    """
+
+    def __init__(
+        self,
+        n_lambdas: int = 16,
+        eps: float = 1e-3,
+        cv: int = 3,
+        solver: str = "sa-accbcd",
+        mu: int = 8,
+        s: int = 16,
+        max_iter: int = 1000,
+        tol: float | None = 1e-6,
+        seed: int = 0,
+    ) -> None:
+        if cv < 2:
+            raise SolverError(f"cv must be >= 2, got {cv}")
+        self._params = dict(n_lambdas=n_lambdas, eps=eps, cv=cv, solver=solver,
+                            mu=mu, s=s, max_iter=max_iter, tol=tol, seed=seed)
+
+    def _path_kwargs(self) -> dict:
+        p = self._params
+        return dict(solver=p["solver"], mu=p["mu"], s=p["s"],
+                    max_iter=p["max_iter"], tol=p["tol"], seed=p["seed"])
+
+    def fit(self, X, y) -> "SALassoCV":
+        p = self._params
+        y = np.asarray(y, dtype=np.float64).ravel()
+        m = y.shape[0]
+        cv = p["cv"]
+        if m < 2 * cv:
+            raise SolverError(f"need at least {2 * cv} samples for cv={cv}, got {m}")
+        # shared grid from the full data, so fold scores are comparable
+        lam_max = lambda_max(X, y)
+        if lam_max <= 0.0:
+            raise SolverError("cannot build a lambda grid: ||X^T y||_inf is 0")
+        lams = lambda_grid(lam_max, n_lambdas=p["n_lambdas"], eps=p["eps"])
+        perm = np.random.default_rng(p["seed"]).permutation(m)
+        folds = np.array_split(perm, cv)
+        mse = np.empty((lams.shape[0], cv))
+        for f, val_idx in enumerate(folds):
+            train_idx = np.sort(np.concatenate([folds[k] for k in range(cv) if k != f]))
+            val_idx = np.sort(val_idx)
+            Xtr, ytr = X[train_idx], y[train_idx]
+            path = lasso_path(Xtr, ytr, lams, **self._path_kwargs())
+            Xval, yval = X[val_idx], y[val_idx]
+            for i, res in enumerate(path.results):
+                mse[i, f] = _lasso_mse(Xval, yval, res.x)
+        self.mse_path_ = mse
+        self.lambdas_ = lams
+        best = int(np.argmin(mse.mean(axis=1)))
+        self.lambda_ = float(lams[best])
+        # full-data refit: warm path down to (and stopping at) lambda_
+        refit = lasso_path(X, y, lams[: best + 1], **self._path_kwargs())
+        self.path_ = refit
+        self.result_ = refit.results[-1]
+        self.coef_ = self.result_.x
+        self.n_iter_ = self.result_.iterations
+        return self
 
 
 class SASVMClassifier(_FittedMixin):

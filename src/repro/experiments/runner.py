@@ -184,11 +184,13 @@ def run_lasso(
     record_every: int = 1,
     lam: float | None = None,
     fast: bool = True,
+    parity: str = "exact",
 ) -> SolverResult:
     """Run one Lasso-family solver on a scaled dataset at virtual P.
 
     ``fast`` toggles the SA solvers' fused inner loop (bit-identical
-    iterates; exposed for before/after benchmarking).
+    iterates; exposed for before/after benchmarking) and ``parity`` its
+    contract (``"exact"`` / ``"fp-tolerant"``).
     """
     if solver not in LASSO_SOLVERS:
         raise SolverError(f"unknown lasso solver {solver!r}; known: {sorted(LASSO_SOLVERS)}")
@@ -203,6 +205,7 @@ def run_lasso(
     if solver.startswith("sa-"):
         kwargs["s"] = s if s is not None else 8
         kwargs["fast"] = fast
+        kwargs["parity"] = parity
     return fn(ds.A, ds.b, lam_val, **kwargs)
 
 

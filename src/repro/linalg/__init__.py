@@ -5,7 +5,11 @@ from repro.linalg.partition import Partition1D, block_partition, balanced_nnz_pa
 from repro.linalg.packing import pack_gram, unpack_gram, packed_length, tri_length
 from repro.linalg.eig import largest_eigenvalue, power_iteration
 from repro.linalg.kernels import (
+    EigMemo,
     GatherWorkspace,
+    default_eig_memo,
+    eig_cache_clear,
+    eig_cache_info,
     gather_columns,
     gather_rows,
     largest_eigenvalue_cached,
@@ -23,7 +27,11 @@ __all__ = [
     "tri_length",
     "largest_eigenvalue",
     "power_iteration",
+    "EigMemo",
     "GatherWorkspace",
+    "default_eig_memo",
+    "eig_cache_clear",
+    "eig_cache_info",
     "gather_columns",
     "gather_rows",
     "largest_eigenvalue_cached",

@@ -57,6 +57,8 @@ class _PartitionedBase:
         self._gather_ws = GatherWorkspace()
         self._send_buf: np.ndarray | None = None
         self._recv_buf: np.ndarray | None = None
+        self._gram_out: np.ndarray | None = None
+        self._proj_out: np.ndarray | None = None
         self._build_sampling_view()
 
     def _build_sampling_view(self) -> None:
@@ -72,6 +74,23 @@ class _PartitionedBase:
             self._send_buf = np.empty(length, dtype=np.float64)
             self._recv_buf = np.empty(length, dtype=np.float64)
         return self._send_buf[:length], self._recv_buf[:length]
+
+    def _gram_outputs(self, k: int, c: int) -> tuple[np.ndarray, np.ndarray | None]:
+        """Reusable ``(G, R)`` output arrays for the unpacked reduction.
+
+        Like the gather workspace, the returned arrays stay valid until
+        the *next* Gram collective through this matrix — the solvers
+        consume (G, R) within one outer step, so the steady state
+        allocates nothing. The buffers are reallocated only when the
+        block shape changes (e.g. a truncated final outer step).
+        """
+        if self._gram_out is None or self._gram_out.shape != (k, k):
+            self._gram_out = np.empty((k, k), dtype=np.float64)
+        if c == 0:
+            return self._gram_out, None
+        if self._proj_out is None or self._proj_out.shape != (k, c):
+            self._proj_out = np.empty((k, c), dtype=np.float64)
+        return self._gram_out, self._proj_out
 
     def _charge_gram(self, nnz_block: float, k: int, extra_cols: int, symmetric: bool) -> None:
         """Charge Gram + projection flops for a sampled block."""
@@ -186,7 +205,10 @@ class RowPartitionedMatrix(_PartitionedBase):
         Returns
         -------
         (G, R):
-            Replicated k x k Gram matrix and k x c projections.
+            Replicated k x k Gram matrix and k x c projections. Both live
+            in reusable per-instance output buffers — valid until the
+            next Gram collective through this matrix, which is how every
+            solver consumes them (within one outer step).
         """
         S = sampled
         k = S.shape[1]
@@ -199,7 +221,8 @@ class RowPartitionedMatrix(_PartitionedBase):
         send, recv = self._packed_buffers(packed_length(k, c, symmetric))
         pack_gram(Gp, Rp, symmetric, out=send)
         total = self.comm.Allreduce(send, out=recv)
-        G, R = unpack_gram(total, k, c, symmetric)
+        out_g, out_r = self._gram_outputs(k, c)
+        G, R = unpack_gram(total, k, c, symmetric, out_g=out_g, out_extras=out_r)
         return G, (R if c else np.zeros((k, 0)))
 
     def matvec_local(self, x: np.ndarray) -> np.ndarray:
@@ -293,7 +316,9 @@ class ColPartitionedMatrix(_PartitionedBase):
         """``G = Y Yᵀ`` (k x k over the feature dimension) and ``Y x``.
 
         One packed Allreduce, matching Alg. 4 lines 9-10 (the caller adds
-        ``gamma I`` *after* the reduction, once).
+        ``gamma I`` *after* the reduction, once). The outputs live in
+        reusable per-instance buffers, valid until the next Gram
+        collective through this matrix.
         """
         Y = sampled
         k = Y.shape[0]
@@ -303,7 +328,8 @@ class ColPartitionedMatrix(_PartitionedBase):
         send, recv = self._packed_buffers(packed_length(k, 1, symmetric))
         pack_gram(Gp, xp, symmetric, out=send)
         total = self.comm.Allreduce(send, out=recv)
-        G, R = unpack_gram(total, k, 1, symmetric)
+        out_g, out_r = self._gram_outputs(k, 1)
+        G, R = unpack_gram(total, k, 1, symmetric, out_g=out_g, out_extras=out_r)
         return G, R[:, 0]
 
     def apply_row_update(self, sampled, coeffs: np.ndarray, x_local: np.ndarray) -> None:

@@ -14,11 +14,14 @@ collects the allocation-free / cache-friendly versions of those kernels:
 * :func:`tri_plan` — cached lower-triangle index plans for the packed
   symmetric Gram payload (paper footnote 3), shared by
   :mod:`repro.linalg.packing`.
-* :func:`largest_eigenvalue_cached` — bytes-keyed memo of the block
-  Lipschitz constant. Sampled blocks repeat under fixed seeds and along
-  regularization paths; a repeated block yields a byte-identical Gram
-  block, so the memo returns the *exact* same float the eigensolver
-  would.
+* :class:`EigMemo` / :func:`largest_eigenvalue_cached` — bytes-keyed
+  memo of the block Lipschitz constant. Sampled blocks repeat under
+  fixed seeds and along regularization paths; a repeated block yields a
+  byte-identical Gram block, so the memo returns the *exact* same float
+  the eigensolver would. The module-level default memo persists across
+  solves, which is what lets a warm regularization-path sweep skip the
+  eigensolves its first point already paid for; its LRU bound keeps long
+  sweeps from growing it without limit.
 * :func:`acc_coef_tables` — the theta/eta/momentum coefficient tables of
   the fused SA-accBCD inner loop (paper eqs. (3)-(5)), vectorised with
   the same operation association as the scalar recurrences so the fused
@@ -39,6 +42,7 @@ eigensolves — not from changing the arithmetic.
 
 from __future__ import annotations
 
+from collections import namedtuple
 from functools import lru_cache
 
 import numpy as np
@@ -51,10 +55,14 @@ __all__ = [
     "gather_columns",
     "gather_rows",
     "tri_plan",
+    "EigMemo",
+    "default_eig_memo",
     "largest_eigenvalue_cached",
     "eig_cache_info",
+    "eig_cache_clear",
     "acc_coef_tables",
     "sparse_columns",
+    "csc_range_matvec",
 ]
 
 
@@ -155,6 +163,33 @@ def gather_rows(
     return out
 
 
+def csc_range_matvec(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    c0: int,
+    c1: int,
+    x: np.ndarray,
+    out_len: int,
+) -> tuple[np.ndarray | None, int]:
+    """Dense ``M[:, c0:c1] @ x`` for a CSC triplet, without slicing.
+
+    Returns ``(y, nnz)`` where ``y`` is a dense length-``out_len`` vector
+    (or None when the column range is empty) and ``nnz`` the non-zeros
+    touched. Accumulation runs through :func:`numpy.bincount` over the
+    stacked column entries — C-speed, no scipy submatrix construction,
+    but a *different association* than per-column CSC matvec, so this is
+    an fp-tolerant-only kernel (the exact-parity loops keep ``S @ dz``).
+    """
+    lo = int(indptr[c0])
+    hi = int(indptr[c1])
+    if lo == hi:
+        return None, 0
+    counts = np.diff(indptr[c0 : c1 + 1])
+    vals = data[lo:hi] * np.repeat(x, counts)
+    return np.bincount(indices[lo:hi], weights=vals, minlength=out_len), hi - lo
+
+
 def sparse_columns(Y) -> sp.csc_matrix | None:
     """CSC view of a sampled block, or None for dense blocks.
 
@@ -195,31 +230,79 @@ def tri_plan(k: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
 # ---------------------------------------------------------------------------
 
 
-@lru_cache(maxsize=1024)
-def _eig_of_bytes(key: bytes, k: int) -> float:
-    G = np.frombuffer(key, dtype=np.float64).reshape(k, k)
-    return largest_eigenvalue(G)
+CacheInfo = namedtuple("CacheInfo", ["hits", "misses", "maxsize", "currsize"])
 
 
-def largest_eigenvalue_cached(G: np.ndarray) -> float:
-    """Memoised :func:`~repro.linalg.eig.largest_eigenvalue`.
+class EigMemo:
+    """Bounded bytes-keyed memo of block Lipschitz constants.
 
-    Keyed on the raw bytes of the (contiguous, float64) block, so a hit
-    returns the exact float the eigensolver produced for the identical
-    input — repeated sampled blocks (fixed seeds, regularization paths)
-    skip the LAPACK call without perturbing the iterate sequence.
+    Keyed on the raw bytes of the (contiguous, float64) Gram block, so a
+    hit returns the exact float the eigensolver produced for the
+    identical input — repeated sampled blocks (fixed seeds, repeated
+    block streams along a regularization path) skip the LAPACK call
+    without perturbing the iterate sequence. Least-recently-used entries
+    are evicted past ``maxsize``, so the memo stays bounded during long
+    sweeps. Backed by a per-instance :func:`functools.lru_cache` (the
+    C-speed LRU) rather than a hand-rolled dict.
     """
-    G = np.ascontiguousarray(G, dtype=np.float64)
-    k = G.shape[0]
-    if k == 1:
-        # scalar Gram block: the eigenvalue is the entry itself
-        return max(float(G[0, 0]), 0.0)
-    return _eig_of_bytes(G.tobytes(), k)
+
+    __slots__ = ("maxsize", "_cached")
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        self.maxsize = int(maxsize)
+
+        @lru_cache(maxsize=self.maxsize)
+        def _eig_of_bytes(key: bytes, k: int) -> float:
+            G = np.frombuffer(key, dtype=np.float64).reshape(k, k)
+            return largest_eigenvalue(G)
+
+        self._cached = _eig_of_bytes
+
+    def eig(self, G: np.ndarray) -> float:
+        """Memoised :func:`~repro.linalg.eig.largest_eigenvalue`."""
+        G = np.ascontiguousarray(G, dtype=np.float64)
+        k = G.shape[0]
+        if k == 1:
+            # scalar Gram block: the eigenvalue is the entry itself
+            return max(float(G[0, 0]), 0.0)
+        return self._cached(G.tobytes(), k)
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss statistics (lru_cache-compatible shape)."""
+        return CacheInfo(*self._cached.cache_info())
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the memo so far."""
+        info = self._cached.cache_info()
+        total = info.hits + info.misses
+        return info.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        self._cached.cache_clear()
 
 
-def eig_cache_info():
-    """Hit/miss statistics of the eigenvalue memo (diagnostics)."""
-    return _eig_of_bytes.cache_info()
+_DEFAULT_EIG_MEMO = EigMemo(maxsize=1024)
+
+
+def default_eig_memo() -> EigMemo:
+    """The process-wide memo the solvers share (persists across solves)."""
+    return _DEFAULT_EIG_MEMO
+
+
+def largest_eigenvalue_cached(G: np.ndarray, memo: EigMemo | None = None) -> float:
+    """Memoised largest eigenvalue through ``memo`` (default: shared memo)."""
+    return (memo if memo is not None else _DEFAULT_EIG_MEMO).eig(G)
+
+
+def eig_cache_info() -> CacheInfo:
+    """Hit/miss statistics of the shared eigenvalue memo (diagnostics)."""
+    return _DEFAULT_EIG_MEMO.cache_info()
+
+
+def eig_cache_clear() -> None:
+    """Drop every entry of the shared eigenvalue memo (cold-start runs)."""
+    _DEFAULT_EIG_MEMO.clear()
 
 
 # ---------------------------------------------------------------------------

@@ -78,13 +78,20 @@ def pack_gram(
 
 
 def unpack_gram(
-    buf: np.ndarray, k: int, extra_cols: int, symmetric: bool
+    buf: np.ndarray,
+    k: int,
+    extra_cols: int,
+    symmetric: bool,
+    out_g: np.ndarray | None = None,
+    out_extras: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray | None]:
     """Inverse of :func:`pack_gram`; returns ``(G, extras-or-None)``.
 
     The symmetric path mirrors the lower triangle into the upper one.
-    The outputs are fresh arrays (never views of ``buf``), so callers may
-    reuse ``buf`` as a receive buffer on the next collective.
+    The outputs are never views of ``buf``, so callers may reuse ``buf``
+    as a receive buffer on the next collective. With ``out_g`` (k x k)
+    and ``out_extras`` (k x extra_cols) the values are written in place —
+    the zero-allocation steady-state path of the solvers' outer loops.
     """
     buf = np.asarray(buf, dtype=np.float64).ravel()
     expect = packed_length(k, extra_cols, symmetric)
@@ -92,16 +99,33 @@ def unpack_gram(
         raise CommError(
             f"packed buffer has length {buf.shape[0]}, expected {expect}"
         )
+    if out_g is not None and (out_g.shape != (k, k) or out_g.dtype != np.float64):
+        raise CommError(
+            f"out_g must be a float64 ({k}, {k}) array, got {out_g.dtype}{out_g.shape}"
+        )
     if symmetric:
         t = tri_length(k)
         il, jl, _ = tri_plan(k)
-        G = np.empty((k, k))
+        G = np.empty((k, k)) if out_g is None else out_g
         tri = buf[:t]
         G[il, jl] = tri
         G[jl, il] = tri
         rest = buf[t:]
     else:
-        G = buf[: k * k].reshape(k, k).copy()
+        G = buf[: k * k].reshape(k, k).copy() if out_g is None else out_g
+        if out_g is not None:
+            G[:] = buf[: k * k].reshape(k, k)
         rest = buf[k * k :]
-    extras = rest.reshape(k, extra_cols).copy() if extra_cols else None
+    if not extra_cols:
+        return G, None
+    if out_extras is None:
+        extras = rest.reshape(k, extra_cols).copy()
+    else:
+        if out_extras.shape != (k, extra_cols) or out_extras.dtype != np.float64:
+            raise CommError(
+                f"out_extras must be a float64 ({k}, {extra_cols}) array, "
+                f"got {out_extras.dtype}{out_extras.shape}"
+            )
+        extras = out_extras
+        extras[:] = rest.reshape(k, extra_cols)
     return G, extras

@@ -139,6 +139,21 @@ class CostLedger:
             flops=self.flops,
         )
 
+    def child(self) -> "CostLedger":
+        """A fresh zero-counter ledger with this ledger's configuration.
+
+        Used by sweep engines that want per-solve accounting without the
+        parent's accumulated totals (e.g. one ledger per regularization-
+        path point).
+        """
+        return CostLedger(
+            machine=self.machine,
+            flop_divisor=self.flop_divisor,
+            imbalance=self.imbalance,
+            default_scale=self.default_scale,
+            kind_scales=dict(self.kind_scales),
+        )
+
     def reset(self) -> None:
         """Zero all counters (ledger can be reused across solver runs)."""
         self.comm_seconds = 0.0

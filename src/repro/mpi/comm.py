@@ -139,6 +139,16 @@ class Comm(ABC):
         """Charge local computation to this rank's ledger."""
         self.ledger.add_flops(flops, kind, working_set_bytes)
 
+    def reset(self) -> None:
+        """Zero this rank's cost ledger.
+
+        Reusing one communicator across solves (warm-started sweeps)
+        would otherwise silently accumulate every solve's modelled cost
+        into one ledger; sweep engines call this between points so each
+        :class:`~repro.solvers.base.SolverResult` carries per-point cost.
+        """
+        self.ledger.reset()
+
     # -- object collectives (lower-case, mpi4py style) -------------------------
     def barrier(self) -> None:
         """Synchronise all ranks."""

@@ -69,6 +69,21 @@ class VirtualComm(Comm):
             ledger=ledger,
         )
 
+    def child(self) -> "VirtualComm":
+        """A new communicator with identical modelling and a fresh ledger.
+
+        The sibling of :meth:`Comm.reset` for callers that must keep the
+        parent's accumulated costs intact (e.g. comparing one path
+        point's cost against the sweep's running total).
+        """
+        return VirtualComm(
+            virtual_size=self.cost_size,
+            machine=self.machine,
+            imbalance=self.ledger.imbalance,
+            flop_scale=self.ledger.default_scale,
+            kind_scales=dict(self.ledger.kind_scales),
+        )
+
     def _allgather_impl(self, tag: str, obj: Any) -> list:
         return [obj]
 

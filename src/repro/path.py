@@ -1,0 +1,417 @@
+"""Warm-started regularization-path engine with cross-solve cache reuse.
+
+Real deployments rarely solve one ``(lambda, mu, s)`` point — they sweep
+a regularization path. Solving each point independently pays full
+cold-start cost every time: a fresh communicator and ledger, a re-sliced
+and re-converted shard (the CSC sampling view), fresh gather/pack/Gram
+buffers, a cold eigenvalue memo, and ``x0 = 0``. This module amortises
+all of it:
+
+* :class:`SweepContext` owns the partitioned matrix (and with it the
+  cached CSC/CSR sampling views, the reusable :class:`~repro.linalg.
+  kernels.GatherWorkspace`, the packed-collective send/receive buffers,
+  and the reusable Gram output buffers of ``gram_and_project``), the
+  communicator whose ledger is reset per point (so each
+  :class:`~repro.solvers.base.SolverResult` carries *per-point* modelled
+  cost), and the persistent eigenvalue memo shared by every solve.
+* :func:`lasso_path` / :func:`svm_path` walk a lambda grid, threading
+  each point's solution (primal ``x`` for Lasso, dual ``alpha`` for SVM)
+  into the next solve as a warm start.
+
+Warm-started path solves are the standard trick that makes coordinate
+methods competitive in practice; combined with the shared context the
+sweep runs several times faster than independent cold solves
+(``benchmarks/bench_path_sweep.py`` tracks the trajectory in
+``BENCH_path_sweep.json``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro._api import fit_lasso, fit_svm
+from repro.errors import SolverError
+from repro.linalg.distmatrix import ColPartitionedMatrix, RowPartitionedMatrix
+from repro.linalg.kernels import EigMemo, default_eig_memo
+from repro.machine.ledger import CostSnapshot
+from repro.machine.spec import MachineSpec
+from repro.mpi.comm import Comm
+from repro.mpi.virtual_backend import VirtualComm
+from repro.solvers.base import SolverResult
+from repro.solvers.svm.duality import loss_params
+
+__all__ = ["SweepContext", "PathResult", "lambda_grid", "lasso_path", "svm_path"]
+
+
+def _data_fingerprint(A) -> tuple:
+    """Cheap content signature: shape, weighted column sums, abs-sum.
+
+    Representation-invariant (a dense array and its sparse form agree to
+    rounding), sensitive to rescaling and column reordering. Partitioned
+    matrices are fingerprinted on the *local shard*, so a multi-rank
+    context compares shards — pass the context's own ``dist`` (which
+    skips the check) when the global matrix is not rank-local.
+    """
+    if isinstance(A, (RowPartitionedMatrix, ColPartitionedMatrix)):
+        A = A.local
+    shape = tuple(A.shape)
+    w = np.cos(np.arange(shape[1], dtype=np.float64))
+    colsum = np.asarray(A.sum(axis=0)).ravel()
+    if sp.issparse(A):
+        abssum = float(np.abs(A.data).sum())
+    else:
+        abssum = float(np.abs(np.asarray(A, dtype=np.float64)).sum())
+    return (shape, float(colsum @ w), abssum)
+
+
+def _fingerprints_match(fp1: tuple, fp2: tuple, rtol: float = 1e-9) -> bool:
+    """Compare signatures with rounding slack (summation orders differ
+    between sparse and dense representations of the same data)."""
+    if fp1[0] != fp2[0]:
+        return False
+    for a, b in zip(fp1[1:], fp2[1:]):
+        if abs(a - b) > rtol * max(abs(a), abs(b), 1.0):
+            return False
+    return True
+
+
+def _sum_costs(snaps: Sequence[CostSnapshot]) -> CostSnapshot:
+    """Aggregate per-point snapshots into one sweep total."""
+    return CostSnapshot(
+        comm_seconds=sum(s.comm_seconds for s in snaps),
+        compute_seconds=sum(s.compute_seconds for s in snaps),
+        messages=sum(s.messages for s in snaps),
+        words=sum(s.words for s in snaps),
+        flops=sum(s.flops for s in snaps),
+    )
+
+
+class SweepContext:
+    """Shared state for a multi-solve sweep over one dataset.
+
+    Parameters
+    ----------
+    A, b:
+        Data matrix (global dense/CSR, or an already-partitioned
+        :class:`RowPartitionedMatrix` / :class:`ColPartitionedMatrix`
+        whose communicator is then adopted) and the label vector.
+    task:
+        ``"lasso"`` (row partition) or ``"svm"`` (column partition).
+    comm, virtual_p, machine:
+        Communicator, or the virtual-P model to build one from.
+
+    The context builds the partitioned matrix **once**; every solve
+    through it reuses the cached sampling views, gather workspace,
+    packed-collective buffers, and Gram output buffers.
+
+    The context **takes ownership of the communicator's ledger**: it is
+    zeroed at every :meth:`begin_point` — including for an adopted
+    communicator — so per-point modelled costs never accumulate
+    silently; the sweep total stays available as :attr:`total_cost`. If
+    a communicator's pre-sweep totals must survive, build the context
+    from a fresh sibling instead (``SweepContext(A, b, comm=
+    parent.child())`` — see :meth:`VirtualComm.child`).
+    """
+
+    def __init__(
+        self,
+        A,
+        b,
+        *,
+        task: str = "lasso",
+        comm: Comm | None = None,
+        virtual_p: int = 1,
+        machine: MachineSpec | None = None,
+        balance_nnz: bool = True,
+    ) -> None:
+        if task not in ("lasso", "svm"):
+            raise SolverError(f"unknown sweep task {task!r}; known: ['lasso', 'svm']")
+        self.task = task
+        if isinstance(A, (RowPartitionedMatrix, ColPartitionedMatrix)):
+            want = RowPartitionedMatrix if task == "lasso" else ColPartitionedMatrix
+            if not isinstance(A, want):
+                raise SolverError(
+                    f"{task} sweeps need a {want.__name__}, got {type(A).__name__}"
+                )
+            self.dist = A
+        else:
+            if comm is None:
+                comm = VirtualComm(virtual_size=virtual_p, machine=machine)
+            cls = RowPartitionedMatrix if task == "lasso" else ColPartitionedMatrix
+            self.dist = cls.from_global(A, comm, balance_nnz=balance_nnz)
+        self.comm = self.dist.comm
+        self._fingerprint = _data_fingerprint(A)
+        self.b = np.asarray(b, dtype=np.float64).ravel()
+        #: the eigenvalue memo the solvers consult. This is a reference
+        #: to the *process-wide* memo (not a per-context cache): it
+        #: persists across points and sweeps, which is what lets a
+        #: repeated sampled-block stream skip its eigensolves — and it
+        #: is shared with every other sweep in the process. Exposed for
+        #: hit-rate inspection (``ctx.eig_memo.hit_rate``).
+        self.eig_memo: EigMemo = default_eig_memo()
+        self.point_costs: list[CostSnapshot] = []
+
+    def check_problem(self, A, b) -> None:
+        """Reject a (A, b) pair that is not this context's problem.
+
+        ``lasso_path``/``svm_path`` solve the *context's* dataset when
+        ``context=`` is given; this guard turns a silently-wrong sweep
+        (results labelled with the caller's data but computed on the
+        context's) into an error. ``A`` is matched by shape plus a
+        content fingerprint (weighted column sums + abs-sum), so a
+        rescaled, column-permuted, or re-generated same-shape matrix is
+        caught, not just a wrong-shaped one. Passing the context's own
+        ``dist`` skips the check (always valid).
+        """
+        if A is not self.dist:
+            shape = getattr(A, "shape", None)
+            if shape != self.dist.shape:
+                raise SolverError(
+                    f"context holds a {self.dist.shape} matrix, got A with "
+                    f"shape {shape}"
+                )
+            if not _fingerprints_match(_data_fingerprint(A), self._fingerprint):
+                raise SolverError(
+                    "context was built for a different data matrix A "
+                    "(same shape, different values)"
+                )
+        b = np.asarray(b, dtype=np.float64).ravel()
+        if b.shape != self.b.shape or not np.array_equal(b, self.b):
+            raise SolverError("context was built for a different label vector b")
+
+    # -- per-point ledger discipline ---------------------------------------
+    def begin_point(self) -> None:
+        """Zero the ledger so the next solve reports per-point cost."""
+        self.comm.reset()
+
+    def end_point(self, result: SolverResult) -> None:
+        """Bank one solve's per-point cost into the sweep total."""
+        self.point_costs.append(result.cost)
+
+    @property
+    def total_cost(self) -> CostSnapshot:
+        """Modelled cost of the whole sweep so far (summed points)."""
+        return _sum_costs(self.point_costs)
+
+
+@dataclass
+class PathResult:
+    """Outcome of one regularization-path sweep."""
+
+    task: str
+    #: the grid actually solved, in solve order
+    lambdas: np.ndarray
+    #: one :class:`SolverResult` per grid point (``cost`` is per-point)
+    results: list[SolverResult]
+    context: SweepContext
+    warm_start: bool = True
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def coefs(self) -> np.ndarray:
+        """Solutions stacked as (n_points, n)."""
+        return np.stack([r.x for r in self.results])
+
+    @property
+    def iterations(self) -> list[int]:
+        """Iterations each point ran (warm starts shrink these)."""
+        return [r.iterations for r in self.results]
+
+    @property
+    def final_metrics(self) -> np.ndarray:
+        """Final objective (Lasso) / duality gap (SVM) per point."""
+        return np.array([r.final_metric for r in self.results])
+
+    @property
+    def total_cost(self) -> CostSnapshot:
+        """Modelled cost of the whole sweep (summed per-point costs)."""
+        return _sum_costs([r.cost for r in self.results])
+
+    def support_sizes(self, atol: float = 0.0) -> list[int]:
+        """Non-zero count of each point's solution (Lasso sparsity trace)."""
+        return [int(np.sum(np.abs(r.x) > atol)) for r in self.results]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+def _lambda_max_dist(dist: RowPartitionedMatrix, b: np.ndarray) -> float:
+    """``||A^T b||_inf`` from the row-partitioned shard (instrumentation)."""
+    lo, hi = dist.partition.range_of(dist.comm.rank)
+    with dist.comm.ledger.paused():
+        part = np.asarray(dist.local.T @ b[lo:hi]).ravel()
+        g = np.asarray(dist.comm.Allreduce(part)).ravel()
+    return float(np.max(np.abs(g))) if g.size else 0.0
+
+
+def lambda_grid(lam_max: float, n_lambdas: int = 16, eps: float = 1e-3) -> np.ndarray:
+    """Descending geometric grid ``lam_max * [1, ..., eps]``.
+
+    The standard path grid: the first point (``lam_max``) has ``x = 0``
+    optimal, and each subsequent point shrinks lambda geometrically down
+    to ``eps * lam_max``.
+    """
+    if n_lambdas < 1:
+        raise SolverError(f"n_lambdas must be >= 1, got {n_lambdas}")
+    if not (0.0 < eps <= 1.0):
+        raise SolverError(f"eps must be in (0, 1], got {eps}")
+    if lam_max <= 0.0:
+        raise SolverError(f"lam_max must be positive, got {lam_max}")
+    if n_lambdas == 1:
+        return np.array([lam_max])
+    return lam_max * np.geomspace(1.0, eps, n_lambdas)
+
+
+def lasso_path(
+    A,
+    b,
+    lambdas=None,
+    *,
+    n_lambdas: int = 16,
+    eps: float = 1e-3,
+    solver: str = "sa-accbcd",
+    mu: int = 8,
+    s: int = 16,
+    max_iter: int = 500,
+    tol: float | None = 1e-6,
+    seed: int = 0,
+    record_every: int = 10,
+    warm_start: bool = True,
+    fast: bool = True,
+    parity: str = "exact",
+    comm: Comm | None = None,
+    virtual_p: int = 1,
+    machine: MachineSpec | None = None,
+    context: SweepContext | None = None,
+) -> PathResult:
+    """Solve a Lasso problem over a descending lambda grid with warm starts.
+
+    Parameters
+    ----------
+    lambdas:
+        Explicit grid (solved in descending order). Default: a geometric
+        grid of ``n_lambdas`` points from ``lambda_max`` (the smallest
+        lambda with ``x = 0`` optimal) down to ``eps * lambda_max``.
+    warm_start:
+        Thread each point's solution into the next solve as ``x0``
+        (default). ``False`` gives independent solves that still share
+        the context's caches.
+    context:
+        Reuse an existing :class:`SweepContext` (e.g. to run several
+        sweeps — different solvers, grids, seeds — against one dataset).
+    tol, record_every:
+        Stopping tolerance, checked at recording points — keep
+        ``record_every >= 1`` or every solve runs its full ``max_iter``.
+
+    All other knobs match :func:`repro.fit_lasso`.
+    """
+    ctx = context
+    if ctx is None:
+        ctx = SweepContext(
+            A, b, task="lasso", comm=comm, virtual_p=virtual_p, machine=machine
+        )
+    else:
+        if ctx.task != "lasso":
+            raise SolverError(f"context is a {ctx.task!r} sweep, need 'lasso'")
+        ctx.check_problem(A, b)
+    if lambdas is None:
+        lam_max = _lambda_max_dist(ctx.dist, ctx.b)
+        if lam_max <= 0.0:
+            raise SolverError(
+                "cannot build a default grid: ||A^T b||_inf is 0 (pass lambdas=)"
+            )
+        lams = lambda_grid(lam_max, n_lambdas=n_lambdas, eps=eps)
+    else:
+        lams = np.sort(np.asarray(lambdas, dtype=np.float64).ravel())[::-1]
+        if lams.size == 0:
+            raise SolverError("lambdas must be non-empty")
+    results: list[SolverResult] = []
+    x_warm = None
+    for lam in lams:
+        ctx.begin_point()
+        res = fit_lasso(
+            ctx.dist, ctx.b, float(lam), solver=solver, mu=mu, s=s,
+            max_iter=max_iter, seed=seed, tol=tol, comm=ctx.comm,
+            record_every=record_every, x0=x_warm if warm_start else None,
+            fast=fast, parity=parity,
+        )
+        ctx.end_point(res)
+        results.append(res)
+        x_warm = res.x
+    return PathResult(
+        task="lasso", lambdas=lams, results=results, context=ctx,
+        warm_start=warm_start, extras={"solver": solver, "mu": mu, "s": s},
+    )
+
+
+def svm_path(
+    A,
+    b,
+    lams=None,
+    *,
+    n_lambdas: int = 8,
+    loss: str = "l1",
+    solver: str = "sa-svm",
+    s: int = 16,
+    max_iter: int = 5000,
+    tol: float | None = None,
+    seed: int = 0,
+    record_every: int = 0,
+    warm_start: bool = True,
+    fast: bool = True,
+    parity: str = "exact",
+    comm: Comm | None = None,
+    virtual_p: int = 1,
+    machine: MachineSpec | None = None,
+    context: SweepContext | None = None,
+) -> PathResult:
+    """Train SVMs over an ascending penalty (C) grid with dual warm starts.
+
+    The grid is solved in *ascending* order: the hinge loss caps each
+    dual coordinate at ``nu = lam``, so a solution for a smaller ``lam``
+    is always feasible for the next larger one — the warm start never
+    needs projection (it is still clipped defensively). Each point's
+    dual ``alpha`` seeds the next solve; the primal is rebuilt from it
+    (Alg. 3 line 2). Default grid: ``n_lambdas`` points geometric in
+    ``[0.1, 10]`` around the paper's ``C = 1``.
+    """
+    ctx = context
+    if ctx is None:
+        ctx = SweepContext(
+            A, b, task="svm", comm=comm, virtual_p=virtual_p, machine=machine
+        )
+    else:
+        if ctx.task != "svm":
+            raise SolverError(f"context is a {ctx.task!r} sweep, need 'svm'")
+        ctx.check_problem(A, b)
+    if lams is None:
+        lam_grid = np.geomspace(0.1, 10.0, n_lambdas)
+    else:
+        lam_grid = np.asarray(lams, dtype=np.float64).ravel()
+        if lam_grid.size == 0:
+            raise SolverError("lams must be non-empty")
+    lam_grid = np.sort(lam_grid)
+    results: list[SolverResult] = []
+    alpha_warm = None
+    for lam in lam_grid:
+        ctx.begin_point()
+        alpha0 = None
+        if warm_start and alpha_warm is not None:
+            _, nu = loss_params(loss, float(lam))
+            alpha0 = np.clip(alpha_warm, 0.0, nu) if np.isfinite(nu) else alpha_warm
+        res = fit_svm(
+            ctx.dist, ctx.b, loss=loss, lam=float(lam), solver=solver, s=s,
+            max_iter=max_iter, seed=seed, tol=tol, comm=ctx.comm,
+            record_every=record_every, alpha0=alpha0, fast=fast, parity=parity,
+        )
+        ctx.end_point(res)
+        results.append(res)
+        alpha_warm = res.extras["alpha"]
+    return PathResult(
+        task="svm", lambdas=lam_grid, results=results, context=ctx,
+        warm_start=warm_start, extras={"solver": solver, "loss": loss, "s": s},
+    )

@@ -32,6 +32,7 @@ from repro.solvers.base import (
     SolverResult,
     Terminator,
 )
+from repro.solvers.lasso.common import check_parity
 from repro.solvers.sampling import RowSampler
 from repro.solvers.svm.duality import duality_gap, loss_params
 from repro.utils.validation import check_vector
@@ -52,12 +53,19 @@ def _setup_svm(A, b, comm: Comm | None) -> tuple[ColPartitionedMatrix, np.ndarra
     return dist, b
 
 
-def _init_alpha_x(dist: ColPartitionedMatrix, b: np.ndarray, alpha0):
+def _init_alpha_x(dist: ColPartitionedMatrix, b: np.ndarray, alpha0, nu: float):
     m = dist.shape[0]
     n_local = dist.local.shape[1]
     if alpha0 is None:
         return np.zeros(m), np.zeros(n_local)
     alpha = check_vector(alpha0, m, "alpha0").copy()
+    # an infeasible dual init would silently corrupt the duality gap
+    # (coordinates never sampled within the budget stay out of the box)
+    if alpha.min() < 0.0 or alpha.max() > nu:
+        raise SolverError(
+            f"alpha0 must lie in the dual box [0, {nu:g}]; "
+            f"got range [{alpha.min():g}, {alpha.max():g}]"
+        )
     # x0 = sum_i b_i alpha_i A_i^T  (Alg. 3 line 2), local columns only
     x_local = np.asarray(dist.local.T @ (b * alpha)).ravel()
     dist.comm.account_flops(2.0 * dist.local_nnz, "spmv")
@@ -119,7 +127,7 @@ def dcd(
     """
     gamma, nu = loss_params(loss, lam)
     dist, b = _setup_svm(A, b, comm)
-    alpha, x_local = _init_alpha_x(dist, b, alpha0)
+    alpha, x_local = _init_alpha_x(dist, b, alpha0, nu)
     m = dist.shape[0]
     sampler = seed if isinstance(seed, RowSampler) else RowSampler(m, seed)
     term = Terminator(max_iter, tol, "gap")
@@ -278,19 +286,24 @@ def sa_dcd(
     record_every: int = 0,
     symmetric_pack: bool = True,
     fast: bool = True,
+    parity: str = "exact",
 ) -> SolverResult:
     """Synchronization-avoiding dual CD for SVM (paper Algorithm 4).
 
     One packed Allreduce (s x s Gram + ``Y x``) per ``s`` iterations;
     identical iterates to :func:`dcd` in exact arithmetic for equal
     seeds. ``fast`` selects the fused inner loop (bit-identical
-    iterates); ``fast=False`` runs the reference recurrences.
+    iterates); ``fast=False`` runs the reference recurrences. ``parity``
+    is accepted for API uniformity with the Lasso SA solvers; the eq.
+    (15) corrections are already one fused dot product per inner
+    iteration, so both modes run the same (bit-identical) loop.
     """
     if s < 1:
         raise SolverError(f"s must be >= 1, got {s}")
+    check_parity(parity)
     gamma, nu = loss_params(loss, lam)
     dist, b = _setup_svm(A, b, comm)
-    alpha, x_local = _init_alpha_x(dist, b, alpha0)
+    alpha, x_local = _init_alpha_x(dist, b, alpha0, nu)
     m = dist.shape[0]
     sampler = seed if isinstance(seed, RowSampler) else RowSampler(m, seed)
     term = Terminator(max_iter, tol, "gap")

@@ -52,6 +52,73 @@ class TestFitLasso:
         assert np.count_nonzero(res.x) < A.shape[1] // 2
 
 
+class TestWarmStarts:
+    """Satellite: x0 round-trips through every lasso solver (fast and
+    reference) and the SVM dual init through fit_svm."""
+
+    @pytest.mark.parametrize("solver", ["bcd", "sa-bcd", "accbcd", "sa-accbcd"])
+    @pytest.mark.parametrize("fast", [True, False])
+    def test_x0_roundtrip_all_lasso_solvers(self, small_regression, solver,
+                                            fast):
+        A, b, _ = small_regression
+        ref = fit_lasso(A, b, lam=0.9, solver=solver, mu=2, s=8,
+                        max_iter=120, fast=fast)
+        # restarting from the solution stays at the solution
+        again = fit_lasso(A, b, lam=0.9, solver=solver, mu=2, s=8,
+                          max_iter=40, x0=ref.x, fast=fast)
+        assert again.history.metric[0] == pytest.approx(ref.final_metric)
+        assert again.final_metric <= ref.final_metric * (1 + 1e-9)
+
+    @pytest.mark.parametrize("solver", ["bcd", "sa-bcd", "accbcd", "sa-accbcd"])
+    def test_x0_wrong_length_rejected(self, small_regression, solver):
+        A, b, _ = small_regression
+        with pytest.raises(SolverError):
+            fit_lasso(A, b, lam=0.9, solver=solver, max_iter=10,
+                      x0=np.ones(A.shape[1] + 1))
+
+    @pytest.mark.parametrize("solver", ["svm", "sa-svm"])
+    def test_alpha0_roundtrip_svm(self, small_classification, solver):
+        A, b = small_classification
+        ref = fit_svm(A, b, loss="l1", solver=solver, max_iter=400)
+        warm = fit_svm(A, b, loss="l1", solver=solver, max_iter=100,
+                       alpha0=ref.extras["alpha"])
+        # the warm solve starts from the reference's gap, not from zero
+        assert warm.history.metric[0] == pytest.approx(ref.final_metric)
+        assert warm.final_metric <= ref.history.metric[0]
+
+    @pytest.mark.parametrize("solver", ["svm", "sa-svm"])
+    def test_infeasible_alpha0_rejected(self, small_classification, solver):
+        A, b = small_classification
+        m = A.shape[0]
+        with pytest.raises(SolverError):
+            fit_svm(A, b, loss="l1", lam=1.0, solver=solver, max_iter=10,
+                    alpha0=np.full(m, 5.0))  # above nu = lam
+        with pytest.raises(SolverError):
+            fit_svm(A, b, loss="l2", solver=solver, max_iter=10,
+                    alpha0=np.full(m, -0.1))  # negative
+
+    def test_fit_lasso_parity_knob(self, small_regression):
+        A, b, _ = small_regression
+        exact = fit_lasso(A, b, lam=0.9, mu=4, s=8, max_iter=80,
+                          parity="exact")
+        fp = fit_lasso(A, b, lam=0.9, mu=4, s=8, max_iter=80,
+                       parity="fp-tolerant")
+        drift = np.linalg.norm(fp.x - exact.x)
+        assert drift / max(np.linalg.norm(exact.x), 1e-300) <= 1e-9
+        with pytest.raises(SolverError):
+            fit_lasso(A, b, lam=0.9, parity="bogus")
+
+    def test_parity_validated_for_non_sa_solvers(self, small_regression,
+                                                 small_classification):
+        """A parity typo fails uniformly, even where the knob is a no-op."""
+        A, b, _ = small_regression
+        with pytest.raises(SolverError):
+            fit_lasso(A, b, lam=0.9, solver="bcd", parity="fp-tolernt")
+        Ac, bc = small_classification
+        with pytest.raises(SolverError):
+            fit_svm(Ac, bc, solver="svm", parity="fp-tolernt")
+
+
 class TestFitSvm:
     def test_default_sa(self, small_classification):
         A, b = small_classification

@@ -1,0 +1,123 @@
+"""Tests for the benchmark regression guard (benchmarks/check_regression.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_regression",
+    Path(__file__).parent.parent / "benchmarks" / "check_regression.py",
+)
+guard = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(guard)
+
+
+BASE = {
+    "meta": {"python": "3.11"},
+    "kernels": {
+        "sampling": {"speedup": 10.0, "note": "x"},
+        "inner": {"speedup": 4.0},
+    },
+    "end_to_end": {"fig3": {"speedup": 2.0}},
+}
+
+
+def _with_speedups(sampling, inner, fig3):
+    cur = json.loads(json.dumps(BASE))
+    cur["kernels"]["sampling"]["speedup"] = sampling
+    cur["kernels"]["inner"]["speedup"] = inner
+    cur["end_to_end"]["fig3"]["speedup"] = fig3
+    return cur
+
+
+class TestIterSpeedups:
+    def test_dotted_paths(self):
+        got = {k: v for k, v, _ in guard.iter_speedups(BASE)}
+        assert got == {
+            "kernels.sampling": 10.0,
+            "kernels.inner": 4.0,
+            "end_to_end.fig3": 2.0,
+        }
+
+    def test_ignores_non_numeric_and_meta(self):
+        assert list(guard.iter_speedups({"a": {"speedup": "fast"}})) == []
+
+    def test_timed_scale_extracted(self):
+        node = {"k": {"speedup": 3.0, "before_seconds": 1e-3,
+                      "after_seconds": 2e-4}}
+        (_, _, scale), = guard.iter_speedups(node)
+        assert scale == 1e-3
+
+
+class TestCompare:
+    def test_pass_when_within_ratio(self):
+        cur = _with_speedups(8.5, 3.3, 1.7)
+        assert guard.compare(BASE, cur, min_ratio=0.8) == []
+
+    def test_fail_on_regression(self):
+        cur = _with_speedups(7.9, 4.0, 2.0)  # 7.9 < 0.8 * 10.0
+        failures = guard.compare(BASE, cur, min_ratio=0.8)
+        assert len(failures) == 1 and "kernels.sampling" in failures[0]
+
+    def test_fail_on_missing_entry(self):
+        cur = json.loads(json.dumps(BASE))
+        del cur["end_to_end"]
+        failures = guard.compare(BASE, cur, min_ratio=0.8)
+        assert len(failures) == 1 and "missing" in failures[0]
+
+    def test_improvements_and_new_entries_pass(self):
+        cur = _with_speedups(20.0, 8.0, 4.0)
+        cur["new_bench"] = {"speedup": 1.0}  # untracked by baseline: fine
+        assert guard.compare(BASE, cur, min_ratio=0.8) == []
+
+    def test_noise_floor_exempts_submicrosecond_entries(self, capsys):
+        cur = _with_speedups(2.0, 4.0, 2.0)  # sampling regressed hard...
+        cur["kernels"]["sampling"].update(
+            before_seconds=8e-7, after_seconds=4e-7  # ...but sub-noise-floor
+        )
+        assert guard.compare(BASE, cur, min_ratio=0.8) == []
+        assert "noise floor" in capsys.readouterr().out
+        # same regression with real timings is still gated
+        cur["kernels"]["sampling"].update(before_seconds=1e-2,
+                                          after_seconds=5e-3)
+        assert len(guard.compare(BASE, cur, min_ratio=0.8)) == 1
+
+
+class TestMain:
+    def _write(self, tmp_path, name, payload):
+        p = tmp_path / name
+        p.write_text(json.dumps(payload))
+        return str(p)
+
+    def test_exit_zero_on_pass(self, tmp_path, capsys):
+        b = self._write(tmp_path, "base.json", BASE)
+        c = self._write(tmp_path, "cur.json", _with_speedups(10.0, 4.0, 2.0))
+        assert guard.main(["--baseline", b, "--current", c]) == 0
+        assert "3 tracked speedups" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        b = self._write(tmp_path, "base.json", BASE)
+        c = self._write(tmp_path, "cur.json", _with_speedups(1.0, 4.0, 2.0))
+        assert guard.main(["--baseline", b, "--current", c]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_min_ratio_flag(self, tmp_path):
+        b = self._write(tmp_path, "base.json", BASE)
+        c = self._write(tmp_path, "cur.json", _with_speedups(5.5, 4.0, 2.0))
+        assert guard.main(["--baseline", b, "--current", c,
+                           "--min-ratio", "0.5"]) == 0
+        assert guard.main(["--baseline", b, "--current", c,
+                           "--min-ratio", "0.8"]) == 1
+
+    def test_real_artifacts_self_compare(self):
+        """The committed artifacts pass against themselves."""
+        root = Path(__file__).parent.parent
+        for name in ("BENCH_hot_paths.json", "BENCH_path_sweep.json"):
+            artifact = root / name
+            if not artifact.exists():
+                pytest.skip(f"{name} not present")
+            rc = guard.main(["--baseline", str(artifact),
+                             "--current", str(artifact)])
+            assert rc == 0

@@ -29,6 +29,43 @@ class TestParser:
             build_parser().parse_args(["lasso", "--dataset", "mnist"])
 
 
+class TestLassoPathCommand:
+    def test_path_defaults(self):
+        args = build_parser().parse_args(["lasso-path", "--dataset", "news20"])
+        assert args.n_lambdas == 16 and args.parity == "exact" and not args.cold
+
+    def test_path_on_file(self, tmp_path, capsys):
+        A, b, _ = make_sparse_regression(60, 25, density=0.4, seed=1)
+        path = tmp_path / "data.svm"
+        save_libsvm(path, A, b)
+        rc = main(["lasso-path", "--file", str(path), "--n-lambdas", "4",
+                   "--mu", "2", "--s", "4", "--max-iter", "60"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "regularization path" in out and "total iterations" in out
+        assert "warm-started" in out
+
+    def test_path_cold_and_parity(self, tmp_path, capsys):
+        A, b, _ = make_sparse_regression(50, 20, density=0.4, seed=2)
+        path = tmp_path / "data.svm"
+        save_libsvm(path, A, b)
+        rc = main(["lasso-path", "--file", str(path), "--n-lambdas", "3",
+                   "--mu", "2", "--s", "4", "--max-iter", "40", "--cold",
+                   "--parity", "fp-tolerant"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cold (shared caches)" in out and "fp-tolerant" in out
+
+    def test_path_virtual_p(self, tmp_path, capsys):
+        A, b, _ = make_sparse_regression(50, 20, density=0.4, seed=3)
+        path = tmp_path / "data.svm"
+        save_libsvm(path, A, b)
+        rc = main(["lasso-path", "--file", str(path), "--n-lambdas", "3",
+                   "--mu", "2", "--s", "4", "--max-iter", "40", "--p", "64"])
+        assert rc == 0
+        assert "total modelled time at P=64" in capsys.readouterr().out
+
+
 class TestCommands:
     def test_lasso_on_registry(self, capsys):
         rc = main(["lasso", "--dataset", "covtype", "--cells", "5000",

@@ -3,8 +3,67 @@
 import numpy as np
 import pytest
 
-from repro import SALasso, SASVMClassifier
+from repro import SALasso, SALassoCV, SASVMClassifier
+from repro.datasets import make_sparse_regression
 from repro.errors import SolverError
+from repro.path import PathResult
+
+
+class TestSALassoPath:
+    def test_path_method(self, small_regression):
+        A, b, _ = small_regression
+        est = SALasso(mu=2, s=8, max_iter=200, tol=1e-6)
+        path = est.path(A, b, n_lambdas=5, eps=1e-2)
+        assert isinstance(path, PathResult)
+        assert len(path) == 5
+        assert path.coefs.shape == (5, A.shape[1])
+        # path() is a query, not a fit
+        with pytest.raises(SolverError):
+            est.predict(A)
+
+    def test_path_explicit_grid(self, small_regression):
+        A, b, _ = small_regression
+        est = SALasso(mu=2, s=4, max_iter=60)
+        path = est.path(A, b, lambdas=[2.0, 0.5])
+        assert np.all(np.diff(path.lambdas) < 0) and len(path) == 2
+
+
+class TestSALassoCV:
+    @pytest.fixture(scope="class")
+    def cv_problem(self):
+        return make_sparse_regression(240, 60, density=0.2, k_nonzero=6,
+                                      noise=0.05, seed=21)
+
+    def test_selects_lambda_and_predicts(self, cv_problem):
+        A, b, x_true = cv_problem
+        est = SALassoCV(n_lambdas=8, eps=1e-3, cv=3, mu=4, s=8,
+                        max_iter=400, tol=1e-6, seed=0)
+        est.fit(A, b)
+        assert est.lambda_ in est.lambdas_
+        assert est.mse_path_.shape == (8, 3)
+        assert est.coef_.shape == (A.shape[1],)
+        assert est.score(A, b) > 0.9
+        # the selected lambda recovers a sparse model
+        assert np.count_nonzero(est.coef_) < A.shape[1]
+
+    def test_refit_stops_at_selected_lambda(self, cv_problem):
+        A, b, _ = cv_problem
+        est = SALassoCV(n_lambdas=6, cv=2, mu=2, s=8, max_iter=200).fit(A, b)
+        assert est.path_.lambdas[-1] == pytest.approx(est.lambda_)
+
+    def test_cv_validation(self):
+        with pytest.raises(SolverError):
+            SALassoCV(cv=1)
+
+    def test_too_few_samples(self):
+        A, b, _ = make_sparse_regression(5, 4, density=0.9, seed=0)
+        with pytest.raises(SolverError):
+            SALassoCV(cv=3, n_lambdas=3).fit(A, b)
+
+    def test_not_fitted(self, cv_problem):
+        A, _, _ = cv_problem
+        with pytest.raises(SolverError):
+            SALassoCV().predict(A)
 
 
 class TestSALasso:

@@ -11,6 +11,8 @@ ledger — any arithmetic drift in the fast path fails loudly here.
 import numpy as np
 import pytest
 
+from repro.errors import SolverError
+from repro.experiments.runner import load_scaled
 from repro.mpi.thread_backend import spmd_run
 from repro.prox.penalties import ElasticNetPenalty, GroupLassoPenalty
 from repro.solvers.lasso import sa_acc_bcd, sa_acc_cd, sa_bcd
@@ -129,6 +131,76 @@ class TestSaDcdParity:
         rf = sa_dcd(A, b, fast=True, **kw)
         rn = sa_dcd(A, b, fast=False, **kw)
         _assert_same(rf, rn)
+
+
+def _rel_drift(x, ref):
+    return np.linalg.norm(x - ref) / max(np.linalg.norm(ref), 1e-300)
+
+
+class TestParityModes:
+    """The parity knob: exact keeps the bit-parity contract at mu > 1;
+    fp-tolerant re-associates but stays within 1e-9 relative drift."""
+
+    @pytest.mark.parametrize("mu,s", [(4, 8), (8, 32)])
+    def test_exact_parity_mu_gt_1(self, small_regression, mu, s):
+        A, b, _ = small_regression
+        kw = dict(mu=mu, s=s, max_iter=96, seed=5)
+        rn = sa_acc_bcd(A, b, LAM, fast=False, **kw)
+        rf = sa_acc_bcd(A, b, LAM, fast=True, parity="exact", **kw)
+        _assert_same(rf, rn)
+
+    @pytest.mark.parametrize("solver", [sa_bcd, sa_acc_bcd])
+    def test_fp_tolerant_drift_bounded(self, small_regression, solver):
+        A, b, _ = small_regression
+        kw = dict(mu=4, s=16, max_iter=96, seed=2)
+        rn = solver(A, b, LAM, fast=False, **kw)
+        rf = solver(A, b, LAM, fast=True, parity="fp-tolerant", **kw)
+        assert _rel_drift(rf.x, rn.x) <= 1e-9
+        # the ledger charges the algorithm's work: identical in both modes
+        assert rf.cost.seconds == rn.cost.seconds
+        assert rf.cost.messages == rn.cost.messages
+        assert rf.cost.words == rn.cost.words
+
+    def test_fp_tolerant_fig3_config(self):
+        """Acceptance: <= 1e-9 relative iterate drift at mu=8, s=32 on
+        the fig3 benchmark configuration."""
+        ds = load_scaled("news20", target_cells=20_000.0, seed=0)
+        kw = dict(mu=8, s=32, max_iter=384, seed=3, record_every=32)
+        rn = sa_acc_bcd(ds.A, ds.b, 1.0, fast=False, **kw)
+        rf = sa_acc_bcd(ds.A, ds.b, 1.0, fast=True, parity="fp-tolerant", **kw)
+        assert _rel_drift(rf.x, rn.x) <= 1e-9
+        assert rf.iterations == rn.iterations
+
+    @pytest.mark.parametrize("solver", [sa_bcd, sa_acc_bcd])
+    def test_fp_tolerant_dense_blocks(self, dense_regression, solver):
+        A, b, _ = dense_regression
+        kw = dict(mu=4, s=8, max_iter=64, seed=9)
+        rn = solver(A, b, LAM, fast=False, **kw)
+        rf = solver(A, b, LAM, fast=True, parity="fp-tolerant", **kw)
+        assert _rel_drift(rf.x, rn.x) <= 1e-9
+        assert rf.cost.seconds == rn.cost.seconds
+
+    def test_fp_tolerant_mu1_shares_exact_loop(self, small_regression):
+        A, b, _ = small_regression
+        kw = dict(mu=1, s=16, max_iter=96, seed=4)
+        re_ = sa_acc_bcd(A, b, LAM, parity="exact", **kw)
+        rf = sa_acc_bcd(A, b, LAM, parity="fp-tolerant", **kw)
+        _assert_same(rf, re_)
+
+    @pytest.mark.parametrize("solver", [sa_bcd, sa_acc_bcd])
+    def test_unknown_parity_rejected(self, small_regression, solver):
+        A, b, _ = small_regression
+        with pytest.raises(SolverError):
+            solver(A, b, LAM, parity="sloppy")
+
+    def test_sa_dcd_accepts_parity(self, small_classification):
+        A, b = small_classification
+        rf = sa_dcd(A, b, loss="l1", s=8, max_iter=80, seed=4,
+                    parity="fp-tolerant")
+        rn = sa_dcd(A, b, loss="l1", s=8, max_iter=80, seed=4, fast=False)
+        _assert_same(rf, rn)
+        with pytest.raises(SolverError):
+            sa_dcd(A, b, parity="sloppy")
 
 
 class TestDistributedParity:

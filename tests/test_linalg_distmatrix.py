@@ -38,8 +38,28 @@ class TestRowPartitioned:
         M = RowPartitionedMatrix.from_global(A, comm)
         S = M.sample_columns(np.array([0, 3]))
         G1, R1 = M.gram_and_project(S, [b], symmetric=True)
+        # outputs live in reusable buffers: copy before the next collective
+        G1, R1 = G1.copy(), R1.copy()
         G2, R2 = M.gram_and_project(S, [b], symmetric=False)
         assert np.allclose(G1, G2) and np.allclose(R1, R2)
+
+    def test_gram_output_buffers_reused(self, small_regression):
+        """Steady state: repeated same-shape Gram collectives allocate
+        no new output arrays (the ROADMAP 'out=' follow-up)."""
+        A, b, _ = small_regression
+        M = RowPartitionedMatrix.from_global(A, VirtualComm(1))
+        idx = np.array([1, 4, 9])
+        S = M.sample_columns(idx)
+        G1, R1 = M.gram_and_project(S, [b])
+        want_g, want_r = G1.copy(), R1.copy()
+        S = M.sample_columns(idx)
+        G2, R2 = M.gram_and_project(S, [b])
+        assert G2 is G1 and R2 is R1
+        assert np.array_equal(G2, want_g) and np.array_equal(R2, want_r)
+        # shape change reallocates, then the new shape is steady again
+        S3 = M.sample_columns(np.array([0, 2]))
+        G3, _ = M.gram_and_project(S3, [b])
+        assert G3 is not G1 and G3.shape == (2, 2)
 
     def test_symmetric_pack_sends_fewer_words(self, small_regression):
         A, b, _ = small_regression

@@ -6,8 +6,12 @@ import scipy.sparse as sp
 
 from repro.linalg.eig import largest_eigenvalue
 from repro.linalg.kernels import (
+    EigMemo,
     GatherWorkspace,
     acc_coef_tables,
+    csc_range_matvec,
+    default_eig_memo,
+    eig_cache_clear,
     eig_cache_info,
     gather_columns,
     gather_rows,
@@ -132,6 +136,93 @@ class TestEigCache:
         big = M @ M.T
         view = big[2:6, 2:6]  # non-contiguous slice, like G[sl_j, sl_j]
         assert largest_eigenvalue_cached(view) == largest_eigenvalue(view)
+
+    def test_explicit_memo_is_isolated(self):
+        rng = np.random.default_rng(11)
+        M = rng.standard_normal((8, 4))
+        G = M.T @ M
+        memo = EigMemo(maxsize=8)
+        assert largest_eigenvalue_cached(G, memo=memo) == largest_eigenvalue(G)
+        assert memo.cache_info().misses == 1
+        largest_eigenvalue_cached(G, memo=memo)
+        assert memo.cache_info().hits == 1
+
+    def test_default_memo_clear(self):
+        rng = np.random.default_rng(12)
+        M = rng.standard_normal((9, 4))
+        G = M.T @ M
+        largest_eigenvalue_cached(G)
+        eig_cache_clear()
+        info = eig_cache_info()
+        assert info.currsize == 0 and info.hits == 0 and info.misses == 0
+        assert default_eig_memo().hit_rate == 0.0
+
+
+class TestEigMemoBound:
+    """Satellite: the memo cannot grow unbounded during long sweeps."""
+
+    def _gram(self, seed, k=4):
+        M = np.random.default_rng(seed).standard_normal((k + 3, k))
+        return M.T @ M
+
+    def test_size_bounded_with_lru_eviction(self):
+        memo = EigMemo(maxsize=5)
+        for i in range(20):
+            memo.eig(self._gram(i))
+        info = memo.cache_info()
+        assert info.currsize == 5
+        assert info.misses == 20
+        # the 5 most recent entries survive, older ones were evicted
+        hits0 = memo.cache_info().hits
+        for i in range(15, 20):
+            memo.eig(self._gram(i))
+        assert memo.cache_info().hits == hits0 + 5
+        memo.eig(self._gram(0))  # evicted: recomputed, not served
+        assert memo.cache_info().misses == 21
+
+    def test_lru_refresh_on_hit(self):
+        memo = EigMemo(maxsize=2)
+        a, b, c = self._gram(1), self._gram(2), self._gram(3)
+        memo.eig(a)
+        memo.eig(b)
+        memo.eig(a)  # refresh a: b becomes LRU
+        memo.eig(c)  # evicts b
+        misses = memo.cache_info().misses
+        memo.eig(a)
+        assert memo.cache_info().misses == misses  # a still cached
+        memo.eig(b)
+        assert memo.cache_info().misses == misses + 1  # b was evicted
+
+    def test_clear_resets_counters(self):
+        memo = EigMemo(maxsize=3)
+        memo.eig(self._gram(0))
+        memo.eig(self._gram(0))
+        memo.clear()
+        info = memo.cache_info()
+        assert (info.hits, info.misses, info.currsize) == (0, 0, 0)
+
+
+class TestCscRangeMatvec:
+    def test_matches_sliced_matvec(self):
+        A = _csr(25, 12, density=0.4, seed=3).tocsc()
+        x = np.random.default_rng(4).standard_normal(5)
+        y, nnz = csc_range_matvec(A.indptr, A.indices, A.data, 3, 8, x, 25)
+        want = A[:, 3:8] @ x
+        assert np.allclose(y, want)
+        assert nnz == A[:, 3:8].nnz
+
+    def test_empty_range(self):
+        A = sp.csc_matrix((10, 6))
+        y, nnz = csc_range_matvec(A.indptr, A.indices, A.data, 1, 4,
+                                  np.ones(3), 10)
+        assert y is None and nnz == 0
+
+    def test_duplicate_rows_accumulate(self):
+        # two columns sharing a row must sum, not overwrite
+        A = sp.csc_matrix(np.array([[1.0, 2.0], [0.0, 3.0]]))
+        y, nnz = csc_range_matvec(A.indptr, A.indices, A.data, 0, 2,
+                                  np.array([1.0, 1.0]), 2)
+        assert np.allclose(y, [3.0, 3.0]) and nnz == 3
 
 
 class TestCoefTables:

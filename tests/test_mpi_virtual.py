@@ -28,6 +28,49 @@ class TestSemantics:
             VirtualComm(virtual_size=0)
 
 
+class TestLedgerReuse:
+    """Per-point accounting across sweeps: reset() and child()."""
+
+    def test_reset_zeroes_ledger(self):
+        c = VirtualComm(virtual_size=64, machine=CRAY_XC30)
+        c.Allreduce(np.ones(8))
+        c.account_flops(100.0, "blas1")
+        assert c.ledger.messages > 0 and c.ledger.flops > 0
+        c.reset()
+        assert c.ledger.messages == 0
+        assert c.ledger.words == 0.0
+        assert c.ledger.flops == 0.0
+        assert c.ledger.seconds == 0.0
+        assert not c.ledger.by_collective and not c.ledger.by_kind
+        # the communicator keeps charging correctly after a reset
+        c.Allreduce(np.ones(8))
+        assert c.ledger.messages == math.ceil(math.log2(64))
+
+    def test_child_has_fresh_ledger_same_model(self):
+        c = VirtualComm(virtual_size=128, machine=CRAY_XC30, imbalance=1.5,
+                        flop_scale=3.0, kind_scales={"gather": 7.0})
+        c.Allreduce(np.ones(4))
+        child = c.child()
+        assert child is not c and child.ledger is not c.ledger
+        assert child.cost_size == 128 and child.machine is CRAY_XC30
+        assert child.ledger.imbalance == 1.5
+        assert child.ledger.default_scale == 3.0
+        assert child.ledger.kind_scales == {"gather": 7.0}
+        assert child.ledger.messages == 0
+        # parent totals untouched by the child's traffic
+        before = c.ledger.messages
+        child.Allreduce(np.ones(4))
+        assert c.ledger.messages == before
+        assert child.ledger.messages == before  # same pricing model
+
+    def test_ledger_child_matches_config(self):
+        c = VirtualComm(virtual_size=32, imbalance=2.0, flop_scale=5.0)
+        led = c.ledger.child()
+        assert led.flop_divisor == c.ledger.flop_divisor
+        assert led.imbalance == 2.0 and led.default_scale == 5.0
+        assert led.flops == 0.0 and led.messages == 0
+
+
 class TestCosts:
     def test_allreduce_priced_at_virtual_p(self):
         c = VirtualComm(virtual_size=1024, machine=CRAY_XC30)

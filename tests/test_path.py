@@ -1,0 +1,245 @@
+"""Tests for the warm-started regularization-path engine."""
+
+import numpy as np
+import pytest
+
+from repro import fit_lasso, lasso_path, svm_path
+from repro.datasets import make_classification, make_sparse_regression
+from repro.errors import SolverError
+from repro.experiments.runner import load_scaled
+from repro.linalg.distmatrix import RowPartitionedMatrix
+from repro.linalg.kernels import eig_cache_clear, eig_cache_info
+from repro.machine.spec import CRAY_XC30
+from repro.mpi.virtual_backend import VirtualComm
+from repro.path import PathResult, SweepContext, lambda_grid
+from repro.solvers.objectives import lambda_max, lasso_objective
+
+
+@pytest.fixture(scope="module")
+def path_problem():
+    """A problem where the path's small-lambda tail needs real work."""
+    return make_sparse_regression(400, 150, density=0.1, k_nonzero=10,
+                                  noise=0.02, seed=11)
+
+
+class TestLambdaGrid:
+    def test_descending_geometric(self):
+        g = lambda_grid(10.0, n_lambdas=5, eps=1e-2)
+        assert g.shape == (5,)
+        assert g[0] == pytest.approx(10.0)
+        assert g[-1] == pytest.approx(0.1)
+        assert np.all(np.diff(g) < 0)
+
+    def test_single_point(self):
+        assert np.array_equal(lambda_grid(3.0, n_lambdas=1), [3.0])
+
+    @pytest.mark.parametrize("bad", [dict(n_lambdas=0), dict(eps=0.0),
+                                     dict(eps=1.5)])
+    def test_invalid(self, bad):
+        with pytest.raises(SolverError):
+            lambda_grid(1.0, **bad)
+
+    def test_nonpositive_lam_max(self):
+        with pytest.raises(SolverError):
+            lambda_grid(0.0)
+
+
+class TestLassoPath:
+    def test_default_grid_from_lambda_max(self, path_problem):
+        A, b, _ = path_problem
+        path = lasso_path(A, b, n_lambdas=4, mu=2, s=8, max_iter=100)
+        assert len(path) == 4
+        assert path.lambdas[0] == pytest.approx(lambda_max(A, b))
+        # at lambda_max, x = 0 is optimal
+        assert np.count_nonzero(path.results[0].x) == 0
+
+    def test_matches_independent_cold_solves(self, path_problem):
+        """Warm-started points reach (at least) the cold solves' quality."""
+        A, b, _ = path_problem
+        grid = lambda_grid(lambda_max(A, b), n_lambdas=5, eps=1e-2)
+        kw = dict(mu=4, s=8, max_iter=400, tol=1e-7, record_every=10, seed=0)
+        path = lasso_path(A, b, grid, **kw)
+        for lam, res in zip(path.lambdas, path.results):
+            cold = fit_lasso(A, b, float(lam), **kw)
+            warm_obj = lasso_objective(A, b, res.x, float(lam))
+            cold_obj = lasso_objective(A, b, cold.x, float(lam))
+            assert warm_obj <= cold_obj * (1.0 + 1e-4) + 1e-12
+
+    def test_warm_start_fewer_iterations_fig3(self):
+        """Satellite: warm start from the previous lambda beats cold
+        start in recorded iterations on the fig3 configuration."""
+        ds = load_scaled("news20", target_cells=20_000.0, seed=0)
+        grid = lambda_grid(lambda_max(ds.A, ds.b), n_lambdas=6, eps=1e-3)
+        kw = dict(solver="sa-accbcd", mu=8, s=16, max_iter=2000, tol=1e-5,
+                  record_every=20, seed=3)
+        warm = lasso_path(ds.A, ds.b, grid, warm_start=True, **kw)
+        cold = lasso_path(ds.A, ds.b, grid, warm_start=False, **kw)
+        assert sum(warm.iterations) < sum(cold.iterations)
+        # and the hardest (smallest-lambda) point individually benefits
+        assert warm.iterations[-1] < cold.iterations[-1]
+
+    def test_per_point_costs_do_not_accumulate(self, path_problem):
+        """Satellite: the shared ledger is reset per point, so each
+        SolverResult carries per-point cost, not the running total."""
+        A, b, _ = path_problem
+        path = lasso_path(A, b, n_lambdas=4, mu=2, s=8, max_iter=64,
+                          tol=None, record_every=0, virtual_p=64,
+                          machine=CRAY_XC30)
+        msgs = [r.cost.messages for r in path.results]
+        # every point ran the same iteration budget => same message count
+        # (accumulation would make the sequence strictly increasing)
+        assert len(set(msgs)) == 1 and msgs[0] > 0
+        assert path.total_cost.messages == sum(msgs)
+        assert path.context.total_cost.messages == sum(msgs)
+
+    def test_explicit_grid_sorted_descending(self, path_problem):
+        A, b, _ = path_problem
+        path = lasso_path(A, b, [0.1, 5.0, 1.0], mu=1, s=4, max_iter=40)
+        assert np.all(np.diff(path.lambdas) < 0)
+
+    def test_empty_grid_rejected(self, path_problem):
+        A, b, _ = path_problem
+        with pytest.raises(SolverError):
+            lasso_path(A, b, [])
+
+    def test_support_grows_along_path(self, path_problem):
+        A, b, _ = path_problem
+        path = lasso_path(A, b, n_lambdas=6, eps=1e-3, mu=4, s=8,
+                          max_iter=400, tol=1e-7)
+        sizes = path.support_sizes(1e-10)
+        assert sizes[0] == 0
+        assert sizes[-1] >= max(sizes[:-1])
+
+    def test_result_properties(self, path_problem):
+        A, b, _ = path_problem
+        path = lasso_path(A, b, n_lambdas=3, mu=2, s=4, max_iter=40)
+        assert isinstance(path, PathResult)
+        assert path.coefs.shape == (3, A.shape[1])
+        assert len(path.iterations) == 3
+        assert path.final_metrics.shape == (3,)
+
+    def test_fp_tolerant_path_close_to_exact(self, path_problem):
+        A, b, _ = path_problem
+        kw = dict(n_lambdas=4, mu=4, s=8, max_iter=96, tol=None,
+                  record_every=0)
+        exact = lasso_path(A, b, parity="exact", **kw)
+        fp = lasso_path(A, b, parity="fp-tolerant", **kw)
+        for xe, xf in zip(exact.coefs, fp.coefs):
+            drift = np.linalg.norm(xf - xe) / max(np.linalg.norm(xe), 1e-300)
+            assert drift <= 1e-9
+
+
+class TestSweepContext:
+    def test_reuses_one_partitioned_matrix(self, path_problem):
+        A, b, _ = path_problem
+        ctx = SweepContext(A, b, task="lasso")
+        dist = ctx.dist
+        lasso_path(A, b, n_lambdas=3, mu=2, s=4, max_iter=24, context=ctx)
+        lasso_path(A, b, n_lambdas=2, mu=2, s=4, max_iter=24, context=ctx)
+        assert ctx.dist is dist
+        assert len(ctx.point_costs) == 5
+
+    def test_adopts_prebuilt_dist(self, path_problem):
+        A, b, _ = path_problem
+        comm = VirtualComm(1)
+        dist = RowPartitionedMatrix.from_global(A, comm)
+        ctx = SweepContext(dist, b, task="lasso")
+        assert ctx.dist is dist and ctx.comm is comm
+
+    def test_task_validation(self, path_problem):
+        A, b, _ = path_problem
+        with pytest.raises(SolverError):
+            SweepContext(A, b, task="ridge")
+        ctx = SweepContext(A, b, task="svm")
+        with pytest.raises(SolverError):
+            lasso_path(A, b, [1.0], context=ctx)
+
+    def test_wrong_layout_rejected(self, path_problem):
+        A, b, _ = path_problem
+        dist = RowPartitionedMatrix.from_global(A, VirtualComm(1))
+        with pytest.raises(SolverError):
+            SweepContext(dist, b, task="svm")
+
+    def test_mismatched_problem_rejected(self, path_problem):
+        """context= sweeps solve the context's dataset; a different
+        (A, b) pair is an error, not a silently-wrong result."""
+        A, b, _ = path_problem
+        ctx = SweepContext(A, b, task="lasso")
+        A2, b2, _ = make_sparse_regression(30, 12, density=0.5, seed=1)
+        with pytest.raises(SolverError):
+            lasso_path(A2, b2, [1.0], context=ctx)
+        with pytest.raises(SolverError):
+            lasso_path(A, b + 1.0, [1.0], context=ctx)
+        # same shape, different values (e.g. rescaled features)
+        with pytest.raises(SolverError):
+            lasso_path(A * 3.0, b, [1.0], context=ctx)
+
+    def test_adopted_comm_totals_survive_via_child(self, path_problem):
+        """The documented escape hatch: sweeping on comm.child() leaves
+        the parent communicator's accumulated ledger intact."""
+        A, b, _ = path_problem
+        parent = VirtualComm(virtual_size=64, machine=CRAY_XC30)
+        parent.Allreduce(np.ones(8))
+        before = parent.ledger.messages
+        assert before > 0
+        ctx = SweepContext(A, b, task="lasso", comm=parent.child())
+        lasso_path(A, b, [1.0, 0.5], mu=2, s=4, max_iter=24, context=ctx)
+        assert parent.ledger.messages == before
+        assert ctx.total_cost.messages > 0
+
+    def test_eig_hit_rate_monotone_over_10_point_path(self):
+        """Satellite: the persistent memo's hit rate rises monotonically
+        across a 10-point sweep (each point replays the same sampled
+        block stream, whose Gram blocks depend only on A)."""
+        A, b, _ = make_sparse_regression(200, 60, density=0.2, seed=7)
+        grid = lambda_grid(lambda_max(A, b), n_lambdas=10, eps=1e-3)
+        ctx = SweepContext(A, b, task="lasso")
+        eig_cache_clear()
+        rates = []
+        for lam in grid:
+            lasso_path(A, b, [float(lam)], mu=4, s=8, max_iter=64,
+                       tol=None, record_every=0, context=ctx)
+            info = eig_cache_info()
+            rates.append(info.hits / max(info.hits + info.misses, 1))
+        assert all(b2 >= a2 for a2, b2 in zip(rates, rates[1:]))
+        assert rates[-1] > rates[0] > 0.0 or rates[0] == 0.0
+        # after the first point every block is a hit
+        assert rates[-1] > 0.5
+
+
+class TestSvmPath:
+    def test_warm_dual_path(self, small_classification):
+        A, b = small_classification
+        path = svm_path(A, b, [0.5, 1.0, 2.0], loss="l1", s=8,
+                        max_iter=240, record_every=60)
+        assert len(path) == 3
+        # ascending C order (dual feasibility of the warm start)
+        assert np.all(np.diff(path.lambdas) > 0)
+        for res in path.results:
+            assert "alpha" in res.extras
+            assert np.all(res.extras["alpha"] >= 0.0)
+
+    def test_warm_start_helps_gap(self, small_classification):
+        """A warm-started point reaches a gap at least as good as the
+        cold solve within the same budget."""
+        A, b = small_classification
+        kw = dict(loss="l1", s=8, max_iter=400, record_every=100)
+        warm = svm_path(A, b, [0.5, 1.0], **kw)
+        cold = svm_path(A, b, [0.5, 1.0], warm_start=False, **kw)
+        assert warm.final_metrics[-1] <= cold.final_metrics[-1] * (1 + 1e-6)
+
+    def test_l1_warm_start_clipped_feasible(self, small_classification):
+        A, b = small_classification
+        path = svm_path(A, b, [0.2, 0.6], loss="l1", s=4, max_iter=120)
+        for lam, res in zip(path.lambdas, path.results):
+            assert np.all(res.extras["alpha"] <= lam + 1e-12)
+
+    def test_default_grid(self, small_classification):
+        A, b = small_classification
+        path = svm_path(A, b, n_lambdas=3, s=4, max_iter=60)
+        assert len(path) == 3
+
+    def test_empty_grid_rejected(self, small_classification):
+        A, b = small_classification
+        with pytest.raises(SolverError):
+            svm_path(A, b, [])
