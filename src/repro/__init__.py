@@ -29,9 +29,9 @@ Package layout (see DESIGN.md):
 """
 
 from repro._api import fit_lasso, fit_svm
-from repro.estimators import SALasso, SALassoCV, SASVMClassifier
+from repro.estimators import SALasso, SALassoCV, SASVMClassifier, SASVMClassifierCV
 from repro.errors import ReproError
-from repro.path import PathResult, SweepContext, lasso_path, svm_path
+from repro.path import PathResult, SweepContext, adaptive_schedule, lasso_path, svm_path
 from repro.prox import L1Penalty, ElasticNetPenalty, GroupLassoPenalty
 from repro.solvers.base import SolverResult
 
@@ -42,11 +42,13 @@ __all__ = [
     "fit_svm",
     "lasso_path",
     "svm_path",
+    "adaptive_schedule",
     "SweepContext",
     "PathResult",
     "SALasso",
     "SALassoCV",
     "SASVMClassifier",
+    "SASVMClassifierCV",
     "ReproError",
     "L1Penalty",
     "ElasticNetPenalty",

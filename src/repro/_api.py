@@ -46,6 +46,8 @@ def fit_lasso(
     x0=None,
     fast: bool = True,
     parity: str = "exact",
+    pipeline: bool = False,
+    eig_memo=None,
 ) -> SolverResult:
     """Solve ``min_x 0.5||Ax-b||^2 + g(x)``.
 
@@ -71,6 +73,15 @@ def fit_lasso(
         SA-solver inner-loop knobs: ``fast=False`` runs the reference
         recurrences; ``parity`` selects the fused loop's contract
         (``"exact"`` bit-parity, ``"fp-tolerant"`` re-association).
+    pipeline:
+        SA solvers only: post the per-outer-step packed Gram reduction
+        as a nonblocking Allreduce and prefetch the next block while it
+        is in flight (identical iterates; only unoverlapped latency is
+        charged). Raises for non-SA solvers, which have nothing to
+        overlap.
+    eig_memo:
+        Explicit :class:`~repro.linalg.kernels.EigMemo` for the SA fused
+        loops; None (default) shares the process-wide memo.
     """
     try:
         fn, is_sa = _LASSO[solver]
@@ -81,6 +92,11 @@ def fit_lasso(
     # validated for every solver, so a typo fails even where the knob is
     # a no-op (non-SA solvers have no fused loop)
     check_parity(parity)
+    if pipeline and not is_sa:
+        raise SolverError(
+            f"pipeline=True needs an SA solver (one reduction per s "
+            f"iterations to hide); {solver!r} synchronises every iteration"
+        )
     if comm is None:
         comm = VirtualComm(virtual_size=virtual_p, machine=machine)
     kwargs = dict(
@@ -88,7 +104,8 @@ def fit_lasso(
         tol=tol, record_every=record_every, x0=x0,
     )
     if is_sa:
-        kwargs.update(s=s, fast=fast, parity=parity)
+        kwargs.update(s=s, fast=fast, parity=parity, pipeline=pipeline,
+                      eig_memo=eig_memo)
     return fn(A, b, lam, **kwargs)
 
 
@@ -110,6 +127,7 @@ def fit_svm(
     alpha0=None,
     fast: bool = True,
     parity: str = "exact",
+    pipeline: bool = False,
 ) -> SolverResult:
     """Train a linear SVM by dual coordinate descent.
 
@@ -127,10 +145,19 @@ def fit_svm(
         ``extras["alpha"]`` through here.
     fast, parity:
         SA-solver inner-loop knobs (see :func:`fit_lasso`).
+    pipeline:
+        ``"sa-svm"`` only: nonblocking per-outer-step reduction with the
+        next row block prefetched while it is in flight (see
+        :func:`fit_lasso`).
     """
     if solver not in ("svm", "sa-svm"):
         raise SolverError(f"unknown svm solver {solver!r}; known: ['svm', 'sa-svm']")
     check_parity(parity)
+    if pipeline and solver != "sa-svm":
+        raise SolverError(
+            "pipeline=True needs the SA solver ('sa-svm'); 'svm' "
+            "synchronises every iteration"
+        )
     if comm is None:
         comm = VirtualComm(virtual_size=virtual_p, machine=machine)
     kwargs = dict(
@@ -138,5 +165,6 @@ def fit_svm(
         tol=tol, record_every=record_every, alpha0=alpha0,
     )
     if solver == "sa-svm":
-        return sa_dcd(A, b, s=s, fast=fast, parity=parity, **kwargs)
+        return sa_dcd(A, b, s=s, fast=fast, parity=parity, pipeline=pipeline,
+                      **kwargs)
     return dcd(A, b, **kwargs)

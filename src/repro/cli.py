@@ -69,6 +69,20 @@ def _add_model_args(p: argparse.ArgumentParser, save: bool = True) -> None:
         p.add_argument("--save", help="write the SolverResult as JSON here")
 
 
+def _add_backend_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--backend", default="virtual",
+                   choices=["virtual", "thread", "process"],
+                   help="comm backend: virtual (cost model, default), "
+                        "thread (real SPMD ranks, shared GIL), or process "
+                        "(forked ranks over shared memory, GIL-free)")
+    p.add_argument("--ranks", type=int, default=4,
+                   help="actual SPMD participants for thread/process "
+                        "backends (costs modelled at max(--p, --ranks))")
+    p.add_argument("--pipeline", action="store_true",
+                   help="SA solvers: nonblocking per-outer-step reduction "
+                        "with the next block prefetched while in flight")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -88,6 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
     lasso.add_argument("--lam", type=float, default=None,
                        help="L1 penalty (default: 0.1 * lambda_max)")
     lasso.add_argument("--record-every", type=int, default=50)
+    _add_backend_args(lasso)
 
     lpath = sub.add_parser(
         "lasso-path",
@@ -112,6 +127,13 @@ def build_parser() -> argparse.ArgumentParser:
     lpath.add_argument("--cold", action="store_true",
                        help="disable warm starts (independent solves that "
                             "still share the sweep caches)")
+    lpath.add_argument("--pipeline", action="store_true",
+                       help="SA solvers: nonblocking per-outer-step "
+                            "reduction with the next block prefetched")
+    lpath.add_argument("--adaptive", action="store_true",
+                       help="loose tol/iteration budgets early on the grid, "
+                            "tight at the end (final point runs at exactly "
+                            "--tol/--max-iter)")
 
     svm = sub.add_parser("svm", help="train a linear SVM")
     _add_data_args(svm)
@@ -126,6 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
     svm.add_argument("--tol", type=float, default=None,
                      help="duality-gap stopping tolerance")
     svm.add_argument("--record-every", type=int, default=500)
+    _add_backend_args(svm)
 
     scaling = sub.add_parser("scaling", help="strong-scaling study (Fig. 4)")
     _add_data_args(scaling)
@@ -171,6 +194,7 @@ def _cmd_lasso(args) -> int:
         ds, args.solver, mu=args.mu, s=args.s, max_iter=args.max_iter,
         P=args.p, machine=get_machine(args.machine), seed=args.seed,
         record_every=args.record_every, lam=lam,
+        pipeline=args.pipeline, backend=args.backend, ranks=args.ranks,
     )
     h = res.history
     print(format_series(res.solver, h.iterations, h.metric,
@@ -196,6 +220,7 @@ def _cmd_lasso_path(args) -> int:
         solver=args.solver, mu=args.mu, s=args.s, max_iter=args.max_iter,
         tol=args.tol, seed=args.seed, record_every=args.record_every,
         warm_start=not args.cold, parity=args.parity,
+        pipeline=args.pipeline, adaptive=args.adaptive,
         virtual_p=args.p, machine=get_machine(args.machine),
     )
     n = path.results[0].x.shape[0]
@@ -237,6 +262,7 @@ def _cmd_svm(args) -> int:
         ds, solver, s=args.s, lam=args.lam, max_iter=args.max_iter,
         P=args.p, machine=get_machine(args.machine), seed=args.seed,
         record_every=args.record_every, tol=args.tol,
+        pipeline=args.pipeline, backend=args.backend, ranks=args.ranks,
     )
     h = res.history
     print(format_series(res.solver, h.iterations, h.metric,

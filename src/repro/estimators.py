@@ -12,12 +12,12 @@ import numpy as np
 
 from repro._api import fit_lasso, fit_svm
 from repro.errors import SolverError
-from repro.path import PathResult, lambda_grid, lasso_path
+from repro.path import PathResult, lambda_grid, lasso_path, svm_path
 from repro.solvers.base import SolverResult
 from repro.solvers.objectives import lambda_max
 from repro.solvers.svm.duality import prediction_accuracy
 
-__all__ = ["SALasso", "SALassoCV", "SASVMClassifier"]
+__all__ = ["SALasso", "SALassoCV", "SASVMClassifier", "SASVMClassifierCV"]
 
 
 class _FittedMixin:
@@ -88,9 +88,11 @@ class SALasso(_RegressorMixin):
         max_iter: int = 2000,
         tol: float | None = 1e-8,
         seed: int = 0,
+        pipeline: bool = False,
     ) -> None:
         self._params = dict(lam=lam, solver=solver, mu=mu, s=s,
-                            max_iter=max_iter, tol=tol, seed=seed)
+                            max_iter=max_iter, tol=tol, seed=seed,
+                            pipeline=pipeline)
 
     def fit(self, X, y) -> "SALasso":
         p = self._params
@@ -98,6 +100,7 @@ class SALasso(_RegressorMixin):
             X, y, lam=p["lam"], solver=p["solver"], mu=p["mu"], s=p["s"],
             max_iter=p["max_iter"], tol=p["tol"], seed=p["seed"],
             record_every=max(1, p["max_iter"] // 50),
+            pipeline=p["pipeline"],
         )
         self.result_ = res
         self.coef_ = res.x
@@ -129,7 +132,7 @@ class SALasso(_RegressorMixin):
         return lasso_path(
             X, y, lambdas, n_lambdas=n_lambdas, eps=eps, solver=p["solver"],
             mu=p["mu"], s=p["s"], max_iter=p["max_iter"], tol=p["tol"],
-            seed=p["seed"],
+            seed=p["seed"], pipeline=p["pipeline"],
         )
 
 
@@ -180,16 +183,19 @@ class SALassoCV(_RegressorMixin):
         max_iter: int = 1000,
         tol: float | None = 1e-6,
         seed: int = 0,
+        pipeline: bool = False,
     ) -> None:
         if cv < 2:
             raise SolverError(f"cv must be >= 2, got {cv}")
         self._params = dict(n_lambdas=n_lambdas, eps=eps, cv=cv, solver=solver,
-                            mu=mu, s=s, max_iter=max_iter, tol=tol, seed=seed)
+                            mu=mu, s=s, max_iter=max_iter, tol=tol, seed=seed,
+                            pipeline=pipeline)
 
     def _path_kwargs(self) -> dict:
         p = self._params
         return dict(solver=p["solver"], mu=p["mu"], s=p["s"],
-                    max_iter=p["max_iter"], tol=p["tol"], seed=p["seed"])
+                    max_iter=p["max_iter"], tol=p["tol"], seed=p["seed"],
+                    pipeline=p["pipeline"])
 
     def fit(self, X, y) -> "SALassoCV":
         p = self._params
@@ -227,7 +233,42 @@ class SALassoCV(_RegressorMixin):
         return self
 
 
-class SASVMClassifier(_FittedMixin):
+class _SVMClassifierMixin(_FittedMixin):
+    """Shared decision_function/predict/score for the SVM estimators."""
+
+    def decision_function(self, X) -> np.ndarray:
+        self._check_fitted()
+        return np.asarray(X @ self.coef_).ravel()
+
+    def predict(self, X) -> np.ndarray:
+        scores = self.decision_function(X)
+        neg, pos = self.classes_
+        return np.where(scores >= 0.0, pos, neg)
+
+    def score(self, X, y) -> float:
+        """Mean accuracy."""
+        self._check_fitted()
+        y = np.asarray(y).ravel()
+        b = np.where(y == self.classes_[1], 1.0, -1.0)
+        return prediction_accuracy(self.decision_function(X), b)
+
+    def _encode_labels(self, y) -> np.ndarray:
+        y = np.asarray(y).ravel()
+        classes = np.unique(y)
+        if classes.shape[0] != 2:
+            raise SolverError(
+                f"{type(self).__name__} is binary; got {classes.shape[0]} classes"
+            )
+        self.classes_ = classes
+        return np.where(y == classes[1], 1.0, -1.0)
+
+    @property
+    def duality_gap_(self) -> float:
+        self._check_fitted()
+        return self.result_.final_metric
+
+
+class SASVMClassifier(_SVMClassifierMixin):
     """Linear SVM via (SA-)dual coordinate descent.
 
     Parameters
@@ -249,24 +290,20 @@ class SASVMClassifier(_FittedMixin):
         max_iter: int = 50_000,
         tol: float | None = 1e-2,
         seed: int = 0,
+        pipeline: bool = False,
     ) -> None:
         self._params = dict(loss=loss, lam=lam, solver=solver, s=s,
-                            max_iter=max_iter, tol=tol, seed=seed)
+                            max_iter=max_iter, tol=tol, seed=seed,
+                            pipeline=pipeline)
 
     def fit(self, X, y) -> "SASVMClassifier":
-        y = np.asarray(y, dtype=np.float64).ravel()
-        classes = np.unique(y)
-        if classes.shape[0] != 2:
-            raise SolverError(
-                f"SASVMClassifier is binary; got {classes.shape[0]} classes"
-            )
-        self.classes_ = classes
-        b = np.where(y == classes[1], 1.0, -1.0)
+        b = self._encode_labels(y)
         p = self._params
         res: SolverResult = fit_svm(
             X, b, loss=p["loss"], lam=p["lam"], solver=p["solver"], s=p["s"],
             max_iter=p["max_iter"], tol=p["tol"], seed=p["seed"],
             record_every=max(1, p["max_iter"] // 100),
+            pipeline=p["pipeline"],
         )
         self.result_ = res
         self.coef_ = res.x
@@ -274,23 +311,103 @@ class SASVMClassifier(_FittedMixin):
         self.n_iter_ = res.iterations
         return self
 
-    def decision_function(self, X) -> np.ndarray:
-        self._check_fitted()
-        return np.asarray(X @ self.coef_).ravel()
 
-    def predict(self, X) -> np.ndarray:
-        scores = self.decision_function(X)
-        neg, pos = self.classes_
-        return np.where(scores >= 0.0, pos, neg)
 
-    def score(self, X, y) -> float:
-        """Mean accuracy."""
-        self._check_fitted()
-        y = np.asarray(y).ravel()
-        b = np.where(y == self.classes_[1], 1.0, -1.0)
-        return prediction_accuracy(self.decision_function(X), b)
+class SASVMClassifierCV(_SVMClassifierMixin):
+    """Linear SVM with the penalty C chosen by cross-validated dual paths.
 
-    @property
-    def duality_gap_(self) -> float:
-        self._check_fitted()
-        return self.result_.final_metric
+    The SVM twin of :class:`SALassoCV`, backed by :func:`repro.svm_path`:
+    for each fold, one warm-started dual path over a shared ascending
+    penalty grid is solved on the training split and scored (accuracy)
+    on the held-out split; the penalty with the best mean accuracy is
+    refit on the full data via another warm path sweep up to (and
+    stopping at) the selected point. Warm starts make the whole grid
+    barely more expensive than its largest point: the hinge dual box
+    grows with ``lam``, so each solution is feasible for the next.
+
+    Parameters
+    ----------
+    lams:
+        Explicit penalty grid (solved ascending). Default: ``n_lambdas``
+        points geometric in ``[0.1, 10]`` around the paper's ``C = 1``.
+    cv:
+        Number of folds (contiguous splits of a seeded permutation).
+    loss, solver, s, max_iter, tol, seed:
+        Per-solve knobs, as in :class:`SASVMClassifier`.
+
+    Attributes (after fit)
+    ----------------------
+    lambda_:
+        Selected penalty.
+    lambdas_:
+        The grid (ascending).
+    accuracy_path_:
+        (n_lambdas, cv) held-out accuracy per grid point and fold.
+    coef_, dual_coef_, result_:
+        Full-data refit at ``lambda_``.
+    """
+
+    def __init__(
+        self,
+        lams=None,
+        n_lambdas: int = 8,
+        cv: int = 3,
+        loss: str = "l2",
+        solver: str = "sa-svm",
+        s: int = 64,
+        max_iter: int = 20_000,
+        tol: float | None = 1e-2,
+        seed: int = 0,
+        pipeline: bool = False,
+    ) -> None:
+        if cv < 2:
+            raise SolverError(f"cv must be >= 2, got {cv}")
+        self._params = dict(lams=lams, n_lambdas=n_lambdas, cv=cv, loss=loss,
+                            solver=solver, s=s, max_iter=max_iter, tol=tol,
+                            seed=seed, pipeline=pipeline)
+
+    def _path_kwargs(self) -> dict:
+        p = self._params
+        return dict(loss=p["loss"], solver=p["solver"], s=p["s"],
+                    max_iter=p["max_iter"], tol=p["tol"], seed=p["seed"],
+                    record_every=max(1, p["max_iter"] // 100),
+                    pipeline=p["pipeline"])
+
+    def fit(self, X, y) -> "SASVMClassifierCV":
+        p = self._params
+        b = self._encode_labels(y)
+        m = b.shape[0]
+        cv = p["cv"]
+        if m < 2 * cv:
+            raise SolverError(f"need at least {2 * cv} samples for cv={cv}, got {m}")
+        if p["lams"] is None:
+            lams = np.geomspace(0.1, 10.0, p["n_lambdas"])
+        else:
+            lams = np.sort(np.asarray(p["lams"], dtype=np.float64).ravel())
+            if lams.size == 0:
+                raise SolverError("lams must be non-empty")
+        perm = np.random.default_rng(p["seed"]).permutation(m)
+        folds = np.array_split(perm, cv)
+        acc = np.empty((lams.shape[0], cv))
+        for f, val_idx in enumerate(folds):
+            train_idx = np.sort(np.concatenate([folds[k] for k in range(cv) if k != f]))
+            val_idx = np.sort(val_idx)
+            Xtr, btr = X[train_idx], b[train_idx]
+            path = svm_path(Xtr, btr, lams, **self._path_kwargs())
+            Xval, bval = X[val_idx], b[val_idx]
+            for i, res in enumerate(path.results):
+                scores = np.asarray(Xval @ res.x).ravel()
+                acc[i, f] = prediction_accuracy(scores, bval)
+        self.accuracy_path_ = acc
+        self.lambdas_ = lams
+        best = int(np.argmax(acc.mean(axis=1)))
+        self.lambda_ = float(lams[best])
+        # full-data refit: warm ascending path up to (and stopping at) lambda_
+        refit = svm_path(X, b, lams[: best + 1], **self._path_kwargs())
+        self.path_ = refit
+        self.result_ = refit.results[-1]
+        self.coef_ = self.result_.x
+        self.dual_coef_ = self.result_.extras["alpha"]
+        self.n_iter_ = self.result_.iterations
+        return self
+

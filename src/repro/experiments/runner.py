@@ -20,6 +20,8 @@ from repro.datasets.registry import get_dataset
 from repro.datasets import registry
 from repro.errors import SolverError
 from repro.machine.spec import CRAY_XC30, MachineSpec
+from repro.mpi.process_backend import process_spmd_run
+from repro.mpi.thread_backend import spmd_run
 from repro.mpi.virtual_backend import VirtualComm
 from repro.solvers import lasso as lasso_solvers
 from repro.solvers import svm as svm_solvers
@@ -32,6 +34,7 @@ __all__ = [
     "load_scaled",
     "LASSO_SOLVERS",
     "SVM_SOLVERS",
+    "BACKENDS",
     "run_lasso",
     "run_svm",
     "strong_scaling",
@@ -162,6 +165,11 @@ SVM_SOLVERS: dict[str, Callable] = {
 }
 
 
+#: real-parallelism backends for `run_lasso`/`run_svm` (``"virtual"`` is
+#: the default single-process cost-model mode)
+BACKENDS = ("virtual", "thread", "process")
+
+
 def _make_comm(P: int, machine: MachineSpec | None, ds: ScaledDataset) -> VirtualComm:
     return VirtualComm(
         virtual_size=P,
@@ -169,6 +177,42 @@ def _make_comm(P: int, machine: MachineSpec | None, ds: ScaledDataset) -> Virtua
         flop_scale=ds.flop_scale,
         kind_scales=ds.kind_scales,
     )
+
+
+def _run_backend(
+    fn: Callable,
+    pargs: tuple,
+    kwargs: dict,
+    ds: ScaledDataset,
+    backend: str,
+    ranks: int,
+    P: int,
+    machine: MachineSpec | None,
+) -> SolverResult:
+    """Dispatch one solve to the requested comm backend.
+
+    ``virtual`` runs in-process at virtual P (the default, modelled
+    costs extrapolated by the dataset's flop scale); ``thread`` /
+    ``process`` run ``ranks`` real SPMD participants with costs modelled
+    at ``max(P, ranks)`` ranks, returning rank 0's result.
+    """
+    if backend not in BACKENDS:
+        raise SolverError(f"unknown backend {backend!r}; known: {list(BACKENDS)}")
+    if backend == "virtual":
+        return fn(*pargs, comm=_make_comm(P, machine, ds), **kwargs)
+    if ranks < 1:
+        raise SolverError(f"ranks must be >= 1, got {ranks}")
+
+    def work(comm, rank):
+        # apply the dataset's extrapolation factors before any charge, so
+        # modelled costs stay comparable with the virtual backend's
+        comm.ledger.default_scale = ds.flop_scale
+        comm.ledger.kind_scales = dict(ds.kind_scales)
+        return fn(*pargs, comm=comm, **kwargs)
+
+    runner = spmd_run if backend == "thread" else process_spmd_run
+    out = runner(work, ranks, machine=machine, cost_size=max(P, ranks))
+    return out.root
 
 
 def run_lasso(
@@ -185,28 +229,39 @@ def run_lasso(
     lam: float | None = None,
     fast: bool = True,
     parity: str = "exact",
+    pipeline: bool = False,
+    backend: str = "virtual",
+    ranks: int = 4,
 ) -> SolverResult:
     """Run one Lasso-family solver on a scaled dataset at virtual P.
 
     ``fast`` toggles the SA solvers' fused inner loop (bit-identical
     iterates; exposed for before/after benchmarking) and ``parity`` its
-    contract (``"exact"`` / ``"fp-tolerant"``).
+    contract (``"exact"`` / ``"fp-tolerant"``). ``pipeline`` (SA solvers
+    only) hides each outer step's reduction behind the next block's
+    prefetch; ``backend``/``ranks`` select real thread/process SPMD
+    parallelism instead of the virtual cost model.
     """
     if solver not in LASSO_SOLVERS:
         raise SolverError(f"unknown lasso solver {solver!r}; known: {sorted(LASSO_SOLVERS)}")
     fn = LASSO_SOLVERS[solver]
     lam_val = lam if lam is not None else (ds.lam if ds.lam is not None else 0.1)
-    comm = _make_comm(P, machine, ds)
-    kwargs = dict(
-        max_iter=max_iter, seed=seed, comm=comm, record_every=record_every
-    )
+    kwargs = dict(max_iter=max_iter, seed=seed, record_every=record_every)
     if solver not in ("cd", "sa-cd", "acccd", "sa-acccd"):
         kwargs["mu"] = mu
     if solver.startswith("sa-"):
         kwargs["s"] = s if s is not None else 8
         kwargs["fast"] = fast
         kwargs["parity"] = parity
-    return fn(ds.A, ds.b, lam_val, **kwargs)
+        kwargs["pipeline"] = pipeline
+    elif pipeline:
+        raise SolverError(
+            f"pipeline=True needs an SA solver; {solver!r} synchronises "
+            "every iteration"
+        )
+    return _run_backend(
+        fn, (ds.A, ds.b, lam_val), kwargs, ds, backend, ranks, P, machine
+    )
 
 
 def run_svm(
@@ -222,24 +277,34 @@ def run_svm(
     record_every: int = 0,
     tol: float | None = None,
     fast: bool = True,
+    pipeline: bool = False,
+    backend: str = "virtual",
+    ranks: int = 4,
 ) -> SolverResult:
-    """Run one SVM solver on a scaled dataset at virtual P."""
+    """Run one SVM solver on a scaled dataset at virtual P.
+
+    ``pipeline``/``backend``/``ranks`` as in :func:`run_lasso`.
+    """
     if solver not in SVM_SOLVERS:
         raise SolverError(f"unknown svm solver {solver!r}; known: {sorted(SVM_SOLVERS)}")
     fn = SVM_SOLVERS[solver]
-    comm = _make_comm(P, machine, ds)
     kwargs = dict(
         lam=lam,
         max_iter=max_iter,
         seed=seed,
-        comm=comm,
         record_every=record_every,
         tol=tol,
     )
     if solver.startswith("sa-"):
         kwargs["s"] = s if s is not None else 8
         kwargs["fast"] = fast
-    return fn(ds.A, ds.b, **kwargs)
+        kwargs["pipeline"] = pipeline
+    elif pipeline:
+        raise SolverError(
+            f"pipeline=True needs an SA solver; {solver!r} synchronises "
+            "every iteration"
+        )
+    return _run_backend(fn, (ds.A, ds.b), kwargs, ds, backend, ranks, P, machine)
 
 
 @dataclass

@@ -22,12 +22,18 @@ import scipy.sparse as sp
 
 from repro.errors import PartitionError
 from repro.linalg.kernels import GatherWorkspace, gather_columns, gather_rows
-from repro.linalg.packing import pack_gram, packed_length, unpack_gram
+from repro.linalg.packing import (
+    pack_extras,
+    pack_gram,
+    pack_gram_head,
+    packed_length,
+    unpack_gram,
+)
 from repro.linalg.partition import Partition1D, balanced_nnz_partition, block_partition
 from repro.mpi.comm import Comm
 from repro.utils.validation import check_dense_or_csr, nnz_of
 
-__all__ = ["RowPartitionedMatrix", "ColPartitionedMatrix"]
+__all__ = ["RowPartitionedMatrix", "ColPartitionedMatrix", "GramPipeline"]
 
 
 def _densify_small(M) -> np.ndarray:
@@ -92,16 +98,144 @@ class _PartitionedBase:
             self._proj_out = np.empty((k, c), dtype=np.float64)
         return self._gram_out, self._proj_out
 
-    def _charge_gram(self, nnz_block: float, k: int, extra_cols: int, symmetric: bool) -> None:
-        """Charge Gram + projection flops for a sampled block."""
+    def _charge_gram_only(self, nnz_block: float, k: int, symmetric: bool) -> None:
+        """Charge the (residual-independent) Gram-formation flops."""
         gram_flops = nnz_block * (k + 1) if symmetric else 2.0 * nnz_block * k
-        proj_flops = 2.0 * nnz_block * extra_cols
         # working set: sampled block + Gram output
         ws = 12.0 * nnz_block + 8.0 * k * k
         kind = "blas3" if k > 1 else "blas1"
         self.comm.account_flops(gram_flops, kind, working_set_bytes=ws)
+
+    def _charge_proj(self, nnz_block: float, k: int, extra_cols: int) -> None:
+        """Charge the (residual-dependent) projection flops."""
         if extra_cols:
-            self.comm.account_flops(proj_flops, "blas2", working_set_bytes=ws)
+            ws = 12.0 * nnz_block + 8.0 * k * k
+            self.comm.account_flops(
+                2.0 * nnz_block * extra_cols, "blas2", working_set_bytes=ws
+            )
+
+    def _charge_gram(self, nnz_block: float, k: int, extra_cols: int, symmetric: bool) -> None:
+        """Charge Gram + projection flops for a sampled block.
+
+        Split into :meth:`_charge_gram_only` + :meth:`_charge_proj` so
+        the pipelined path (which computes the two halves at different
+        times) charges the identical total.
+        """
+        self._charge_gram_only(nnz_block, k, symmetric)
+        self._charge_proj(nnz_block, k, extra_cols)
+
+
+class _PipeSlot:
+    """One half of a :class:`GramPipeline`'s double buffer.
+
+    Owns everything whose lifetime spans one in-flight reduction: the
+    gather workspace holding the sampled block, the packed send buffer
+    (which peers may still be reading), the receive buffer, and the
+    unpacked (G, R) outputs the inner loop consumes.
+    """
+
+    __slots__ = ("ws", "send", "recv", "out_g", "out_r", "Y", "k", "req")
+
+    def __init__(self) -> None:
+        self.ws = GatherWorkspace()
+        self.send: np.ndarray | None = None
+        self.recv: np.ndarray | None = None
+        self.out_g: np.ndarray | None = None
+        self.out_r: np.ndarray | None = None
+        self.Y = None
+        self.k = 0
+        self.req = None
+
+
+class GramPipeline:
+    """Double-buffered nonblocking Gram + projection reductions.
+
+    The communication engine of the pipelined SA solvers (paper Alg. 2/4
+    with the one synchronization per outer step made *asynchronous*).
+    Per outer step ``k`` the driver calls, in order:
+
+    1. :meth:`prefetch` for step ``k+1`` — sample the next block and pack
+       its partial Gram (``Y^T Y`` / ``Y Y^T``, residual-independent)
+       **while step k's reduction is still in flight**;
+    2. :meth:`wait` for step ``k`` — block on the reduction, unpack
+       ``(G, R)``;
+    3. run the inner loop (updates the residual);
+    4. :meth:`post` for step ``k+1`` — compute the residual-dependent
+       projections, complete the packed payload, post the nonblocking
+       Allreduce.
+
+    Two :class:`_PipeSlot` halves alternate so step k+1's pack never
+    touches buffers that step k's reduction (or inner loop) still reads.
+    Values are bit-identical to the blocking ``gram_and_project`` /
+    ``gram_rows_and_project`` path: same sampled blocks, same partial
+    products, same rank-ordered fold, same unpack.
+    """
+
+    def __init__(self, dist, extra_cols: int, symmetric: bool, axis: str) -> None:
+        self.dist = dist
+        self.extra_cols = int(extra_cols)
+        self.symmetric = bool(symmetric)
+        if axis not in ("cols", "rows"):
+            raise PartitionError(f"unknown pipeline axis {axis!r}")
+        self.axis = axis
+        self._slots = [_PipeSlot(), _PipeSlot()]
+        self._next = 0
+
+    def prefetch(self, idx: np.ndarray) -> _PipeSlot:
+        """Sample block ``idx`` and pack its partial Gram (no collective)."""
+        slot = self._slots[self._next]
+        self._next = 1 - self._next
+        dist = self.dist
+        if self.axis == "cols":
+            Y = dist.sample_columns(idx, ws=slot.ws)
+            k = Y.shape[1]
+            Gp = _densify_small(Y.T @ Y)
+        else:
+            Y = dist.sample_rows(idx, ws=slot.ws)
+            k = Y.shape[0]
+            Gp = _densify_small(Y @ Y.T)
+        dist._charge_gram_only(nnz_of(Y), k, self.symmetric)
+        length = packed_length(k, self.extra_cols, self.symmetric)
+        if slot.send is None or slot.send.shape[0] != length:
+            slot.send = np.empty(length, dtype=np.float64)
+            slot.recv = np.empty(length, dtype=np.float64)
+        pack_gram_head(Gp, self.symmetric, slot.send)
+        slot.Y = Y
+        slot.k = k
+        return slot
+
+    def post(self, slot: _PipeSlot, vectors: Sequence[np.ndarray]) -> None:
+        """Pack the projections ``Y^T V`` (resp. ``Y x``), post the reduce."""
+        dist = self.dist
+        if self.axis == "cols":
+            V = np.column_stack([np.asarray(v) for v in vectors])
+            Rp = _densify_small(slot.Y.T @ V)
+        else:
+            (x_local,) = vectors
+            Rp = np.asarray(slot.Y @ x_local).ravel()
+        dist._charge_proj(nnz_of(slot.Y), slot.k, self.extra_cols)
+        pack_extras(Rp, slot.k, self.symmetric, slot.send)
+        slot.req = dist.comm.Iallreduce(slot.send, out=slot.recv)
+
+    def wait(self, slot: _PipeSlot) -> tuple:
+        """Complete the reduction; returns ``(Y, G, R)``.
+
+        ``Y`` is the slot's sampled block (valid until this slot's next
+        ``prefetch``, a full pipeline cycle later); ``(G, R)`` live in the
+        slot's own output buffers with the same lifetime.
+        """
+        total = slot.req.wait()
+        slot.req = None
+        k, c = slot.k, self.extra_cols
+        if slot.out_g is None or slot.out_g.shape != (k, k):
+            slot.out_g = np.empty((k, k), dtype=np.float64)
+        if c and (slot.out_r is None or slot.out_r.shape != (k, c)):
+            slot.out_r = np.empty((k, c), dtype=np.float64)
+        G, R = unpack_gram(
+            total, k, c, self.symmetric,
+            out_g=slot.out_g, out_extras=slot.out_r if c else None,
+        )
+        return slot.Y, G, (R if c else np.zeros((k, 0)))
 
 
 class RowPartitionedMatrix(_PartitionedBase):
@@ -159,13 +293,16 @@ class RowPartitionedMatrix(_PartitionedBase):
             self._csc_cache = self.local.tocsc()
         return self._csc_cache
 
-    def sample_columns(self, idx: np.ndarray):
+    def sample_columns(self, idx: np.ndarray, ws: GatherWorkspace | None = None):
         """Local rows of the sampled columns ``A I_h`` (m_loc x k).
 
         Sparse shards gather out of the cached CSC view in
         O(k + extracted nnz) — the returned block is CSC, with its arrays
         living in a reusable workspace (valid until the next sampling
-        call, which is how every solver consumes it).
+        call, which is how every solver consumes it). ``ws`` overrides
+        the matrix's own workspace: the pipelined solvers gather the next
+        outer step's block into a second workspace while the previous
+        block is still in use.
 
         Charges the gather cost of pulling ``k`` columns out of the
         row-major local shard (an index scan over the local rows plus a
@@ -176,7 +313,7 @@ class RowPartitionedMatrix(_PartitionedBase):
         """
         idx = np.asarray(idx, dtype=np.intp)
         if self._local_csc is not None:
-            S = gather_columns(self._local_csc, idx, self._gather_ws)
+            S = gather_columns(self._local_csc, idx, ws or self._gather_ws)
         else:
             S = self.local[:, idx]
         # row-scan term grows with local rows; copy term with extracted nnz
@@ -224,6 +361,14 @@ class RowPartitionedMatrix(_PartitionedBase):
         out_g, out_r = self._gram_outputs(k, c)
         G, R = unpack_gram(total, k, c, symmetric, out_g=out_g, out_extras=out_r)
         return G, (R if c else np.zeros((k, 0)))
+
+    def gram_pipeline(self, extra_cols: int, symmetric: bool = True) -> GramPipeline:
+        """A double-buffered nonblocking pipeline over this matrix.
+
+        The asynchronous counterpart of :meth:`gram_and_project`; see
+        :class:`GramPipeline`.
+        """
+        return GramPipeline(self, extra_cols, symmetric, axis="cols")
 
     def matvec_local(self, x: np.ndarray) -> np.ndarray:
         """Local rows of ``A @ x`` for replicated ``x`` (no communication)."""
@@ -289,18 +434,19 @@ class ColPartitionedMatrix(_PartitionedBase):
             local = A[:, lo:hi]
         return cls(comm, partition, local, (m, n))
 
-    def sample_rows(self, idx: np.ndarray):
+    def sample_rows(self, idx: np.ndarray, ws: GatherWorkspace | None = None):
         """Local columns of the sampled rows (k x n_loc).
 
         The shard is kept in CSR (compressed along the sampled axis), so
         sampling is a slice-gather in O(k + extracted nnz) with reusable
-        output buffers. Row extraction is cheaper than the Lasso layout's
-        column gather, but still charged (index lookup plus non-zero
-        copy).
+        output buffers (``ws`` selects an alternate workspace for the
+        pipelined solvers). Row extraction is cheaper than the Lasso
+        layout's column gather, but still charged (index lookup plus
+        non-zero copy).
         """
         idx = np.asarray(idx, dtype=np.intp)
         if sp.issparse(self.local):
-            Y = gather_rows(self.local, idx, self._gather_ws)
+            Y = gather_rows(self.local, idx, ws or self._gather_ws)
         else:
             Y = self.local[idx, :]
         self.comm.account_flops(2.0 * idx.shape[0], "gather")
@@ -331,6 +477,15 @@ class ColPartitionedMatrix(_PartitionedBase):
         out_g, out_r = self._gram_outputs(k, 1)
         G, R = unpack_gram(total, k, 1, symmetric, out_g=out_g, out_extras=out_r)
         return G, R[:, 0]
+
+    def gram_rows_pipeline(self, symmetric: bool = True) -> GramPipeline:
+        """A double-buffered nonblocking pipeline over this matrix.
+
+        The asynchronous counterpart of :meth:`gram_rows_and_project`;
+        see :class:`GramPipeline`. As in the blocking path the caller
+        adds ``gamma I`` after the reduction and reads ``R[:, 0]``.
+        """
+        return GramPipeline(self, 1, symmetric, axis="rows")
 
     def apply_row_update(self, sampled, coeffs: np.ndarray, x_local: np.ndarray) -> None:
         """``x_local += sampledᵀ @ coeffs`` (primal update, local only)."""

@@ -19,7 +19,14 @@ import numpy as np
 from repro.errors import CommError
 from repro.linalg.kernels import tri_plan
 
-__all__ = ["pack_gram", "unpack_gram", "packed_length", "tri_length"]
+__all__ = [
+    "pack_gram",
+    "pack_gram_head",
+    "pack_extras",
+    "unpack_gram",
+    "packed_length",
+    "tri_length",
+]
 
 
 def tri_length(k: int) -> int:
@@ -67,14 +74,47 @@ def pack_gram(
             f"out buffer must be a float64 vector of length {length}, "
             f"got {out.dtype}{out.shape}"
         )
+    pack_gram_head(G, symmetric, out)
+    if c:
+        out[t:] = np.ravel(extras)
+    return out
+
+
+def pack_gram_head(G: np.ndarray, symmetric: bool, out: np.ndarray) -> int:
+    """Pack only the Gram region (the payload head) into ``out``.
+
+    The split half of :func:`pack_gram` used by the pipelined solvers:
+    the Gram block ``Y^T Y`` depends only on the sampled columns, so it
+    is packed while the *previous* reduction is still in flight; the
+    residual-dependent projections land later via :func:`pack_extras`.
+    Returns the head length (where the extras region starts).
+    """
+    G = np.asarray(G, dtype=np.float64)
+    k = G.shape[0]
+    t = tri_length(k) if symmetric else k * k
     if symmetric:
         _, _, flat = tri_plan(k)
         np.take(np.ravel(G), flat, out=out[:t])
     else:
         out[:t] = np.ravel(G)
-    if c:
-        out[t:] = np.ravel(extras)
-    return out
+    return t
+
+
+def pack_extras(
+    extras: np.ndarray, k: int, symmetric: bool, out: np.ndarray
+) -> None:
+    """Pack the projection columns into the tail region of ``out``.
+
+    Completes a payload started with :func:`pack_gram_head`; byte-for-
+    byte the same buffer contents as one :func:`pack_gram` call.
+    """
+    extras = np.asarray(extras, dtype=np.float64)
+    if extras.ndim == 1:
+        extras = extras[:, None]
+    if extras.shape[0] != k:
+        raise CommError(f"extras must have {k} rows to match G, got {extras.shape}")
+    t = tri_length(k) if symmetric else k * k
+    out[t:t + k * extras.shape[1]] = np.ravel(extras)
 
 
 def unpack_gram(

@@ -37,10 +37,19 @@ class CostSnapshot:
     messages: int
     words: float
     flops: float
+    #: modelled communication seconds hidden behind overlapped computation
+    #: (nonblocking collectives charge only the unoverlapped remainder)
+    comm_seconds_hidden: float = 0.0
 
     @property
     def seconds(self) -> float:
         return self.comm_seconds + self.compute_seconds
+
+
+def _collective_entry() -> list:
+    """Fresh per-collective counter row (module-level so ledgers pickle:
+    the process backend ships each rank's ledger back to the parent)."""
+    return [0, 0, 0.0, 0.0]
 
 
 @dataclass
@@ -64,11 +73,13 @@ class CostLedger:
     messages: int = 0
     words: float = 0.0
     flops: float = 0.0
+    #: modelled communication seconds hidden behind overlapped computation
+    comm_seconds_hidden: float = 0.0
     #: when False, charges are dropped (used while evaluating diagnostics
     #: such as objective values that the measured algorithm never computes)
     enabled: bool = True
     #: per-collective-name (calls, messages, words, seconds)
-    by_collective: dict = field(default_factory=lambda: defaultdict(lambda: [0, 0, 0.0, 0.0]))
+    by_collective: dict = field(default_factory=lambda: defaultdict(_collective_entry))
     #: per-kind flop counts
     by_kind: dict = field(default_factory=lambda: defaultdict(float))
 
@@ -80,18 +91,32 @@ class CostLedger:
         self._compute_model = ComputeModel(self.machine) if self.machine else None
 
     # -- charging ----------------------------------------------------------
-    def add_collective(self, name: str, cost: CollectiveCost) -> None:
-        """Charge one collective call (called by the communicator)."""
+    def add_collective(
+        self, name: str, cost: CollectiveCost, overlap_seconds: float = 0.0
+    ) -> None:
+        """Charge one collective call (called by the communicator).
+
+        ``overlap_seconds`` is computation time the caller provably spent
+        while the collective was in flight (nonblocking collectives): the
+        modelled latency hidden behind it is *not* charged to
+        ``comm_seconds`` but tracked in ``comm_seconds_hidden``, so
+        ``comm_seconds + comm_seconds_hidden`` always equals what the
+        blocking collective would have cost. Messages and words are
+        charged in full either way — overlap hides time, not traffic.
+        """
         if not self.enabled:
             return
-        self.comm_seconds += cost.seconds
+        hidden = min(max(overlap_seconds, 0.0), cost.seconds)
+        charged = cost.seconds - hidden
+        self.comm_seconds += charged
+        self.comm_seconds_hidden += hidden
         self.messages += cost.messages
         self.words += cost.words
         entry = self.by_collective[name]
         entry[0] += 1
         entry[1] += cost.messages
         entry[2] += cost.words
-        entry[3] += cost.seconds
+        entry[3] += charged
 
     def add_flops(
         self,
@@ -137,6 +162,7 @@ class CostLedger:
             messages=self.messages,
             words=self.words,
             flops=self.flops,
+            comm_seconds_hidden=self.comm_seconds_hidden,
         )
 
     def child(self) -> "CostLedger":
@@ -161,6 +187,7 @@ class CostLedger:
         self.messages = 0
         self.words = 0.0
         self.flops = 0.0
+        self.comm_seconds_hidden = 0.0
         self.by_collective.clear()
         self.by_kind.clear()
 
@@ -169,6 +196,7 @@ class CostLedger:
         return {
             "seconds": self.seconds,
             "comm_seconds": self.comm_seconds,
+            "comm_seconds_hidden": self.comm_seconds_hidden,
             "compute_seconds": self.compute_seconds,
             "messages": self.messages,
             "words": self.words,

@@ -5,17 +5,25 @@ Backends
 :class:`ThreadComm` (via :func:`spmd_run`)
     Real SPMD execution with P thread ranks — validates the distributed
     algorithm logic (partitioned data, partial dot products, Allreduce).
+:class:`ProcessComm` (via :func:`process_spmd_run`)
+    P forked OS processes over shared-memory slabs — true GIL-free
+    parallelism for honest wall-clock overlap measurements.
 :class:`VirtualComm`
     Single process standing in for a virtual P (up to the paper's 12,288
     cores) with alpha-beta-gamma cost modelling.
+
+All three implement the blocking collectives *and* the nonblocking
+:meth:`Comm.Iallreduce` (returning a :class:`CommRequest`), with honest
+overlap accounting: only unoverlapped collective latency is charged.
 
 See DESIGN.md §2 for why this substitution preserves the paper's
 behaviour.
 """
 
 from repro.mpi.ops import Op, SUM, MAX, MIN, PROD, LAND, LOR
-from repro.mpi.comm import Comm
+from repro.mpi.comm import Comm, CommRequest
 from repro.mpi.thread_backend import ThreadComm, ThreadContext, spmd_run, SpmdResult
+from repro.mpi.process_backend import ProcessComm, ProcessWorld, process_spmd_run
 from repro.mpi.virtual_backend import VirtualComm
 from repro.mpi.tracing import CommStats, comm_stats
 
@@ -28,10 +36,14 @@ __all__ = [
     "LAND",
     "LOR",
     "Comm",
+    "CommRequest",
     "ThreadComm",
     "ThreadContext",
     "spmd_run",
     "SpmdResult",
+    "ProcessComm",
+    "ProcessWorld",
+    "process_spmd_run",
     "VirtualComm",
     "CommStats",
     "comm_stats",

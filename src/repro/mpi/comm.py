@@ -31,9 +31,93 @@ from repro.machine.ledger import CostLedger
 from repro.machine.spec import MachineSpec
 from repro.mpi.ops import Op, SUM
 
-__all__ = ["Comm"]
+__all__ = ["Comm", "CommRequest"]
 
 _WORD_BYTES = 8.0
+
+
+class CommRequest:
+    """Handle for an in-flight nonblocking collective (mpi4py style).
+
+    Returned by :meth:`Comm.Iallreduce`. :meth:`wait` blocks until the
+    reduction has completed on every rank and returns the reduced array;
+    :meth:`test` is the nonblocking probe. The ledger charge is *honest
+    about overlap*: computation charged to this rank's ledger between the
+    post and the completion counts as overlapped, and only the
+    unoverlapped remainder of the modelled collective latency is charged
+    to ``comm_seconds`` (the hidden part accumulates in
+    ``comm_seconds_hidden``). Messages and words are charged in full —
+    overlap hides time, not traffic.
+    """
+
+    __slots__ = ("_comm", "_handle", "_name", "_cost", "_compute_at_post",
+                 "_out", "_result", "_done")
+
+    def __init__(self, comm: "Comm", handle, name: str, cost, out=None) -> None:
+        self._comm = comm
+        self._handle = handle
+        self._name = name
+        self._cost = cost
+        self._compute_at_post = comm.ledger.compute_seconds
+        self._out = out
+        self._result = None
+        self._done = False
+
+    def _finalize(self, result) -> Any:
+        overlap = self._comm.ledger.compute_seconds - self._compute_at_post
+        self._comm.ledger.add_collective(self._name, self._cost, overlap)
+        if self._out is not None and result is not self._out:
+            np.copyto(self._out, result)
+            result = self._out
+        self._result = result
+        self._done = True
+        return result
+
+    @property
+    def completed(self) -> bool:
+        """True once the collective has completed (after wait/test)."""
+        return self._done
+
+    def test(self) -> bool:
+        """Probe for completion without blocking.
+
+        Returns True once the reduction is complete; the first True also
+        performs the ledger charge, so a poll loop's compute between post
+        and completion is counted as overlap exactly once.
+        """
+        if self._done:
+            return True
+        result = self._handle.test()
+        if result is None:
+            return False
+        self._finalize(result)
+        return True
+
+    def wait(self) -> Any:
+        """Block until complete; returns the reduced array (idempotent)."""
+        if not self._done:
+            self._finalize(self._handle.wait())
+        return self._result
+
+
+class _EagerHandle:
+    """Backend handle for collectives completed at post time.
+
+    Used by backends without true asynchrony (one actual participant, or
+    no progress engine): the reduction runs eagerly inside the post and
+    the overlap accounting alone models the hidden latency.
+    """
+
+    __slots__ = ("_result",)
+
+    def __init__(self, result) -> None:
+        self._result = result
+
+    def wait(self):
+        return self._result
+
+    def test(self):
+        return self._result
 
 
 def _words_of(obj: Any) -> float:
@@ -240,6 +324,42 @@ class Comm(ABC):
         result = self._exchange_fold("Allreduce", arr, fold)
         self._charge("allreduce", arr.nbytes / _WORD_BYTES)
         return result
+
+    def Iallreduce(  # noqa: N802 - mpi4py naming
+        self, sendbuf: np.ndarray, op: Op = SUM, out: np.ndarray | None = None
+    ) -> CommRequest:
+        """Nonblocking reduce-to-all; returns a :class:`CommRequest`.
+
+        The SA pipeline's synchronization-hiding primitive: post the
+        packed Gram reduction, compute the next outer step's sampled
+        block while it is in flight, then ``wait()`` for the result.
+        ``sendbuf`` must stay unmodified until the request completes
+        (mpi4py contract) — pipelined callers double-buffer it. With
+        ``out`` the reduction lands in the given buffer (which must not
+        alias ``sendbuf``); without it ``wait()`` returns a fresh array.
+
+        Ledger accounting is honest about overlap: computation charged to
+        this rank's ledger between the post and the completion is
+        overlapped, and only the unoverlapped remainder of the modelled
+        latency is charged (see :class:`CommRequest`). The arithmetic is
+        the blocking :meth:`Allreduce`'s bit for bit — every backend
+        folds contributions in rank order.
+        """
+        arr = np.asarray(sendbuf)
+        if out is not None and np.may_share_memory(arr, out):
+            raise CommError("Iallreduce out must not alias sendbuf")
+        handle = self._iallreduce_impl("Iallreduce", arr, op)
+        cost = self._cost_model.allreduce(arr.nbytes / _WORD_BYTES)
+        return CommRequest(self, handle, "Iallreduce", cost, out=out)
+
+    def _iallreduce_impl(self, tag: str, arr: np.ndarray, op: Op):
+        """Backend hook: start an allreduce, return a wait()/test() handle.
+
+        Default: complete eagerly through the blocking exchange (modelled
+        overlap only). Backends with a progress engine (thread, process)
+        override this with a genuinely asynchronous implementation.
+        """
+        return _EagerHandle(self._exchange_fold(tag, arr, op.fold))
 
     def Bcast(self, buf: np.ndarray, root: int = 0) -> np.ndarray:  # noqa: N802
         """Broadcast array from root; returns the root's array on all ranks."""

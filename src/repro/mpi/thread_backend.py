@@ -20,7 +20,9 @@ disagree (a classic SPMD deadlock bug), all ranks raise
 
 from __future__ import annotations
 
+import queue
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
@@ -31,16 +33,120 @@ from repro.mpi.comm import Comm
 
 __all__ = ["ThreadComm", "ThreadContext", "spmd_run", "SpmdResult"]
 
+#: outstanding nonblocking collectives per world (double-buffered: the
+#: pipelined solvers keep at most one reduction in flight while packing
+#: the next payload into the other buffer)
+NB_RING_DEPTH = 2
+
+
+class _NbSlot:
+    """One slot of the nonblocking-collective ring.
+
+    Lifecycle per sequence number: every rank deposits (buffer, tag); the
+    last deposit hands the slot to the background fold thread, which
+    (after the emulated transit latency) folds the contributions in rank
+    order and publishes the result; each rank's wait copies the result
+    out and the last consumer recycles the slot for ``seq + ring``.
+    """
+
+    __slots__ = ("cond", "seq", "bufs", "tags", "op", "deposited",
+                 "consumed", "result", "error", "done")
+
+    def __init__(self, size: int, seq: int) -> None:
+        self.cond = threading.Condition()
+        self.seq = seq
+        self.bufs: list[Any] = [None] * size
+        self.tags: list[str | None] = [None] * size
+        self.op = None
+        self.deposited = 0
+        self.consumed = 0
+        self.result = None
+        self.error: BaseException | None = None
+        self.done = False
+
+    def recycle(self, size: int) -> None:
+        """Reset for the sequence ``ring`` steps later (cond held)."""
+        self.seq += NB_RING_DEPTH
+        self.bufs = [None] * size
+        self.tags = [None] * size
+        self.op = None
+        self.deposited = 0
+        self.consumed = 0
+        self.result = None
+        self.error = None
+        self.done = False
+
+
+class _ThreadNbHandle:
+    """Per-rank handle for one in-flight nonblocking collective."""
+
+    __slots__ = ("_ctx", "_slot", "_seq", "_result")
+
+    def __init__(self, ctx: "ThreadContext", slot: _NbSlot, seq: int) -> None:
+        self._ctx = ctx
+        self._slot = slot
+        self._seq = seq
+        self._result = None
+
+    def _consume_locked(self):
+        """Copy the published result and recycle the slot (cond held)."""
+        err = self._slot.error
+        if err is None:
+            self._result = self._slot.result.copy()
+        self._slot.consumed += 1
+        if self._slot.consumed == self._ctx.size:
+            self._slot.recycle(self._ctx.size)
+            self._slot.cond.notify_all()
+        if err is not None:
+            raise err
+        return self._result
+
+    def wait(self):
+        slot = self._slot
+        with slot.cond:
+            while not (slot.seq == self._seq and slot.done):
+                if self._ctx.aborted:
+                    raise CommAborted(
+                        "nonblocking collective aborted by a peer failure"
+                    )
+                slot.cond.wait(0.05)
+            return self._consume_locked()
+
+    def test(self):
+        slot = self._slot
+        with slot.cond:
+            if self._ctx.aborted:
+                raise CommAborted(
+                    "nonblocking collective aborted by a peer failure"
+                )
+            if not (slot.seq == self._seq and slot.done):
+                return None
+            return self._consume_locked()
+
 
 class ThreadContext:
-    """Shared state for one thread-SPMD world."""
+    """Shared state for one thread-SPMD world.
 
-    def __init__(self, size: int) -> None:
+    ``latency`` emulates the network transit of each collective: blocking
+    collectives sleep it on the critical path (between the two barriers,
+    all ranks concurrently), nonblocking ones sleep it on the background
+    fold thread — which is what lets pipelined callers genuinely hide it
+    behind computation. Used by the overlap benchmarks; defaults to 0.
+    """
+
+    def __init__(self, size: int, latency: float = 0.0) -> None:
         self.size = size
+        self.latency = float(latency)
         self.barrier = threading.Barrier(size)
         self.slots: list[Any] = [None] * size
         self.tags: list[str | None] = [None] * size
         self.generation = 0
+        self.aborted = False
+        self._nb_ring = [_NbSlot(size, seq) for seq in range(NB_RING_DEPTH)]
+        self._nb_seq = [0] * size
+        self._nb_queue: queue.Queue = queue.Queue()
+        self._folder: threading.Thread | None = None
+        self._folder_lock = threading.Lock()
 
     def exchange(self, rank: int, tag: str, obj: Any, fold=None) -> Any:
         """Deposit, synchronise, snapshot (or fold), synchronise.
@@ -67,6 +173,10 @@ class ThreadContext:
                     f"SPMD mismatch: ranks called different collectives {self.tags}"
                 )
             snapshot = fold(list(self.slots)) if fold is not None else list(self.slots)
+            if self.latency:
+                # emulated transit, on the critical path (ranks sleep it
+                # concurrently inside the collective)
+                time.sleep(self.latency)
         finally:
             # Second barrier: nobody may overwrite slots until all have read.
             # On mismatch every rank raises the same error after this point.
@@ -78,9 +188,88 @@ class ThreadContext:
                 ) from exc
         return snapshot
 
+    # -- nonblocking collectives -------------------------------------------
+    def _ensure_folder(self) -> None:
+        """Start the background fold thread on first nonblocking use."""
+        with self._folder_lock:
+            if self._folder is None:
+                self._folder = threading.Thread(
+                    target=self._fold_loop, name="spmd-nb-folder", daemon=True
+                )
+                self._folder.start()
+
+    def _fold_loop(self) -> None:
+        """Background progress engine: complete nonblocking collectives.
+
+        Receives fully-deposited slots, sleeps the emulated transit
+        latency *off* every rank's critical path, folds the contributions
+        in rank order (deterministic, bit-identical to the blocking
+        fold), and publishes result-or-error to the waiting ranks.
+        """
+        while True:
+            slot = self._nb_queue.get()
+            if slot is None:
+                return
+            if self.latency:
+                time.sleep(self.latency)
+            with slot.cond:
+                try:
+                    expected = slot.tags[0]
+                    if any(t != expected for t in slot.tags):
+                        raise RankMismatchError(
+                            "SPMD mismatch: ranks posted different nonblocking"
+                            f" collectives {slot.tags}"
+                        )
+                    slot.result = slot.op.fold(slot.bufs)
+                except BaseException as exc:  # noqa: BLE001 - republished per rank
+                    slot.error = exc
+                slot.done = True
+                slot.cond.notify_all()
+
+    def nb_post(self, rank: int, tag: str, obj: Any, op) -> _ThreadNbHandle:
+        """Deposit one rank's contribution to a nonblocking collective.
+
+        Returns immediately once the contribution is recorded (blocking
+        only if the ring slot is still occupied by the collective
+        ``NB_RING_DEPTH`` sequences earlier — i.e. callers may keep at
+        most ``NB_RING_DEPTH`` requests in flight). The caller must not
+        modify ``obj`` until the request completes.
+        """
+        seq = self._nb_seq[rank]
+        self._nb_seq[rank] += 1
+        slot = self._nb_ring[seq % NB_RING_DEPTH]
+        with slot.cond:
+            while slot.seq != seq:
+                if self.aborted:
+                    raise CommAborted(
+                        f"rank {rank}: nonblocking collective {tag!r} aborted"
+                    )
+                slot.cond.wait(0.05)
+            slot.bufs[rank] = obj
+            slot.tags[rank] = tag
+            if slot.op is None:
+                slot.op = op
+            slot.deposited += 1
+            last = slot.deposited == self.size
+        if last:
+            self._ensure_folder()
+            self._nb_queue.put(slot)
+        return _ThreadNbHandle(self, slot, seq)
+
     def abort(self) -> None:
         """Break the barrier so peers blocked in a collective fail fast."""
+        self.aborted = True
         self.barrier.abort()
+        for slot in self._nb_ring:
+            with slot.cond:
+                slot.cond.notify_all()
+
+    def close(self) -> None:
+        """Stop the background fold thread (idempotent)."""
+        with self._folder_lock:
+            if self._folder is not None:
+                self._nb_queue.put(None)
+                self._folder = None
 
 
 class ThreadComm(Comm):
@@ -110,6 +299,11 @@ class ThreadComm(Comm):
         # fold inside the critical section so send buffers are reusable
         return self._ctx.exchange(self._rank, tag, obj, fold=fold)
 
+    def _iallreduce_impl(self, tag: str, arr, op):
+        # true asynchrony: the context's background fold thread completes
+        # the reduction while this rank keeps computing
+        return self._ctx.nb_post(self._rank, tag, arr, op)
+
 
 @dataclass
 class SpmdResult:
@@ -131,6 +325,7 @@ def spmd_run(
     machine: MachineSpec | None = None,
     cost_size: int | None = None,
     timeout: float | None = 120.0,
+    latency: float = 0.0,
 ) -> SpmdResult:
     """Run ``fn(comm, rank, *args)`` on ``size`` thread ranks.
 
@@ -146,10 +341,14 @@ def spmd_run(
         Model costs as if running on this many ranks (>= size).
     timeout:
         Join timeout per thread; a hung rank raises :class:`CommAborted`.
+    latency:
+        Emulated per-collective transit seconds (overlap studies): paid
+        on the critical path by blocking collectives, hidden behind
+        computation by pipelined nonblocking ones.
 
     Raises the first per-rank exception (rank order) if any rank failed.
     """
-    ctx = ThreadContext(size)
+    ctx = ThreadContext(size, latency=latency)
     values: list[Any] = [None] * size
     errors: list[BaseException | None] = [None] * size
     comms = [
@@ -172,6 +371,7 @@ def spmd_run(
     for t in threads:
         t.join(timeout)
     hung = [t.name for t in threads if t.is_alive()]
+    ctx.close()
     if hung:
         ctx.abort()
         raise CommAborted(f"SPMD ranks did not finish within {timeout}s: {hung}")

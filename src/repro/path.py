@@ -44,7 +44,14 @@ from repro.mpi.virtual_backend import VirtualComm
 from repro.solvers.base import SolverResult
 from repro.solvers.svm.duality import loss_params
 
-__all__ = ["SweepContext", "PathResult", "lambda_grid", "lasso_path", "svm_path"]
+__all__ = [
+    "SweepContext",
+    "PathResult",
+    "lambda_grid",
+    "adaptive_schedule",
+    "lasso_path",
+    "svm_path",
+]
 
 
 def _data_fingerprint(A) -> tuple:
@@ -87,7 +94,42 @@ def _sum_costs(snaps: Sequence[CostSnapshot]) -> CostSnapshot:
         messages=sum(s.messages for s in snaps),
         words=sum(s.words for s in snaps),
         flops=sum(s.flops for s in snaps),
+        comm_seconds_hidden=sum(s.comm_seconds_hidden for s in snaps),
     )
+
+
+def adaptive_schedule(
+    n_points: int,
+    max_iter: int,
+    tol: float | None,
+    tol_factor: float = 100.0,
+    iter_factor: float = 0.25,
+) -> list[tuple[int, float | None]]:
+    """Per-point ``(max_iter, tol)`` budgets: loose early, tight late.
+
+    Early grid points exist to warm-start later ones — solving them to
+    the final tolerance wastes iterations on solutions nobody reads.
+    Point ``i`` of ``n`` (solve order) gets ``tol * tol_factor^(1 - f)``
+    and ``max_iter * (iter_factor + (1 - iter_factor) f)`` with
+    ``f = i/(n-1)``; the *last* point always gets exactly ``(max_iter,
+    tol)``, so the returned solution satisfies the caller's tolerance —
+    tested to match the cold solve. ``tol=None`` stays None (budget-only
+    points) while the iteration ramp still applies.
+    """
+    if n_points < 1:
+        raise SolverError(f"n_points must be >= 1, got {n_points}")
+    if tol_factor < 1.0 or not (0.0 < iter_factor <= 1.0):
+        raise SolverError(
+            f"need tol_factor >= 1 and 0 < iter_factor <= 1, got "
+            f"({tol_factor}, {iter_factor})"
+        )
+    out = []
+    for i in range(n_points):
+        f = 1.0 if n_points == 1 else i / (n_points - 1)
+        it = max(1, int(round(max_iter * (iter_factor + (1.0 - iter_factor) * f))))
+        t = None if tol is None else tol * tol_factor ** (1.0 - f)
+        out.append((it, t))
+    return out
 
 
 class SweepContext:
@@ -127,6 +169,7 @@ class SweepContext:
         virtual_p: int = 1,
         machine: MachineSpec | None = None,
         balance_nnz: bool = True,
+        eig_memo: EigMemo | None = None,
     ) -> None:
         if task not in ("lasso", "svm"):
             raise SolverError(f"unknown sweep task {task!r}; known: ['lasso', 'svm']")
@@ -146,13 +189,18 @@ class SweepContext:
         self.comm = self.dist.comm
         self._fingerprint = _data_fingerprint(A)
         self.b = np.asarray(b, dtype=np.float64).ravel()
-        #: the eigenvalue memo the solvers consult. This is a reference
-        #: to the *process-wide* memo (not a per-context cache): it
+        #: the eigenvalue memo every solve through this context consults
+        #: (threaded into the SA solvers via ``fit_lasso(eig_memo=)``).
+        #: By default this is a reference to the *process-wide* memo: it
         #: persists across points and sweeps, which is what lets a
         #: repeated sampled-block stream skip its eigensolves — and it
-        #: is shared with every other sweep in the process. Exposed for
-        #: hit-rate inspection (``ctx.eig_memo.hit_rate``).
-        self.eig_memo: EigMemo = default_eig_memo()
+        #: is shared with every other sweep in the process. Pass an
+        #: explicit ``eig_memo=EigMemo()`` to isolate this sweep
+        #: (concurrent sweeps/ranks then never contend on one memo).
+        #: Exposed for hit-rate inspection (``ctx.eig_memo.hit_rate``).
+        self.eig_memo: EigMemo = (
+            eig_memo if eig_memo is not None else default_eig_memo()
+        )
         self.point_costs: list[CostSnapshot] = []
 
     def check_problem(self, A, b) -> None:
@@ -283,6 +331,10 @@ def lasso_path(
     warm_start: bool = True,
     fast: bool = True,
     parity: str = "exact",
+    pipeline: bool = False,
+    adaptive: bool = False,
+    adapt_tol_factor: float = 100.0,
+    adapt_iter_factor: float = 0.25,
     comm: Comm | None = None,
     virtual_p: int = 1,
     machine: MachineSpec | None = None,
@@ -300,6 +352,17 @@ def lasso_path(
         Thread each point's solution into the next solve as ``x0``
         (default). ``False`` gives independent solves that still share
         the context's caches.
+    pipeline:
+        Run every SA solve with the nonblocking pipelined outer loop
+        (identical iterates; see :func:`repro.fit_lasso`).
+    adaptive:
+        Loosen per-point budgets along the grid (see
+        :func:`adaptive_schedule`): intermediate points — which exist
+        only to warm-start their successors — get ``tol *
+        adapt_tol_factor^(1-f)`` and an iteration ramp starting at
+        ``adapt_iter_factor * max_iter``; the final point always runs at
+        exactly ``(max_iter, tol)``, so its solution matches a cold
+        solve at the same tolerance.
     context:
         Reuse an existing :class:`SweepContext` (e.g. to run several
         sweeps — different solvers, grids, seeds — against one dataset).
@@ -329,22 +392,32 @@ def lasso_path(
         lams = np.sort(np.asarray(lambdas, dtype=np.float64).ravel())[::-1]
         if lams.size == 0:
             raise SolverError("lambdas must be non-empty")
+    if adaptive:
+        budgets = adaptive_schedule(
+            lams.size, max_iter, tol,
+            tol_factor=adapt_tol_factor, iter_factor=adapt_iter_factor,
+        )
+    else:
+        budgets = [(max_iter, tol)] * lams.size
     results: list[SolverResult] = []
     x_warm = None
-    for lam in lams:
+    for lam, (it_i, tol_i) in zip(lams, budgets):
         ctx.begin_point()
         res = fit_lasso(
             ctx.dist, ctx.b, float(lam), solver=solver, mu=mu, s=s,
-            max_iter=max_iter, seed=seed, tol=tol, comm=ctx.comm,
+            max_iter=it_i, seed=seed, tol=tol_i, comm=ctx.comm,
             record_every=record_every, x0=x_warm if warm_start else None,
-            fast=fast, parity=parity,
+            fast=fast, parity=parity, pipeline=pipeline,
+            eig_memo=ctx.eig_memo,
         )
         ctx.end_point(res)
         results.append(res)
         x_warm = res.x
     return PathResult(
         task="lasso", lambdas=lams, results=results, context=ctx,
-        warm_start=warm_start, extras={"solver": solver, "mu": mu, "s": s},
+        warm_start=warm_start,
+        extras={"solver": solver, "mu": mu, "s": s,
+                "pipeline": pipeline, "adaptive": adaptive},
     )
 
 
@@ -364,6 +437,10 @@ def svm_path(
     warm_start: bool = True,
     fast: bool = True,
     parity: str = "exact",
+    pipeline: bool = False,
+    adaptive: bool = False,
+    adapt_tol_factor: float = 100.0,
+    adapt_iter_factor: float = 0.25,
     comm: Comm | None = None,
     virtual_p: int = 1,
     machine: MachineSpec | None = None,
@@ -378,6 +455,10 @@ def svm_path(
     dual ``alpha`` seeds the next solve; the primal is rebuilt from it
     (Alg. 3 line 2). Default grid: ``n_lambdas`` points geometric in
     ``[0.1, 10]`` around the paper's ``C = 1``.
+
+    ``pipeline`` and ``adaptive`` mirror :func:`lasso_path` (adaptive
+    loosens the *duality-gap* tolerance early on the grid; the final
+    point always runs at exactly ``(max_iter, tol)``).
     """
     ctx = context
     if ctx is None:
@@ -395,9 +476,16 @@ def svm_path(
         if lam_grid.size == 0:
             raise SolverError("lams must be non-empty")
     lam_grid = np.sort(lam_grid)
+    if adaptive:
+        budgets = adaptive_schedule(
+            lam_grid.size, max_iter, tol,
+            tol_factor=adapt_tol_factor, iter_factor=adapt_iter_factor,
+        )
+    else:
+        budgets = [(max_iter, tol)] * lam_grid.size
     results: list[SolverResult] = []
     alpha_warm = None
-    for lam in lam_grid:
+    for lam, (it_i, tol_i) in zip(lam_grid, budgets):
         ctx.begin_point()
         alpha0 = None
         if warm_start and alpha_warm is not None:
@@ -405,13 +493,16 @@ def svm_path(
             alpha0 = np.clip(alpha_warm, 0.0, nu) if np.isfinite(nu) else alpha_warm
         res = fit_svm(
             ctx.dist, ctx.b, loss=loss, lam=float(lam), solver=solver, s=s,
-            max_iter=max_iter, seed=seed, tol=tol, comm=ctx.comm,
+            max_iter=it_i, seed=seed, tol=tol_i, comm=ctx.comm,
             record_every=record_every, alpha0=alpha0, fast=fast, parity=parity,
+            pipeline=pipeline,
         )
         ctx.end_point(res)
         results.append(res)
         alpha_warm = res.extras["alpha"]
     return PathResult(
         task="svm", lambdas=lam_grid, results=results, context=ctx,
-        warm_start=warm_start, extras={"solver": solver, "loss": loss, "s": s},
+        warm_start=warm_start,
+        extras={"solver": solver, "loss": loss, "s": s,
+                "pipeline": pipeline, "adaptive": adaptive},
     )

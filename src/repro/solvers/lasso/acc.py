@@ -83,7 +83,7 @@ from repro.solvers.lasso.common import (
     theta_next,
     theta_schedule,
 )
-from repro.solvers.lasso.plain import _overlap_apply
+from repro.solvers.lasso.plain import _overlap_apply, _sa_plan
 from repro.utils.validation import nnz_of
 
 __all__ = ["acc_bcd", "sa_acc_bcd", "acc_cd", "sa_acc_cd"]
@@ -203,7 +203,7 @@ def acc_bcd(
 
 def _sa_acc_outer_naive(
     dist, pen, Y, G, R, blocks, widths, offsets, thetas, q,
-    y, z, ytil, ztil, done, max_iter, record_every, term, history,
+    y, z, ytil, ztil, done, max_iter, record_every, term, history, memo=None,
 ):
     """Reference inner loop: eqs. (3)-(5) exactly as written.
 
@@ -264,7 +264,7 @@ def _sa_acc_outer_naive(
 
 def _sa_acc_outer_fast(
     dist, pen, Y, G, R, blocks, widths, offsets, thetas, q,
-    y, z, ytil, ztil, done, max_iter, record_every, term, history,
+    y, z, ytil, ztil, done, max_iter, record_every, term, history, memo=None,
 ):
     """Fused inner loop — bit-identical iterates, fraction of the work.
 
@@ -303,7 +303,7 @@ def _sa_acc_outer_fast(
             + 2.0 * widths[j] * (offsets[j] + 4),
             "fixed",
         )
-        v = largest_eigenvalue_cached(G[sl_j, sl_j])
+        v = largest_eigenvalue_cached(G[sl_j, sl_j], memo)
         if v > 0.0:
             eta = 1.0 / (qth[j] * v)
             cur = z[blocks[j]].copy()
@@ -336,7 +336,7 @@ def _sa_acc_outer_fast(
 
 def _sa_acc_outer_fp(
     dist, pen, Y, G, R, blocks, widths, offsets, thetas, q,
-    y, z, ytil, ztil, done, max_iter, record_every, term, history,
+    y, z, ytil, ztil, done, max_iter, record_every, term, history, memo=None,
 ):
     """fp-tolerant fused inner loop: one prefix Gram GEMM per iteration.
 
@@ -381,7 +381,7 @@ def _sa_acc_outer_fp(
             + 2.0 * widths[j] * (offsets[j] + 4),
             "fixed",
         )
-        v = largest_eigenvalue_cached(G[sl_j, sl_j])
+        v = largest_eigenvalue_cached(G[sl_j, sl_j], memo)
         if v > 0.0:
             eta = 1.0 / (qth[j] * v)
             cur = z[blocks[j]].copy()
@@ -508,6 +508,8 @@ def sa_acc_bcd(
     symmetric_pack: bool = True,
     fast: bool = True,
     parity: str = "exact",
+    pipeline: bool = False,
+    eig_memo=None,
 ) -> SolverResult:
     """Synchronization-avoiding accelerated BCD (paper Algorithm 2).
 
@@ -523,6 +525,17 @@ def sa_acc_bcd(
     re-association, <= 1e-9 relative iterate drift); at ``mu = 1`` both
     modes share the exact scalar loop. ``parity`` has no effect with
     ``fast=False``.
+
+    ``pipeline=True`` makes the one synchronization per outer step
+    *asynchronous*: the packed reduction of ``G = Y^T Y`` and
+    ``Y^T [ytil, ztil]`` is posted nonblocking, and the next outer
+    step's sampled block and partial Gram are computed while it is in
+    flight (double-buffered; the residual-dependent projections are
+    packed after the current inner loop finishes). Identical iterates,
+    identical message counts; the modelled ledger charges only the
+    unoverlapped latency remainder. ``eig_memo`` supplies a private
+    eigenvalue memo for the fused loops (default: the shared
+    process-wide memo).
     """
     if s < 1:
         raise SolverError(f"s must be >= 1, got {s}")
@@ -548,21 +561,46 @@ def sa_acc_bcd(
     done = 0
     converged = False
     theta_used = theta
-    while done < max_iter and not converged:
-        s_eff = min(s, max_iter - done)
-        blocks = [sampler.next_block() for _ in range(s_eff)]
-        widths = [int(blk.shape[0]) for blk in blocks]
-        offsets = np.concatenate([[0], np.cumsum(widths)])
-        all_idx = np.concatenate(blocks)
-        # thetas for the whole outer step depend only on theta_sk (Alg. 2 line 9)
-        thetas = theta_schedule(theta, s_eff)
-        Y = dist.sample_columns(all_idx)
-        # one message: G = Y^T Y and Y^T [ytil, ztil]  (Alg. 2 lines 11-12)
-        G, R = dist.gram_and_project(Y, [ytil, ztil], symmetric=symmetric_pack)
-        converged, done, theta, theta_used = step(
-            dist, pen, Y, G, R, blocks, widths, offsets, thetas, q,
-            y, z, ytil, ztil, done, max_iter, record_every, term, history,
-        )
+    if pipeline:
+        pipe = dist.gram_pipeline(extra_cols=2, symmetric=symmetric_pack)
+        cur = _sa_plan(sampler, min(s, max_iter))
+        slot = pipe.prefetch(np.concatenate(cur[0]))
+        pipe.post(slot, [ytil, ztil])
+        while True:
+            nxt = nslot = None
+            remaining = max_iter - done - len(cur[0])
+            if remaining > 0:
+                # overlapped with the in-flight reduction
+                nxt = _sa_plan(sampler, min(s, remaining))
+                nslot = pipe.prefetch(np.concatenate(nxt[0]))
+            Y, G, R = pipe.wait(slot)
+            blocks, widths, offsets = cur
+            # thetas depend only on theta_sk (Alg. 2 line 9)
+            thetas = theta_schedule(theta, len(blocks))
+            converged, done, theta, theta_used = step(
+                dist, pen, Y, G, R, blocks, widths, offsets, thetas, q,
+                y, z, ytil, ztil, done, max_iter, record_every, term, history,
+                memo=eig_memo,
+            )
+            if converged or nxt is None:
+                break
+            pipe.post(nslot, [ytil, ztil])
+            cur, slot = nxt, nslot
+    else:
+        while done < max_iter and not converged:
+            s_eff = min(s, max_iter - done)
+            blocks, widths, offsets = _sa_plan(sampler, s_eff)
+            all_idx = np.concatenate(blocks)
+            # thetas for the whole outer step depend only on theta_sk (Alg. 2 line 9)
+            thetas = theta_schedule(theta, s_eff)
+            Y = dist.sample_columns(all_idx)
+            # one message: G = Y^T Y and Y^T [ytil, ztil]  (Alg. 2 lines 11-12)
+            G, R = dist.gram_and_project(Y, [ytil, ztil], symmetric=symmetric_pack)
+            converged, done, theta, theta_used = step(
+                dist, pen, Y, G, R, blocks, widths, offsets, thetas, q,
+                y, z, ytil, ztil, done, max_iter, record_every, term, history,
+                memo=eig_memo,
+            )
     if not record_every or history.iterations[-1] != done:
         history.record(
             done, _acc_objective(dist, theta_used, y, z, ytil, ztil, pen), dist.comm

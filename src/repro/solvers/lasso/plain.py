@@ -151,7 +151,7 @@ def bcd(
 
 def _sa_outer_naive(
     dist, pen, Y, G, R, blocks, widths, offsets,
-    x, r_local, done, max_iter, record_every, term, history,
+    x, r_local, done, max_iter, record_every, term, history, memo=None,
 ):
     """Reference inner loop (the ``fast=False`` escape hatch)."""
     s_eff = len(blocks)
@@ -200,7 +200,7 @@ def _sa_outer_naive(
 
 def _sa_outer_fast(
     dist, pen, Y, G, R, blocks, widths, offsets,
-    x, r_local, done, max_iter, record_every, term, history,
+    x, r_local, done, max_iter, record_every, term, history, memo=None,
 ):
     """Fused inner loop: bit-identical to :func:`_sa_outer_naive`.
 
@@ -230,7 +230,7 @@ def _sa_outer_fast(
             + 2.0 * widths[j] * (offsets[j] + 3),
             "fixed",
         )
-        v = largest_eigenvalue_cached(G[sl_j, sl_j])
+        v = largest_eigenvalue_cached(G[sl_j, sl_j], memo)
         if v > 0.0:
             eta = 1.0 / v
             cur = x[blocks[j]].copy()
@@ -257,7 +257,7 @@ def _sa_outer_fast(
 
 def _sa_outer_fp(
     dist, pen, Y, G, R, blocks, widths, offsets,
-    x, r_local, done, max_iter, record_every, term, history,
+    x, r_local, done, max_iter, record_every, term, history, memo=None,
 ):
     """fp-tolerant fused inner loop: one prefix Gram GEMV per iteration.
 
@@ -294,7 +294,7 @@ def _sa_outer_fp(
             + 2.0 * widths[j] * (offsets[j] + 3),
             "fixed",
         )
-        v = largest_eigenvalue_cached(G[sl_j, sl_j])
+        v = largest_eigenvalue_cached(G[sl_j, sl_j], memo)
         if v > 0.0:
             eta = 1.0 / v
             cur = x[blocks[j]].copy()
@@ -383,6 +383,14 @@ def _sa_inner_scalar(
     return False, done + s_eff
 
 
+def _sa_plan(sampler, s_eff: int) -> tuple:
+    """Sample one outer step's blocks: (blocks, widths, offsets)."""
+    blocks = [sampler.next_block() for _ in range(s_eff)]
+    widths = [int(blk.shape[0]) for blk in blocks]
+    offsets = np.concatenate([[0], np.cumsum(widths)])
+    return blocks, widths, offsets
+
+
 def sa_bcd(
     A,
     b,
@@ -399,6 +407,8 @@ def sa_bcd(
     symmetric_pack: bool = True,
     fast: bool = True,
     parity: str = "exact",
+    pipeline: bool = False,
+    eig_memo=None,
 ) -> SolverResult:
     """Synchronization-avoiding BCD: one Allreduce per ``s`` iterations.
 
@@ -410,6 +420,19 @@ def sa_bcd(
     ``parity="fp-tolerant"`` fuses the ``mu > 1`` correction GEMVs into
     one prefix Gram apply per inner iteration (BLAS re-association,
     <= 1e-9 relative iterate drift).
+
+    ``pipeline=True`` posts each outer step's packed Gram reduction as a
+    *nonblocking* Allreduce and samples + Gram-packs the next outer
+    step's block while it is in flight (double-buffered), hiding the
+    collective's latency behind computation. Same sampled blocks, same
+    rank-ordered fold — the iterate sequence is unchanged, and the
+    modelled ledger charges only the unoverlapped latency remainder.
+    The prefetch is speculative: a run that converges via ``tol``
+    mid-step has already sampled + Gram-packed one block it will never
+    use, and the ledger honestly charges that extra local work (traffic
+    is never speculated — the unused block is never posted).
+    ``eig_memo`` supplies a private eigenvalue memo for the fused loops
+    (default: the shared process-wide memo).
     """
     if s < 1:
         raise SolverError(f"s must be >= 1, got {s}")
@@ -432,18 +455,42 @@ def sa_bcd(
         step = _sa_outer_fast
     done = 0
     converged = False
-    while done < max_iter and not converged:
-        s_eff = min(s, max_iter - done)
-        blocks = [sampler.next_block() for _ in range(s_eff)]
-        widths = [int(blk.shape[0]) for blk in blocks]
-        offsets = np.concatenate([[0], np.cumsum(widths)])
-        all_idx = np.concatenate(blocks)
-        Y = dist.sample_columns(all_idx)
-        G, R = dist.gram_and_project(Y, [r_local], symmetric=symmetric_pack)
-        converged, done = step(
-            dist, pen, Y, G, R, blocks, widths, offsets,
-            x, r_local, done, max_iter, record_every, term, history,
-        )
+    if pipeline:
+        pipe = dist.gram_pipeline(extra_cols=1, symmetric=symmetric_pack)
+        cur = _sa_plan(sampler, min(s, max_iter))
+        slot = pipe.prefetch(np.concatenate(cur[0]))
+        pipe.post(slot, [r_local])
+        while True:
+            nxt = nslot = None
+            remaining = max_iter - done - len(cur[0])
+            if remaining > 0:
+                # overlapped with the in-flight reduction: sample + pack
+                # the next outer step's (residual-independent) Gram
+                nxt = _sa_plan(sampler, min(s, remaining))
+                nslot = pipe.prefetch(np.concatenate(nxt[0]))
+            Y, G, R = pipe.wait(slot)
+            blocks, widths, offsets = cur
+            converged, done = step(
+                dist, pen, Y, G, R, blocks, widths, offsets,
+                x, r_local, done, max_iter, record_every, term, history,
+                memo=eig_memo,
+            )
+            if converged or nxt is None:
+                break
+            pipe.post(nslot, [r_local])
+            cur, slot = nxt, nslot
+    else:
+        while done < max_iter and not converged:
+            s_eff = min(s, max_iter - done)
+            blocks, widths, offsets = _sa_plan(sampler, s_eff)
+            all_idx = np.concatenate(blocks)
+            Y = dist.sample_columns(all_idx)
+            G, R = dist.gram_and_project(Y, [r_local], symmetric=symmetric_pack)
+            converged, done = step(
+                dist, pen, Y, G, R, blocks, widths, offsets,
+                x, r_local, done, max_iter, record_every, term, history,
+                memo=eig_memo,
+            )
     if not record_every or history.iterations[-1] != done:
         history.record(done, distributed_objective(dist, r_local, x, pen), dist.comm)
 

@@ -60,6 +60,7 @@ def result_to_dict(result: SolverResult) -> dict:
             "messages": result.cost.messages,
             "words": result.cost.words,
             "flops": result.cost.flops,
+            "comm_seconds_hidden": result.cost.comm_seconds_hidden,
         },
         "extras": extras,
         "dropped_extras": dropped,
@@ -87,6 +88,7 @@ def result_from_dict(data: dict) -> SolverResult:
         messages=data["cost"]["messages"],
         words=data["cost"]["words"],
         flops=data["cost"]["flops"],
+        comm_seconds_hidden=data["cost"].get("comm_seconds_hidden", 0.0),
     )
     extras = {}
     for k, v in data["extras"].items():

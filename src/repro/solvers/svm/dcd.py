@@ -287,6 +287,8 @@ def sa_dcd(
     symmetric_pack: bool = True,
     fast: bool = True,
     parity: str = "exact",
+    pipeline: bool = False,
+    eig_memo=None,
 ) -> SolverResult:
     """Synchronization-avoiding dual CD for SVM (paper Algorithm 4).
 
@@ -297,7 +299,16 @@ def sa_dcd(
     is accepted for API uniformity with the Lasso SA solvers; the eq.
     (15) corrections are already one fused dot product per inner
     iteration, so both modes run the same (bit-identical) loop.
+
+    ``pipeline=True`` posts the packed reduction nonblocking and samples
+    + Gram-packs the next outer step's rows while it is in flight (the
+    ``Y x_sk`` projection, which depends on the current primal, is packed
+    after the inner loop finishes). Identical iterates and messages;
+    only unoverlapped latency is charged. ``eig_memo`` is accepted for
+    API uniformity with the Lasso SA solvers (the SVM inner loop has no
+    eigensolves).
     """
+    del eig_memo  # no eigensolves in the dual CD inner loop
     if s < 1:
         raise SolverError(f"s must be >= 1, got {s}")
     check_parity(parity)
@@ -313,6 +324,28 @@ def sa_dcd(
     step = _sa_dcd_outer_fast if fast else _sa_dcd_outer_naive
     done = 0
     converged = term.done(history.final_metric)
+    if pipeline and not converged:
+        pipe = dist.gram_rows_pipeline(symmetric=symmetric_pack)
+        idx = sampler.next_indices(min(s, max_iter))
+        slot = pipe.prefetch(idx)
+        pipe.post(slot, [x_local])
+        while True:
+            nidx = nslot = None
+            remaining = max_iter - done - idx.shape[0]
+            if remaining > 0:
+                # overlapped with the in-flight reduction
+                nidx = sampler.next_indices(min(s, remaining))
+                nslot = pipe.prefetch(nidx)
+            Y, G, R = pipe.wait(slot)
+            converged, done = step(
+                dist, b, Y, G, R[:, 0], idx, gamma, nu,
+                alpha, x_local, lam, loss, done, max_iter, record_every,
+                term, history,
+            )
+            if converged or nidx is None:
+                break
+            pipe.post(nslot, [x_local])
+            idx, slot = nidx, nslot
     while done < max_iter and not converged:
         s_eff = min(s, max_iter - done)
         idx = sampler.next_indices(s_eff)

@@ -1,0 +1,273 @@
+"""Backend-agnostic SPMD collective contract suite.
+
+Every SPMD backend (thread ranks, forked process ranks) must satisfy the
+identical contract: deterministic rank-ordered folds, SPMD-mismatch
+detection, failure propagation, cost plumbing, and the nonblocking
+``Iallreduce`` semantics. The mixins below carry the tests; each backend
+test module subclasses them with a concrete ``run`` (``spmd_run`` or
+``process_spmd_run``), so a new backend inherits the whole suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommAborted, CommError, RankMismatchError
+from repro.machine.spec import CRAY_XC30
+from repro.mpi.ops import MAX, SUM
+
+
+class ObjectCollectivesSuite:
+    run = None  # staticmethod(spmd_run-compatible) set by subclasses
+
+    def test_allreduce_scalar(self):
+        res = self.run(lambda comm, r: comm.allreduce(r + 1), 4)
+        assert res.values == [10, 10, 10, 10]
+
+    def test_allreduce_max(self):
+        res = self.run(lambda comm, r: comm.allreduce(r, op=MAX), 3)
+        assert res.values == [2, 2, 2]
+
+    def test_bcast_from_nonzero_root(self):
+        def fn(comm, r):
+            return comm.bcast({"v": 42} if r == 2 else None, root=2)
+
+        res = self.run(fn, 4)
+        assert all(v == {"v": 42} for v in res.values)
+
+    def test_gather_only_root(self):
+        res = self.run(lambda comm, r: comm.gather(r * r, root=1), 3)
+        assert res.values[0] is None
+        assert res.values[1] == [0, 1, 4]
+        assert res.values[2] is None
+
+    def test_allgather_order(self):
+        res = self.run(lambda comm, r: comm.allgather(chr(ord("a") + r)), 3)
+        assert all(v == ["a", "b", "c"] for v in res.values)
+
+    def test_scatter(self):
+        def fn(comm, r):
+            objs = [10, 20, 30] if r == 0 else None
+            return comm.scatter(objs, root=0)
+
+        res = self.run(fn, 3)
+        assert res.values == [10, 20, 30]
+
+    def test_scatter_wrong_count(self):
+        def fn(comm, r):
+            return comm.scatter([1] if r == 0 else None, root=0)
+
+        with pytest.raises(CommError):
+            self.run(fn, 2)
+
+    def test_reduce_to_root(self):
+        res = self.run(lambda comm, r: comm.reduce(r + 1, op=SUM, root=0), 4)
+        assert res.values[0] == 10 and res.values[1] is None
+
+    def test_barrier_completes(self):
+        res = self.run(lambda comm, r: (comm.barrier(), r)[1], 4)
+        assert res.values == [0, 1, 2, 3]
+
+    def test_invalid_root(self):
+        with pytest.raises(CommError):
+            self.run(lambda comm, r: comm.bcast(1, root=5), 2)
+
+
+class BufferCollectivesSuite:
+    run = None
+
+    def test_Allreduce_sum(self):
+        def fn(comm, r):
+            return comm.Allreduce(np.full(4, float(r)))
+
+        res = self.run(fn, 3)
+        for v in res.values:
+            assert np.array_equal(v, np.full(4, 3.0))
+
+    def test_Allreduce_identical_across_ranks(self):
+        # bitwise identical results on every rank (deterministic fold)
+        def fn(comm, r):
+            rng = np.random.default_rng(r)
+            return comm.Allreduce(rng.standard_normal(100))
+
+        res = self.run(fn, 4)
+        for v in res.values[1:]:
+            assert np.array_equal(res.values[0], v)
+
+    def test_Allreduce_deterministic_across_runs(self):
+        def fn(comm, r):
+            rng = np.random.default_rng(r)
+            return comm.Allreduce(rng.standard_normal(50))
+
+        a = self.run(fn, 4).values[0]
+        b = self.run(fn, 4).values[0]
+        assert np.array_equal(a, b)
+
+    def test_Bcast(self):
+        def fn(comm, r):
+            buf = np.arange(3.0) if r == 0 else np.zeros(3)
+            return comm.Bcast(buf, root=0)
+
+        res = self.run(fn, 3)
+        for v in res.values:
+            assert np.array_equal(v, np.arange(3.0))
+
+    def test_Reduce(self):
+        def fn(comm, r):
+            return comm.Reduce(np.ones(2), root=1)
+
+        res = self.run(fn, 3)
+        assert res.values[0] is None
+        assert np.array_equal(res.values[1], 3 * np.ones(2))
+
+    def test_Allgather_concatenates(self):
+        def fn(comm, r):
+            return comm.Allgather(np.full(2, float(r)))
+
+        res = self.run(fn, 3)
+        assert np.array_equal(res.values[0], [0, 0, 1, 1, 2, 2])
+
+
+class NonblockingSuite:
+    """Contract of ``Iallreduce``: blocking-identical values, overlap
+    accounting, ring reuse, out= landing, mismatch detection."""
+
+    run = None
+
+    def test_matches_blocking_bitwise(self):
+        def fn(comm, r):
+            rng = np.random.default_rng(r)
+            a = rng.standard_normal(64)
+            blocking = comm.Allreduce(a)
+            nb = comm.Iallreduce(a).wait()
+            assert np.array_equal(blocking, nb)
+            return nb
+
+        res = self.run(fn, 4)
+        for v in res.values[1:]:
+            assert np.array_equal(res.values[0], v)
+
+    def test_out_buffer_and_ring_reuse(self):
+        def fn(comm, r):
+            outs = []
+            out = np.empty(8)
+            for k in range(5):  # > ring depth: slots must recycle
+                req = comm.Iallreduce(np.full(8, float(r + k)), out=out)
+                got = req.wait()
+                assert got is out
+                outs.append(float(out[0]))
+            return outs
+
+        res = self.run(fn, 3)
+        assert res.values[0] == res.values[1] == res.values[2]
+        assert res.values[0] == [3.0, 6.0, 9.0, 12.0, 15.0]
+
+    def test_two_in_flight(self):
+        def fn(comm, r):
+            r1 = comm.Iallreduce(np.full(4, 1.0))
+            r2 = comm.Iallreduce(np.full(4, 2.0))
+            return float(r1.wait()[0]), float(r2.wait()[0])
+
+        res = self.run(fn, 3)
+        assert all(v == (3.0, 6.0) for v in res.values)
+
+    def test_test_polls_to_completion(self):
+        def fn(comm, r):
+            req = comm.Iallreduce(np.full(2, 1.0))
+            while not req.test():
+                pass
+            assert req.completed
+            return float(req.wait()[0])  # idempotent after test()
+
+        res = self.run(fn, 2)
+        assert res.values == [2.0, 2.0]
+
+    def test_overlap_charges_only_remainder(self):
+        def fn(comm, r):
+            req = comm.Iallreduce(np.ones(1024))
+            comm.account_flops(1e12, "blas3")  # plenty of overlap
+            req.wait()
+            comm.Allreduce(np.ones(1024))  # blocking reference charge
+            return (comm.ledger.comm_seconds, comm.ledger.comm_seconds_hidden,
+                    comm.ledger.messages)
+
+        res = self.run(fn, 4, machine=CRAY_XC30)
+        comm_s, hidden, messages = res.values[0]
+        # the nonblocking call was fully hidden; only the blocking one
+        # paid comm_seconds, but both were charged their messages
+        assert hidden > 0.0
+        assert comm_s == pytest.approx(hidden)
+        assert messages == 4  # 2 per allreduce at P=4
+
+    def test_mismatched_nonblocking_detected(self):
+        def fn(comm, r):
+            if r == 0:
+                return comm.Iallreduce(np.ones(2)).wait()
+            return comm.Iallreduce(np.ones(3)).wait()
+
+        # payload shapes differ; op.fold broadcasts or raises — either
+        # way the SPMD program is wrong and must not hang
+        with pytest.raises((RankMismatchError, CommAborted, ValueError)):
+            self.run(fn, 2)
+
+
+class FailureModesSuite:
+    run = None
+
+    def test_exception_propagates(self):
+        def fn(comm, r):
+            if r == 1:
+                raise ValueError("rank 1 blew up")
+            comm.barrier()  # would deadlock without abort
+            return r
+
+        with pytest.raises(ValueError, match="rank 1 blew up"):
+            self.run(fn, 3)
+
+    def test_mismatched_collectives_detected(self):
+        def fn(comm, r):
+            if r == 0:
+                comm.allreduce(1)
+            else:
+                comm.barrier()
+
+        with pytest.raises((RankMismatchError, CommAborted)):
+            self.run(fn, 2)
+
+    def test_size_one_works(self):
+        res = self.run(lambda comm, r: comm.allreduce(5), 1)
+        assert res.values == [5]
+
+
+class CostPlumbingSuite:
+    run = None
+
+    def test_ledgers_returned_per_rank(self):
+        def fn(comm, r):
+            comm.Allreduce(np.ones(8))
+            comm.account_flops(100, "blas1")
+
+        res = self.run(fn, 4, machine=CRAY_XC30)
+        assert len(res.ledgers) == 4
+        for led in res.ledgers:
+            assert led.messages == 2  # ceil(log2 4)
+            assert led.flops == 100
+
+    def test_cost_size_overrides(self):
+        def fn(comm, r):
+            assert comm.size == 2 and comm.cost_size == 1024
+            comm.Allreduce(np.ones(1))
+
+        res = self.run(fn, 2, machine=CRAY_XC30, cost_size=1024)
+        assert res.ledgers[0].messages == 10
+
+    def test_cost_size_smaller_than_size_rejected(self):
+        with pytest.raises(CommError):
+            self.run(lambda comm, r: None, 4, cost_size=2)
+
+    def test_flops_divided_by_virtualization(self):
+        def fn(comm, r):
+            comm.account_flops(1000.0)
+
+        res = self.run(fn, 2, cost_size=8)
+        # each real rank stands for 4 virtual ranks
+        assert res.ledgers[0].flops == pytest.approx(250.0)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import SALasso, SALassoCV, SASVMClassifier
+from repro import SALasso, SALassoCV, SASVMClassifier, SASVMClassifierCV
 from repro.datasets import make_sparse_regression
 from repro.errors import SolverError
 from repro.path import PathResult
@@ -143,3 +143,53 @@ class TestSASVMClassifier:
         A, _ = small_classification
         with pytest.raises(SolverError):
             SASVMClassifier().decision_function(A)
+
+
+class TestSASVMClassifierCV:
+    def test_fit_selects_and_refits(self, small_classification):
+        A, b = small_classification
+        clf = SASVMClassifierCV(n_lambdas=4, cv=2, max_iter=3000, s=32,
+                                tol=1e-2, seed=0)
+        clf.fit(A, b)
+        assert clf.lambda_ in clf.lambdas_
+        assert clf.accuracy_path_.shape == (4, 2)
+        assert np.all(clf.lambdas_[:-1] <= clf.lambdas_[1:])  # ascending
+        assert 0.0 <= clf.accuracy_path_.min() <= clf.accuracy_path_.max() <= 1.0
+        assert clf.score(A, b) > 0.8
+        assert clf.dual_coef_.shape == (A.shape[0],)
+
+    def test_arbitrary_label_values(self, small_classification):
+        A, b = small_classification
+        y = np.where(b > 0, "pos", "neg")
+        clf = SASVMClassifierCV(n_lambdas=3, cv=2, max_iter=2000, s=32,
+                                tol=1e-2).fit(A, y)
+        assert set(np.unique(clf.predict(A))) <= {"pos", "neg"}
+        assert clf.score(A, y) > 0.8
+
+    def test_explicit_grid(self, small_classification):
+        A, b = small_classification
+        clf = SASVMClassifierCV(lams=[2.0, 0.5], cv=2, max_iter=1500, s=32,
+                                tol=1e-1).fit(A, b)
+        assert np.array_equal(clf.lambdas_, [0.5, 2.0])  # sorted ascending
+        assert clf.lambda_ in (0.5, 2.0)
+
+    def test_refit_stops_at_selected_lambda(self, small_classification):
+        A, b = small_classification
+        clf = SASVMClassifierCV(n_lambdas=3, cv=2, max_iter=1500, s=32,
+                                tol=1e-1).fit(A, b)
+        assert clf.path_.lambdas[-1] == pytest.approx(clf.lambda_)
+
+    def test_cv_too_small_rejected(self):
+        with pytest.raises(SolverError, match="cv"):
+            SASVMClassifierCV(cv=1)
+
+    def test_multiclass_rejected(self, small_classification):
+        A, _ = small_classification
+        y = np.arange(A.shape[0]) % 3
+        with pytest.raises(SolverError, match="binary"):
+            SASVMClassifierCV(cv=2).fit(A, y)
+
+    def test_not_fitted(self, small_classification):
+        A, _ = small_classification
+        with pytest.raises(SolverError):
+            SASVMClassifierCV(cv=2).predict(A)

@@ -1,0 +1,144 @@
+"""Tests for the process-SPMD backend (forked ranks over shared memory).
+
+Runs the identical backend-agnostic collective contract suite as the
+thread backend (``spmd_collective_suite``), plus process-specific
+behaviour: slab capacity limits, GIL-free parallelism plumbing, ledger
+round-trips, and solver parity against sequential runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommError
+from repro.machine.spec import CRAY_XC30
+from repro.mpi.process_backend import ProcessWorld, process_spmd_run
+from repro.solvers.lasso import sa_acc_bcd
+from repro.solvers.svm import sa_dcd
+from spmd_collective_suite import (
+    BufferCollectivesSuite,
+    CostPlumbingSuite,
+    FailureModesSuite,
+    NonblockingSuite,
+    ObjectCollectivesSuite,
+)
+
+
+class TestObjectCollectives(ObjectCollectivesSuite):
+    run = staticmethod(process_spmd_run)
+
+
+class TestBufferCollectives(BufferCollectivesSuite):
+    run = staticmethod(process_spmd_run)
+
+
+class TestNonblocking(NonblockingSuite):
+    run = staticmethod(process_spmd_run)
+
+
+class TestFailureModes(FailureModesSuite):
+    run = staticmethod(process_spmd_run)
+
+
+class TestCostPlumbing(CostPlumbingSuite):
+    run = staticmethod(process_spmd_run)
+
+
+class TestProcessSpecific:
+    def test_world_rejects_bad_size(self):
+        with pytest.raises(CommError):
+            ProcessWorld(0)
+
+    def test_oversized_blocking_payload_rejected(self):
+        def fn(comm, r):
+            return comm.allreduce(np.zeros(1000))
+
+        with pytest.raises(CommError, match="slab capacity"):
+            process_spmd_run(fn, 2, slab_bytes=1024)
+
+    def test_oversized_nonblocking_payload_rejected(self):
+        def fn(comm, r):
+            return comm.Iallreduce(np.zeros(64)).wait()
+
+        with pytest.raises(CommError, match="slot capacity"):
+            process_spmd_run(fn, 2, nb_doubles=16)
+
+    def test_nonfloat_nonblocking_payload_rejected(self):
+        def fn(comm, r):
+            return comm.Iallreduce(np.arange(4)).wait()  # int64
+
+        with pytest.raises(CommError, match="float64"):
+            process_spmd_run(fn, 2)
+
+    def test_ledgers_pickle_back_with_by_collective(self):
+        def fn(comm, r):
+            comm.Allreduce(np.ones(8))
+            comm.bcast(1)
+            comm.account_flops(50.0, "blas3")
+
+        res = process_spmd_run(fn, 2, machine=CRAY_XC30)
+        led = res.ledgers[0]
+        assert set(led.by_collective) == {"allreduce", "bcast"}
+        assert led.by_kind["blas3"] == pytest.approx(50.0)
+        # reconstructed defaultdicts still work in the parent
+        led.by_collective["new"][0] += 1
+        assert led.by_collective["new"][0] == 1
+
+    def test_each_rank_holds_only_its_shard(self, small_regression):
+        A, b, _ = small_regression
+
+        def fn(comm, rank):
+            from repro.linalg.distmatrix import RowPartitionedMatrix
+
+            M = RowPartitionedMatrix.from_global(A, comm)
+            return M.local.shape[0]
+
+        res = process_spmd_run(fn, 3)
+        assert sum(res.values) == A.shape[0]
+        assert all(v < A.shape[0] for v in res.values)
+
+    def test_sa_acc_bcd_matches_sequential(self, small_regression):
+        A, b, _ = small_regression
+        seq = sa_acc_bcd(A, b, 0.9, mu=2, s=8, max_iter=48, seed=1,
+                         record_every=0).x
+
+        def fn(comm, rank):
+            return sa_acc_bcd(A, b, 0.9, mu=2, s=8, max_iter=48, seed=1,
+                              comm=comm, record_every=0).x
+
+        res = process_spmd_run(fn, 4)
+        for xv in res.values:
+            assert np.allclose(xv, seq, atol=1e-10)
+
+    def test_sa_dcd_matches_sequential(self, small_classification):
+        A, b = small_classification
+        seq = sa_dcd(A, b, loss="l2", s=16, max_iter=96, seed=5,
+                     record_every=0)
+
+        def fn(comm, rank):
+            res = sa_dcd(A, b, loss="l2", s=16, max_iter=96, seed=5,
+                         comm=comm, record_every=0)
+            return res.x, res.extras["alpha"]
+
+        out = process_spmd_run(fn, 3)
+        for xv, av in out.values:
+            assert np.allclose(xv, seq.x, atol=1e-10)
+            assert np.allclose(av, seq.extras["alpha"], atol=1e-10)
+
+    def test_message_counts_match_virtual(self, small_regression):
+        """Process-P and virtual-P modes must charge identical comm costs."""
+        A, b, _ = small_regression
+        P, H = 4, 32
+
+        def fn(comm, rank):
+            sa_acc_bcd(A, b, 0.9, mu=2, s=8, max_iter=H, seed=0, comm=comm,
+                       record_every=0)
+
+        proc = process_spmd_run(fn, P, machine=CRAY_XC30)
+
+        from repro.mpi.virtual_backend import VirtualComm
+
+        vc = VirtualComm(P, machine=CRAY_XC30)
+        sa_acc_bcd(A, b, 0.9, mu=2, s=8, max_iter=H, seed=0, comm=vc,
+                   record_every=0)
+        assert proc.ledgers[0].messages == vc.ledger.messages
+        assert proc.ledgers[0].words == pytest.approx(vc.ledger.words)

@@ -1,175 +1,110 @@
-"""Tests for the thread-SPMD backend: collectives, determinism, failures."""
+"""Tests for the thread-SPMD backend: collectives, determinism, failures.
+
+The backend-agnostic contract lives in ``spmd_collective_suite`` (shared
+with the process backend); thread-specific behaviour is tested below.
+"""
+
+import time
 
 import numpy as np
 import pytest
 
-from repro.errors import CommAborted, CommError, RankMismatchError
-from repro.machine.spec import CRAY_XC30
-from repro.mpi.ops import MAX, SUM
-from repro.mpi.thread_backend import spmd_run
+from repro.errors import CommAborted
+from repro.mpi.thread_backend import ThreadComm, ThreadContext, spmd_run
+from spmd_collective_suite import (
+    BufferCollectivesSuite,
+    CostPlumbingSuite,
+    FailureModesSuite,
+    NonblockingSuite,
+    ObjectCollectivesSuite,
+)
 
 
-class TestObjectCollectives:
-    def test_allreduce_scalar(self):
-        res = spmd_run(lambda comm, r: comm.allreduce(r + 1), 4)
-        assert res.values == [10, 10, 10, 10]
+class TestObjectCollectives(ObjectCollectivesSuite):
+    run = staticmethod(spmd_run)
 
-    def test_allreduce_max(self):
-        res = spmd_run(lambda comm, r: comm.allreduce(r, op=MAX), 3)
-        assert res.values == [2, 2, 2]
 
-    def test_bcast_from_nonzero_root(self):
+class TestBufferCollectives(BufferCollectivesSuite):
+    run = staticmethod(spmd_run)
+
+
+class TestNonblocking(NonblockingSuite):
+    run = staticmethod(spmd_run)
+
+
+class TestFailureModes(FailureModesSuite):
+    run = staticmethod(spmd_run)
+
+
+class TestCostPlumbing(CostPlumbingSuite):
+    run = staticmethod(spmd_run)
+
+
+class TestThreadSpecific:
+    def test_nonblocking_result_is_private_per_rank(self):
+        # the background folder folds once; each rank must get its own
+        # array (mutating one rank's result may not leak to peers)
         def fn(comm, r):
-            return comm.bcast({"v": 42} if r == 2 else None, root=2)
+            res = comm.Iallreduce(np.ones(4)).wait()
+            res += r  # would corrupt peers if the result were shared
+            comm.barrier()
+            return res
 
-        res = spmd_run(fn, 4)
-        assert all(v == {"v": 42} for v in res.values)
+        out = spmd_run(fn, 3)
+        for r, v in enumerate(out.values):
+            assert np.array_equal(v, np.full(4, 3.0 + r))
 
-    def test_gather_only_root(self):
-        res = spmd_run(lambda comm, r: comm.gather(r * r, root=1), 3)
-        assert res.values[0] is None
-        assert res.values[1] == [0, 1, 4]
-        assert res.values[2] is None
-
-    def test_allgather_order(self):
-        res = spmd_run(lambda comm, r: comm.allgather(chr(ord("a") + r)), 3)
-        assert all(v == ["a", "b", "c"] for v in res.values)
-
-    def test_scatter(self):
+    def test_latency_emulation_blocking_critical_path(self):
         def fn(comm, r):
-            objs = [10, 20, 30] if r == 0 else None
-            return comm.scatter(objs, root=0)
+            for _ in range(5):
+                comm.Allreduce(np.ones(2))
 
-        res = spmd_run(fn, 3)
-        assert res.values == [10, 20, 30]
+        t0 = time.perf_counter()
+        spmd_run(fn, 2, latency=0.01)
+        elapsed = time.perf_counter() - t0
+        assert elapsed >= 0.05  # 5 collectives x 10 ms on the critical path
 
-    def test_scatter_wrong_count(self):
+    def test_latency_emulation_nonblocking_overlappable(self):
+        # computation between post and wait runs while the folder thread
+        # sleeps the transit latency: total << blocking's serial sum
         def fn(comm, r):
-            return comm.scatter([1] if r == 0 else None, root=0)
+            req = comm.Iallreduce(np.ones(2))
+            t0 = time.perf_counter()
+            while time.perf_counter() - t0 < 0.05:
+                pass  # "compute" past the transit window
+            req.wait()
 
-        with pytest.raises(CommError):
-            spmd_run(fn, 2)
+        t0 = time.perf_counter()
+        spmd_run(fn, 2, latency=0.04)
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 0.09  # not 0.05 compute + 0.04 serial transit
 
-    def test_reduce_to_root(self):
-        res = spmd_run(lambda comm, r: comm.reduce(r + 1, op=SUM, root=0), 4)
-        assert res.values[0] == 10 and res.values[1] is None
-
-    def test_barrier_completes(self):
-        res = spmd_run(lambda comm, r: (comm.barrier(), r)[1], 4)
-        assert res.values == [0, 1, 2, 3]
-
-    def test_invalid_root(self):
-        with pytest.raises(CommError):
-            spmd_run(lambda comm, r: comm.bcast(1, root=5), 2)
-
-
-class TestBufferCollectives:
-    def test_Allreduce_sum(self):
-        def fn(comm, r):
-            return comm.Allreduce(np.full(4, float(r)))
-
-        res = spmd_run(fn, 3)
-        for v in res.values:
-            assert np.array_equal(v, np.full(4, 3.0))
-
-    def test_Allreduce_identical_across_ranks(self):
-        # bitwise identical results on every rank (deterministic fold)
-        def fn(comm, r):
-            rng = np.random.default_rng(r)
-            return comm.Allreduce(rng.standard_normal(100))
-
-        res = spmd_run(fn, 4)
-        for v in res.values[1:]:
-            assert np.array_equal(res.values[0], v)
-
-    def test_Allreduce_deterministic_across_runs(self):
-        def fn(comm, r):
-            rng = np.random.default_rng(r)
-            return comm.Allreduce(rng.standard_normal(50))
-
-        a = spmd_run(fn, 4).values[0]
-        b = spmd_run(fn, 4).values[0]
-        assert np.array_equal(a, b)
-
-    def test_Bcast(self):
-        def fn(comm, r):
-            buf = np.arange(3.0) if r == 0 else np.zeros(3)
-            return comm.Bcast(buf, root=0)
-
-        res = spmd_run(fn, 3)
-        for v in res.values:
-            assert np.array_equal(v, np.arange(3.0))
-
-    def test_Reduce(self):
-        def fn(comm, r):
-            return comm.Reduce(np.ones(2), root=1)
-
-        res = spmd_run(fn, 3)
-        assert res.values[0] is None
-        assert np.array_equal(res.values[1], 3 * np.ones(2))
-
-    def test_Allgather_concatenates(self):
-        def fn(comm, r):
-            return comm.Allgather(np.full(2, float(r)))
-
-        res = spmd_run(fn, 3)
-        assert np.array_equal(res.values[0], [0, 0, 1, 1, 2, 2])
-
-
-class TestFailureModes:
-    def test_exception_propagates(self):
+    def test_abort_wakes_nonblocking_waiters(self):
         def fn(comm, r):
             if r == 1:
-                raise ValueError("rank 1 blew up")
-            comm.barrier()  # would deadlock without abort
-            return r
+                raise ValueError("boom")
+            # rank 0 posts and waits forever unless the abort wakes it
+            req = comm.Iallreduce(np.ones(2))
+            return req.wait()
 
-        with pytest.raises(ValueError, match="rank 1 blew up"):
-            spmd_run(fn, 3)
+        with pytest.raises(ValueError, match="boom"):
+            spmd_run(fn, 2, timeout=10.0)
 
-    def test_mismatched_collectives_detected(self):
+    def test_context_close_stops_folder(self):
+        ctx = ThreadContext(1)
+        comm = ThreadComm(ctx, 0)
+        comm.Iallreduce(np.ones(2)).wait()
+        folder = ctx._folder
+        assert folder is not None and folder.is_alive()
+        ctx.close()
+        folder.join(2.0)
+        assert not folder.is_alive()
+
+    def test_hung_rank_times_out(self):
         def fn(comm, r):
             if r == 0:
-                comm.allreduce(1)
-            else:
-                comm.barrier()
+                comm.barrier()  # rank 1 never joins
+            return r
 
-        with pytest.raises((RankMismatchError, CommAborted)):
-            spmd_run(fn, 2)
-
-    def test_size_one_works(self):
-        res = spmd_run(lambda comm, r: comm.allreduce(5), 1)
-        assert res.values == [5]
-
-
-class TestCostPlumbing:
-    def test_ledgers_returned_per_rank(self):
-        def fn(comm, r):
-            comm.Allreduce(np.ones(8))
-            comm.account_flops(100, "blas1")
-
-        res = spmd_run(fn, 4, machine=CRAY_XC30)
-        assert len(res.ledgers) == 4
-        for led in res.ledgers:
-            assert led.messages == 2  # ceil(log2 4)
-            assert led.flops == 100
-
-    def test_cost_size_overrides(self):
-        def fn(comm, r):
-            assert comm.size == 2 and comm.cost_size == 1024
-            comm.Allreduce(np.ones(1))
-
-        res = spmd_run(fn, 2, machine=CRAY_XC30, cost_size=1024)
-        assert res.ledgers[0].messages == 10
-
-    def test_cost_size_smaller_than_size_rejected(self):
-        with pytest.raises(CommError):
-            spmd_run(lambda comm, r: None, 4, cost_size=2)
-
-    def test_flops_divided_by_virtualization(self):
-        def fn(comm, r):
-            comm.account_flops(1000.0)
-
-        res = spmd_run(fn, 2, cost_size=8)
-        # each thread rank stands for 4 virtual ranks
-        assert res.ledgers[0].flops == pytest.approx(250.0)
+        with pytest.raises(CommAborted):
+            spmd_run(fn, 2, timeout=0.5)

@@ -8,10 +8,10 @@ from repro.datasets import make_classification, make_sparse_regression
 from repro.errors import SolverError
 from repro.experiments.runner import load_scaled
 from repro.linalg.distmatrix import RowPartitionedMatrix
-from repro.linalg.kernels import eig_cache_clear, eig_cache_info
+from repro.linalg.kernels import EigMemo, eig_cache_clear, eig_cache_info
 from repro.machine.spec import CRAY_XC30
 from repro.mpi.virtual_backend import VirtualComm
-from repro.path import PathResult, SweepContext, lambda_grid
+from repro.path import PathResult, SweepContext, adaptive_schedule, lambda_grid
 from repro.solvers.objectives import lambda_max, lasso_objective
 
 
@@ -243,3 +243,123 @@ class TestSvmPath:
         A, b = small_classification
         with pytest.raises(SolverError):
             svm_path(A, b, [])
+
+
+class TestAdaptiveSchedule:
+    def test_shape_and_endpoints(self):
+        sched = adaptive_schedule(5, 1000, 1e-8, tol_factor=100.0,
+                                  iter_factor=0.25)
+        assert len(sched) == 5
+        assert sched[0] == (250, pytest.approx(1e-6))
+        assert sched[-1] == (1000, pytest.approx(1e-8))
+        iters = [it for it, _ in sched]
+        tols = [t for _, t in sched]
+        assert iters == sorted(iters)
+        assert tols == sorted(tols, reverse=True)
+
+    def test_none_tol_stays_none(self):
+        sched = adaptive_schedule(3, 100, None)
+        assert all(t is None for _, t in sched)
+
+    def test_single_point_gets_full_budget(self):
+        assert adaptive_schedule(1, 500, 1e-6) == [(500, pytest.approx(1e-6))]
+
+    @pytest.mark.parametrize("bad", [dict(tol_factor=0.5),
+                                     dict(iter_factor=0.0),
+                                     dict(iter_factor=1.5)])
+    def test_invalid_factors(self, bad):
+        with pytest.raises(SolverError):
+            adaptive_schedule(4, 100, 1e-6, **bad)
+
+    def test_final_point_matches_cold_solve(self):
+        """The adaptive sweep's last point must not be degraded by the
+        loosened intermediate budgets: it matches an independent cold
+        solve at the same (max_iter, tol) to solution accuracy."""
+        A, b, _ = make_sparse_regression(300, 100, density=0.1, seed=1)
+        grid = lambda_grid(lambda_max(A, b), n_lambdas=8, eps=1e-2)
+        kw = dict(mu=8, s=16, max_iter=2000, tol=1e-8, record_every=5, seed=0)
+        adaptive = lasso_path(A, b, grid, adaptive=True, **kw)
+        cold = fit_lasso(A, b, float(grid[-1]), solver="sa-accbcd",
+                         mu=8, s=16, max_iter=2000, tol=1e-8, record_every=5)
+        assert adaptive.results[-1].converged
+        scale = max(np.max(np.abs(cold.x)), 1e-12)
+        assert np.max(np.abs(adaptive.results[-1].x - cold.x)) / scale < 1e-3
+        obj_a = lasso_objective(A, b, adaptive.results[-1].x, float(grid[-1]))
+        obj_c = lasso_objective(A, b, cold.x, float(grid[-1]))
+        assert obj_a == pytest.approx(obj_c, rel=1e-3)
+
+    def test_adaptive_spends_fewer_iterations(self):
+        A, b, _ = make_sparse_regression(300, 100, density=0.1, seed=1)
+        grid = lambda_grid(lambda_max(A, b), n_lambdas=8, eps=1e-2)
+        kw = dict(mu=8, s=16, max_iter=2000, tol=1e-8, record_every=5, seed=0)
+        plain = lasso_path(A, b, grid, **kw)
+        adaptive = lasso_path(A, b, grid, adaptive=True, **kw)
+        assert sum(adaptive.iterations) < sum(plain.iterations)
+
+    def test_svm_adaptive_final_matches_plain(self, small_classification):
+        A, b = small_classification
+        lams = [0.5, 1.0, 2.0]
+        kw = dict(loss="l2", s=16, max_iter=400, tol=1e-3, record_every=20,
+                  seed=0)
+        plain = svm_path(A, b, lams, **kw)
+        adaptive = svm_path(A, b, lams, adaptive=True, **kw)
+        assert adaptive.results[-1].final_metric <= 1e-3 or \
+            adaptive.results[-1].iterations == 400
+        assert adaptive.lambdas[-1] == plain.lambdas[-1]
+
+
+class TestEigMemoThreading:
+    def test_context_default_is_shared_memo(self, path_problem):
+        A, b, _ = path_problem
+        ctx = SweepContext(A, b)
+        from repro.linalg.kernels import default_eig_memo
+        assert ctx.eig_memo is default_eig_memo()
+
+    def test_private_memo_isolated_from_global(self, path_problem):
+        A, b, _ = path_problem
+        memo = EigMemo(maxsize=256)
+        ctx = SweepContext(A, b, eig_memo=memo)
+        assert ctx.eig_memo is memo
+        eig_cache_clear()
+        before = eig_cache_info()
+        lasso_path(A, b, [0.5, 0.1], mu=4, s=8, max_iter=64,
+                   record_every=0, tol=None, context=ctx)
+        # the sweep's eigensolves hit the private memo, not the global one
+        info = memo.cache_info()
+        assert info.hits + info.misses > 0
+        after = eig_cache_info()
+        assert (after.hits, after.misses) == (before.hits, before.misses)
+
+    def test_private_memos_do_not_share_entries(self, path_problem):
+        """Two sweeps with private memos never serve each other's blocks."""
+        A, b, _ = path_problem
+        m1, m2 = EigMemo(), EigMemo()
+        kw = dict(mu=4, s=8, max_iter=64, record_every=0, tol=None, seed=0)
+        lasso_path(A, b, [0.5], context=SweepContext(A, b, eig_memo=m1), **kw)
+        first = m1.cache_info()
+        assert first.misses > 0
+        # the second memo starts cold: same misses as the first sweep
+        lasso_path(A, b, [0.5], context=SweepContext(A, b, eig_memo=m2), **kw)
+        second = m2.cache_info()
+        assert second.misses == first.misses
+
+    def test_solver_accepts_explicit_memo(self, path_problem):
+        A, b, _ = path_problem
+        memo = EigMemo()
+        res1 = fit_lasso(A, b, 0.5, solver="sa-accbcd", mu=4, s=8,
+                         max_iter=48, record_every=0, eig_memo=memo)
+        assert memo.cache_info().misses > 0
+        # identical run through the same memo now hits
+        res2 = fit_lasso(A, b, 0.5, solver="sa-accbcd", mu=4, s=8,
+                         max_iter=48, record_every=0, eig_memo=memo)
+        assert memo.cache_info().hits > 0
+        assert np.array_equal(res1.x, res2.x)
+
+    def test_pipeline_through_path(self, path_problem):
+        A, b, _ = path_problem
+        grid = [0.8, 0.3]
+        kw = dict(mu=2, s=8, max_iter=64, record_every=0, tol=None, seed=0)
+        base = lasso_path(A, b, grid, **kw)
+        pip = lasso_path(A, b, grid, pipeline=True, **kw)
+        for rb, rp in zip(base.results, pip.results):
+            assert np.array_equal(rb.x, rp.x)

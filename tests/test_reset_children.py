@@ -1,0 +1,141 @@
+"""Edge cases of the per-solve cost-accounting lifecycle:
+``Comm.reset()``, ``CostLedger.child()``, ``VirtualComm.child()``.
+
+Sweep engines rely on these to report honest per-point costs; the edge
+cases here (reset mid-solve, nested children, additivity across
+children) are the ways that accounting silently goes wrong.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_sparse_regression
+from repro.machine.ledger import CostLedger
+from repro.machine.spec import CRAY_XC30
+from repro.mpi.virtual_backend import VirtualComm
+from repro.solvers.lasso import sa_acc_bcd
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return make_sparse_regression(300, 100, density=0.1, seed=4)
+
+
+class TestCommReset:
+    def test_reset_zeroes_every_counter(self):
+        vc = VirtualComm(64, machine=CRAY_XC30)
+        vc.Allreduce(np.ones(16))
+        req = vc.Iallreduce(np.ones(16))
+        vc.account_flops(100.0, "blas3")
+        req.wait()
+        assert vc.ledger.messages > 0
+        vc.reset()
+        led = vc.ledger
+        assert (led.comm_seconds, led.compute_seconds, led.messages,
+                led.words, led.flops, led.comm_seconds_hidden) == (0, 0, 0, 0, 0, 0)
+        assert not led.by_collective and not led.by_kind
+
+    def test_reset_mid_solve_keeps_later_charges(self, problem):
+        """A reset between two solves must not poison the second solve.
+
+        This is exactly what SweepContext.begin_point does: the same
+        communicator (and its buffers) is reused, only the counters drop.
+        """
+        A, b, _ = problem
+        vc = VirtualComm(64, machine=CRAY_XC30)
+        sa_acc_bcd(A, b, 0.5, mu=2, s=8, max_iter=32, seed=0, comm=vc,
+                   record_every=0)
+        first = vc.ledger.snapshot()
+        vc.reset()
+        res = sa_acc_bcd(A, b, 0.5, mu=2, s=8, max_iter=32, seed=0, comm=vc,
+                         record_every=0)
+        # identical work after the reset => identical per-solve bill
+        assert res.cost.messages == first.messages
+        assert res.cost.words == pytest.approx(first.words)
+        assert res.cost.flops == pytest.approx(first.flops)
+
+    def test_reset_does_not_affect_in_flight_request_accounting(self):
+        """A request posted before a reset still charges the new epoch
+        consistently: overlap is measured against compute *since post*,
+        which the reset rewinds — the charge must never go negative."""
+        vc = VirtualComm(16, machine=CRAY_XC30)
+        req = vc.Iallreduce(np.ones(8))
+        vc.reset()
+        req.wait()
+        assert vc.ledger.comm_seconds >= 0.0
+        assert vc.ledger.messages > 0
+
+
+class TestLedgerChild:
+    def test_child_inherits_config_not_counters(self):
+        parent = CostLedger(machine=CRAY_XC30, flop_divisor=8.0,
+                            imbalance=1.5, default_scale=2.0,
+                            kind_scales={"gather": 3.0})
+        parent.add_flops(80.0, "blas1")
+        child = parent.child()
+        assert child.flops == 0.0 and child.compute_seconds == 0.0
+        assert child.flop_divisor == 8.0 and child.imbalance == 1.5
+        assert child.default_scale == 2.0 and child.kind_scales == {"gather": 3.0}
+        # configs are copies, not aliases
+        child.kind_scales["gather"] = 99.0
+        assert parent.kind_scales["gather"] == 3.0
+
+    def test_nested_children_keep_config(self):
+        parent = CostLedger(flop_divisor=4.0, default_scale=2.0)
+        grandchild = parent.child().child()
+        grandchild.add_flops(100.0)
+        # 100 * scale 2 / divisor 4
+        assert grandchild.flops == pytest.approx(50.0)
+        assert parent.flops == 0.0
+
+    def test_totals_additive_across_children(self):
+        parent = CostLedger(machine=CRAY_XC30)
+        kids = [parent.child() for _ in range(3)]
+        for i, led in enumerate(kids):
+            led.add_flops(100.0 * (i + 1), "blas1")
+        total = sum(k.flops for k in kids)
+        assert total == pytest.approx(600.0)
+        # the parent saw none of it
+        assert parent.flops == 0.0
+
+
+class TestVirtualCommChild:
+    def test_child_preserves_model_fresh_ledger(self):
+        vc = VirtualComm(128, machine=CRAY_XC30, imbalance=1.25,
+                         flop_scale=2.0, kind_scales={"spmv": 4.0})
+        vc.Allreduce(np.ones(8))
+        child = vc.child()
+        assert child.cost_size == 128 and child.size == 1
+        assert child.machine is vc.machine
+        assert child.ledger.messages == 0 and child.ledger.flops == 0.0
+        assert child.ledger.imbalance == 1.25
+        assert child.ledger.default_scale == 2.0
+        assert child.ledger.kind_scales == {"spmv": 4.0}
+        # parent's accumulated costs survive untouched
+        assert vc.ledger.messages > 0
+
+    def test_nested_children(self):
+        vc = VirtualComm(64, machine=CRAY_XC30)
+        grandchild = vc.child().child()
+        grandchild.Allreduce(np.ones(8))
+        assert grandchild.ledger.messages == vc._cost_model.allreduce(8.0).messages
+        assert vc.ledger.messages == 0
+
+    def test_children_totals_additive(self, problem):
+        """Per-point ledgers from children must sum to the one-comm bill."""
+        A, b, _ = problem
+        kw = dict(mu=2, s=8, max_iter=24, record_every=0)
+        shared = VirtualComm(64, machine=CRAY_XC30)
+        totals = []
+        for seed in range(3):
+            child = shared.child()
+            res = sa_acc_bcd(A, b, 0.5, seed=seed, comm=child, **kw)
+            totals.append(res.cost)
+        lump = VirtualComm(64, machine=CRAY_XC30)
+        for seed in range(3):
+            sa_acc_bcd(A, b, 0.5, seed=seed, comm=lump, **kw)
+        assert sum(t.messages for t in totals) == lump.ledger.messages
+        assert sum(t.words for t in totals) == pytest.approx(lump.ledger.words)
+        assert sum(t.flops for t in totals) == pytest.approx(lump.ledger.flops)
+        # children never fed back into the parent
+        assert shared.ledger.messages == 0
