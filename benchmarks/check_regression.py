@@ -1,14 +1,24 @@
 """Benchmark regression guard.
 
-Compares the freshly-produced benchmark JSON against the committed
-baseline and fails (exit 1) when any tracked ``speedup`` entry drops
-below ``min_ratio`` times its recorded value, or disappears entirely.
-CI copies the committed ``BENCH_*.json`` files aside before re-running
-the benchmarks, then invokes this script on each pair:
+Compares freshly-produced benchmark JSON against the committed baseline
+and fails (exit 1) when any tracked ``speedup`` entry drops below
+``min_ratio`` times its recorded value, or disappears entirely. CI
+copies the committed ``BENCH_*.json`` files aside before re-running the
+benchmarks, then invokes this script once with every pair:
 
     python benchmarks/check_regression.py \
-        --baseline /tmp/bench-baselines/BENCH_hot_paths.json \
-        --current BENCH_hot_paths.json --min-ratio 0.8
+        --pair /tmp/bench-baselines/BENCH_hot_paths.json BENCH_hot_paths.json 0.8 \
+        --pair /tmp/bench-baselines/BENCH_overlap.json BENCH_overlap.json 0.5
+
+(the single-pair ``--baseline/--current --min-ratio`` form still works).
+All pairs are checked and **all** regressions reported before the exit
+code is decided — one regressed file no longer hides another's report.
+
+First-run tolerance: a *missing baseline file* (the committed baseline
+for a brand-new benchmark doesn't exist yet) is a note, not a failure,
+and entries present in the current run but absent from the baseline are
+reported as new-and-ungated. Only entries the baseline actually tracks
+can regress.
 
 Every numeric ``"speedup"`` key anywhere in the JSON tree is tracked,
 addressed by its dotted path (e.g. ``kernels.sample_columns``).
@@ -57,6 +67,9 @@ def compare(
     base = {k: v for k, v, _ in iter_speedups(baseline)}
     cur = {k: (v, scale) for k, v, scale in iter_speedups(current)}
     failures = []
+    for key in sorted(set(cur) - set(base)):
+        print(f"  note {key}: new entry ({cur[key][0]:.2f}x), no baseline "
+              "yet; not gated")
     for key, bval in sorted(base.items()):
         got = cur.get(key)
         if got is None:
@@ -74,31 +87,72 @@ def compare(
     return failures
 
 
+def check_pair(
+    baseline_path: Path,
+    current_path: Path,
+    min_ratio: float,
+    noise_floor: float,
+) -> list[str]:
+    """Check one baseline/current pair; prints its verdict, returns failures."""
+    name = current_path.name
+    if not baseline_path.exists():
+        print(f"{name}: no committed baseline at {baseline_path} "
+              "(first run of a new benchmark); nothing gated")
+        return []
+    if not current_path.exists():
+        line = (f"{name}: current benchmark output {current_path} is missing "
+                "(did the benchmark fail to run?)")
+        print(f"  FAIL {line}")
+        return [line]
+    baseline = json.loads(baseline_path.read_text())
+    current = json.loads(current_path.read_text())
+    tracked = {k: v for k, v, _ in iter_speedups(baseline)}
+    failures = compare(baseline, current, min_ratio, noise_floor)
+    if failures:
+        print(f"{name}: {len(failures)} regression(s) "
+              f"(threshold {min_ratio:.2f}x of baseline):")
+        for line in failures:
+            print(f"  FAIL {line}")
+    else:
+        print(f"{name}: {len(tracked)} tracked speedups within "
+              f"{min_ratio:.2f}x of baseline")
+    return [f"{name}: {line}" for line in failures]
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", required=True, type=Path,
-                        help="committed benchmark JSON")
-    parser.add_argument("--current", required=True, type=Path,
-                        help="freshly produced benchmark JSON")
+    parser.add_argument("--baseline", type=Path,
+                        help="committed benchmark JSON (single-pair mode)")
+    parser.add_argument("--current", type=Path,
+                        help="freshly produced benchmark JSON (single-pair mode)")
     parser.add_argument("--min-ratio", type=float, default=0.8,
-                        help="fail when current < min_ratio * baseline")
+                        help="fail when current < min_ratio * baseline "
+                             "(single-pair mode)")
+    parser.add_argument("--pair", nargs=3, action="append", default=[],
+                        metavar=("BASELINE", "CURRENT", "MIN_RATIO"),
+                        help="one baseline/current/ratio triple; repeatable — "
+                             "all pairs are checked and every regression "
+                             "reported before exiting")
     parser.add_argument("--noise-floor", type=float,
                         default=NOISE_FLOOR_SECONDS,
                         help="don't gate entries timed below this many seconds")
     args = parser.parse_args(argv)
-    baseline = json.loads(args.baseline.read_text())
-    current = json.loads(args.current.read_text())
-    tracked = {k: v for k, v, _ in iter_speedups(baseline)}
-    failures = compare(baseline, current, args.min_ratio, args.noise_floor)
-    name = args.current.name
-    if failures:
-        print(f"{name}: {len(failures)} regression(s) "
-              f"(threshold {args.min_ratio:.2f}x of baseline):")
-        for line in failures:
-            print(f"  FAIL {line}")
+    pairs = [(Path(b), Path(c), float(r)) for b, c, r in args.pair]
+    if args.baseline is not None or args.current is not None:
+        if args.baseline is None or args.current is None:
+            parser.error("--baseline and --current must be given together")
+        pairs.append((args.baseline, args.current, args.min_ratio))
+    if not pairs:
+        parser.error("nothing to check: give --pair or --baseline/--current")
+    all_failures: list[str] = []
+    for baseline_path, current_path, min_ratio in pairs:
+        all_failures.extend(
+            check_pair(baseline_path, current_path, min_ratio, args.noise_floor)
+        )
+    if all_failures:
+        print(f"\n{len(all_failures)} regression(s) across "
+              f"{len(pairs)} benchmark file(s)")
         return 1
-    print(f"{name}: {len(tracked)} tracked speedups within "
-          f"{args.min_ratio:.2f}x of baseline")
     return 0
 
 

@@ -34,6 +34,7 @@ from repro.errors import ReproError
 from repro.path import PathResult, SweepContext, adaptive_schedule, lasso_path, svm_path
 from repro.prox import L1Penalty, ElasticNetPenalty, GroupLassoPenalty
 from repro.solvers.base import SolverResult
+from repro.streaming import DataRevision, StreamingSweep, replay_schedule
 
 __version__ = "1.1.0"
 
@@ -45,6 +46,9 @@ __all__ = [
     "adaptive_schedule",
     "SweepContext",
     "PathResult",
+    "StreamingSweep",
+    "DataRevision",
+    "replay_schedule",
     "SALasso",
     "SALassoCV",
     "SASVMClassifier",

@@ -1,12 +1,14 @@
 """Command-line interface.
 
-Five subcommands cover the library's workflows:
+Six subcommands cover the library's workflows:
 
 * ``repro lasso``      — solve a Lasso problem (registry stand-in or
   LIBSVM file);
 * ``repro lasso-path`` — warm-started regularization-path sweep over a
   descending lambda grid (one shared cache context);
 * ``repro svm``        — train a linear SVM the same way;
+* ``repro stream``     — replay a row-arrival schedule through the
+  streaming refit engine (warm refits, optional cold baselines);
 * ``repro scaling``    — Fig.-4-style strong-scaling study;
 * ``repro plan``       — recommend the unrolling parameter s from the
   analytic Table-I model.
@@ -18,6 +20,7 @@ Examples
     python -m repro.cli lasso --dataset covtype --solver sa-accbcd --s 16
     python -m repro.cli lasso-path --dataset news20 --n-lambdas 16 --s 16
     python -m repro.cli svm --file data.svm --loss l2 --s 64 --tol 1e-2
+    python -m repro.cli stream --dataset covtype --schedule 40,40,20 --compare-cold
     python -m repro.cli scaling --dataset url --ps 3072,6144,12288 --s 32
     python -m repro.cli plan --dataset covtype --p 3072
 """
@@ -25,6 +28,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -43,9 +47,13 @@ from repro.experiments.runner import (
 )
 from repro.experiments.theory import best_s
 from repro.machine.spec import get_machine
+from repro.mpi.process_backend import process_spmd_run
+from repro.mpi.thread_backend import spmd_run
+from repro.mpi.virtual_backend import VirtualComm
 from repro.path import lasso_path
 from repro.solvers.objectives import lambda_max
 from repro.solvers.serialization import save_result
+from repro.streaming import replay_schedule
 from repro.utils.tables import format_series, format_table
 
 __all__ = ["main", "build_parser"]
@@ -127,13 +135,55 @@ def build_parser() -> argparse.ArgumentParser:
     lpath.add_argument("--cold", action="store_true",
                        help="disable warm starts (independent solves that "
                             "still share the sweep caches)")
-    lpath.add_argument("--pipeline", action="store_true",
-                       help="SA solvers: nonblocking per-outer-step "
-                            "reduction with the next block prefetched")
     lpath.add_argument("--adaptive", action="store_true",
                        help="loose tol/iteration budgets early on the grid, "
                             "tight at the end (final point runs at exactly "
                             "--tol/--max-iter)")
+    _add_backend_args(lpath)
+
+    stream = sub.add_parser(
+        "stream",
+        help="replay a row-arrival schedule through the streaming "
+             "refit engine",
+    )
+    _add_data_args(stream)
+    _add_model_args(stream)
+    stream.add_argument("--task", default="auto", choices=["auto", "lasso", "svm"],
+                        help="problem family (auto: from the dataset registry; "
+                             "LIBSVM files default to lasso)")
+    stream.add_argument("--schedule", default="",
+                        help="comma-separated batch row counts taken from the "
+                             "tail of the dataset (default: --batches equal "
+                             "batches of --batch-frac rows each)")
+    stream.add_argument("--batches", type=int, default=3,
+                        help="number of arrival batches when --schedule is "
+                             "not given")
+    stream.add_argument("--batch-frac", type=float, default=0.05,
+                        help="rows per default batch, as a fraction of the "
+                             "dataset")
+    stream.add_argument("--solver", default=None,
+                        help="solver override (default: sa-accbcd / sa-svm)")
+    stream.add_argument("--loss", default="l2", choices=["l1", "l2"],
+                        help="SVM loss (svm task only)")
+    stream.add_argument("--lam", type=float, default=None,
+                        help="penalty (default: 0.1*lambda_max of the initial "
+                             "data for lasso, 1.0 for svm)")
+    stream.add_argument("--mu", type=int, default=8)
+    stream.add_argument("--s", type=int, default=16)
+    stream.add_argument("--max-iter", type=int, default=1000)
+    stream.add_argument("--tol", type=float, default=1e-8,
+                        help="stopping tolerance (objective change for lasso, "
+                             "duality gap for svm)")
+    stream.add_argument("--record-every", type=int, default=10)
+    stream.add_argument("--parity", default="exact",
+                        choices=["exact", "fp-tolerant"])
+    stream.add_argument("--cold", action="store_true",
+                        help="disable warm starts (each refit restarts from "
+                             "zero; the engine caches still persist)")
+    stream.add_argument("--compare-cold", action="store_true",
+                        help="also run a cold re-solve on the concatenated "
+                             "data at every revision and report the ratio")
+    _add_backend_args(stream)
 
     svm = sub.add_parser("svm", help="train a linear SVM")
     _add_data_args(svm)
@@ -213,29 +263,65 @@ def _cmd_lasso(args) -> int:
     return 0
 
 
+def _dispatch_backend(work, args, machine):
+    """Run ``work(comm, rank)`` on the requested backend; rank 0's value.
+
+    ``virtual`` runs in-process at virtual P; ``thread``/``process`` run
+    ``--ranks`` real SPMD participants with costs modelled at
+    ``max(--p, --ranks)``. ``work`` must return a plain (picklable)
+    payload — the process backend ships it back through a pipe.
+    """
+    if args.backend == "virtual":
+        return work(VirtualComm(virtual_size=args.p, machine=machine), 0)
+    runner = spmd_run if args.backend == "thread" else process_spmd_run
+    out = runner(work, args.ranks, machine=machine,
+                 cost_size=max(args.p, args.ranks))
+    return out.values[0]
+
+
 def _cmd_lasso_path(args) -> int:
     ds = _load_problem(args)
-    path = lasso_path(
-        ds.A, ds.b, n_lambdas=args.n_lambdas, eps=args.eps,
-        solver=args.solver, mu=args.mu, s=args.s, max_iter=args.max_iter,
-        tol=args.tol, seed=args.seed, record_every=args.record_every,
-        warm_start=not args.cold, parity=args.parity,
-        pipeline=args.pipeline, adaptive=args.adaptive,
-        virtual_p=args.p, machine=get_machine(args.machine),
-    )
-    n = path.results[0].x.shape[0]
-    # like `repro lasso`, modelled time is only meaningful at P > 1
-    # (a 1-rank tree Allreduce has zero rounds)
+    machine = get_machine(args.machine)
+
+    def work(comm, rank):
+        path = lasso_path(
+            ds.A, ds.b, n_lambdas=args.n_lambdas, eps=args.eps,
+            solver=args.solver, mu=args.mu, s=args.s, max_iter=args.max_iter,
+            tol=args.tol, seed=args.seed, record_every=args.record_every,
+            warm_start=not args.cold, parity=args.parity,
+            pipeline=args.pipeline, adaptive=args.adaptive, comm=comm,
+        )
+        # plain payload: PathResult holds the context/communicator,
+        # which must not cross the process-backend pipe
+        return {
+            "n": int(path.results[0].x.shape[0]),
+            "points": [
+                {"lam": float(lam), "iterations": int(res.iterations),
+                 "support": int(nnz), "objective": float(res.final_metric),
+                 "seconds": res.cost.seconds}
+                for lam, res, nnz in zip(path.lambdas, path.results,
+                                         path.support_sizes(1e-10))
+            ],
+            "total_iterations": int(sum(path.iterations)),
+            "total_seconds": path.total_cost.seconds,
+            "total_messages": int(path.total_cost.messages),
+        }
+
+    payload = _dispatch_backend(work, args, machine)
+    n = payload["n"]
+    # like `repro lasso`, modelled time is only meaningful at modelled
+    # P > 1 (a 1-rank tree Allreduce has zero rounds); thread/process
+    # runs model costs at max(--p, --ranks) ranks
+    model_p = args.p if args.backend == "virtual" else max(args.p, args.ranks)
     headers = ["lambda", "iters", "support", "objective"]
-    if args.p > 1:
+    if model_p > 1:
         headers.append("model ms")
     rows = []
-    for lam, res, nnz in zip(path.lambdas, path.results,
-                             path.support_sizes(1e-10)):
-        row = [f"{lam:.4g}", res.iterations, f"{nnz}/{n}",
-               f"{res.final_metric:.6g}"]
-        if args.p > 1:
-            row.append(f"{res.cost.seconds * 1e3:.4g}")
+    for pt in payload["points"]:
+        row = [f"{pt['lam']:.4g}", pt["iterations"], f"{pt['support']}/{n}",
+               f"{pt['objective']:.6g}"]
+        if model_p > 1:
+            row.append(f"{pt['seconds'] * 1e3:.4g}")
         rows.append(row)
     mode = "cold (shared caches)" if args.cold else "warm-started"
     print(format_table(
@@ -244,11 +330,91 @@ def _cmd_lasso_path(args) -> int:
         title=f"{args.solver} regularization path, {mode} "
               f"(mu={args.mu}, s={args.s}, parity={args.parity})",
     ))
-    print(f"total iterations: {sum(path.iterations)}")
-    if args.p > 1:
-        total = path.total_cost
-        print(f"total modelled time at P={args.p} on {args.machine}: "
-              f"{total.seconds * 1e3:.4g} ms ({total.messages} messages)")
+    print(f"total iterations: {payload['total_iterations']}")
+    if model_p > 1:
+        print(f"total modelled time at P={model_p} on {args.machine}: "
+              f"{payload['total_seconds'] * 1e3:.4g} ms "
+              f"({payload['total_messages']} messages)")
+    return 0
+
+
+def _stream_schedule(args, m: int) -> list:
+    """Batch row counts from --schedule or --batches/--batch-frac."""
+    if args.schedule:
+        counts = [int(x) for x in args.schedule.split(",") if x]
+    else:
+        k = max(1, int(round(args.batch_frac * m)))
+        counts = [k] * args.batches
+    if not counts or any(c < 1 for c in counts):
+        raise ReproError(f"schedule must be positive row counts, got {counts}")
+    if sum(counts) >= m:
+        raise ReproError(
+            f"schedule consumes {sum(counts)} rows but the dataset has only "
+            f"{m} (the initial fit needs at least one row)"
+        )
+    return counts
+
+
+def _cmd_stream(args) -> int:
+    ds = _load_problem(args)
+    task = args.task if args.task != "auto" else getattr(ds, "task", "lasso")
+    machine = get_machine(args.machine)
+    m = ds.A.shape[0]
+    counts = _stream_schedule(args, m)
+    # replay: the schedule's rows are held out of the initial fit and
+    # arrive batch by batch, oldest data first
+    m0 = m - sum(counts)
+    A0, b0 = ds.A[:m0], ds.b[:m0]
+    batches = []
+    lo = m0
+    for c in counts:
+        batches.append((ds.A[lo:lo + c], ds.b[lo:lo + c]))
+        lo += c
+    report = replay_schedule(
+        A0, b0, batches, task=task, lam=args.lam, solver=args.solver,
+        loss=args.loss, mu=args.mu, s=args.s, max_iter=args.max_iter,
+        tol=args.tol, seed=args.seed, record_every=args.record_every,
+        parity=args.parity, pipeline=args.pipeline,
+        backend=args.backend, ranks=args.ranks, virtual_p=args.p,
+        machine=machine, warm_start=not args.cold,
+        compare_cold=args.compare_cold,
+    )
+    headers = ["rev", "rows", "+rows", "iters", "metric", "model ms"]
+    if args.compare_cold:
+        headers += ["cold ms", "warm/cold"]
+    rows = []
+    for e in report["revisions"]:
+        w = e["warm"]
+        row = [e["rev"], e["rows_total"], e["rows_added"],
+               w["iterations"], f"{w['final_metric']:.6g}",
+               f"{(w['cost']['seconds'] + e['append_cost']['seconds']) * 1e3:.4g}"]
+        if args.compare_cold:
+            if e["cold"] is not None:
+                refit = w["cost"]["seconds"] + e["append_cost"]["seconds"]
+                row += [f"{e['cold']['cost']['seconds'] * 1e3:.4g}",
+                        f"{refit / max(e['cold']['cost']['seconds'], 1e-300):.3f}"]
+            else:
+                row += ["-", "-"]
+        rows.append(row)
+    mode = "warm refits" if not args.cold else "cold restarts (shared caches)"
+    print(format_table(
+        headers, rows,
+        title=f"streaming {task} ({report['solver']}), {mode}, "
+              f"lam={report['lam']:.4g}" if report["lam"] is not None else
+              f"streaming {task} ({report['solver']}), {mode}",
+    ))
+    totals = report["totals"]
+    print(f"total warm refit modelled time: "
+          f"{totals['warm_refit_cost']['seconds'] * 1e3:.4g} ms")
+    if totals["cold_resolve_cost"] is not None:
+        cold_s = totals["cold_resolve_cost"]["seconds"]
+        warm_s = totals["warm_refit_cost"]["seconds"]
+        print(f"total cold re-solve modelled time: {cold_s * 1e3:.4g} ms "
+              f"(warm/cold {warm_s / max(cold_s, 1e-300):.3f})")
+    if args.save:
+        with open(args.save, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"saved to {args.save}")
     return 0
 
 
@@ -318,6 +484,7 @@ _COMMANDS = {
     "lasso": _cmd_lasso,
     "lasso-path": _cmd_lasso_path,
     "svm": _cmd_svm,
+    "stream": _cmd_stream,
     "scaling": _cmd_scaling,
     "plan": _cmd_plan,
 }

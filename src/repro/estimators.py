@@ -16,6 +16,7 @@ from repro.path import PathResult, lambda_grid, lasso_path, svm_path
 from repro.solvers.base import SolverResult
 from repro.solvers.objectives import lambda_max
 from repro.solvers.svm.duality import prediction_accuracy
+from repro.streaming import StreamingSweep
 
 __all__ = ["SALasso", "SALassoCV", "SASVMClassifier", "SASVMClassifierCV"]
 
@@ -96,12 +97,41 @@ class SALasso(_RegressorMixin):
 
     def fit(self, X, y) -> "SALasso":
         p = self._params
+        if hasattr(self, "stream_"):
+            del self.stream_  # fit() restarts from scratch
         res: SolverResult = fit_lasso(
             X, y, lam=p["lam"], solver=p["solver"], mu=p["mu"], s=p["s"],
             max_iter=p["max_iter"], tol=p["tol"], seed=p["seed"],
             record_every=max(1, p["max_iter"] // 50),
             pipeline=p["pipeline"],
         )
+        self.result_ = res
+        self.coef_ = res.x
+        self.n_iter_ = res.iterations
+        return self
+
+    def partial_fit(self, X, y) -> "SALasso":
+        """Incremental fitting: new rows extend the data, the refit is warm.
+
+        The first call behaves like :meth:`fit` but keeps a
+        :class:`~repro.streaming.StreamingSweep` (exposed as
+        ``stream_``); every subsequent call appends ``(X, y)`` as new
+        rows — ``X`` must keep the same feature count — and warm-starts
+        the refit from the previous coefficients. Per-revision modelled
+        costs are available as ``stream_.revisions``. Calling
+        :meth:`fit` discards the streaming state.
+        """
+        p = self._params
+        if not hasattr(self, "stream_"):
+            self.stream_ = StreamingSweep(
+                X, y, task="lasso", solver=p["solver"], lam=p["lam"],
+                mu=p["mu"], s=p["s"], max_iter=p["max_iter"], tol=p["tol"],
+                seed=p["seed"], pipeline=p["pipeline"],
+                record_every=max(1, p["max_iter"] // 50),
+            )
+            res = self.stream_.solve(warm_start=False)
+        else:
+            res = self.stream_.refit(X, y)
         self.result_ = res
         self.coef_ = res.x
         self.n_iter_ = res.iterations
@@ -299,12 +329,51 @@ class SASVMClassifier(_SVMClassifierMixin):
     def fit(self, X, y) -> "SASVMClassifier":
         b = self._encode_labels(y)
         p = self._params
+        if hasattr(self, "stream_"):
+            del self.stream_  # fit() restarts from scratch
         res: SolverResult = fit_svm(
             X, b, loss=p["loss"], lam=p["lam"], solver=p["solver"], s=p["s"],
             max_iter=p["max_iter"], tol=p["tol"], seed=p["seed"],
             record_every=max(1, p["max_iter"] // 100),
             pipeline=p["pipeline"],
         )
+        self.result_ = res
+        self.coef_ = res.x
+        self.dual_coef_ = res.extras["alpha"]
+        self.n_iter_ = res.iterations
+        return self
+
+    def partial_fit(self, X, y) -> "SASVMClassifier":
+        """Incremental fitting: new rows extend the data, the refit is warm.
+
+        The first call must contain both classes (it establishes
+        ``classes_``) and keeps a :class:`~repro.streaming.
+        StreamingSweep` (``stream_``); every subsequent call appends
+        ``(X, y)`` as new samples — labels must come from ``classes_``,
+        a single-class batch is fine — and warm-starts the refit from
+        the previous dual, zero-padded for the new rows. Calling
+        :meth:`fit` discards the streaming state.
+        """
+        p = self._params
+        if not hasattr(self, "stream_"):
+            b = self._encode_labels(y)
+            self.stream_ = StreamingSweep(
+                X, b, task="svm", solver=p["solver"], loss=p["loss"],
+                lam=p["lam"], s=p["s"], max_iter=p["max_iter"], tol=p["tol"],
+                seed=p["seed"], pipeline=p["pipeline"],
+                record_every=max(1, p["max_iter"] // 100),
+            )
+            res = self.stream_.solve(warm_start=False)
+        else:
+            y_arr = np.asarray(y).ravel()
+            known = np.isin(y_arr, self.classes_)
+            if not known.all():
+                raise SolverError(
+                    f"partial_fit batch contains labels outside classes_ "
+                    f"{list(self.classes_)}"
+                )
+            b = np.where(y_arr == self.classes_[1], 1.0, -1.0)
+            res = self.stream_.refit(X, b)
         self.result_ = res
         self.coef_ = res.x
         self.dual_coef_ = res.extras["alpha"]

@@ -74,6 +74,23 @@ class _PartitionedBase:
     def is_sparse(self) -> bool:
         return sp.issparse(self.local)
 
+    def _coerce_like_local(self, block):
+        """Match an appended block to the shard's storage (CSR or dense)."""
+        if self.is_sparse:
+            return sp.csr_matrix(block) if not sp.issparse(block) else block.tocsr()
+        if sp.issparse(block):
+            return np.asarray(block.todense())
+        return np.asarray(block)
+
+    def _stack_local(self, share) -> None:
+        """Grow the shard by ``share`` rows; refresh the nnz bookkeeping."""
+        share = self._coerce_like_local(share)
+        if self.is_sparse:
+            self.local = sp.vstack([self.local, share], format="csr")
+        else:
+            self.local = np.vstack([self.local, share])
+        self.local_nnz = nnz_of(self.local)
+
     def _packed_buffers(self, length: int) -> tuple[np.ndarray, np.ndarray]:
         """Reusable (send, recv) float64 views of exactly ``length``."""
         if self._send_buf is None or self._send_buf.shape[0] < length:
@@ -278,6 +295,62 @@ class RowPartitionedMatrix(_PartitionedBase):
             local = local.tocsr()
         return cls(comm, partition, local, (m, n))
 
+    def append_rows(
+        self,
+        B,
+        partition: Partition1D | None = None,
+        balance_nnz: bool = True,
+    ) -> Partition1D:
+        """Extend the matrix in place with the global batch ``B`` (k x n).
+
+        SPMD-collective like :meth:`from_global`: every rank calls with
+        the same batch and keeps only its contiguous share (``partition``
+        over the batch's ``k`` rows; default nnz-balanced), appended at
+        the end of its local shard. The matrix's global row order after
+        the append is therefore *rank-blocked*: rank 0's old rows, then
+        rank 0's new rows, then rank 1's, ... — a fixed permutation of
+        arrival order that callers tracking the global label vector must
+        mirror (see :class:`repro.streaming.StreamingSweep`).
+
+        Only the caches the batch actually touches are invalidated: the
+        CSC sampling view (its row dimension changed) is dropped and
+        rebuilt lazily on the next :meth:`sample_columns`. The gather
+        workspace, packed send/receive buffers, and Gram output buffers
+        survive — they are sized by (k, extra_cols), not by the row
+        count, and hold no row-indexed state.
+
+        Returns the partition of the batch that was applied.
+        """
+        B = check_dense_or_csr(B)
+        k, n = B.shape
+        if n != self.shape[1]:
+            raise PartitionError(
+                f"appended rows must have {self.shape[1]} columns, got {n}"
+            )
+        size = self.comm.size
+        if partition is None:
+            partition = (
+                balanced_nnz_partition(B, size, axis=0)
+                if balance_nnz
+                else block_partition(k, size)
+            )
+        if partition.n != k or partition.size != size:
+            raise PartitionError(
+                f"batch partition ({partition.size} ranks over {partition.n} "
+                f"rows) does not match batch ({k} rows) / communicator "
+                f"({size} ranks)"
+            )
+        lo, hi = partition.range_of(self.comm.rank)
+        self._stack_local(B[lo:hi])
+        counts = self.partition.counts() + partition.counts()
+        self.partition = Partition1D(
+            tuple(int(o) for o in np.concatenate([[0], np.cumsum(counts)]))
+        )
+        self.shape = (self.shape[0] + k, self.shape[1])
+        # row dimension changed: the CSC sampling view is stale
+        self._csc_cache = None
+        return partition
+
     # -- sampling -------------------------------------------------------------
     def _build_sampling_view(self) -> None:
         # Column sampling out of a CSR shard is the classical method's
@@ -433,6 +506,35 @@ class ColPartitionedMatrix(_PartitionedBase):
         else:
             local = A[:, lo:hi]
         return cls(comm, partition, local, (m, n))
+
+    def append_rows(self, B) -> None:
+        """Extend the matrix in place with the global batch ``B`` (k x n).
+
+        SPMD-collective like :meth:`from_global`: every rank calls with
+        the same batch and keeps the rows of its own *column* range,
+        appended below its local shard. Unlike the row-partitioned
+        layout, the column partition is untouched and the global row
+        order stays exactly arrival order — new data points land at
+        indices ``[m, m + k)``, which is what lets SVM streaming zero-pad
+        the replicated dual vector.
+
+        Nothing needs invalidating beyond the nnz bookkeeping: the CSR
+        shard *is* the row-sampling view, and the gather/packed/Gram
+        buffers are sized by (s, 1), not by the row count.
+        """
+        B = check_dense_or_csr(B)
+        k, n = B.shape
+        if n != self.shape[1]:
+            raise PartitionError(
+                f"appended rows must have {self.shape[1]} columns, got {n}"
+            )
+        lo, hi = self.partition.range_of(self.comm.rank)
+        if sp.issparse(B):
+            share = B.tocsc()[:, lo:hi].tocsr()
+        else:
+            share = B[:, lo:hi]
+        self._stack_local(share)
+        self.shape = (self.shape[0] + k, self.shape[1])
 
     def sample_rows(self, idx: np.ndarray, ws: GatherWorkspace | None = None):
         """Local columns of the sampled rows (k x n_loc).

@@ -231,6 +231,18 @@ class SweepContext:
         if b.shape != self.b.shape or not np.array_equal(b, self.b):
             raise SolverError("context was built for a different label vector b")
 
+    def refresh_problem(self, b=None) -> None:
+        """Re-derive the problem signature after an in-place data mutation.
+
+        The streaming engine appends rows to the context's partitioned
+        matrix between solves; without this, :meth:`check_problem` would
+        keep comparing against the pre-append fingerprint (and the stale
+        label vector) and reject the context's own data.
+        """
+        if b is not None:
+            self.b = np.asarray(b, dtype=np.float64).ravel()
+        self._fingerprint = _data_fingerprint(self.dist)
+
     # -- per-point ledger discipline ---------------------------------------
     def begin_point(self) -> None:
         """Zero the ledger so the next solve reports per-point cost."""

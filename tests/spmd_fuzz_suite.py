@@ -1,0 +1,332 @@
+"""Randomized SPMD collective fuzz harness, backend-agnostic.
+
+The hand-written contract suite (``spmd_collective_suite``) pins each
+collective's semantics in isolation; this harness pins their
+*composition*: seeded random sequences of collectives — blocking and
+nonblocking, object and buffer, mixed dtypes/shapes/roots, interleaved
+``wait``/``test``/deferred completion, random local compute between ops
+— executed on any backend and checked two ways:
+
+* **oracle folds** — every op's expected result is computed by a
+  sequential oracle from the same synthesized per-rank payloads, using
+  the same rank-ordered :class:`~repro.mpi.ops.Op` folds. A backend is
+  correct iff every rank's observed result is *bit-identical* to the
+  oracle's, which also makes results bit-identical across backends.
+* **ledger reconstruction** — the same sequence re-run with every
+  ``Iallreduce`` replaced by its blocking twin must charge identical
+  traffic (messages, words) and flops, with the nonblocking run's
+  ``comm_seconds + comm_seconds_hidden`` exactly reconstructing the
+  blocking run's ``comm_seconds``.
+
+``tests/test_spmd_fuzz.py`` drives this over the virtual, thread, and
+process backends; a small-P slice runs in the ``process-backend-smoke``
+CI job and the full seed set in the nightly profile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.ledger import CostLedger
+from repro.mpi.ops import MAX, MIN, SUM
+from repro.mpi.thread_backend import SpmdResult
+from repro.mpi.virtual_backend import VirtualComm
+
+__all__ = [
+    "make_sequence",
+    "run_sequence",
+    "expected_results",
+    "assert_results_equal",
+    "assert_ledger_reconstruction",
+    "virtual_spmd_run",
+]
+
+_REDUCTIONS = {"sum": SUM, "max": MAX, "min": MIN}
+
+#: ring depth of the nonblocking backends — the fuzzer never keeps more
+#: requests in flight (mirrors the pipelined solvers' double buffer)
+_MAX_IN_FLIGHT = 2
+
+
+def virtual_spmd_run(fn, size, machine=None, cost_size=None, **_ignored):
+    """``spmd_run``-shaped adapter for the single-participant backend."""
+    if size != 1:
+        raise ValueError("the virtual backend has exactly one actual rank")
+    comm = VirtualComm(virtual_size=cost_size or 1, machine=machine)
+    value = fn(comm, 0)
+    return SpmdResult(values=[value], ledgers=[comm.ledger])
+
+
+# ---------------------------------------------------------------------------
+# sequence generation
+# ---------------------------------------------------------------------------
+
+
+def _rand_shape(rng) -> tuple:
+    if rng.random() < 0.3:
+        return (int(rng.integers(1, 4)), int(rng.integers(1, 5)))
+    return (int(rng.integers(1, 9)),)
+
+
+def make_sequence(seed: int, n_ops: int = 20, size: int = 2) -> list[dict]:
+    """A deterministic random program of ``n_ops`` collectives.
+
+    Each op is a plain dict consumed by both :func:`run_sequence` and the
+    :func:`expected_results` oracle. The sequence always contains at
+    least one nonblocking reduction with real interleaved compute, so
+    the overlap-accounting checks never trivially pass.
+    """
+    rng = np.random.default_rng([0xF0, seed])
+    kinds = ["allreduce", "Allreduce", "Iallreduce", "bcast", "Bcast",
+             "allgather", "Allgather", "reduce", "Reduce", "scatter"]
+    weights = np.array([0.10, 0.18, 0.25, 0.08, 0.08,
+                        0.07, 0.07, 0.06, 0.06, 0.05])
+    ops: list[dict] = []
+    for i in range(n_ops):
+        kind = str(rng.choice(kinds, p=weights / weights.sum()))
+        op = {"kind": kind, "flops": float(rng.uniform(0.0, 1e6))}
+        if kind in ("allreduce", "reduce"):
+            op["op"] = str(rng.choice(["sum", "max", "min"]))
+            op["payload"] = str(rng.choice(["int", "float"]))
+        if kind in ("Allreduce", "Reduce"):
+            op["op"] = str(rng.choice(["sum", "max", "min"]))
+            op["dtype"] = str(rng.choice(["f64", "f32", "i64"]))
+            op["shape"] = _rand_shape(rng)
+        if kind == "Iallreduce":
+            op["op"] = str(rng.choice(["sum", "max", "min"]))
+            op["dtype"] = "f64"  # the process backend's raw-slot contract
+            op["shape"] = _rand_shape(rng)
+            op["complete"] = str(rng.choice(["wait", "test", "defer"],
+                                            p=[0.5, 0.25, 0.25]))
+        if kind in ("bcast", "Bcast", "reduce", "Reduce", "scatter"):
+            op["root"] = int(rng.integers(0, size))
+        if kind == "allgather":
+            op["payload"] = str(rng.choice(["int", "float"]))
+        if kind == "Allgather":
+            op["dtype"] = str(rng.choice(["f64", "f32"]))
+            op["shape"] = (int(rng.integers(1, 6)),)
+        if kind == "Bcast":
+            op["dtype"] = str(rng.choice(["f64", "i64"]))
+            op["shape"] = _rand_shape(rng)
+        ops.append(op)
+    # guarantee real overlap material for the ledger checks
+    if not any(o["kind"] == "Iallreduce" for o in ops):
+        ops[0] = {"kind": "Iallreduce", "op": "sum", "dtype": "f64",
+                  "shape": (8,), "complete": "wait", "flops": 5e5}
+    for o in ops:
+        if o["kind"] == "Iallreduce" and o["flops"] < 1e5:
+            o["flops"] = 5e5
+    return ops
+
+
+def _array_payload(seed: int, i: int, rank: int, op: dict) -> np.ndarray:
+    rng = np.random.default_rng([0xDA, seed, i, rank])
+    shape = tuple(op["shape"])
+    if op.get("dtype") == "i64":
+        return rng.integers(-50, 50, size=shape).astype(np.int64)
+    arr = rng.standard_normal(shape)
+    if op.get("dtype") == "f32":
+        return arr.astype(np.float32)
+    return arr
+
+
+def _object_payload(seed: int, i: int, rank: int, op: dict) -> object:
+    rng = np.random.default_rng([0x0B, seed, i, rank])
+    if op.get("payload") == "int":
+        return int(rng.integers(-100, 100))
+    return float(rng.standard_normal())
+
+
+def _scatter_items(seed: int, i: int, root: int, size: int) -> list:
+    rng = np.random.default_rng([0x5C, seed, i, root])
+    return [float(v) for v in rng.standard_normal(size)]
+
+
+# ---------------------------------------------------------------------------
+# SPMD executor
+# ---------------------------------------------------------------------------
+
+
+def run_sequence(comm, rank: int, seed: int, ops: list[dict],
+                 force_blocking: bool = False) -> list:
+    """Execute the op program on one rank; returns per-op results.
+
+    ``force_blocking=True`` replaces every ``Iallreduce`` with its
+    blocking twin (same payloads, same folds) — the reference run for
+    the ledger-reconstruction check.
+
+    Deferred completions honour the backends' documented nonblocking
+    ring contract: at most ``NB_RING_DEPTH`` requests in flight, and a
+    request must be completed before its slot's sequence number comes
+    around again (posting request ``q`` first drains anything older
+    than ``q - ring + 1`` — exactly the discipline the pipelined
+    solvers' double buffer enforces by construction).
+    """
+    size = comm.size
+    results: list = [None] * len(ops)
+    #: (op index, CommRequest, nb sequence), FIFO
+    pending: list[tuple[int, object, int]] = []
+    nb_seq = 0
+
+    def complete(idx, req, how):
+        if how == "test":
+            while not req.test():
+                pass
+            results[idx] = req.wait()  # idempotent after test()
+        else:
+            results[idx] = req.wait()
+
+    for i, op in enumerate(ops):
+        kind = op["kind"]
+        if kind == "allreduce":
+            results[i] = comm.allreduce(
+                _object_payload(seed, i, rank, op), op=_REDUCTIONS[op["op"]]
+            )
+        elif kind == "Allreduce":
+            results[i] = comm.Allreduce(
+                _array_payload(seed, i, rank, op), op=_REDUCTIONS[op["op"]]
+            )
+        elif kind == "Iallreduce":
+            arr = _array_payload(seed, i, rank, op)
+            red = _REDUCTIONS[op["op"]]
+            if force_blocking:
+                results[i] = comm.Allreduce(arr, op=red)
+                comm.account_flops(op["flops"], "blas3")
+                continue
+            # ring discipline: drain anything that would go two
+            # sequences stale, and never exceed the ring depth
+            while pending and (
+                pending[0][2] <= nb_seq - _MAX_IN_FLIGHT
+                or len(pending) >= _MAX_IN_FLIGHT
+            ):
+                idx, req, _ = pending.pop(0)
+                complete(idx, req, "wait")
+            req = comm.Iallreduce(arr, op=red)
+            seq, nb_seq = nb_seq, nb_seq + 1
+            comm.account_flops(op["flops"], "blas3")  # overlap material
+            if op["complete"] == "defer":
+                pending.append((i, req, seq))
+            else:
+                complete(i, req, op["complete"])
+            continue
+        elif kind == "bcast":
+            root = op["root"]
+            obj = _object_payload(seed, i, root, op) if rank == root else None
+            results[i] = comm.bcast(obj, root=root)
+        elif kind == "Bcast":
+            root = op["root"]
+            buf = (_array_payload(seed, i, root, op) if rank == root
+                   else np.zeros(tuple(op["shape"]),
+                                 dtype=np.int64 if op["dtype"] == "i64"
+                                 else np.float64))
+            results[i] = comm.Bcast(buf, root=root)
+        elif kind == "allgather":
+            results[i] = comm.allgather(_object_payload(seed, i, rank, op))
+        elif kind == "Allgather":
+            results[i] = comm.Allgather(_array_payload(seed, i, rank, op))
+        elif kind == "reduce":
+            results[i] = comm.reduce(
+                _object_payload(seed, i, rank, op),
+                op=_REDUCTIONS[op["op"]], root=op["root"],
+            )
+        elif kind == "Reduce":
+            results[i] = comm.Reduce(
+                _array_payload(seed, i, rank, op),
+                op=_REDUCTIONS[op["op"]], root=op["root"],
+            )
+        elif kind == "scatter":
+            root = op["root"]
+            objs = _scatter_items(seed, i, root, size) if rank == root else None
+            results[i] = comm.scatter(objs, root=root)
+        else:  # pragma: no cover - generator never emits unknown kinds
+            raise ValueError(f"unknown op kind {kind!r}")
+        comm.account_flops(op["flops"], "blas1")
+    while pending:
+        idx, req, _ = pending.pop(0)
+        complete(idx, req, "wait")
+    return results
+
+
+# ---------------------------------------------------------------------------
+# sequential oracle
+# ---------------------------------------------------------------------------
+
+
+def expected_results(seed: int, ops: list[dict], size: int) -> list[list]:
+    """Per-rank expected results, folded rank-ordered by the oracle."""
+    out: list[list] = [[None] * len(ops) for _ in range(size)]
+    for i, op in enumerate(ops):
+        kind = op["kind"]
+        if kind in ("allreduce", "reduce"):
+            payloads = [_object_payload(seed, i, r, op) for r in range(size)]
+            folded = _REDUCTIONS[op["op"]].fold(payloads)
+            for r in range(size):
+                if kind == "allreduce":
+                    out[r][i] = folded
+                else:
+                    out[r][i] = folded if r == op["root"] else None
+        elif kind in ("Allreduce", "Iallreduce", "Reduce"):
+            payloads = [_array_payload(seed, i, r, op) for r in range(size)]
+            folded = _REDUCTIONS[op["op"]].fold(payloads)
+            for r in range(size):
+                if kind == "Reduce":
+                    out[r][i] = folded if r == op["root"] else None
+                else:
+                    out[r][i] = folded
+        elif kind in ("bcast", "Bcast"):
+            root = op["root"]
+            value = (_object_payload(seed, i, root, op) if kind == "bcast"
+                     else _array_payload(seed, i, root, op))
+            for r in range(size):
+                out[r][i] = value
+        elif kind == "allgather":
+            gathered = [_object_payload(seed, i, r, op) for r in range(size)]
+            for r in range(size):
+                out[r][i] = gathered
+        elif kind == "Allgather":
+            gathered = np.concatenate([
+                np.atleast_1d(_array_payload(seed, i, r, op))
+                for r in range(size)
+            ])
+            for r in range(size):
+                out[r][i] = gathered
+        elif kind == "scatter":
+            items = _scatter_items(seed, i, op["root"], size)
+            for r in range(size):
+                out[r][i] = items[r]
+    return out
+
+
+def assert_results_equal(observed: list, expected: list) -> None:
+    """Bitwise comparison of one rank's observed vs expected op results."""
+    assert len(observed) == len(expected)
+    for i, (got, want) in enumerate(zip(observed, expected)):
+        if isinstance(want, np.ndarray):
+            assert isinstance(got, np.ndarray), f"op {i}: expected an array"
+            assert got.dtype == want.dtype, (
+                f"op {i}: dtype {got.dtype} != {want.dtype}"
+            )
+            assert got.shape == want.shape, (
+                f"op {i}: shape {got.shape} != {want.shape}"
+            )
+            assert np.array_equal(got, want), f"op {i}: values differ"
+        else:
+            assert got == want, f"op {i}: {got!r} != {want!r}"
+
+
+# ---------------------------------------------------------------------------
+# ledger reconstruction
+# ---------------------------------------------------------------------------
+
+
+def assert_ledger_reconstruction(nb: CostLedger, blocking: CostLedger) -> None:
+    """Charged + hidden of the NB run reconstructs the blocking bill."""
+    assert nb.messages == blocking.messages
+    assert nb.words == blocking.words
+    assert nb.flops == blocking.flops
+    assert nb.comm_seconds_hidden >= 0.0
+    assert blocking.comm_seconds_hidden == 0.0
+    recon = nb.comm_seconds + nb.comm_seconds_hidden
+    assert abs(recon - blocking.comm_seconds) <= (
+        1e-12 * max(1.0, blocking.comm_seconds)
+    ), (recon, blocking.comm_seconds)

@@ -114,10 +114,54 @@ class TestMain:
     def test_real_artifacts_self_compare(self):
         """The committed artifacts pass against themselves."""
         root = Path(__file__).parent.parent
-        for name in ("BENCH_hot_paths.json", "BENCH_path_sweep.json"):
+        for name in ("BENCH_hot_paths.json", "BENCH_path_sweep.json",
+                     "BENCH_streaming.json"):
             artifact = root / name
             if not artifact.exists():
                 pytest.skip(f"{name} not present")
             rc = guard.main(["--baseline", str(artifact),
                              "--current", str(artifact)])
             assert rc == 0
+
+    def test_missing_baseline_file_is_not_a_failure(self, tmp_path, capsys):
+        """First run of a brand-new benchmark must not fail CI."""
+        c = self._write(tmp_path, "cur.json", BASE)
+        missing = str(tmp_path / "nope.json")
+        assert guard.main(["--baseline", missing, "--current", c]) == 0
+        assert "no committed baseline" in capsys.readouterr().out
+
+    def test_missing_current_file_fails(self, tmp_path, capsys):
+        b = self._write(tmp_path, "base.json", BASE)
+        missing = str(tmp_path / "cur.json")
+        assert guard.main(["--baseline", b, "--current", missing]) == 1
+        assert "missing" in capsys.readouterr().out
+
+    def test_new_entry_noted_not_gated(self, tmp_path, capsys):
+        b = self._write(tmp_path, "base.json", BASE)
+        cur = _with_speedups(10.0, 4.0, 2.0)
+        cur["brand_new"] = {"speedup": 0.1}
+        c = self._write(tmp_path, "cur.json", cur)
+        assert guard.main(["--baseline", b, "--current", c]) == 0
+        assert "new entry" in capsys.readouterr().out
+
+    def test_multi_pair_reports_all_regressions(self, tmp_path, capsys):
+        """A regressed first file no longer hides the second's report."""
+        b1 = self._write(tmp_path, "b1.json", BASE)
+        c1 = self._write(tmp_path, "c1.json", _with_speedups(1.0, 4.0, 2.0))
+        b2 = self._write(tmp_path, "b2.json", BASE)
+        c2 = self._write(tmp_path, "c2.json", _with_speedups(10.0, 0.5, 2.0))
+        rc = guard.main(["--pair", b1, c1, "0.8", "--pair", b2, c2, "0.8"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "kernels.sampling" in out and "kernels.inner" in out
+        assert "2 regression(s) across 2 benchmark file(s)" in out
+
+    def test_multi_pair_per_pair_ratio(self, tmp_path):
+        b = self._write(tmp_path, "b.json", BASE)
+        c = self._write(tmp_path, "c.json", _with_speedups(5.5, 4.0, 2.0))
+        assert guard.main(["--pair", b, c, "0.5"]) == 0
+        assert guard.main(["--pair", b, c, "0.8"]) == 1
+
+    def test_no_input_is_an_error(self):
+        with pytest.raises(SystemExit):
+            guard.main([])

@@ -193,3 +193,93 @@ class TestSASVMClassifierCV:
         A, _ = small_classification
         with pytest.raises(SolverError):
             SASVMClassifierCV(cv=2).predict(A)
+
+
+class TestPartialFit:
+    """Streaming partial_fit on both estimators (ISSUE 4 tentpole)."""
+
+    def _lasso_data(self):
+        A, b, _ = make_sparse_regression(240, 60, density=0.2, seed=3)
+        B, y, _ = make_sparse_regression(30, 60, density=0.2, seed=4)
+        return A, b, B, y
+
+    def test_lasso_partial_fit_matches_engine(self):
+        from repro._api import fit_lasso
+        from repro.linalg.distmatrix import RowPartitionedMatrix
+        from repro.mpi.virtual_backend import VirtualComm
+
+        A, b, B, y = self._lasso_data()
+        kw = dict(lam=0.5, mu=2, s=8, max_iter=96, tol=None, seed=1)
+        est = SALasso(**kw)
+        est.partial_fit(A, b)
+        first = est.coef_.copy()
+        est.partial_fit(B, y)
+        assert est.stream_.revision == 1
+        assert est.coef_.shape == (60,)
+        # cold reference on the concatenated data with the same warm start
+        A_eff, b_eff = est.stream_.materialize()
+        cold_dist = RowPartitionedMatrix.from_global(
+            A_eff, VirtualComm(1), partition=est.stream_.dist.partition
+        )
+        cold = fit_lasso(cold_dist, b_eff, 0.5, solver="sa-accbcd", mu=2,
+                         s=8, max_iter=96, tol=None, seed=1, x0=first,
+                         record_every=max(1, 96 // 50))
+        scale = max(float(np.max(np.abs(cold.x))), 1e-30)
+        assert float(np.max(np.abs(est.coef_ - cold.x))) / scale <= 1e-9
+
+    def test_lasso_fit_resets_stream(self):
+        A, b, B, y = self._lasso_data()
+        est = SALasso(lam=0.5, mu=2, s=8, max_iter=48, tol=None)
+        est.partial_fit(A, b).partial_fit(B, y)
+        assert hasattr(est, "stream_")
+        est.fit(A, b)
+        assert not hasattr(est, "stream_")
+
+    def test_lasso_feature_mismatch_rejected(self):
+        from repro.errors import PartitionError
+
+        A, b, B, y = self._lasso_data()
+        est = SALasso(lam=0.5, mu=2, s=8, max_iter=48, tol=None)
+        est.partial_fit(A, b)
+        with pytest.raises(PartitionError, match="columns"):
+            est.partial_fit(B[:, :-1], y)
+
+    def test_svm_partial_fit_streams_and_predicts(self):
+        from repro.datasets import make_classification
+
+        A, ysign = make_classification(200, 50, density=0.3, seed=7,
+                                       margin=0.3)
+        B, bsign = make_classification(24, 50, density=0.3, seed=8,
+                                       margin=0.3)
+        y = np.where(ysign > 0, "pos", "neg")
+        yb = np.where(bsign > 0, "pos", "neg")
+        clf = SASVMClassifier(loss="l2", lam=0.1, s=16, max_iter=8000,
+                              tol=1e-2, seed=1)
+        clf.partial_fit(A, y)
+        m0_alpha = clf.dual_coef_.shape[0]
+        clf.partial_fit(B, yb)
+        assert clf.stream_.revision == 1
+        assert clf.dual_coef_.shape[0] == m0_alpha + 24
+        assert set(np.unique(clf.predict(B))) <= {"pos", "neg"}
+        assert clf.score(A, y) > 0.7
+
+    def test_svm_single_class_batch_ok_unknown_label_rejected(self):
+        from repro.datasets import make_classification
+
+        A, ysign = make_classification(120, 30, density=0.4, seed=2,
+                                       margin=0.3)
+        B, _ = make_classification(10, 30, density=0.4, seed=3, margin=0.3)
+        clf = SASVMClassifier(loss="l2", lam=0.1, s=16, max_iter=2000,
+                              tol=None, seed=1)
+        clf.partial_fit(A, ysign)
+        clf.partial_fit(B, np.ones(10))  # single-class batch is fine
+        with pytest.raises(SolverError, match="classes_"):
+            clf.partial_fit(B, np.full(10, 7.0))
+
+    def test_svm_first_batch_needs_both_classes(self):
+        from repro.datasets import make_classification
+
+        A, _ = make_classification(60, 20, density=0.5, seed=4, margin=0.3)
+        clf = SASVMClassifier(max_iter=500)
+        with pytest.raises(SolverError, match="binary"):
+            clf.partial_fit(A, np.ones(60))

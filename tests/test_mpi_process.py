@@ -96,6 +96,7 @@ class TestProcessSpecific:
         assert sum(res.values) == A.shape[0]
         assert all(v < A.shape[0] for v in res.values)
 
+    @pytest.mark.slow
     def test_sa_acc_bcd_matches_sequential(self, small_regression):
         A, b, _ = small_regression
         seq = sa_acc_bcd(A, b, 0.9, mu=2, s=8, max_iter=48, seed=1,
@@ -109,6 +110,7 @@ class TestProcessSpecific:
         for xv in res.values:
             assert np.allclose(xv, seq, atol=1e-10)
 
+    @pytest.mark.slow
     def test_sa_dcd_matches_sequential(self, small_classification):
         A, b = small_classification
         seq = sa_dcd(A, b, loss="l2", s=16, max_iter=96, seed=5,
@@ -124,6 +126,7 @@ class TestProcessSpecific:
             assert np.allclose(xv, seq.x, atol=1e-10)
             assert np.allclose(av, seq.extras["alpha"], atol=1e-10)
 
+    @pytest.mark.slow
     def test_message_counts_match_virtual(self, small_regression):
         """Process-P and virtual-P modes must charge identical comm costs."""
         A, b, _ = small_regression

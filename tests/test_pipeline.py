@@ -123,8 +123,11 @@ class TestLedgerHonesty:
 
 
 class TestPipelineOnSpmdBackends:
-    @pytest.mark.parametrize("runner", [spmd_run, process_spmd_run],
-                             ids=["thread", "process"])
+    @pytest.mark.parametrize(
+        "runner",
+        [spmd_run,
+         pytest.param(process_spmd_run, marks=pytest.mark.slow)],
+        ids=["thread", "process"])
     def test_lasso_matches_sequential(self, lasso_problem, runner):
         A, b, _ = lasso_problem
         seq = sa_acc_bcd(A, b, LAM, mu=2, s=8, max_iter=48, seed=1,
@@ -138,8 +141,11 @@ class TestPipelineOnSpmdBackends:
         for xv in res.values:
             assert np.allclose(xv, seq, atol=1e-10)
 
-    @pytest.mark.parametrize("runner", [spmd_run, process_spmd_run],
-                             ids=["thread", "process"])
+    @pytest.mark.parametrize(
+        "runner",
+        [spmd_run,
+         pytest.param(process_spmd_run, marks=pytest.mark.slow)],
+        ids=["thread", "process"])
     def test_svm_matches_sequential(self, small_classification, runner):
         A, b = small_classification
         seq = sa_dcd(A, b, loss="l1", s=16, max_iter=96, seed=5,

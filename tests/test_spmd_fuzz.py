@@ -1,0 +1,155 @@
+"""Randomized SPMD fuzz suite driven over all three comm backends.
+
+Thin driver around ``spmd_fuzz_suite``: 25 seeded op sequences per
+backend, each checked bitwise against the sequential oracle, plus
+cross-backend equality and exact ledger reconstruction (charged +
+hidden == blocking). The process backend's long tail is marked ``slow``
+(nightly profile); a small-P slice stays in tier-1 and in the
+``process-backend-smoke`` CI job.
+"""
+
+import pytest
+
+from repro.machine.spec import CRAY_XC30
+from repro.mpi.process_backend import process_spmd_run
+from repro.mpi.thread_backend import spmd_run
+from spmd_fuzz_suite import (
+    assert_ledger_reconstruction,
+    assert_results_equal,
+    expected_results,
+    make_sequence,
+    run_sequence,
+    virtual_spmd_run,
+)
+
+#: the seeded sequences every backend must pass (acceptance: >= 25)
+SEEDS = tuple(range(25))
+#: the tier-1 / smoke-CI slice of the process backend's runs
+PROCESS_SMOKE_SEEDS = SEEDS[:5]
+N_OPS = 18
+
+
+def _size_for(seed: int) -> int:
+    return 2 + seed % 3  # P in {2, 3, 4}
+
+
+def _check_oracle(runner, seed: int, size: int) -> None:
+    ops = make_sequence(seed, n_ops=N_OPS, size=size)
+    res = runner(
+        lambda comm, rank: run_sequence(comm, rank, seed, ops), size
+    )
+    expected = expected_results(seed, ops, size)
+    for r in range(size):
+        assert_results_equal(res.values[r], expected[r])
+
+
+def _check_ledger(runner, seed: int, size: int) -> None:
+    ops = make_sequence(seed, n_ops=N_OPS, size=size)
+
+    def nb(comm, rank):
+        run_sequence(comm, rank, seed, ops)
+
+    def blocking(comm, rank):
+        run_sequence(comm, rank, seed, ops, force_blocking=True)
+
+    # cost_size > 1 so collectives have nonzero modelled latency to hide
+    # (at modelled P=1 a tree allreduce has zero rounds)
+    res_nb = runner(nb, size, machine=CRAY_XC30, cost_size=64)
+    res_blocking = runner(blocking, size, machine=CRAY_XC30, cost_size=64)
+    for led_nb, led_blocking in zip(res_nb.ledgers, res_blocking.ledgers):
+        assert led_nb.comm_seconds_hidden > 0.0  # sequences always overlap
+        assert_ledger_reconstruction(led_nb, led_blocking)
+
+
+class TestOracleParity:
+    """Every backend folds every sequence bit-identically to the oracle
+    (and therefore bit-identically to every other backend)."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_virtual(self, seed):
+        _check_oracle(virtual_spmd_run, seed, 1)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_thread(self, seed):
+        _check_oracle(spmd_run, seed, _size_for(seed))
+
+    @pytest.mark.parametrize("seed", PROCESS_SMOKE_SEEDS)
+    def test_process_smoke(self, seed):
+        _check_oracle(process_spmd_run, seed, _size_for(seed))
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", SEEDS[len(PROCESS_SMOKE_SEEDS):])
+    def test_process_full(self, seed):
+        _check_oracle(process_spmd_run, seed, _size_for(seed))
+
+
+class TestCrossBackend:
+    """Thread and process ranks produce bit-identical per-rank results
+    for the same sequence (both equal the oracle; checked directly here
+    so a future backend divergence fails with the right message)."""
+
+    @pytest.mark.parametrize("seed", SEEDS[:3])
+    def test_thread_vs_process(self, seed):
+        size = _size_for(seed)
+        ops = make_sequence(seed, n_ops=N_OPS, size=size)
+        fn = lambda comm, rank: run_sequence(comm, rank, seed, ops)  # noqa: E731
+        res_t = spmd_run(fn, size)
+        res_p = process_spmd_run(fn, size)
+        for r in range(size):
+            assert_results_equal(res_p.values[r], res_t.values[r])
+
+
+class TestLedgerReconstruction:
+    """charged + hidden == blocking, exactly, with identical traffic."""
+
+    @pytest.mark.parametrize("seed", SEEDS[:5])
+    def test_virtual(self, seed):
+        _check_ledger(virtual_spmd_run, seed, 1)
+
+    @pytest.mark.parametrize("seed", SEEDS[:5])
+    def test_thread(self, seed):
+        _check_ledger(spmd_run, seed, _size_for(seed))
+
+    @pytest.mark.parametrize("seed", SEEDS[:2])
+    def test_process_smoke(self, seed):
+        _check_ledger(process_spmd_run, seed, _size_for(seed))
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", SEEDS[2:5])
+    def test_process_full(self, seed):
+        _check_ledger(process_spmd_run, seed, _size_for(seed))
+
+
+class TestHarnessSelfChecks:
+    """The fuzzer itself stays honest."""
+
+    def test_sequences_are_deterministic(self):
+        assert make_sequence(7, 30, 3) == make_sequence(7, 30, 3)
+
+    def test_sequences_differ_across_seeds(self):
+        assert make_sequence(1, 30, 3) != make_sequence(2, 30, 3)
+
+    def test_every_sequence_has_overlap_material(self):
+        for seed in SEEDS:
+            ops = make_sequence(seed, N_OPS, 2)
+            assert any(o["kind"] == "Iallreduce" and o["flops"] >= 1e5
+                       for o in ops)
+
+    def test_mixed_dtypes_and_completions_covered(self):
+        """Across the seed set, the generator exercises the whole space."""
+        dtypes, completions, kinds = set(), set(), set()
+        for seed in SEEDS:
+            for o in make_sequence(seed, N_OPS, 4):
+                kinds.add(o["kind"])
+                if "dtype" in o:
+                    dtypes.add(o["dtype"])
+                if o["kind"] == "Iallreduce":
+                    completions.add(o["complete"])
+        assert {"f64", "f32", "i64"} <= dtypes
+        assert {"wait", "test", "defer"} <= completions
+        assert {"allreduce", "Allreduce", "Iallreduce", "bcast",
+                "allgather", "Allgather"} <= kinds
+
+    def test_virtual_size_guard(self):
+        with pytest.raises(ValueError):
+            virtual_spmd_run(lambda comm, rank: None, 2)
