@@ -15,6 +15,12 @@ start with fresh caches — across batch sizes and comm backends:
   plus iteration budget — per-entry ``*_converged`` fields record which
   side stopped on tolerance). Modelled cost is deterministic (iteration
   counts, not wall clock), so these entries are gated tightly in CI.
+* **window sweep** (ISSUE 5): the same arrivals under a sliding count
+  window fixed at the initial row count — each append auto-evicts the
+  oldest rows (``A^T b`` downdate + per-rank compaction, measured as
+  ``evict_seconds``), and ``before`` is the cold re-solve on the
+  *surviving* rows. ``{task}_labels_*`` entries do the same for
+  label-only updates (delta reduction, no shard mutation).
 * **backend sweep**: the same replay on 2 thread ranks and 2 forked
   process ranks — the engine's appends are SPMD-collective, so this
   exercises balanced per-rank appends, the incremental Allreduce, and
@@ -22,9 +28,10 @@ start with fresh caches — across batch sizes and comm backends:
   wall seconds are recorded for information only (they move with the
   host's core count, so no ``speedup`` key).
 
-Acceptance (ISSUE 4): for every batch size <= 10% of the rows and both
-tasks, the warm refit's modelled cost (append + solve) is strictly below
-the cold re-solve's. The warm/cold solution difference is recorded per
+Acceptance (ISSUE 4 + 5): for every batch size <= 10% of the rows and
+both tasks — plain arrivals, windowed arrivals, and label edits — the
+warm refit's modelled cost (state update + solve) is strictly below the
+cold re-solve's. The warm/cold solution difference is recorded per
 entry (both solves converge to the same tolerance; the iterate-level
 equivalence contract — <= 1e-9 against a cold solve from the same warm
 start — is pinned by ``tests/test_streaming.py``).
@@ -87,7 +94,8 @@ def _one_batch(task, frac, seed):
 
 def _entry(name: str, report: dict, frac: float) -> dict:
     e = report["revisions"][-1]
-    warm = e["warm"]["cost"]["seconds"] + e["append_cost"]["seconds"]
+    warm = (e["warm"]["cost"]["seconds"] + e["append_cost"]["seconds"]
+            + e["evict_cost"]["seconds"])
     cold = e["cold"]["cost"]["seconds"]
     speedup = cold / warm if warm > 0 else float("inf")
     print(f"{name:44s} cold {cold * 1e3:9.4f} ms   warm {warm * 1e3:9.4f} ms"
@@ -100,18 +108,21 @@ def _entry(name: str, report: dict, frac: float) -> dict:
         "speedup": speedup,
         "batch_frac": frac,
         "rows_added": e["rows_added"],
+        "rows_removed": e["rows_removed"],
+        "labels_changed": e["labels_changed"],
         "warm_iterations": e["warm"]["iterations"],
         "cold_iterations": e["cold"]["iterations"],
         "warm_converged": e["warm"]["converged"],
         "cold_converged": e["cold"]["converged"],
         "append_seconds": e["append_cost"]["seconds"],
+        "evict_seconds": e["evict_cost"]["seconds"],
         "solution_rel_diff": e["solution_rel_diff"],
         "note": "modelled cost at virtual P=64 (CRAY_XC30): before = cold "
-                "re-solve on the concatenated data (zero start, fresh "
-                "caches), after = warm streaming refit (incremental append "
-                "+ warm-started solve); both runs share the identical "
-                "stopping rule (tol + iteration budget) — check the "
-                "*_converged fields for which side stopped on tolerance",
+                "re-solve on the surviving materialized data (zero start, "
+                "fresh caches), after = warm streaming refit (incremental "
+                "state update + warm-started solve); both runs share the "
+                "identical stopping rule (tol + iteration budget) — check "
+                "the *_converged fields for which side stopped on tolerance",
     }
 
 
@@ -129,6 +140,42 @@ def bench_batch_sweep(task: str, kw: dict) -> dict:
     return out
 
 
+def bench_window_sweep(task: str, kw: dict) -> dict:
+    """Sliding-window entries: the append auto-evicts the oldest rows
+    (window fixed at the initial row count), so every refit pays the
+    downdate + compaction on top of the incremental append — the honest
+    cost of serving a fixed-size working set under row churn. ``before``
+    is the cold re-solve on the *surviving* rows."""
+    out = {}
+    for frac in FRACS[1:]:
+        A0, b0, batches = _one_batch(task, frac, seed=0)
+        report = replay_schedule(
+            A0, b0, batches, max_rows=A0.shape[0], virtual_p=VIRTUAL_P,
+            machine=CRAY_XC30, compare_cold=True, **kw,
+        )
+        out[f"{task}_window_{int(round(frac * 100))}pct"] = _entry(
+            f"{task} windowed refit (±{frac:.0%} rows)", report, frac
+        )
+    return out
+
+
+def bench_label_edits(task: str, kw: dict, frac: float = 0.05) -> dict:
+    """Label-only updates: rewrite the oldest ``frac`` rows' labels via
+    the delta reduction (no shard mutation at all) and warm-refit."""
+    if task == "lasso":
+        A, b = _lasso_problem()
+    else:
+        A, b = _svm_problem()
+    k = max(1, int(round(frac * A.shape[0])))
+    report = replay_schedule(
+        A, b, [("relabel_oldest", k)], virtual_p=VIRTUAL_P,
+        machine=CRAY_XC30, compare_cold=True, **kw,
+    )
+    return {f"{task}_labels_{int(round(frac * 100))}pct": _entry(
+        f"{task} label edit (~{frac:.0%} rows)", report, frac
+    )}
+
+
 def bench_backends(task: str, kw: dict, ranks: int = 2) -> dict:
     """The same replay on real SPMD ranks: modelled ratio + wall info."""
     out = {}
@@ -141,7 +188,8 @@ def bench_backends(task: str, kw: dict, ranks: int = 2) -> dict:
         )
         wall = time.perf_counter() - t0
         e = report["revisions"][-1]
-        warm = e["warm"]["cost"]["seconds"] + e["append_cost"]["seconds"]
+        warm = (e["warm"]["cost"]["seconds"] + e["append_cost"]["seconds"]
+                + e["evict_cost"]["seconds"])
         cold = e["cold"]["cost"]["seconds"]
         ratio = cold / warm if warm > 0 else float("inf")
         print(f"{task} +5% rows on {backend} ranks={ranks}: modelled "
@@ -167,6 +215,11 @@ def main() -> int:
     streaming = {}
     streaming.update(bench_batch_sweep("lasso", LASSO_KW))
     streaming.update(bench_batch_sweep("svm", SVM_KW))
+    print()
+    streaming.update(bench_window_sweep("lasso", LASSO_KW))
+    streaming.update(bench_window_sweep("svm", SVM_KW))
+    streaming.update(bench_label_edits("lasso", LASSO_KW))
+    streaming.update(bench_label_edits("svm", SVM_KW))
     print()
     backends = {}
     backends.update(bench_backends("lasso", LASSO_KW))

@@ -152,9 +152,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="problem family (auto: from the dataset registry; "
                              "LIBSVM files default to lasso)")
     stream.add_argument("--schedule", default="",
-                        help="comma-separated batch row counts taken from the "
-                             "tail of the dataset (default: --batches equal "
-                             "batches of --batch-frac rows each)")
+                        help="comma-separated streaming events, replayed in "
+                             "order: N or +N appends the next N rows of the "
+                             "dataset tail, -N evicts the N oldest surviving "
+                             "rows, ~N rewrites the labels of the N oldest "
+                             "surviving rows (negated in place). A schedule "
+                             "starting with an eviction needs the "
+                             "--schedule=\"-N,...\" form (argparse reads a "
+                             "bare leading dash as an option). Default: "
+                             "--batches equal appends of --batch-frac rows "
+                             "each")
+    stream.add_argument("--window", type=int, default=None,
+                        help="sliding count window (StreamingSweep max_rows): "
+                             "each append auto-evicts the oldest rows beyond "
+                             "this many, within the same revision")
     stream.add_argument("--batches", type=int, default=3,
                         help="number of arrival batches when --schedule is "
                              "not given")
@@ -339,20 +350,43 @@ def _cmd_lasso_path(args) -> int:
 
 
 def _stream_schedule(args, m: int) -> list:
-    """Batch row counts from --schedule or --batches/--batch-frac."""
+    """Streaming event ops from --schedule or --batches/--batch-frac.
+
+    Returns ``(op, count)`` pairs: ``("append", N)`` consumes the next N
+    rows of the dataset tail, ``("evict", N)`` retires the N oldest
+    surviving rows, ``("labels", N)`` negates the N oldest surviving
+    rows' labels in place.
+    """
+    ops = []
     if args.schedule:
-        counts = [int(x) for x in args.schedule.split(",") if x]
+        for tok in (t.strip() for t in args.schedule.split(",") if t.strip()):
+            kind, digits = "append", tok.lstrip("+")
+            if tok.startswith("-"):
+                kind, digits = "evict", tok[1:]
+            elif tok.startswith("~"):
+                kind, digits = "labels", tok[1:]
+            try:
+                count = int(digits)
+            except ValueError:
+                raise ReproError(
+                    f"bad schedule token {tok!r}: expected N, +N, -N, or ~N "
+                    "row counts"
+                ) from None
+            ops.append((kind, count))
     else:
         k = max(1, int(round(args.batch_frac * m)))
-        counts = [k] * args.batches
-    if not counts or any(c < 1 for c in counts):
-        raise ReproError(f"schedule must be positive row counts, got {counts}")
-    if sum(counts) >= m:
+        ops = [("append", k)] * args.batches
+    if not ops or any(c < 1 for _, c in ops):
         raise ReproError(
-            f"schedule consumes {sum(counts)} rows but the dataset has only "
+            f"schedule events need positive row counts, got {args.schedule!r}"
+        )
+    appended = sum(c for op, c in ops if op == "append")
+    if appended >= m:
+        raise ReproError(
+            f"schedule consumes {appended} rows but the dataset has only "
             f"{m} (the initial fit needs at least one row)"
         )
-    return counts
+    return ops
 
 
 def _cmd_stream(args) -> int:
@@ -360,18 +394,25 @@ def _cmd_stream(args) -> int:
     task = args.task if args.task != "auto" else getattr(ds, "task", "lasso")
     machine = get_machine(args.machine)
     m = ds.A.shape[0]
-    counts = _stream_schedule(args, m)
-    # replay: the schedule's rows are held out of the initial fit and
-    # arrive batch by batch, oldest data first
-    m0 = m - sum(counts)
+    ops = _stream_schedule(args, m)
+    # replay: the appended rows are held out of the initial fit and
+    # arrive event by event, oldest data first; evictions and label
+    # edits target the oldest surviving rows
+    m0 = m - sum(c for op, c in ops if op == "append")
     A0, b0 = ds.A[:m0], ds.b[:m0]
-    batches = []
+    events = []
     lo = m0
-    for c in counts:
-        batches.append((ds.A[lo:lo + c], ds.b[lo:lo + c]))
-        lo += c
+    for op, c in ops:
+        if op == "append":
+            events.append((ds.A[lo:lo + c], ds.b[lo:lo + c]))
+            lo += c
+        elif op == "evict":
+            events.append(("evict_oldest", c))
+        else:
+            events.append(("relabel_oldest", c))
     report = replay_schedule(
-        A0, b0, batches, task=task, lam=args.lam, solver=args.solver,
+        A0, b0, events, task=task, max_rows=args.window, lam=args.lam,
+        solver=args.solver,
         loss=args.loss, mu=args.mu, s=args.s, max_iter=args.max_iter,
         tol=args.tol, seed=args.seed, record_every=args.record_every,
         parity=args.parity, pipeline=args.pipeline,
@@ -379,18 +420,21 @@ def _cmd_stream(args) -> int:
         machine=machine, warm_start=not args.cold,
         compare_cold=args.compare_cold,
     )
-    headers = ["rev", "rows", "+rows", "iters", "metric", "model ms"]
+    headers = ["rev", "rows", "+rows", "-rows", "~rows", "iters", "metric",
+               "model ms"]
     if args.compare_cold:
         headers += ["cold ms", "warm/cold"]
     rows = []
     for e in report["revisions"]:
         w = e["warm"]
-        row = [e["rev"], e["rows_total"], e["rows_added"],
+        refit = (w["cost"]["seconds"] + e["append_cost"]["seconds"]
+                 + e["evict_cost"]["seconds"])
+        row = [e["rev"], e["rows_total"], e["rows_added"], e["rows_removed"],
+               e["labels_changed"],
                w["iterations"], f"{w['final_metric']:.6g}",
-               f"{(w['cost']['seconds'] + e['append_cost']['seconds']) * 1e3:.4g}"]
+               f"{refit * 1e3:.4g}"]
         if args.compare_cold:
             if e["cold"] is not None:
-                refit = w["cost"]["seconds"] + e["append_cost"]["seconds"]
                 row += [f"{e['cold']['cost']['seconds'] * 1e3:.4g}",
                         f"{refit / max(e['cold']['cost']['seconds'], 1e-300):.3f}"]
             else:

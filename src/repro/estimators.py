@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro._api import fit_lasso, fit_svm
-from repro.errors import SolverError
+from repro.errors import PartitionError, SolverError
 from repro.path import PathResult, lambda_grid, lasso_path, svm_path
 from repro.solvers.base import SolverResult
 from repro.solvers.objectives import lambda_max
@@ -22,6 +22,50 @@ __all__ = ["SALasso", "SALassoCV", "SASVMClassifier", "SASVMClassifierCV"]
 
 
 class _FittedMixin:
+    def _check_batch_appendable(self, X, y) -> None:
+        """Reject a shape-incompatible partial_fit batch *before* any
+        state mutation (a forget= eviction must not fire if the append
+        that follows it is doomed)."""
+        n = self.stream_.dist.shape[1]
+        if X.shape[0] > 0 and X.shape[1] != n:
+            raise PartitionError(
+                f"appended rows must have {n} columns, got {X.shape[1]}"
+            )
+        k = np.asarray(y).ravel().shape[0]
+        if k != X.shape[0]:
+            raise SolverError(
+                f"labels must match the batch: got {k} labels for "
+                f"{X.shape[0]} rows"
+            )
+
+    def _stream_partial_fit(self, X, b, forget, build_engine):
+        """The shared partial_fit sequence over the streaming engine:
+        first call builds the engine (``build_engine``) and cold-solves;
+        later calls run an atomic forget-evict + append + warm refit.
+        Returns the :class:`~repro.solvers.base.SolverResult`, or
+        ``None`` when the call was a defined no-op (empty batch with
+        nothing forgotten)."""
+        if not hasattr(self, "stream_"):
+            if forget is not None:
+                raise SolverError(
+                    "forget= needs existing streaming state; call "
+                    "partial_fit without it first"
+                )
+            if X.shape[0] == 0:
+                raise SolverError(
+                    "the first partial_fit batch needs at least one row"
+                )
+            self.stream_ = build_engine()
+            return self.stream_.solve(warm_start=False)
+        self._check_batch_appendable(X, b)
+        before = self.stream_.revision
+        if forget is not None:
+            self.stream_.evict(forget)
+        self.stream_.append(X, b)
+        if self.stream_.revision == before:
+            return None  # nothing changed: keep the fitted state
+        return self.stream_.solve()
+
     def _check_fitted(self) -> None:
         if not hasattr(self, "result_"):
             raise SolverError(
@@ -90,10 +134,11 @@ class SALasso(_RegressorMixin):
         tol: float | None = 1e-8,
         seed: int = 0,
         pipeline: bool = False,
+        max_rows: int | None = None,
     ) -> None:
         self._params = dict(lam=lam, solver=solver, mu=mu, s=s,
                             max_iter=max_iter, tol=tol, seed=seed,
-                            pipeline=pipeline)
+                            pipeline=pipeline, max_rows=max_rows)
 
     def fit(self, X, y) -> "SALasso":
         p = self._params
@@ -110,28 +155,34 @@ class SALasso(_RegressorMixin):
         self.n_iter_ = res.iterations
         return self
 
-    def partial_fit(self, X, y) -> "SALasso":
+    def partial_fit(self, X, y, forget=None) -> "SALasso":
         """Incremental fitting: new rows extend the data, the refit is warm.
 
         The first call behaves like :meth:`fit` but keeps a
         :class:`~repro.streaming.StreamingSweep` (exposed as
         ``stream_``); every subsequent call appends ``(X, y)`` as new
         rows — ``X`` must keep the same feature count — and warm-starts
-        the refit from the previous coefficients. Per-revision modelled
-        costs are available as ``stream_.revisions``. Calling
-        :meth:`fit` discards the streaming state.
+        the refit from the previous coefficients. ``forget`` evicts rows
+        first, by arrival index (``stream_.surviving_rows()``), and the
+        ``max_rows`` constructor knob keeps a sliding count window by
+        auto-evicting the oldest rows after each append. An empty batch
+        with nothing to forget is a no-op. Per-revision modelled costs
+        are available as ``stream_.revisions``. Calling :meth:`fit`
+        discards the streaming state.
         """
         p = self._params
-        if not hasattr(self, "stream_"):
-            self.stream_ = StreamingSweep(
+        res = self._stream_partial_fit(
+            X, y, forget,
+            lambda: StreamingSweep(
                 X, y, task="lasso", solver=p["solver"], lam=p["lam"],
                 mu=p["mu"], s=p["s"], max_iter=p["max_iter"], tol=p["tol"],
                 seed=p["seed"], pipeline=p["pipeline"],
+                max_rows=p["max_rows"],
                 record_every=max(1, p["max_iter"] // 50),
-            )
-            res = self.stream_.solve(warm_start=False)
-        else:
-            res = self.stream_.refit(X, y)
+            ),
+        )
+        if res is None:
+            return self
         self.result_ = res
         self.coef_ = res.x
         self.n_iter_ = res.iterations
@@ -321,10 +372,11 @@ class SASVMClassifier(_SVMClassifierMixin):
         tol: float | None = 1e-2,
         seed: int = 0,
         pipeline: bool = False,
+        max_rows: int | None = None,
     ) -> None:
         self._params = dict(loss=loss, lam=lam, solver=solver, s=s,
                             max_iter=max_iter, tol=tol, seed=seed,
-                            pipeline=pipeline)
+                            pipeline=pipeline, max_rows=max_rows)
 
     def fit(self, X, y) -> "SASVMClassifier":
         b = self._encode_labels(y)
@@ -343,7 +395,7 @@ class SASVMClassifier(_SVMClassifierMixin):
         self.n_iter_ = res.iterations
         return self
 
-    def partial_fit(self, X, y) -> "SASVMClassifier":
+    def partial_fit(self, X, y, forget=None) -> "SASVMClassifier":
         """Incremental fitting: new rows extend the data, the refit is warm.
 
         The first call must contain both classes (it establishes
@@ -351,19 +403,20 @@ class SASVMClassifier(_SVMClassifierMixin):
         StreamingSweep` (``stream_``); every subsequent call appends
         ``(X, y)`` as new samples — labels must come from ``classes_``,
         a single-class batch is fine — and warm-starts the refit from
-        the previous dual, zero-padded for the new rows. Calling
-        :meth:`fit` discards the streaming state.
+        the previous dual, zero-padded for the new rows. ``forget``
+        evicts rows first, by arrival index (the evicted rows' dual
+        coordinates are dropped), and the ``max_rows`` constructor knob
+        keeps a sliding count window. An empty batch with nothing to
+        forget is a no-op. Calling :meth:`fit` discards the streaming
+        state.
         """
         p = self._params
         if not hasattr(self, "stream_"):
+            if X.shape[0] == 0:
+                raise SolverError(
+                    "the first partial_fit batch needs at least one row"
+                )
             b = self._encode_labels(y)
-            self.stream_ = StreamingSweep(
-                X, b, task="svm", solver=p["solver"], loss=p["loss"],
-                lam=p["lam"], s=p["s"], max_iter=p["max_iter"], tol=p["tol"],
-                seed=p["seed"], pipeline=p["pipeline"],
-                record_every=max(1, p["max_iter"] // 100),
-            )
-            res = self.stream_.solve(warm_start=False)
         else:
             y_arr = np.asarray(y).ravel()
             known = np.isin(y_arr, self.classes_)
@@ -373,7 +426,18 @@ class SASVMClassifier(_SVMClassifierMixin):
                     f"{list(self.classes_)}"
                 )
             b = np.where(y_arr == self.classes_[1], 1.0, -1.0)
-            res = self.stream_.refit(X, b)
+        res = self._stream_partial_fit(
+            X, b, forget,
+            lambda: StreamingSweep(
+                X, b, task="svm", solver=p["solver"], loss=p["loss"],
+                lam=p["lam"], s=p["s"], max_iter=p["max_iter"], tol=p["tol"],
+                seed=p["seed"], pipeline=p["pipeline"],
+                max_rows=p["max_rows"],
+                record_every=max(1, p["max_iter"] // 100),
+            ),
+        )
+        if res is None:
+            return self
         self.result_ = res
         self.coef_ = res.x
         self.dual_coef_ = res.extras["alpha"]

@@ -91,6 +91,23 @@ class _PartitionedBase:
             self.local = np.vstack([self.local, share])
         self.local_nnz = nnz_of(self.local)
 
+    def _validate_remove_idx(self, idx) -> np.ndarray:
+        """Normalise row indices for a removal: unique (set semantics),
+        in-range, and not the entire matrix. Empty is a legal no-op the
+        caller handles."""
+        idx = np.unique(np.asarray(idx, dtype=np.intp))
+        if idx.size == 0:
+            return idx
+        m = self.shape[0]
+        if idx[0] < 0 or idx[-1] >= m:
+            raise PartitionError(
+                f"row indices to remove must lie in [0, {m}), got range "
+                f"[{int(idx[0])}, {int(idx[-1])}]"
+            )
+        if idx.size >= m:
+            raise PartitionError("cannot remove every row of the matrix")
+        return idx
+
     def _packed_buffers(self, length: int) -> tuple[np.ndarray, np.ndarray]:
         """Reusable (send, recv) float64 views of exactly ``length``."""
         if self._send_buf is None or self._send_buf.shape[0] < length:
@@ -340,6 +357,10 @@ class RowPartitionedMatrix(_PartitionedBase):
                 f"rows) does not match batch ({k} rows) / communicator "
                 f"({size} ranks)"
             )
+        if k == 0:
+            # empty batch: a defined no-op — nothing is stacked and no
+            # cache is invalidated (the CSC view is still valid)
+            return partition
         lo, hi = partition.range_of(self.comm.rank)
         self._stack_local(B[lo:hi])
         counts = self.partition.counts() + partition.counts()
@@ -350,6 +371,51 @@ class RowPartitionedMatrix(_PartitionedBase):
         # row dimension changed: the CSC sampling view is stale
         self._csc_cache = None
         return partition
+
+    def remove_rows(self, idx) -> np.ndarray:
+        """Drop the global rows ``idx`` in place (per-rank shard compaction).
+
+        SPMD-collective like :meth:`append_rows`: every rank calls with
+        the same global row indices — in the matrix's *current* global
+        (rank-blocked) row order — and compacts its own shard, keeping
+        the surviving rows in order. The partition shrinks by the removed
+        counts per rank; a rank's shard may legally become empty.
+        Duplicate indices are merged (set semantics); an empty ``idx`` is
+        a defined no-op that invalidates nothing.
+
+        Mirroring the append, only the cache the eviction actually
+        touches is invalidated: the CSC sampling view (its row dimension
+        changed) is dropped and rebuilt lazily. The gather workspace,
+        packed send/receive buffers, and Gram output buffers survive.
+        The compaction cost — an index scan over the old local rows plus
+        a copy of the surviving non-zeros — is charged to the ledger.
+
+        Returns the per-rank removed counts (length ``comm.size``).
+        """
+        idx = self._validate_remove_idx(idx)
+        size = self.comm.size
+        if idx.size == 0:
+            return np.zeros(size, dtype=np.intp)
+        m = self.shape[0]
+        offsets = np.asarray(self.partition.offsets, dtype=np.intp)
+        removed_per_rank = np.diff(np.searchsorted(idx, offsets))
+        lo, hi = self.partition.range_of(self.comm.rank)
+        mine = idx[(idx >= lo) & (idx < hi)] - lo
+        keep = np.setdiff1d(np.arange(hi - lo), mine, assume_unique=True)
+        old_rows = self.local.shape[0]
+        self.local = self.local[keep]
+        self.local_nnz = nnz_of(self.local)
+        # compaction: index scan over the old rows + copy of the survivors
+        self.comm.account_flops(2.0 * old_rows, "gather")
+        self.comm.account_flops(6.0 * self.local_nnz, "scalar")
+        counts = self.partition.counts() - removed_per_rank
+        self.partition = Partition1D(
+            tuple(int(o) for o in np.concatenate([[0], np.cumsum(counts)]))
+        )
+        self.shape = (m - idx.size, self.shape[1])
+        # row dimension changed: the CSC sampling view is stale
+        self._csc_cache = None
+        return removed_per_rank
 
     # -- sampling -------------------------------------------------------------
     def _build_sampling_view(self) -> None:
@@ -528,6 +594,8 @@ class ColPartitionedMatrix(_PartitionedBase):
             raise PartitionError(
                 f"appended rows must have {self.shape[1]} columns, got {n}"
             )
+        if k == 0:
+            return  # empty batch: a defined no-op
         lo, hi = self.partition.range_of(self.comm.rank)
         if sp.issparse(B):
             share = B.tocsc()[:, lo:hi].tocsr()
@@ -535,6 +603,35 @@ class ColPartitionedMatrix(_PartitionedBase):
             share = B[:, lo:hi]
         self._stack_local(share)
         self.shape = (self.shape[0] + k, self.shape[1])
+
+    def remove_rows(self, idx) -> int:
+        """Drop the global rows ``idx`` in place (local shard compaction).
+
+        SPMD-collective like :meth:`append_rows`: rows are replicated
+        across the column shards, so every rank calls with the same
+        global row indices (exact arrival order in this layout) and
+        drops those rows from its own shard — the column partition is
+        untouched and the surviving rows keep their order, which is what
+        lets SVM streaming drop the evicted rows' dual coordinates by
+        position. Duplicate indices are merged (set semantics); an empty
+        ``idx`` is a defined no-op.
+
+        Nothing needs invalidating beyond the nnz bookkeeping (the CSR
+        shard *is* the row-sampling view); the compaction cost — index
+        scan plus survivor copy — is charged to the ledger. Returns the
+        number of rows removed.
+        """
+        idx = self._validate_remove_idx(idx)
+        if idx.size == 0:
+            return 0
+        m = self.shape[0]
+        keep = np.setdiff1d(np.arange(m), idx, assume_unique=True)
+        self.local = self.local[keep]
+        self.local_nnz = nnz_of(self.local)
+        self.comm.account_flops(2.0 * m, "gather")
+        self.comm.account_flops(6.0 * self.local_nnz, "scalar")
+        self.shape = (m - idx.size, self.shape[1])
+        return int(idx.size)
 
     def sample_rows(self, idx: np.ndarray, ws: GatherWorkspace | None = None):
         """Local columns of the sampled rows (k x n_loc).

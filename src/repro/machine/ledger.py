@@ -45,6 +45,37 @@ class CostSnapshot:
     def seconds(self) -> float:
         return self.comm_seconds + self.compute_seconds
 
+    @classmethod
+    def zero(cls) -> "CostSnapshot":
+        return cls(0.0, 0.0, 0, 0.0, 0.0, 0.0)
+
+    def __add__(self, other: "CostSnapshot") -> "CostSnapshot":
+        if not isinstance(other, CostSnapshot):
+            return NotImplemented
+        return CostSnapshot(
+            comm_seconds=self.comm_seconds + other.comm_seconds,
+            compute_seconds=self.compute_seconds + other.compute_seconds,
+            messages=self.messages + other.messages,
+            words=self.words + other.words,
+            flops=self.flops + other.flops,
+            comm_seconds_hidden=self.comm_seconds_hidden + other.comm_seconds_hidden,
+        )
+
+    def __sub__(self, other: "CostSnapshot") -> "CostSnapshot":
+        """Delta between two snapshots of the *same* ledger (later - earlier);
+        used to split one measured span into phases (e.g. the streaming
+        engine's append vs. window-eviction work within one revision)."""
+        if not isinstance(other, CostSnapshot):
+            return NotImplemented
+        return CostSnapshot(
+            comm_seconds=self.comm_seconds - other.comm_seconds,
+            compute_seconds=self.compute_seconds - other.compute_seconds,
+            messages=self.messages - other.messages,
+            words=self.words - other.words,
+            flops=self.flops - other.flops,
+            comm_seconds_hidden=self.comm_seconds_hidden - other.comm_seconds_hidden,
+        )
+
 
 def _collective_entry() -> list:
     """Fresh per-collective counter row (module-level so ledgers pickle:

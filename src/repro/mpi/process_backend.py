@@ -26,10 +26,21 @@ Semantics match :class:`~repro.mpi.thread_backend.ThreadComm` exactly:
   lets computation before the wait genuinely hide the transit.
 
 Generic object collectives pickle payloads into fixed-capacity per-rank
-slabs (``slab_bytes``, default 4 MiB); oversized payloads raise
-:class:`~repro.errors.CommError` rather than corrupting a neighbour's
-slab. Nonblocking payloads are raw float64 (the packed-Gram hot path) —
-no pickling on the pipelined critical path.
+slabs (``slab_bytes``, default 4 MiB — raise it through
+``process_spmd_run(slab_bytes=)`` / ``ProcessWorld(slab_bytes=)`` for
+larger payloads); an oversized payload raises a
+:class:`~repro.errors.CommError` naming the payload size and the knob —
+and aborts the world so peers wake instead of parking on the barrier —
+rather than corrupting a neighbour's slab. Nonblocking payloads are raw
+float64 (the packed-Gram hot path) — no pickling on the pipelined
+critical path.
+
+Teardown is exception-safe: a rank failing mid-collective (or the
+parent unwinding) aborts the world — broken barrier, woken nonblocking
+waiters — so blocked ranks exit deterministically instead of waiting
+out the join-timeout/terminate path. :class:`ProcessWorld` is a context
+manager (``shutdown()`` on exit) for direct, non-``process_spmd_run``
+use.
 
 Requires a platform with ``fork`` (Linux/macOS): the SPMD function and
 its closure are inherited, not pickled, so tests and solvers can pass
@@ -209,12 +220,32 @@ class ProcessWorld:
 
     # -- failure handling --------------------------------------------------
     def abort(self) -> None:
-        """Fail peers fast: break the barrier, wake nonblocking waiters."""
+        """Fail peers fast: break the barrier, wake nonblocking waiters.
+
+        Idempotent, callable from any rank or the parent. Every blocked
+        participant wakes deterministically: barrier waiters get
+        :class:`~threading.BrokenBarrierError` (surfaced as
+        :class:`~repro.errors.CommAborted`), nonblocking waiters observe
+        the aborted flag on their next condition wake-up (<= 50 ms).
+        """
         self._aborted.value = 1
         self.barrier.abort()
         for slot in self._nb_ring:
             with slot.cond:
                 slot.cond.notify_all()
+
+    def shutdown(self) -> None:
+        """Deterministic teardown: alias of :meth:`abort` for use as an
+        explicit end-of-life call (or via the context manager). After
+        shutdown every collective on the world raises
+        :class:`~repro.errors.CommAborted` instead of blocking."""
+        self.abort()
+
+    def __enter__(self) -> "ProcessWorld":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
 
     def is_aborted(self) -> bool:
         return bool(self._aborted.value)
@@ -234,10 +265,15 @@ class ProcessWorld:
         """
         payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
         if len(payload) > self.slab_bytes:
+            # the collective cannot proceed for anyone: wake peers that
+            # already parked on the barrier instead of letting them sit
+            # until the parent's timeout/terminate path fires
+            self.abort()
             raise CommError(
-                f"collective payload of {len(payload)} bytes exceeds the "
-                f"process backend's slab capacity ({self.slab_bytes}); "
-                "raise slab_bytes in process_spmd_run"
+                f"collective {tag!r}: pickled payload of {len(payload)} "
+                f"bytes exceeds the process backend's slab capacity "
+                f"(slab_bytes={self.slab_bytes}); raise slab_bytes= in "
+                "process_spmd_run / ProcessWorld"
             )
         base = rank * self.slab_bytes
         self._obj[base:base + len(payload)] = payload
@@ -290,9 +326,12 @@ class ProcessWorld:
         flat = np.ascontiguousarray(arr).ravel()
         slot = self._nb_ring[seq % NB_RING_DEPTH]
         if flat.shape[0] > slot.capacity:
+            self.abort()  # peers waiting on this slot must not park
             raise CommError(
-                f"nonblocking payload of {flat.shape[0]} doubles exceeds the "
-                f"slot capacity ({slot.capacity}); raise nb_doubles"
+                f"nonblocking collective {tag!r}: payload of "
+                f"{flat.shape[0]} doubles exceeds the slot capacity "
+                f"(nb_doubles={slot.capacity}); raise nb_doubles= in "
+                "process_spmd_run / ProcessWorld"
             )
         with slot.cond:
             while slot.seq.value != seq:
@@ -367,6 +406,15 @@ def process_spmd_run(
     ``fn`` and its closure are inherited by fork, so lambdas work; the
     *return value* must be picklable.
 
+    ``slab_bytes`` bounds one rank's pickled payload per blocking
+    collective (default 4 MiB) and ``nb_doubles`` one rank's nonblocking
+    float64 payload; an oversized payload raises a :class:`CommError`
+    naming the size and the knob, and aborts the world so peers wake
+    instead of parking. Teardown is exception-safe: a rank raising
+    mid-collective aborts the world (broken barrier + woken nonblocking
+    waiters), so every surviving rank exits deterministically and no
+    forked child outlives the call.
+
     Raises the first per-rank exception (rank order) if any rank failed;
     hung or killed ranks raise :class:`CommAborted`.
     """
@@ -423,8 +471,18 @@ def process_spmd_run(
                     f"SPMD ranks did not finish within {timeout}s: {hung}"
                 )
             if not recv_end.poll(0.05):
-                if all(not p.is_alive() for p in procs) and not recv_end.poll(0):
-                    break  # every child exited without reporting (crash/kill)
+                dead_unreported = [
+                    r for r in range(size)
+                    if not reported[r] and not procs[r].is_alive()
+                ]
+                if dead_unreported and not recv_end.poll(0):
+                    # report() is synchronous, so a dead child with no
+                    # queued report genuinely never reported (crash/kill)
+                    if all(not p.is_alive() for p in procs):
+                        break
+                    # peers can never complete a collective with it:
+                    # wake them now rather than waiting out the timeout
+                    world.abort()
                 continue
             r, status, payload, ledger = recv_end.recv()
             reported[r] = True
@@ -434,6 +492,14 @@ def process_spmd_run(
             else:
                 errors[r] = payload
     finally:
+        # Deterministic teardown: if any rank is still running — a peer
+        # raised mid-collective, the parent is unwinding on its own
+        # exception, or a child died without reporting — break the
+        # barrier and wake every blocked waiter *before* joining, so
+        # survivors exit on CommAborted instead of parking until the
+        # join timeout forces a terminate().
+        if any(p.is_alive() for p in procs):
+            world.abort()
         for p in procs:
             p.join(1.0)
         for p in procs:

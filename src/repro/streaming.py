@@ -20,11 +20,26 @@ the streaming workload:
   the refit — the primal ``x`` unchanged for Lasso, the dual ``alpha``
   zero-padded for the new SVM rows (new rows enter the dual box at 0,
   which is always feasible).
+* Rows are retired the same way they arrive: :meth:`StreamingSweep.
+  evict` removes rows by arrival index (per-rank shard compaction via
+  :meth:`RowPartitionedMatrix.remove_rows` /
+  :meth:`ColPartitionedMatrix.remove_rows`, again invalidating only the
+  CSC sampling view), ``max_rows=`` keeps a sliding count window by
+  auto-evicting the oldest rows after each append, and the ``A^T b``
+  state is *downdated* (``A^T b -= B_evicted^T y_evicted``, one n-word
+  Allreduce) so ``lambda_max`` stays exact without a full rescan. The
+  Lasso primal warm start is kept verbatim (its dimension never
+  changes); the SVM warm dual drops the evicted rows' coordinates.
+* :meth:`StreamingSweep.update_labels` applies **label-only updates**:
+  ``A^T b`` is re-derived via a delta reduction
+  (``A^T b += A_rows^T (y_new - y_old)``) without touching the shards.
 * Ledger accounting is split per **data revision**: each append's own
-  incremental work and every subsequent solve's cost are banked against
-  the revision they belong to, so "what does a refit after +k rows
-  cost?" is a first-class measurable (``benchmarks/bench_streaming.py``
-  tracks warm refit vs. cold re-solve in ``BENCH_streaming.json``).
+  incremental work, each eviction's downdate + compaction
+  (:attr:`DataRevision.evict_cost`), and every subsequent solve's cost
+  are banked against the revision they belong to, so "what does a refit
+  after +k rows cost?" is a first-class measurable
+  (``benchmarks/bench_streaming.py`` tracks warm refit vs. cold
+  re-solve in ``BENCH_streaming.json``, including windowed entries).
 
 Row-order contract: the row-partitioned (Lasso) layout appends each
 rank's share at the end of its local shard, so the effective global row
@@ -61,8 +76,10 @@ from repro.utils.validation import nnz_of
 __all__ = ["StreamingSweep", "DataRevision", "replay_schedule"]
 
 #: report schema version emitted by :func:`replay_schedule` (and the
-#: ``repro stream`` CLI's ``--save``)
-STREAM_REPORT_VERSION = 1
+#: ``repro stream`` CLI's ``--save``); v2 added eviction / label-edit
+#: events, the structured ``schedule`` entries, and per-revision
+#: ``rows_removed`` / ``labels_changed`` / ``evict_cost``
+STREAM_REPORT_VERSION = 2
 
 _DEFAULT_SOLVER = {"lasso": "sa-accbcd", "svm": "sa-svm"}
 
@@ -73,28 +90,29 @@ class DataRevision:
 
     #: revision number (0 = the initial data)
     rev: int
-    #: total rows after this revision's append
+    #: total rows after this revision's mutation
     rows_total: int
     #: rows this revision added (= ``rows_total`` for revision 0)
     rows_added: int
+    #: rows this revision evicted (explicit ``evict`` or the ``max_rows``
+    #: window trimming the oldest rows after an append)
+    rows_removed: int = 0
+    #: rows whose labels this revision rewrote in place
+    labels_changed: int = 0
     #: modelled cost of the incremental state update itself (shard
-    #: append + the ``A^T b`` extension; for revision 0, the initial
-    #: ``A^T b`` derivation)
-    append_cost: CostSnapshot = field(default_factory=lambda: CostSnapshot(0, 0, 0, 0, 0))
+    #: append + the ``A^T b`` extension; the label-delta reduction for a
+    #: label revision; for revision 0, the initial ``A^T b`` derivation)
+    append_cost: CostSnapshot = field(default_factory=CostSnapshot.zero)
+    #: modelled cost of this revision's eviction (the ``A^T b`` downdate
+    #: — one n-word Allreduce — plus the per-rank shard compaction)
+    evict_cost: CostSnapshot = field(default_factory=CostSnapshot.zero)
     #: per-solve modelled costs banked against this revision
     solve_costs: list = field(default_factory=list)
 
     @property
     def refit_cost(self) -> CostSnapshot:
         """Total solve cost at this revision (summed solves)."""
-        return CostSnapshot(
-            comm_seconds=sum(c.comm_seconds for c in self.solve_costs),
-            compute_seconds=sum(c.compute_seconds for c in self.solve_costs),
-            messages=sum(c.messages for c in self.solve_costs),
-            words=sum(c.words for c in self.solve_costs),
-            flops=sum(c.flops for c in self.solve_costs),
-            comm_seconds_hidden=sum(c.comm_seconds_hidden for c in self.solve_costs),
-        )
+        return sum(self.solve_costs, CostSnapshot.zero())
 
 
 def _check_svm_labels(y: np.ndarray) -> None:
@@ -103,7 +121,7 @@ def _check_svm_labels(y: np.ndarray) -> None:
 
 
 class StreamingSweep:
-    """Online refit engine: append rows between solves, warm-restart.
+    """Online refit engine: append/evict rows between solves, warm-restart.
 
     Parameters
     ----------
@@ -113,19 +131,33 @@ class StreamingSweep:
     task:
         ``"lasso"`` (row partition, warm primal) or ``"svm"`` (column
         partition, warm dual).
+    max_rows:
+        Sliding count window: after every append, the oldest surviving
+        rows are evicted until at most ``max_rows`` remain (within the
+        same :class:`DataRevision`, the trim measured as its
+        ``evict_cost``). The initial data must already fit the window.
+        ``None`` (default) keeps every row.
     comm, virtual_p, machine, balance_nnz, eig_memo:
         As in :class:`~repro.path.SweepContext` (which this engine owns;
         the context's caches — sampling views, gather workspace, packed
-        buffers, eig memo — persist across appends and solves).
+        buffers, eig memo — persist across appends, evictions, and
+        solves).
     solver, loss, lam, mu, s, max_iter, tol, seed, record_every, fast,
     parity, pipeline:
         Default solver knobs for :meth:`solve`, each overridable per
         call. ``lam=None`` resolves per solve: ``0.1 * lambda_max`` of
         the *current* data for Lasso, ``1.0`` for SVM.
 
+    Rows are identified by **arrival index** — the position of the row
+    in the full arrival history (initial rows get ``0..m0-1``, each
+    appended batch the next block) — which is what :meth:`evict` and
+    :meth:`update_labels` take and what :meth:`arrival_order` /
+    :meth:`surviving_rows` report. Arrival indices are never reused.
+
     Like the sweep context it owns, the engine takes ownership of the
-    communicator's ledger: it is zeroed at every append and every solve
-    so each :class:`DataRevision` carries isolated per-revision cost.
+    communicator's ledger: it is zeroed at every mutation and every
+    solve so each :class:`DataRevision` carries isolated per-revision
+    cost.
     """
 
     def __init__(
@@ -134,6 +166,7 @@ class StreamingSweep:
         b,
         *,
         task: str = "lasso",
+        max_rows: int | None = None,
         comm: Comm | None = None,
         virtual_p: int = 1,
         machine: MachineSpec | None = None,
@@ -169,6 +202,16 @@ class StreamingSweep:
         self._x_warm: np.ndarray | None = None
         self._alpha_warm: np.ndarray | None = None
         m = self.dist.shape[0]
+        if max_rows is not None:
+            max_rows = int(max_rows)
+            if max_rows < 1:
+                raise SolverError(f"max_rows must be >= 1, got {max_rows}")
+            if m > max_rows:
+                raise SolverError(
+                    f"initial data has {m} rows, more than max_rows="
+                    f"{max_rows}; trim the data or widen the window"
+                )
+        self.max_rows = max_rows
         part = self.dist.partition
         if task == "lasso":
             #: per-rank arrival indices, mirroring the rank-blocked
@@ -176,6 +219,9 @@ class StreamingSweep:
             self._arrivals = [
                 np.arange(*part.range_of(r)) for r in range(self.comm.size)
             ]
+        else:
+            #: arrival index per row of the (arrival-ordered) SVM layout
+            self._svm_arrivals = np.arange(m)
         self._next_arrival = m
         # revision 0: derive the incremental lambda_max state (measured)
         self.comm.reset()
@@ -218,13 +264,19 @@ class StreamingSweep:
     def arrival_order(self) -> np.ndarray:
         """Arrival index of each row of the effective global matrix.
 
-        ``materialize()[0]`` equals the arrival-order concatenation
-        ``[A; B_1; B_2; ...]`` indexed by this permutation. Identity for
-        the SVM layout; rank-blocked for the Lasso layout.
+        ``materialize()[0]`` equals the full arrival-history
+        concatenation ``[A; B_1; B_2; ...]`` indexed by this array
+        (evicted rows simply never appear). Ascending for the SVM
+        layout (exact arrival order); rank-blocked for the Lasso
+        layout.
         """
         if self.task == "svm":
-            return np.arange(self.n_rows)
+            return self._svm_arrivals.copy()
         return np.concatenate(self._arrivals)
+
+    def surviving_rows(self) -> np.ndarray:
+        """Sorted arrival indices of the rows currently in the window."""
+        return np.sort(self.arrival_order())
 
     def materialize(self):
         """``(A_eff, b_eff)``: the effective global problem, on every rank.
@@ -256,17 +308,24 @@ class StreamingSweep:
         SPMD-collective: every rank calls with the same global batch.
         The incremental work — per-rank shard append, the ``O(nnz(B))``
         extension of ``A^T b`` (Lasso), the label reordering — is
-        measured into the new revision's ``append_cost``.
+        measured into the new revision's ``append_cost``. With
+        ``max_rows=`` set, the oldest surviving rows are then evicted
+        until the batch fits the window, measured separately into the
+        same revision's ``evict_cost``.
+
+        An empty batch (``k == 0``) is a defined no-op: no revision is
+        emitted, no cost charged, no cache invalidated; the current
+        revision number is returned.
         """
         y = np.asarray(y, dtype=np.float64).ravel()
         k = int(B.shape[0])
-        if k < 1:
-            raise SolverError("append needs at least one row")
         if y.shape[0] != k:
             raise SolverError(
                 f"labels must match the batch: got {y.shape[0]} labels "
                 f"for {k} rows"
             )
+        if k == 0:
+            return self.revision
         if self.task == "svm":
             _check_svm_labels(y)
         self.comm.reset()
@@ -301,11 +360,192 @@ class StreamingSweep:
             # (always feasible — the box is [0, nu] per coordinate)
             if self._alpha_warm is not None:
                 self._alpha_warm = np.concatenate([self._alpha_warm, np.zeros(k)])
+            self._svm_arrivals = np.concatenate(
+                [self._svm_arrivals, self._next_arrival + np.arange(k)]
+            )
         self._next_arrival += k
-        self.ctx.refresh_problem(new_b)
+        removed = (0 if self.max_rows is None
+                   else max(0, self.n_rows - self.max_rows))
+        # the window trim re-derives the problem signature itself, so
+        # fingerprint the post-append shard only when no trim follows
+        self.ctx.b = new_b
+        if removed == 0:
+            self.ctx.refresh_problem()
+        append_cost = self.comm.ledger.snapshot()
+        if removed:
+            self._apply_evict(self.surviving_rows()[:removed])
         self.revisions.append(
             DataRevision(
-                self.revision + 1, self.n_rows, k,
+                self.revision + 1, self.n_rows, k, rows_removed=removed,
+                append_cost=append_cost,
+                evict_cost=self.comm.ledger.snapshot() - append_cost,
+            )
+        )
+        return self.revision
+
+    def _apply_evict(self, ids: np.ndarray) -> None:
+        """State change for one eviction of the (unique, sorted) arrival
+        indices ``ids``; the caller owns the ledger reset and the
+        revision bookkeeping. Validates before mutating anything."""
+        if self.task == "lasso":
+            masks = [np.isin(arr, ids) for arr in self._arrivals]
+            found = sum(int(m.sum()) for m in masks)
+        else:
+            svm_mask = np.isin(self._svm_arrivals, ids)
+            found = int(svm_mask.sum())
+        if found != ids.size:
+            raise SolverError(
+                f"evict: {ids.size - found} of {ids.size} row ids are not "
+                "present (already evicted, or never appended)"
+            )
+        if found >= self.n_rows:
+            raise SolverError("cannot evict every row")
+        part = self.dist.partition
+        if self.task == "lasso":
+            # downdate A^T b from the owned evicted rows *before* the
+            # compaction drops them: A^T b -= B_ev_share^T y_ev_share,
+            # summed across ranks — O(nnz(B_ev)) + one n-word Allreduce
+            # instead of an O(nnz(A)) rescan of the survivors
+            lo, hi = part.range_of(self.comm.rank)
+            own = np.nonzero(masks[self.comm.rank])[0]
+            B_ev = self.dist.local[own]
+            y_ev = self.ctx.b[lo:hi][masks[self.comm.rank]]
+            contrib = np.asarray(B_ev.T @ y_ev, dtype=np.float64).ravel()
+            self.comm.account_flops(2.0 * nnz_of(B_ev), "spmv")
+            self._atb = self._atb - np.asarray(self.comm.Allreduce(contrib)).ravel()
+            self.comm.account_flops(float(self._atb.shape[0]), "blas1")
+            global_idx, segs = [], []
+            for r in range(self.comm.size):
+                rlo, rhi = part.range_of(r)
+                global_idx.append(rlo + np.nonzero(masks[r])[0])
+                segs.append(self.ctx.b[rlo:rhi][~masks[r]])
+                self._arrivals[r] = self._arrivals[r][~masks[r]]
+            self.dist.remove_rows(np.concatenate(global_idx))
+            new_b = np.concatenate(segs)
+        else:
+            self.dist.remove_rows(np.nonzero(svm_mask)[0])
+            new_b = self.ctx.b[~svm_mask]
+            if self._alpha_warm is not None:
+                # surviving duals keep their (compacted) positions; the
+                # evicted coordinates leave the box with their rows
+                self._alpha_warm = self._alpha_warm[~svm_mask]
+            self._svm_arrivals = self._svm_arrivals[~svm_mask]
+        self.ctx.refresh_problem(new_b)
+
+    def evict(self, ids) -> int:
+        """Retire rows by arrival index; returns the new revision number.
+
+        SPMD-collective: every rank calls with the same ``ids`` —
+        arrival indices of currently-present rows (:meth:`arrival_order`
+        / :meth:`surviving_rows`; duplicates are merged). Each rank
+        compacts its own shard in place; the Lasso ``A^T b`` state is
+        *downdated* (one ``O(nnz(B_ev))`` local product plus an n-word
+        Allreduce), so :attr:`lambda_max` stays exact without a rescan.
+        The Lasso primal warm start is kept verbatim — its dimension
+        ``n`` is untouched — while the SVM warm dual drops the evicted
+        rows' coordinates (the survivors stay feasible: the dual box is
+        per-coordinate). The downdate + compaction cost is measured into
+        the new revision's ``evict_cost``.
+
+        Evicting an unknown id or the entire dataset raises
+        :class:`SolverError` before any state changes; empty ``ids`` is
+        a no-op (no revision, current number returned).
+        """
+        ids = np.unique(np.asarray(ids, dtype=np.intp).ravel())
+        if ids.size == 0:
+            return self.revision
+        self.comm.reset()
+        self._apply_evict(ids)
+        self.revisions.append(
+            DataRevision(
+                self.revision + 1, self.n_rows, 0, rows_removed=int(ids.size),
+                evict_cost=self.comm.ledger.snapshot(),
+            )
+        )
+        return self.revision
+
+    def update_labels(self, ids, y_new) -> int:
+        """Rewrite the labels of rows ``ids`` (arrival indices) in place;
+        returns the new revision number.
+
+        SPMD-collective, and the shards are never touched: for Lasso the
+        ``A^T b`` state is re-derived via a **delta reduction** —
+        ``A^T b += A_rows^T (y_new - y_old)``, an ``O(nnz(rows))`` local
+        product plus one n-word Allreduce — so :attr:`lambda_max` stays
+        exact; the primal warm start is kept verbatim. For SVM the
+        labels are replicated, so only ``b`` changes; the warm dual's
+        *changed* coordinates are reset to 0 (the old alpha pushed for
+        the old label; 0 is always feasible), the rest kept. The delta
+        reduction's cost is measured into the new revision's
+        ``append_cost``.
+
+        Unknown ids or duplicate ids raise :class:`SolverError` before
+        any state changes; empty ``ids`` is a no-op.
+        """
+        ids = np.asarray(ids, dtype=np.intp).ravel()
+        y_new = np.asarray(y_new, dtype=np.float64).ravel()
+        if y_new.shape[0] != ids.shape[0]:
+            raise SolverError(
+                f"labels must match the ids: got {y_new.shape[0]} labels "
+                f"for {ids.shape[0]} ids"
+            )
+        if ids.size == 0:
+            return self.revision
+        order = np.argsort(ids)
+        ids_sorted = ids[order]
+        if np.unique(ids_sorted).size != ids.size:
+            raise SolverError("update_labels got duplicate row ids")
+        y_sorted = y_new[order]
+        if self.task == "svm":
+            _check_svm_labels(y_new)
+            mask = np.isin(self._svm_arrivals, ids_sorted)
+            pos = np.nonzero(mask)[0]
+            found = int(pos.size)
+        else:
+            sel = [np.nonzero(np.isin(arr, ids_sorted))[0]
+                   for arr in self._arrivals]
+            found = sum(int(p.size) for p in sel)
+        if found != ids.size:
+            raise SolverError(
+                f"update_labels: {ids.size - found} of {ids.size} row ids "
+                "are not present (evicted, or never appended)"
+            )
+        self.comm.reset()
+        new_b = self.ctx.b.copy()
+        if self.task == "lasso":
+            part = self.dist.partition
+            contrib = np.zeros(self.dist.shape[1])
+            for r in range(self.comm.size):
+                pos = sel[r]
+                if pos.size == 0:
+                    continue
+                lo, _ = part.range_of(r)
+                y_vals = y_sorted[
+                    np.searchsorted(ids_sorted, self._arrivals[r][pos])
+                ]
+                if r == self.comm.rank:
+                    rows = self.dist.local[pos]
+                    delta = y_vals - self.ctx.b[lo + pos]
+                    contrib = np.asarray(rows.T @ delta, dtype=np.float64).ravel()
+                    self.comm.account_flops(2.0 * nnz_of(rows), "spmv")
+                new_b[lo + pos] = y_vals
+            # every rank joins the reduction, edits owned or not
+            self._atb = self._atb + np.asarray(self.comm.Allreduce(contrib)).ravel()
+            self.comm.account_flops(float(self._atb.shape[0]), "blas1")
+        else:
+            new_b[pos] = y_sorted[
+                np.searchsorted(ids_sorted, self._svm_arrivals[pos])
+            ]
+            if self._alpha_warm is not None:
+                self._alpha_warm = self._alpha_warm.copy()
+                self._alpha_warm[pos] = 0.0
+            self.comm.account_flops(float(ids.size), "blas1")
+        # label-only: the matrix (and its fingerprint) is unchanged
+        self.ctx.b = new_b
+        self.revisions.append(
+            DataRevision(
+                self.revision + 1, self.n_rows, 0,
+                labels_changed=int(ids.size),
                 append_cost=self.comm.ledger.snapshot(),
             )
         )
@@ -403,12 +643,70 @@ def _sum_cost_dicts(costs: list) -> dict:
     return total
 
 
+def _normalize_events(batches) -> list:
+    """Coerce a replay schedule into ``(op, ...)`` event tuples.
+
+    Accepted entries: a plain ``(B, y)`` pair (row arrival, backward
+    compatible), or an op-tagged tuple — ``("append", B, y)``,
+    ``("evict", ids)`` / ``("evict_oldest", n)``, and
+    ``("labels", ids, y_new)`` / ``("relabel_oldest", n)`` (the latter
+    negates the current labels of the ``n`` oldest surviving rows, a
+    deterministic label edit valid for both tasks).
+    """
+    events = []
+    for ev in batches:
+        if not isinstance(ev, (tuple, list)) or not len(ev):
+            raise SolverError(f"unknown streaming event {ev!r}")
+        if not isinstance(ev[0], str):
+            if len(ev) != 2:
+                raise SolverError(f"unknown streaming event {ev!r}")
+            events.append(("append", ev[0], ev[1]))
+            continue
+        op = ev[0]
+        if op == "append" and len(ev) == 3:
+            events.append(("append", ev[1], ev[2]))
+        elif op == "evict" and len(ev) == 2:
+            events.append(("evict", np.asarray(ev[1], dtype=np.intp).ravel()))
+        elif op == "evict_oldest" and len(ev) == 2:
+            events.append(("evict_oldest", int(ev[1])))
+        elif op == "labels" and len(ev) == 3:
+            events.append((
+                "labels",
+                np.asarray(ev[1], dtype=np.intp).ravel(),
+                np.asarray(ev[2], dtype=np.float64).ravel(),
+            ))
+        elif op == "relabel_oldest" and len(ev) == 2:
+            events.append(("relabel_oldest", int(ev[1])))
+        else:
+            raise SolverError(f"unknown streaming event {ev!r}")
+    return events
+
+
+def _sched_entry(ev) -> dict:
+    """Echo one input event for the report's ``schedule`` field.
+
+    ``rows`` is the *requested* count; for the ``*_oldest`` ops it may
+    exceed the surviving rows, in which case the matching revision's
+    ``rows_removed`` / ``labels_changed`` records what was actually
+    affected.
+    """
+    op = ev[0]
+    if op == "append":
+        return {"op": "append", "rows": int(ev[1].shape[0])}
+    if op in ("evict", "labels"):
+        return {"op": op, "rows": int(len(ev[1]))}
+    # the *_oldest ops carry a count, not ids
+    return {"op": {"evict_oldest": "evict", "relabel_oldest": "labels"}[op],
+            "rows": int(ev[1])}
+
+
 def replay_schedule(
     A,
     b,
     batches,
     *,
     task: str = "lasso",
+    max_rows: int | None = None,
     lam=None,
     solver: str | None = None,
     loss: str = "l1",
@@ -428,15 +726,19 @@ def replay_schedule(
     warm_start: bool = True,
     compare_cold: bool = False,
 ) -> dict:
-    """Replay a row-arrival schedule through a :class:`StreamingSweep`.
+    """Replay a streaming schedule through a :class:`StreamingSweep`.
 
-    ``batches`` is a sequence of ``(B_i, y_i)`` pairs ingested in order;
-    the initial fit happens at revision 0 and each batch triggers one
-    warm refit. With ``compare_cold=True`` every refit is also measured
-    against a cold re-solve (fresh partitioned matrix over the
-    concatenated data, zero start, fresh eig memo) — the honest
-    "retrain from scratch" baseline — and the warm/cold solutions'
-    relative difference is recorded.
+    ``batches`` is a sequence of events ingested in order — plain
+    ``(B_i, y_i)`` pairs (row arrivals) or op-tagged tuples carrying
+    evictions and label edits (see :func:`_normalize_events`); the
+    initial fit happens at revision 0 and each event triggers one warm
+    refit. ``max_rows`` turns the replay into a sliding window: each
+    append evicts the oldest surviving rows beyond the window within the
+    same revision. With ``compare_cold=True`` every refit is also
+    measured against a cold re-solve (fresh partitioned matrix over the
+    *surviving* materialized data, zero start, fresh eig memo) — the
+    honest "retrain from scratch" baseline — and the warm/cold
+    solutions' relative difference is recorded.
 
     ``backend`` selects where the whole engine runs: ``"virtual"``
     in-process at ``virtual_p`` modelled ranks, or ``"thread"`` /
@@ -446,6 +748,7 @@ def replay_schedule(
     """
     if task not in ("lasso", "svm"):
         raise SolverError(f"unknown streaming task {task!r}; known: ['lasso', 'svm']")
+    events = _normalize_events(batches)
     knobs = dict(
         solver=solver, loss=loss, lam=lam, mu=mu, s=s, max_iter=max_iter,
         tol=tol, seed=seed, record_every=record_every, fast=fast,
@@ -453,7 +756,9 @@ def replay_schedule(
     )
 
     def work(comm, rank):
-        engine = StreamingSweep(A, b, task=task, comm=comm, **knobs)
+        engine = StreamingSweep(
+            A, b, task=task, comm=comm, max_rows=max_rows, **knobs
+        )
         # resolve lambda once, on the initial data, and hold it fixed
         # across revisions (the production scenario: the model spec does
         # not change when data arrives)
@@ -495,7 +800,10 @@ def replay_schedule(
                 "rev": rev_obj.rev,
                 "rows_total": rev_obj.rows_total,
                 "rows_added": rev_obj.rows_added,
+                "rows_removed": rev_obj.rows_removed,
+                "labels_changed": rev_obj.labels_changed,
                 "append_cost": _cost_dict(rev_obj.append_cost),
+                "evict_cost": _cost_dict(rev_obj.evict_cost),
                 "warm": _solve_dict(warm_res),
                 "cold": _solve_dict(cold_res) if cold_res is not None else None,
                 "solution_rel_diff": None,
@@ -507,18 +815,39 @@ def replay_schedule(
                 )
             return e
 
+        def apply_event(ev):
+            op = ev[0]
+            if op == "append":
+                engine.append(ev[1], ev[2])
+            elif op == "evict":
+                engine.evict(ev[1])
+            elif op == "evict_oldest":
+                engine.evict(engine.surviving_rows()[: ev[1]])
+            elif op == "labels":
+                engine.update_labels(ev[1], ev[2])
+            else:  # relabel_oldest: negate the oldest rows' current labels
+                ids = engine.surviving_rows()[: ev[1]]
+                order = engine.arrival_order()
+                pos = np.nonzero(np.isin(order, ids))[0]
+                engine.update_labels(order[pos], -engine.b[pos])
+
         res0 = engine.solve(lam=lam_used, warm_start=False)
         entries.append(entry(engine.revisions[0], res0, None))
-        for B_i, y_i in batches:
-            engine.append(B_i, y_i)
+        for ev in events:
+            before = engine.revision
+            apply_event(ev)
+            if engine.revision == before:
+                continue  # defined no-op (empty batch/ids): no refit, no entry
             res = engine.solve(lam=lam_used, warm_start=warm_start)
             cold = run_cold(engine.revision) if compare_cold else None
             entries.append(entry(engine.revisions[-1], res, cold))
-        # a warm refit's cost is the append's incremental work PLUS the
-        # warm solve — the same definition the per-revision table rows
-        # (and the bench gates) use
+        # a warm refit's cost is the revision's incremental state work
+        # (append and/or eviction) PLUS the warm solve — the same
+        # definition the per-revision table rows (and the bench gates)
+        # use
         warm_costs = [e["warm"]["cost"] for e in entries[1:]]
         warm_costs += [e["append_cost"] for e in entries[1:]]
+        warm_costs += [e["evict_cost"] for e in entries[1:]]
         cold_costs = [e["cold"]["cost"] for e in entries[1:] if e["cold"]]
         return {
             "format_version": STREAM_REPORT_VERSION,
@@ -528,10 +857,11 @@ def replay_schedule(
             "ranks": 1 if backend == "virtual" else ranks,
             "virtual_p": virtual_p,
             "warm_start": bool(warm_start),
+            "max_rows": max_rows,
             "lam": float(lam_used) if np.isscalar(lam_used) else None,
             "m0": int(np.asarray(b).ravel().shape[0]),
             "n": int(engine.dist.shape[1]),
-            "schedule": [int(B_i.shape[0]) for B_i, _ in batches],
+            "schedule": [_sched_entry(ev) for ev in events],
             "revisions": entries,
             "totals": {
                 "warm_refit_cost": _sum_cost_dicts(warm_costs),

@@ -137,8 +137,8 @@ class TestSvmE2E:
 
 class TestStreamE2E:
     _SCHEMA_KEYS = {"format_version", "task", "solver", "backend", "ranks",
-                    "virtual_p", "warm_start", "lam", "m0", "n", "schedule",
-                    "revisions", "totals"}
+                    "virtual_p", "warm_start", "max_rows", "lam", "m0", "n",
+                    "schedule", "revisions", "totals"}
 
     @pytest.mark.parametrize("backend", ["thread", "process"])
     def test_backend_pipeline_save_schema_and_parity(self, backend,
@@ -158,7 +158,8 @@ class TestStreamE2E:
         report = json.loads(out.read_text())
         assert self._SCHEMA_KEYS <= set(report)
         assert report["backend"] == backend and report["ranks"] == RANKS
-        assert report["schedule"] == [20, 12]
+        assert report["schedule"] == [{"op": "append", "rows": 20},
+                                      {"op": "append", "rows": 12}]
         assert len(report["revisions"]) == 3
         # parity: the Python API replay with identical knobs
         m = A.shape[0]
@@ -192,6 +193,40 @@ class TestStreamE2E:
         assert rc == 0
         assert "streaming svm" in capsys.readouterr().out
 
+    def test_window_and_event_tokens(self, lasso_file, tmp_path, capsys):
+        """-N / ~N schedule tokens plus --window replay evictions and
+        label edits end to end, and the report carries them."""
+        path, A, _ = lasso_file
+        out = tmp_path / "stream-window.json"
+        window = A.shape[0] - 20
+        rc = main(["stream", "--file", path, "--schedule", "12,-6,~4,8",
+                   "--window", str(window),
+                   "--mu", "2", "--s", "8", "--max-iter", "48",
+                   "--lam", "0.5", "--compare-cold", "--save", str(out)])
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "-rows" in stdout and "~rows" in stdout
+        report = json.loads(out.read_text())
+        assert report["max_rows"] == window
+        assert report["schedule"] == [
+            {"op": "append", "rows": 12}, {"op": "evict", "rows": 6},
+            {"op": "labels", "rows": 4}, {"op": "append", "rows": 8},
+        ]
+        revs = report["revisions"]
+        # rev 1: +12 appended on m0 = window - 20 + 12... the window only
+        # trims once the row count exceeds it; the explicit -6 then fires
+        assert revs[2]["rows_removed"] == 6
+        assert revs[3]["labels_changed"] == 4
+        assert all("evict_cost" in e for e in revs)
+
+    def test_window_smaller_than_initial_data_rejected(self, lasso_file,
+                                                       capsys):
+        path, _, _ = lasso_file
+        rc = main(["stream", "--file", path, "--schedule", "10",
+                   "--window", "5"])
+        assert rc == 2
+        assert "max_rows" in capsys.readouterr().err
+
     def test_oversized_schedule_rejected(self, lasso_file, capsys):
         path, A, _ = lasso_file
         rc = main(["stream", "--file", path,
@@ -203,3 +238,13 @@ class TestStreamE2E:
         path, _, _ = lasso_file
         rc = main(["stream", "--file", path, "--schedule", "0,5"])
         assert rc == 2
+
+    @pytest.mark.parametrize("schedule", ["12,-,8", "12,~x", "abc"])
+    def test_malformed_schedule_token_rejected(self, schedule, lasso_file,
+                                               capsys):
+        """Typos in the event tokens exit 2 with a clean error, not a
+        traceback."""
+        path, _, _ = lasso_file
+        rc = main(["stream", "--file", path, "--schedule", schedule])
+        assert rc == 2
+        assert "bad schedule token" in capsys.readouterr().err

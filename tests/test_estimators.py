@@ -283,3 +283,93 @@ class TestPartialFit:
         clf = SASVMClassifier(max_iter=500)
         with pytest.raises(SolverError, match="binary"):
             clf.partial_fit(A, np.ones(60))
+
+
+class TestPartialFitWindow:
+    """Sliding-window partial_fit: forget= and max_rows= (ISSUE 5)."""
+
+    def _lasso_data(self):
+        A, b, _ = make_sparse_regression(240, 60, density=0.2, seed=3)
+        B, y, _ = make_sparse_regression(30, 60, density=0.2, seed=4)
+        return A, b, B, y
+
+    def test_lasso_forget_evicts_before_append(self):
+        A, b, B, y = self._lasso_data()
+        est = SALasso(lam=0.5, mu=2, s=8, max_iter=64, tol=None)
+        est.partial_fit(A, b)
+        est.partial_fit(B, y, forget=np.arange(40))
+        assert est.stream_.n_rows == A.shape[0] - 40 + 30
+        # the forgotten rows are gone from the surviving set
+        assert est.stream_.surviving_rows()[0] == 40
+        # two revisions: the eviction, then the append
+        assert [r.rows_removed for r in est.stream_.revisions] == [0, 40, 0]
+        assert [r.rows_added for r in est.stream_.revisions] == [240, 0, 30]
+
+    def test_lasso_max_rows_window(self):
+        A, b, B, y = self._lasso_data()
+        est = SALasso(lam=0.5, mu=2, s=8, max_iter=64, tol=None,
+                      max_rows=A.shape[0])
+        est.partial_fit(A, b)
+        est.partial_fit(B, y)
+        assert est.stream_.n_rows == A.shape[0]
+        assert est.stream_.revisions[-1].rows_removed == B.shape[0]
+
+    def test_empty_batch_is_noop_after_first_fit(self):
+        A, b, B, y = self._lasso_data()
+        est = SALasso(lam=0.5, mu=2, s=8, max_iter=64, tol=None)
+        est.partial_fit(A, b)
+        coef = est.coef_.copy()
+        est.partial_fit(B[:0], y[:0])  # nothing changed, nothing refit
+        assert np.array_equal(est.coef_, coef)
+        assert len(est.stream_.revisions) == 1
+
+    def test_empty_first_batch_rejected(self):
+        A, b, B, y = self._lasso_data()
+        with pytest.raises(SolverError, match="at least one row"):
+            SALasso(max_iter=64, tol=None).partial_fit(B[:0], y[:0])
+
+    def test_forget_requires_streaming_state(self):
+        A, b, B, y = self._lasso_data()
+        with pytest.raises(SolverError, match="forget"):
+            SALasso(max_iter=64, tol=None).partial_fit(A, b, forget=[0])
+
+    def test_bad_batch_with_forget_mutates_nothing(self):
+        """A doomed append must be rejected *before* the forget= eviction
+        fires — a failed call leaves the streaming state untouched."""
+        from repro.errors import PartitionError
+
+        A, b, B, y = self._lasso_data()
+        est = SALasso(lam=0.5, mu=2, s=8, max_iter=64, tol=None)
+        est.partial_fit(A, b)
+        with pytest.raises(PartitionError, match="columns"):
+            est.partial_fit(B[:, :-1], y, forget=np.arange(20))
+        with pytest.raises(SolverError, match="labels must match"):
+            est.partial_fit(B, y[:-1], forget=np.arange(20))
+        assert est.stream_.n_rows == A.shape[0]  # nothing was evicted
+        assert len(est.stream_.revisions) == 1
+
+    def test_forget_with_empty_batch_still_refits(self):
+        A, b, B, y = self._lasso_data()
+        est = SALasso(lam=0.5, mu=2, s=8, max_iter=64, tol=None)
+        est.partial_fit(A, b)
+        est.partial_fit(B[:0], y[:0], forget=np.arange(30))
+        assert est.stream_.n_rows == A.shape[0] - 30
+        # the eviction-only revision got its own warm refit
+        assert len(est.stream_.revisions) == 2
+        assert len(est.stream_.revisions[-1].solve_costs) == 1
+
+    def test_svm_forget_shrinks_dual(self):
+        from repro.datasets import make_classification
+
+        A, ysign = make_classification(200, 50, density=0.3, seed=7,
+                                       margin=0.3)
+        B, bsign = make_classification(24, 50, density=0.3, seed=8,
+                                       margin=0.3)
+        clf = SASVMClassifier(loss="l2", lam=0.1, s=16, max_iter=2000,
+                              tol=None, seed=1, max_rows=A.shape[0])
+        clf.partial_fit(A, ysign)
+        clf.partial_fit(B, bsign, forget=np.arange(10))
+        # -10 forgotten, +24 appended, window trims 14 more
+        assert clf.stream_.n_rows == A.shape[0]
+        assert clf.dual_coef_.shape[0] == A.shape[0]
+        assert clf.stream_.revisions[-1].rows_removed == 14

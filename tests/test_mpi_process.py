@@ -6,12 +6,16 @@ behaviour: slab capacity limits, GIL-free parallelism plumbing, ledger
 round-trips, and solver parity against sequential runs.
 """
 
+import multiprocessing as mp
+import os
+import time
+
 import numpy as np
 import pytest
 
-from repro.errors import CommError
+from repro.errors import CommAborted, CommError
 from repro.machine.spec import CRAY_XC30
-from repro.mpi.process_backend import ProcessWorld, process_spmd_run
+from repro.mpi.process_backend import ProcessComm, ProcessWorld, process_spmd_run
 from repro.solvers.lasso import sa_acc_bcd
 from repro.solvers.svm import sa_dcd
 from spmd_collective_suite import (
@@ -52,14 +56,28 @@ class TestProcessSpecific:
         def fn(comm, r):
             return comm.allreduce(np.zeros(1000))
 
-        with pytest.raises(CommError, match="slab capacity"):
+        # the error must name both the payload size and the knob
+        with pytest.raises(CommError, match=r"slab_bytes=1024"):
             process_spmd_run(fn, 2, slab_bytes=1024)
+
+    def test_oversized_payload_wakes_parked_peers(self):
+        """Only one rank overflowing must not leave the others parked on
+        the barrier until the timeout/terminate path fires."""
+
+        def fn(comm, r):
+            payload = np.zeros(1000) if r == 0 else 1.0
+            return comm.allreduce(payload)
+
+        t0 = time.monotonic()
+        with pytest.raises(CommError, match="slab capacity"):
+            process_spmd_run(fn, 2, slab_bytes=1024, timeout=60.0)
+        assert time.monotonic() - t0 < 30.0  # deterministic, not the timeout
 
     def test_oversized_nonblocking_payload_rejected(self):
         def fn(comm, r):
             return comm.Iallreduce(np.zeros(64)).wait()
 
-        with pytest.raises(CommError, match="slot capacity"):
+        with pytest.raises(CommError, match=r"nb_doubles=16"):
             process_spmd_run(fn, 2, nb_doubles=16)
 
     def test_nonfloat_nonblocking_payload_rejected(self):
@@ -145,3 +163,64 @@ class TestProcessSpecific:
                    record_every=0)
         assert proc.ledgers[0].messages == vc.ledger.messages
         assert proc.ledgers[0].words == pytest.approx(vc.ledger.words)
+
+
+class TestShutdownTeardown:
+    """Exception-safe teardown: a failing rank must wake blocked peers
+    deterministically and leave no live children — never relying on the
+    join-timeout/terminate path."""
+
+    @staticmethod
+    def _no_live_spmd_children(grace: float = 5.0) -> bool:
+        deadline = time.monotonic() + grace
+        while time.monotonic() < deadline:
+            if not any(p.name.startswith("spmd-proc")
+                       for p in mp.active_children()):
+                return True
+            time.sleep(0.05)
+        return False
+
+    def test_raising_rank_wakes_parked_peer(self):
+        def fn(comm, r):
+            if r == 0:
+                raise ValueError("boom mid-collective")
+            for _ in range(1000):
+                comm.allreduce(1.0)  # parks on a barrier rank 0 never joins
+            return True
+
+        t0 = time.monotonic()
+        with pytest.raises(ValueError, match="boom"):
+            process_spmd_run(fn, 2, timeout=60.0)
+        assert time.monotonic() - t0 < 30.0  # woken, not timed out
+        assert self._no_live_spmd_children()
+
+    def test_killed_rank_wakes_parked_peer(self):
+        """A child dying without reporting (crash/kill) can never let the
+        world complete; the parent must abort it promptly."""
+
+        def fn(comm, r):
+            if r == 0:
+                os._exit(3)  # dies mid-flight, reports nothing
+            comm.allreduce(1.0)
+            return True
+
+        t0 = time.monotonic()
+        with pytest.raises(CommAborted):
+            process_spmd_run(fn, 2, timeout=60.0)
+        assert time.monotonic() - t0 < 30.0
+        assert self._no_live_spmd_children()
+
+    def test_world_context_manager_shutdown(self):
+        with ProcessWorld(2) as world:
+            assert not world.is_aborted()
+        assert world.is_aborted()
+        # post-shutdown collectives fail fast instead of blocking
+        comm = ProcessComm(world, 0)
+        with pytest.raises(CommAborted):
+            comm.allreduce(1.0)
+
+    def test_shutdown_is_idempotent(self):
+        world = ProcessWorld(2)
+        world.shutdown()
+        world.shutdown()
+        assert world.is_aborted()

@@ -295,8 +295,9 @@ class TestStreamingSweepState:
         B, y = batches[0]
         with pytest.raises(SolverError, match="labels must match"):
             eng.append(B, y[:-1])
-        with pytest.raises(SolverError, match="at least one row"):
-            eng.append(B[:0], y[:0])
+        # an empty batch is a defined no-op: no revision, no cost
+        assert eng.append(B[:0], y[:0]) == 0
+        assert len(eng.revisions) == 1
 
     def test_svm_label_validation(self):
         A, b, batches = _svm_data()
@@ -452,12 +453,15 @@ class TestReplaySchedule:
                               mu=2, s=8, max_iter=64, tol=None,
                               virtual_p=64, machine=CRAY_XC30,
                               compare_cold=True)
-        assert rep["format_version"] == 1
+        assert rep["format_version"] == 2
         assert rep["task"] == "lasso" and rep["solver"] == "sa-accbcd"
-        assert rep["schedule"] == [B.shape[0] for B, _ in batches]
+        assert rep["schedule"] == [
+            {"op": "append", "rows": B.shape[0]} for B, _ in batches
+        ]
         assert len(rep["revisions"]) == len(batches) + 1
         for e in rep["revisions"]:
-            assert {"rev", "rows_total", "rows_added", "append_cost",
+            assert {"rev", "rows_total", "rows_added", "rows_removed",
+                    "labels_changed", "append_cost", "evict_cost",
                     "warm", "cold", "solution_rel_diff"} <= set(e)
             assert e["warm"]["cost"]["seconds"] > 0
         assert rep["revisions"][0]["cold"] is None
@@ -465,9 +469,11 @@ class TestReplaySchedule:
             assert e["cold"] is not None
             assert e["solution_rel_diff"] is not None
         totals = rep["totals"]
-        # the refit total is append + solve, matching the per-revision rows
+        # the refit total is append + evict + solve, matching the
+        # per-revision table rows (evict is zero for append-only replays)
         assert totals["warm_refit_cost"]["seconds"] == pytest.approx(
             sum(e["warm"]["cost"]["seconds"] + e["append_cost"]["seconds"]
+                + e["evict_cost"]["seconds"]
                 for e in rep["revisions"][1:])
         )
 
