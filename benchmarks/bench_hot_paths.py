@@ -16,7 +16,6 @@ artifact so the perf trajectory is tracked per PR.
 
 from __future__ import annotations
 
-import json
 import platform
 import sys
 import time
@@ -27,6 +26,8 @@ import scipy.sparse as sp
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.utils.io import atomic_write_json  # noqa: E402
 
 from repro.datasets import make_sparse_regression  # noqa: E402
 from repro.experiments.runner import load_scaled, run_lasso  # noqa: E402
@@ -265,7 +266,7 @@ def main() -> int:
         "kernels": kernels,
         "end_to_end": end_to_end,
     }
-    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_json(OUT_PATH, payload)
     print(f"\nwrote {OUT_PATH}")
 
     # acceptance gates (ISSUE 1): >= 2x on sampling and the fused inner

@@ -37,7 +37,6 @@ the runner's core count).
 
 from __future__ import annotations
 
-import json
 import os
 import platform
 import sys
@@ -48,6 +47,8 @@ import numpy as np
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.utils.io import atomic_write_json  # noqa: E402
 
 from repro.datasets import make_sparse_regression  # noqa: E402
 from repro.machine.spec import CRAY_XC30  # noqa: E402
@@ -316,7 +317,7 @@ def main() -> int:
         "latency_sweep": latency_sweep,
         "ledger": ledger,
     }
-    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_json(OUT_PATH, payload)
     print(f"\nwrote {OUT_PATH}")
 
     # acceptance gates (ISSUE 3): pipelined >= 1.3x over blocking on the

@@ -25,7 +25,6 @@ recorded trajectory.
 
 from __future__ import annotations
 
-import json
 import platform
 import sys
 import time
@@ -35,6 +34,8 @@ import numpy as np
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.utils.io import atomic_write_json  # noqa: E402
 
 from repro._api import fit_lasso  # noqa: E402
 from repro.datasets import make_sparse_regression  # noqa: E402
@@ -206,7 +207,7 @@ def main() -> int:
         "path": path,
         "fused": fused,
     }
-    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_json(OUT_PATH, payload)
     print(f"\nwrote {OUT_PATH}")
 
     # acceptance gates (ISSUE 2): warm+shared-cache 16-point path >= 2.5x

@@ -46,7 +46,6 @@ artifact and gates PRs via ``benchmarks/check_regression.py``.
 
 from __future__ import annotations
 
-import json
 import os
 import platform
 import sys
@@ -57,6 +56,8 @@ import numpy as np
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.utils.io import atomic_write_json  # noqa: E402
 
 from repro.datasets import make_classification, make_sparse_regression  # noqa: E402
 from repro.machine.spec import CRAY_XC30  # noqa: E402
@@ -237,7 +238,7 @@ def main() -> int:
         "streaming": streaming,
         "backends": backends,
     }
-    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_json(OUT_PATH, payload)
     print(f"\nwrote {OUT_PATH}")
 
     # acceptance gates (ISSUE 4): warm refit modelled cost strictly below

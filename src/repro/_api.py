@@ -48,6 +48,9 @@ def fit_lasso(
     parity: str = "exact",
     pipeline: bool = False,
     eig_memo=None,
+    checkpoint_every: int = 0,
+    checkpoint_sink=None,
+    resume_from=None,
 ) -> SolverResult:
     """Solve ``min_x 0.5||Ax-b||^2 + g(x)``.
 
@@ -82,6 +85,10 @@ def fit_lasso(
     eig_memo:
         Explicit :class:`~repro.linalg.kernels.EigMemo` for the SA fused
         loops; None (default) shares the process-wide memo.
+    checkpoint_every / checkpoint_sink / resume_from:
+        Fault-tolerance knobs (see :mod:`repro.checkpoint`): emit a
+        resumable checkpoint every N iterations to a callable or path,
+        and/or continue a run from a checkpoint payload or JSON path.
     """
     try:
         fn, is_sa = _LASSO[solver]
@@ -102,6 +109,8 @@ def fit_lasso(
     kwargs = dict(
         mu=mu, max_iter=max_iter, seed=seed, comm=comm,
         tol=tol, record_every=record_every, x0=x0,
+        checkpoint_every=checkpoint_every, checkpoint_sink=checkpoint_sink,
+        resume_from=resume_from,
     )
     if is_sa:
         kwargs.update(s=s, fast=fast, parity=parity, pipeline=pipeline,
@@ -128,6 +137,9 @@ def fit_svm(
     fast: bool = True,
     parity: str = "exact",
     pipeline: bool = False,
+    checkpoint_every: int = 0,
+    checkpoint_sink=None,
+    resume_from=None,
 ) -> SolverResult:
     """Train a linear SVM by dual coordinate descent.
 
@@ -149,6 +161,8 @@ def fit_svm(
         ``"sa-svm"`` only: nonblocking per-outer-step reduction with the
         next row block prefetched while it is in flight (see
         :func:`fit_lasso`).
+    checkpoint_every / checkpoint_sink / resume_from:
+        Fault-tolerance knobs, as in :func:`fit_lasso`.
     """
     if solver not in ("svm", "sa-svm"):
         raise SolverError(f"unknown svm solver {solver!r}; known: ['svm', 'sa-svm']")
@@ -163,6 +177,8 @@ def fit_svm(
     kwargs = dict(
         loss=loss, lam=lam, max_iter=max_iter, seed=seed, comm=comm,
         tol=tol, record_every=record_every, alpha0=alpha0,
+        checkpoint_every=checkpoint_every, checkpoint_sink=checkpoint_sink,
+        resume_from=resume_from,
     )
     if solver == "sa-svm":
         return sa_dcd(A, b, s=s, fast=fast, parity=parity, pipeline=pipeline,

@@ -1,0 +1,266 @@
+"""Checkpoint/resume for the SPMD solvers (fault-tolerance layer).
+
+A solver checkpoint is a small JSON-serialisable dict of the *replicated*
+solver state — the solution iterate(s), the momentum scalar where one
+exists, the termination state, the convergence history, and the cost
+ledger totals. Local shards (partitioned residuals, primal column shards)
+are **recomputed** from the replicated state on resume, and the sampler
+is resumed by **replay**: the checkpoint stores the integer seed plus the
+number of draws consumed, and resume recreates the sampler and burns that
+many draws.
+
+Replay is what makes a checkpoint backend- and schedule-portable: the
+same file resumes under the virtual, thread, or process backend, blocking
+or pipelined, with any SA depth ``s`` — every solver consumes exactly one
+draw per iteration from the shared stream (the same invariant behind the
+paper's SA/classical exact equivalence), so "burn ``iteration`` draws" is
+a complete description of the sampler state. A pipelined run's
+speculative prefetch draws ahead of the iteration counter, but those
+draws feed exactly the iterations that follow, so the replayed stream
+stays aligned.
+
+Checkpoints written to a path use :func:`repro.utils.io.atomic_write_json`
+(rank 0 only — the payload is replicated knowledge), so a crash mid-write
+never corrupts the previous checkpoint. A callable sink is invoked on
+every rank with the payload dict.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import CheckpointError
+from repro.machine.ledger import CostSnapshot
+from repro.utils.io import atomic_write_json
+
+__all__ = [
+    "SOLVER_CHECKPOINT_VERSION",
+    "require_int_seed",
+    "make_solver_checkpoint",
+    "emit_solver_checkpoint",
+    "load_solver_checkpoint",
+    "resume_solver",
+    "state_vector",
+    "state_scalar",
+]
+
+#: Format version of solver checkpoint payloads. Bump on layout changes;
+#: resume refuses versions it does not understand rather than guessing.
+SOLVER_CHECKPOINT_VERSION = 1
+
+
+def require_int_seed(seed: Any, what: str = "checkpointing") -> int:
+    """Checkpointing resumes the sampler by replay, which needs the seed.
+
+    A prebuilt sampler or a live ``numpy`` Generator cannot be replayed
+    from a file, so both checkpoint emission and resume insist on a plain
+    integer seed.
+    """
+    if isinstance(seed, (bool, np.bool_)) or not isinstance(seed, (int, np.integer)):
+        raise CheckpointError(
+            f"{what} requires an integer sampling seed (resume replays the"
+            f" coordinate stream from it); got {type(seed).__name__}"
+        )
+    return int(seed)
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, np.ndarray):
+        return np.asarray(value, dtype=np.float64).ravel().tolist()
+    if isinstance(value, (np.floating, float)):
+        return float(value)
+    if isinstance(value, (np.integer, int)):
+        return int(value)
+    return value
+
+
+def make_solver_checkpoint(
+    *,
+    family: str,
+    solver: str,
+    iteration: int,
+    seed: int,
+    params: dict,
+    state: dict,
+    term,
+    history,
+    ledger,
+) -> dict:
+    """Assemble one checkpoint payload (pure dict; no I/O).
+
+    ``family`` scopes what the state means ("lasso-plain" carries ``x``,
+    "lasso-acc" carries ``y``/``z``/``theta``, "svm" carries ``alpha``);
+    ``params`` are the run parameters resume must match (``n``/``mu`` for
+    Lasso, ``m``/``loss``/``lam`` for SVM). Arrays round-trip exactly:
+    ``json`` emits shortest-repr floats, which reparse bit-identical.
+    """
+    return {
+        "format_version": SOLVER_CHECKPOINT_VERSION,
+        "kind": "solver",
+        "family": family,
+        "solver": solver,
+        "iteration": int(iteration),
+        "seed": require_int_seed(seed),
+        "params": {k: _jsonable(v) for k, v in params.items()},
+        "state": {k: _jsonable(v) for k, v in state.items()},
+        "term_last": None if term._last is None else float(term._last),
+        "history": {
+            "metric_name": history.metric_name,
+            "iterations": list(history.iterations),
+            "metric": list(history.metric),
+            "seconds": list(history.seconds),
+            "comm_seconds": list(history.comm_seconds),
+            "flops": list(history.flops),
+        },
+        "ledger": {
+            "comm_seconds": ledger.comm_seconds,
+            "compute_seconds": ledger.compute_seconds,
+            "messages": ledger.messages,
+            "words": ledger.words,
+            "flops": ledger.flops,
+            "comm_seconds_hidden": ledger.comm_seconds_hidden,
+            "retries": ledger.retries,
+            "timeouts": ledger.timeouts,
+        },
+    }
+
+
+def emit_solver_checkpoint(
+    payload: dict, sink: Callable | str | os.PathLike | None, rank: int = 0
+) -> None:
+    """Deliver a checkpoint: call a callable sink on every rank, or
+    atomically write a path on rank 0 (the payload is replicated)."""
+    if sink is None:
+        return
+    if callable(sink):
+        sink(payload)
+    elif rank == 0:
+        atomic_write_json(os.fspath(sink), payload)
+
+
+def load_solver_checkpoint(
+    source: dict | str | os.PathLike,
+    *,
+    family: str,
+    seed: Any,
+    params: dict,
+) -> dict:
+    """Read + validate a checkpoint against the resuming run's setup.
+
+    ``source`` is a payload dict (e.g. captured by a callable sink) or a
+    JSON path. The checkpoint must carry the same family, the same seed,
+    and the same ``params`` the caller was invoked with — anything else
+    would silently resume a *different* run, so it is a
+    :class:`~repro.errors.CheckpointError` instead.
+    """
+    if isinstance(source, dict):
+        ck = source
+    else:
+        try:
+            with open(source, "r", encoding="utf-8") as fh:
+                ck = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(
+                f"could not read checkpoint {os.fspath(source)!r}: {exc}"
+            ) from exc
+    if not isinstance(ck, dict) or ck.get("kind") != "solver":
+        raise CheckpointError("resume_from is not a solver checkpoint")
+    version = ck.get("format_version")
+    if version != SOLVER_CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint format_version {version!r}"
+            f" (this build reads {SOLVER_CHECKPOINT_VERSION})"
+        )
+    if ck.get("family") != family:
+        raise CheckpointError(
+            f"checkpoint family {ck.get('family')!r} cannot resume a"
+            f" {family!r} solver"
+        )
+    seed_int = require_int_seed(seed, "resume")
+    if int(ck.get("seed", -1)) != seed_int:
+        raise CheckpointError(
+            f"checkpoint was written with seed {ck.get('seed')!r};"
+            f" resume was called with seed {seed_int}"
+        )
+    got = ck.get("params", {})
+    for key, want in params.items():
+        have = got.get(key)
+        if have != _jsonable(want):
+            raise CheckpointError(
+                f"checkpoint parameter mismatch: {key}={have!r} in the"
+                f" checkpoint vs {want!r} in the resuming call"
+            )
+    it = ck.get("iteration")
+    if not isinstance(it, int) or it < 0:
+        raise CheckpointError(f"invalid checkpoint iteration {it!r}")
+    return ck
+
+
+def state_vector(ck: dict, key: str, length: int) -> np.ndarray:
+    """A float64 state vector of the expected length, or CheckpointError."""
+    vals = ck.get("state", {}).get(key)
+    if vals is None:
+        raise CheckpointError(f"checkpoint is missing state vector {key!r}")
+    arr = np.asarray(vals, dtype=np.float64).ravel()
+    if arr.shape[0] != length:
+        raise CheckpointError(
+            f"checkpoint state {key!r} has length {arr.shape[0]},"
+            f" expected {length}"
+        )
+    return arr
+
+
+def state_scalar(ck: dict, key: str) -> float:
+    vals = ck.get("state", {}).get(key)
+    if vals is None:
+        raise CheckpointError(f"checkpoint is missing state scalar {key!r}")
+    return float(vals)
+
+
+def resume_solver(ck: dict, *, sampler, term, history, ledger) -> int:
+    """Restore runtime state from a validated checkpoint.
+
+    Replays the sampler (burns ``iteration`` draws — one per completed
+    iteration), restores the terminator's relative-change anchor, the
+    history columns, and the ledger totals. Returns the iteration count
+    to continue from.
+    """
+    hd = ck.get("history", {})
+    if hd.get("metric_name") != history.metric_name:
+        raise CheckpointError(
+            f"checkpoint tracks {hd.get('metric_name')!r}, the resuming"
+            f" solver tracks {history.metric_name!r}"
+        )
+    if not hd.get("metric"):
+        raise CheckpointError("checkpoint history is empty")
+    last = ck.get("term_last")
+    term._last = None if last is None else float(last)
+    history.iterations[:] = [int(v) for v in hd.get("iterations", [])]
+    history.metric[:] = [float(v) for v in hd.get("metric", [])]
+    history.seconds[:] = [float(v) for v in hd.get("seconds", [])]
+    history.comm_seconds[:] = [float(v) for v in hd.get("comm_seconds", [])]
+    history.flops[:] = [float(v) for v in hd.get("flops", [])]
+    led = ck.get("ledger") or {}
+    ledger.restore(
+        CostSnapshot(
+            comm_seconds=float(led.get("comm_seconds", 0.0)),
+            compute_seconds=float(led.get("compute_seconds", 0.0)),
+            messages=int(led.get("messages", 0)),
+            words=float(led.get("words", 0.0)),
+            flops=float(led.get("flops", 0.0)),
+            comm_seconds_hidden=float(led.get("comm_seconds_hidden", 0.0)),
+            retries=int(led.get("retries", 0)),
+            timeouts=int(led.get("timeouts", 0)),
+        )
+    )
+    draws = int(ck["iteration"])
+    advance = getattr(sampler, "next_block", None)
+    if advance is None:
+        advance = sampler.next_index
+    for _ in range(draws):
+        advance()
+    return draws

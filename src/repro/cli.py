@@ -28,7 +28,6 @@ Examples
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 
 import numpy as np
@@ -54,6 +53,7 @@ from repro.path import lasso_path
 from repro.solvers.objectives import lambda_max
 from repro.solvers.serialization import save_result
 from repro.streaming import replay_schedule
+from repro.utils.io import atomic_write_json
 from repro.utils.tables import format_series, format_table
 
 __all__ = ["main", "build_parser"]
@@ -194,6 +194,15 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--compare-cold", action="store_true",
                         help="also run a cold re-solve on the concatenated "
                              "data at every revision and report the ratio")
+    stream.add_argument("--checkpoint", metavar="PATH",
+                        help="write a resumable replay checkpoint here "
+                             "(atomically, after the initial fit and after "
+                             "every schedule event)")
+    stream.add_argument("--resume", metavar="PATH",
+                        help="continue a killed replay from a --checkpoint "
+                             "file; pass the same data/schedule/knobs — the "
+                             "already-applied events are skipped and the "
+                             "final report matches an uninterrupted run")
     _add_backend_args(stream)
 
     svm = sub.add_parser("svm", help="train a linear SVM")
@@ -419,6 +428,7 @@ def _cmd_stream(args) -> int:
         backend=args.backend, ranks=args.ranks, virtual_p=args.p,
         machine=machine, warm_start=not args.cold,
         compare_cold=args.compare_cold,
+        checkpoint_path=args.checkpoint, resume_from=args.resume,
     )
     headers = ["rev", "rows", "+rows", "-rows", "~rows", "iters", "metric",
                "model ms"]
@@ -456,8 +466,7 @@ def _cmd_stream(args) -> int:
         print(f"total cold re-solve modelled time: {cold_s * 1e3:.4g} ms "
               f"(warm/cold {warm_s / max(cold_s, 1e-300):.3f})")
     if args.save:
-        with open(args.save, "w") as fh:
-            json.dump(report, fh, indent=2)
+        atomic_write_json(args.save, report)
         print(f"saved to {args.save}")
     return 0
 

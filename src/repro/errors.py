@@ -10,12 +10,16 @@ __all__ = [
     "ReproError",
     "CommError",
     "CommAborted",
+    "CommTimeoutError",
+    "RankDiedError",
+    "TransientCommError",
     "RankMismatchError",
     "PartitionError",
     "DatasetError",
     "SolverError",
     "ConvergenceError",
     "CostModelError",
+    "CheckpointError",
 ]
 
 
@@ -29,6 +33,45 @@ class CommError(ReproError):
 
 class CommAborted(CommError):
     """A peer rank raised, aborting the collective the caller was in."""
+
+
+class CommTimeoutError(CommError):
+    """A collective missed its deadline.
+
+    Raised by the rank whose wait expired; the message names the
+    collective's tag and, where the backend can tell, the ranks that had
+    not yet arrived. The timing-out rank aborts the world so peers fail
+    fast with :class:`CommAborted` instead of blocking forever.
+    """
+
+    def __init__(self, message: str, *, tag: str = "", stalled: tuple = ()):
+        super().__init__(message)
+        self.tag = tag
+        self.stalled = tuple(stalled)
+
+
+class RankDiedError(CommAborted):
+    """A peer rank died (process exit / kill) mid-collective.
+
+    A structured refinement of :class:`CommAborted` (callers catching
+    the generic abort keep working): surfaced on every surviving rank by
+    the :class:`ProcessWorld` watchdog so an unrecoverable rank death
+    never turns into a hang, and raised by the parent driver naming the
+    dead ranks.
+    """
+
+    def __init__(self, message: str, *, dead_ranks: tuple = ()):
+        super().__init__(message)
+        self.dead_ranks = tuple(dead_ranks)
+
+
+class TransientCommError(CommError):
+    """A collective failed in a way marked recoverable (retry-safe).
+
+    :class:`repro.faults.FaultyComm` raises this for injected transient
+    faults *before* touching the real collective, so a bounded-backoff
+    retry re-enters the collective with all peers still waiting.
+    """
 
 
 class RankMismatchError(CommError):
@@ -53,3 +96,7 @@ class ConvergenceError(SolverError):
 
 class CostModelError(ReproError):
     """Machine/cost model was configured or queried inconsistently."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be produced, parsed, or resumed from."""

@@ -40,6 +40,10 @@ class CostSnapshot:
     #: modelled communication seconds hidden behind overlapped computation
     #: (nonblocking collectives charge only the unoverlapped remainder)
     comm_seconds_hidden: float = 0.0
+    #: transient-fault retries of collectives (fault-tolerance layer)
+    retries: int = 0
+    #: collectives that missed their deadline (fault-tolerance layer)
+    timeouts: int = 0
 
     @property
     def seconds(self) -> float:
@@ -47,7 +51,7 @@ class CostSnapshot:
 
     @classmethod
     def zero(cls) -> "CostSnapshot":
-        return cls(0.0, 0.0, 0, 0.0, 0.0, 0.0)
+        return cls(0.0, 0.0, 0, 0.0, 0.0, 0.0, 0, 0)
 
     def __add__(self, other: "CostSnapshot") -> "CostSnapshot":
         if not isinstance(other, CostSnapshot):
@@ -59,6 +63,8 @@ class CostSnapshot:
             words=self.words + other.words,
             flops=self.flops + other.flops,
             comm_seconds_hidden=self.comm_seconds_hidden + other.comm_seconds_hidden,
+            retries=self.retries + other.retries,
+            timeouts=self.timeouts + other.timeouts,
         )
 
     def __sub__(self, other: "CostSnapshot") -> "CostSnapshot":
@@ -74,6 +80,8 @@ class CostSnapshot:
             words=self.words - other.words,
             flops=self.flops - other.flops,
             comm_seconds_hidden=self.comm_seconds_hidden - other.comm_seconds_hidden,
+            retries=self.retries - other.retries,
+            timeouts=self.timeouts - other.timeouts,
         )
 
 
@@ -106,6 +114,10 @@ class CostLedger:
     flops: float = 0.0
     #: modelled communication seconds hidden behind overlapped computation
     comm_seconds_hidden: float = 0.0
+    #: transient-fault retries of collectives (see :mod:`repro.faults`)
+    retries: int = 0
+    #: collectives that missed their deadline
+    timeouts: int = 0
     #: when False, charges are dropped (used while evaluating diagnostics
     #: such as objective values that the measured algorithm never computes)
     enabled: bool = True
@@ -170,6 +182,16 @@ class CostLedger:
                 * self.imbalance
             )
 
+    def add_retry(self) -> None:
+        """Record one transient-fault retry of a collective."""
+        if self.enabled:
+            self.retries += 1
+
+    def add_timeout(self) -> None:
+        """Record one collective deadline miss."""
+        if self.enabled:
+            self.timeouts += 1
+
     @contextmanager
     def paused(self) -> Iterator["CostLedger"]:
         """Context manager suspending cost accounting (diagnostics)."""
@@ -194,7 +216,24 @@ class CostLedger:
             words=self.words,
             flops=self.flops,
             comm_seconds_hidden=self.comm_seconds_hidden,
+            retries=self.retries,
+            timeouts=self.timeouts,
         )
+
+    def restore(self, snapshot: CostSnapshot) -> None:
+        """Set the running counters to ``snapshot`` (checkpoint resume).
+
+        Per-collective / per-kind breakdowns are not checkpointed; only
+        the totals continue across a resume.
+        """
+        self.comm_seconds = float(snapshot.comm_seconds)
+        self.compute_seconds = float(snapshot.compute_seconds)
+        self.messages = int(snapshot.messages)
+        self.words = float(snapshot.words)
+        self.flops = float(snapshot.flops)
+        self.comm_seconds_hidden = float(snapshot.comm_seconds_hidden)
+        self.retries = int(snapshot.retries)
+        self.timeouts = int(snapshot.timeouts)
 
     def child(self) -> "CostLedger":
         """A fresh zero-counter ledger with this ledger's configuration.
@@ -219,6 +258,8 @@ class CostLedger:
         self.words = 0.0
         self.flops = 0.0
         self.comm_seconds_hidden = 0.0
+        self.retries = 0
+        self.timeouts = 0
         self.by_collective.clear()
         self.by_kind.clear()
 
@@ -232,6 +273,8 @@ class CostLedger:
             "messages": self.messages,
             "words": self.words,
             "flops": self.flops,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
             "by_collective": {
                 k: {
                     "calls": v[0],

@@ -93,10 +93,24 @@ class CommRequest:
         self._finalize(result)
         return True
 
-    def wait(self) -> Any:
-        """Block until complete; returns the reduced array (idempotent)."""
+    def wait(self, timeout: float | None = None) -> Any:
+        """Block until complete; returns the reduced array (idempotent).
+
+        ``timeout`` (seconds) bounds the wait; ``None`` falls back to the
+        communicator's default deadline. A missed deadline raises
+        :class:`~repro.errors.CommTimeoutError` naming the collective's
+        tag (and aborts the world so peers fail fast).
+        """
         if not self._done:
-            self._finalize(self._handle.wait())
+            if timeout is None:
+                timeout = self._comm.timeout
+            from repro.errors import CommTimeoutError
+
+            try:
+                self._finalize(self._handle.wait(timeout))
+            except CommTimeoutError:
+                self._comm.ledger.add_timeout()
+                raise
         return self._result
 
 
@@ -113,7 +127,7 @@ class _EagerHandle:
     def __init__(self, result) -> None:
         self._result = result
 
-    def wait(self):
+    def wait(self, timeout=None):
         return self._result
 
     def test(self):
@@ -144,6 +158,7 @@ class Comm(ABC):
         cost_size: int | None = None,
         machine: MachineSpec | None = None,
         ledger: CostLedger | None = None,
+        timeout: float | None = None,
     ) -> None:
         if size < 1:
             raise CommError(f"size must be >= 1, got {size}")
@@ -155,6 +170,12 @@ class Comm(ABC):
         if self._cost_size < self._size:
             raise CommError("cost_size cannot be smaller than actual size")
         self.machine = machine
+        #: default deadline (wall-clock seconds) for every collective;
+        #: ``None`` waits forever (the pre-fault-tolerance behaviour)
+        self.timeout = timeout
+        #: deadline for the collective currently entering the backend —
+        #: set by each public collective, read by backend ``*_impl`` hooks
+        self._active_timeout = timeout
         if ledger is None:
             divisor = self._cost_size / self._size
             ledger = CostLedger(machine=machine, flop_divisor=divisor)
@@ -207,6 +228,10 @@ class Comm(ABC):
         """
         return fold(self._allgather_impl(tag, obj))
 
+    def _set_timeout(self, timeout: float | None) -> None:
+        """Arm the deadline for the collective about to enter the backend."""
+        self._active_timeout = self.timeout if timeout is None else timeout
+
     # -- cost hooks -----------------------------------------------------------
     def _charge(self, name: str, words: float) -> None:
         pricer = getattr(self._cost_model, name, None)
@@ -234,35 +259,44 @@ class Comm(ABC):
         self.ledger.reset()
 
     # -- object collectives (lower-case, mpi4py style) -------------------------
-    def barrier(self) -> None:
+    def barrier(self, timeout: float | None = None) -> None:
         """Synchronise all ranks."""
+        self._set_timeout(timeout)
         self._allgather_impl("barrier", None)
         self._charge("barrier", 0.0)
 
-    def bcast(self, obj: Any, root: int = 0) -> Any:
+    def bcast(self, obj: Any, root: int = 0, timeout: float | None = None) -> Any:
         """Broadcast ``obj`` from ``root`` to every rank."""
         self._check_root(root)
+        self._set_timeout(timeout)
         gathered = self._allgather_impl("bcast", obj if self._rank == root else None)
         result = gathered[root]
         self._charge("bcast", _words_of(result))
         return result
 
-    def gather(self, obj: Any, root: int = 0) -> list | None:
+    def gather(
+        self, obj: Any, root: int = 0, timeout: float | None = None
+    ) -> list | None:
         """Gather one object per rank on ``root`` (others get None)."""
         self._check_root(root)
+        self._set_timeout(timeout)
         gathered = self._allgather_impl("gather", obj)
         self._charge("reduce", _words_of(obj))
         return gathered if self._rank == root else None
 
-    def allgather(self, obj: Any) -> list:
+    def allgather(self, obj: Any, timeout: float | None = None) -> list:
         """Gather one object per rank on every rank."""
+        self._set_timeout(timeout)
         gathered = self._allgather_impl("allgather", obj)
         self._charge("allgather", _words_of(obj))
         return gathered
 
-    def scatter(self, objs: Sequence | None, root: int = 0) -> Any:
+    def scatter(
+        self, objs: Sequence | None, root: int = 0, timeout: float | None = None
+    ) -> Any:
         """Scatter ``objs`` (one per rank, provided on root) to all ranks."""
         self._check_root(root)
+        self._set_timeout(timeout)
         if self._rank == root:
             if objs is None or len(objs) != self._size:
                 raise CommError(
@@ -276,24 +310,32 @@ class Comm(ABC):
         self._charge("bcast", _words_of(items[self._rank]))
         return items[self._rank]
 
-    def reduce(self, obj: Any, op: Op = SUM, root: int = 0) -> Any:
+    def reduce(
+        self, obj: Any, op: Op = SUM, root: int = 0, timeout: float | None = None
+    ) -> Any:
         """Reduce to ``root`` (others get None). Deterministic rank order."""
         self._check_root(root)
+        self._set_timeout(timeout)
         gathered = self._allgather_impl("reduce", obj)
         self._charge("reduce", _words_of(obj))
         if self._rank != root:
             return None
         return op.fold(gathered)
 
-    def allreduce(self, obj: Any, op: Op = SUM) -> Any:
+    def allreduce(self, obj: Any, op: Op = SUM, timeout: float | None = None) -> Any:
         """Reduce-to-all of generic objects/scalars (deterministic)."""
+        self._set_timeout(timeout)
         gathered = self._allgather_impl("allreduce", obj)
         self._charge("allreduce", _words_of(obj))
         return op.fold(gathered)
 
     # -- buffer collectives (Upper-case, mpi4py style) ---------------------------
     def Allreduce(  # noqa: N802 - mpi4py naming
-        self, sendbuf: np.ndarray, op: Op = SUM, out: np.ndarray | None = None
+        self,
+        sendbuf: np.ndarray,
+        op: Op = SUM,
+        out: np.ndarray | None = None,
+        timeout: float | None = None,
     ) -> np.ndarray:
         """Reduce-to-all of a NumPy array.
 
@@ -321,12 +363,17 @@ class Comm(ABC):
             def fold(gathered, _op=op, _out=out):
                 return _op.fold_into(gathered, _out)
 
+        self._set_timeout(timeout)
         result = self._exchange_fold("Allreduce", arr, fold)
         self._charge("allreduce", arr.nbytes / _WORD_BYTES)
         return result
 
     def Iallreduce(  # noqa: N802 - mpi4py naming
-        self, sendbuf: np.ndarray, op: Op = SUM, out: np.ndarray | None = None
+        self,
+        sendbuf: np.ndarray,
+        op: Op = SUM,
+        out: np.ndarray | None = None,
+        timeout: float | None = None,
     ) -> CommRequest:
         """Nonblocking reduce-to-all; returns a :class:`CommRequest`.
 
@@ -348,6 +395,7 @@ class Comm(ABC):
         arr = np.asarray(sendbuf)
         if out is not None and np.may_share_memory(arr, out):
             raise CommError("Iallreduce out must not alias sendbuf")
+        self._set_timeout(timeout)
         handle = self._iallreduce_impl("Iallreduce", arr, op)
         cost = self._cost_model.allreduce(arr.nbytes / _WORD_BYTES)
         return CommRequest(self, handle, "Iallreduce", cost, out=out)
@@ -361,9 +409,12 @@ class Comm(ABC):
         """
         return _EagerHandle(self._exchange_fold(tag, arr, op.fold))
 
-    def Bcast(self, buf: np.ndarray, root: int = 0) -> np.ndarray:  # noqa: N802
+    def Bcast(  # noqa: N802
+        self, buf: np.ndarray, root: int = 0, timeout: float | None = None
+    ) -> np.ndarray:
         """Broadcast array from root; returns the root's array on all ranks."""
         self._check_root(root)
+        self._set_timeout(timeout)
         arr = np.asarray(buf) if self._rank == root else None
         gathered = self._allgather_impl("Bcast", arr)
         out = gathered[root]
@@ -371,10 +422,15 @@ class Comm(ABC):
         return np.array(out, copy=True) if self._rank != root else out
 
     def Reduce(  # noqa: N802
-        self, sendbuf: np.ndarray, op: Op = SUM, root: int = 0
+        self,
+        sendbuf: np.ndarray,
+        op: Op = SUM,
+        root: int = 0,
+        timeout: float | None = None,
     ) -> np.ndarray | None:
         """Reduce arrays to root; None elsewhere."""
         self._check_root(root)
+        self._set_timeout(timeout)
         arr = np.asarray(sendbuf)
         gathered = self._allgather_impl("Reduce", arr)
         self._charge("reduce", arr.nbytes / _WORD_BYTES)
@@ -382,8 +438,11 @@ class Comm(ABC):
             return None
         return op.fold(gathered)
 
-    def Allgather(self, sendbuf: np.ndarray) -> np.ndarray:  # noqa: N802
+    def Allgather(  # noqa: N802
+        self, sendbuf: np.ndarray, timeout: float | None = None
+    ) -> np.ndarray:
         """Concatenate each rank's 1-D array in rank order, on every rank."""
+        self._set_timeout(timeout)
         arr = np.asarray(sendbuf)
         gathered = self._allgather_impl("Allgather", arr)
         self._charge("allgather", arr.nbytes / _WORD_BYTES)

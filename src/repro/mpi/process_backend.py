@@ -51,7 +51,10 @@ from __future__ import annotations
 
 import ctypes
 import multiprocessing as mp
+import os
 import pickle
+import signal
+import threading
 import time
 from multiprocessing.sharedctypes import RawArray
 from threading import BrokenBarrierError
@@ -59,7 +62,13 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.errors import CommAborted, CommError, RankMismatchError
+from repro.errors import (
+    CommAborted,
+    CommError,
+    CommTimeoutError,
+    RankDiedError,
+    RankMismatchError,
+)
 from repro.machine.ledger import CostLedger
 from repro.machine.spec import MachineSpec
 from repro.mpi.comm import Comm
@@ -153,13 +162,26 @@ class _ProcNbHandle:
         self._result = result
         return result
 
-    def wait(self):
+    def wait(self, timeout: float | None = None):
         world, slot = self._world, self._slot
+        deadline = None if timeout is None else time.monotonic() + timeout
         with slot.cond:
             while not self._ready_locked():
                 if world.is_aborted():
-                    raise CommAborted(
-                        "nonblocking collective aborted by a peer failure"
+                    raise world._abort_error(self._rank, "Iallreduce")
+                if deadline is not None and time.monotonic() >= deadline:
+                    stalled = tuple(
+                        r
+                        for r in range(world.size)
+                        if slot.seq.value == self._seq and int(slot.lengths[r]) == 0
+                    )
+                    world.abort()
+                    raise CommTimeoutError(
+                        f"rank {self._rank}: nonblocking collective timed out"
+                        f" after {timeout}s (no deposit from ranks"
+                        f" {list(stalled)})",
+                        tag="Iallreduce",
+                        stalled=stalled,
                     )
                 slot.cond.wait(0.05)
             remaining = slot.complete_at.value - time.monotonic()
@@ -173,9 +195,7 @@ class _ProcNbHandle:
         world, slot = self._world, self._slot
         with slot.cond:
             if world.is_aborted():
-                raise CommAborted(
-                    "nonblocking collective aborted by a peer failure"
-                )
+                raise world._abort_error(self._rank, "Iallreduce")
             if not self._ready_locked():
                 return None
             remaining = slot.complete_at.value - time.monotonic()
@@ -209,6 +229,13 @@ class ProcessWorld:
         self.latency = float(latency)
         self.barrier = ctx.Barrier(size)
         self._aborted = ctx.Value(ctypes.c_int, 0, lock=False)
+        #: per-rank death flags set by the watchdog (or any observer);
+        #: survivors map a broken barrier to RankDiedError through these
+        self._dead = RawArray(ctypes.c_int, size)
+        #: per-rank barrier-arrival counters for naming stalled ranks
+        self._arrive_gen = RawArray(ctypes.c_longlong, size)
+        self._watchdog: threading.Thread | None = None
+        self._watchdog_stop: threading.Event | None = None
         self._obj = RawArray(ctypes.c_char, size * self.slab_bytes)
         self._obj_len = RawArray(ctypes.c_longlong, size)
         self._tags = RawArray(ctypes.c_char, size * _TAG_BYTES)
@@ -234,11 +261,81 @@ class ProcessWorld:
             with slot.cond:
                 slot.cond.notify_all()
 
+    def mark_rank_dead(self, rank: int) -> None:
+        """Record that ``rank``'s process died, then abort the world.
+
+        Called by the parent-side watchdog (or any observer of a child
+        death). Survivors blocked in a collective wake through the abort
+        and, seeing the death flag, raise
+        :class:`~repro.errors.RankDiedError` instead of the generic
+        :class:`~repro.errors.CommAborted`.
+        """
+        self._dead[rank] = 1
+        self.abort()
+
+    def dead_ranks(self) -> list:
+        """Ranks recorded as dead (empty if none)."""
+        return [r for r in range(self.size) if self._dead[r]]
+
+    def _abort_error(self, rank: int, tag: str) -> CommError:
+        """The error a woken survivor should raise for this abort."""
+        dead = self.dead_ranks()
+        if dead:
+            return RankDiedError(
+                f"rank {rank}: collective {tag!r} aborted because ranks"
+                f" {dead} died",
+                dead_ranks=tuple(dead),
+            )
+        return CommAborted(
+            f"rank {rank}: collective {tag!r} aborted by a peer failure"
+        )
+
+    # -- parent-side heartbeat watchdog ------------------------------------
+    def start_watchdog(self, procs: Sequence, interval: float = 0.05) -> None:
+        """Watch child processes from the parent; mark deaths promptly.
+
+        ``procs[r]`` is rank ``r``'s :class:`multiprocessing.Process`. A
+        child that stops being alive with a nonzero exit code is marked
+        dead (:meth:`mark_rank_dead`), which aborts the world so every
+        surviving rank surfaces :class:`~repro.errors.RankDiedError`
+        within one heartbeat instead of hanging. Idempotent per world;
+        stop with :meth:`stop_watchdog`.
+        """
+        if self._watchdog is not None:
+            return
+        stop = threading.Event()
+
+        def _watch() -> None:
+            while not stop.is_set():
+                for r, p in enumerate(procs):
+                    if not p.is_alive() and p.exitcode not in (0, None):
+                        if not self._dead[r]:
+                            self.mark_rank_dead(r)
+                if self.is_aborted():
+                    return
+                stop.wait(interval)
+
+        self._watchdog_stop = stop
+        self._watchdog = threading.Thread(
+            target=_watch, name="spmd-watchdog", daemon=True
+        )
+        self._watchdog.start()
+
+    def stop_watchdog(self) -> None:
+        """Stop the heartbeat watchdog (idempotent)."""
+        if self._watchdog_stop is not None:
+            self._watchdog_stop.set()
+        if self._watchdog is not None:
+            self._watchdog.join(1.0)
+        self._watchdog = None
+        self._watchdog_stop = None
+
     def shutdown(self) -> None:
         """Deterministic teardown: alias of :meth:`abort` for use as an
         explicit end-of-life call (or via the context manager). After
         shutdown every collective on the world raises
         :class:`~repro.errors.CommAborted` instead of blocking."""
+        self.stop_watchdog()
         self.abort()
 
     def __enter__(self) -> "ProcessWorld":
@@ -255,13 +352,53 @@ class ProcessWorld:
         raw = bytes(self._tags[rank * _TAG_BYTES:(rank + 1) * _TAG_BYTES])
         return raw.rstrip(b"\0")
 
-    def exchange(self, rank: int, tag: str, obj: Any, fold=None) -> Any:
+    def _barrier_wait(self, rank: int, tag: str, timeout: float | None) -> None:
+        """One barrier arrival with an optional deadline.
+
+        Mirrors :meth:`ThreadContext._barrier_wait`: a rank whose wait
+        expires aborts the world and raises
+        :class:`~repro.errors.CommTimeoutError` naming the tag and the
+        lagging ranks; peers woken by the broken barrier raise
+        :class:`~repro.errors.RankDiedError` if a death was recorded,
+        else :class:`~repro.errors.CommAborted`.
+        """
+        self._arrive_gen[rank] += 1
+        start = time.monotonic()
+        try:
+            self.barrier.wait(timeout)
+        except BrokenBarrierError as exc:
+            if self.dead_ranks():
+                raise self._abort_error(rank, tag) from exc
+            timed_out = (
+                timeout is not None
+                and not self.is_aborted()
+                and time.monotonic() - start >= timeout
+            )
+            if timed_out:
+                my_gen = int(self._arrive_gen[rank])
+                stalled = tuple(
+                    r for r in range(self.size)
+                    if int(self._arrive_gen[r]) < my_gen
+                )
+                self.abort()
+                raise CommTimeoutError(
+                    f"rank {rank}: collective {tag!r} timed out after"
+                    f" {timeout}s waiting for ranks {list(stalled)}",
+                    tag=tag,
+                    stalled=stalled,
+                ) from exc
+            raise self._abort_error(rank, tag) from exc
+
+    def exchange(
+        self, rank: int, tag: str, obj: Any, fold=None, timeout: float | None = None
+    ) -> Any:
         """Deposit, synchronise, snapshot (or fold), synchronise.
 
         The process twin of :meth:`ThreadContext.exchange`: pickles the
         payload into this rank's slab, barriers, reads every slab (so
         each rank folds its *own copies* — deterministic and isolated),
-        barriers again so nobody overwrites a slab early.
+        barriers again so nobody overwrites a slab early. ``timeout``
+        bounds each barrier wait (see :meth:`_barrier_wait`).
         """
         payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
         if len(payload) > self.slab_bytes:
@@ -282,12 +419,7 @@ class ProcessWorld:
         self._tags[rank * _TAG_BYTES:rank * _TAG_BYTES + len(enc)] = enc
         pad = _TAG_BYTES - len(enc)
         self._tags[rank * _TAG_BYTES + len(enc):(rank + 1) * _TAG_BYTES] = b"\0" * pad
-        try:
-            self.barrier.wait()
-        except BrokenBarrierError as exc:
-            raise CommAborted(
-                f"rank {rank}: collective {tag!r} aborted by a peer failure"
-            ) from exc
+        self._barrier_wait(rank, tag, timeout)
         try:
             tags = [self._read_tag(r) for r in range(self.size)]
             if any(t != tags[0] for t in tags):
@@ -307,17 +439,23 @@ class ProcessWorld:
                 # emulated transit on the critical path (concurrent ranks)
                 time.sleep(self.latency)
         finally:
-            try:
-                self.barrier.wait()
-            except BrokenBarrierError as exc:
-                raise CommAborted(
-                    f"rank {rank}: collective {tag!r} aborted by a peer failure"
-                ) from exc
+            self._barrier_wait(rank, tag, timeout)
         return snapshot
 
     # -- nonblocking post --------------------------------------------------
-    def nb_post(self, rank: int, seq: int, tag: str, arr: np.ndarray, op):
-        """Deposit one rank's nonblocking contribution; returns a handle."""
+    def nb_post(
+        self,
+        rank: int,
+        seq: int,
+        tag: str,
+        arr: np.ndarray,
+        op,
+        timeout: float | None = None,
+    ):
+        """Deposit one rank's nonblocking contribution; returns a handle.
+
+        ``timeout`` bounds the wait for a free ring slot.
+        """
         if arr.dtype != np.float64:
             raise CommError(
                 "process-backend Iallreduce supports float64 arrays, got "
@@ -333,11 +471,17 @@ class ProcessWorld:
                 f"(nb_doubles={slot.capacity}); raise nb_doubles= in "
                 "process_spmd_run / ProcessWorld"
             )
+        deadline = None if timeout is None else time.monotonic() + timeout
         with slot.cond:
             while slot.seq.value != seq:
                 if self.is_aborted():
-                    raise CommAborted(
-                        f"rank {rank}: nonblocking collective {tag!r} aborted"
+                    raise self._abort_error(rank, tag)
+                if deadline is not None and time.monotonic() >= deadline:
+                    self.abort()
+                    raise CommTimeoutError(
+                        f"rank {rank}: nonblocking collective {tag!r} timed"
+                        f" out after {timeout}s waiting for a free ring slot",
+                        tag=tag,
                     )
                 slot.cond.wait(0.05)
             dst = np.frombuffer(slot.payload, dtype=np.float64)
@@ -361,6 +505,7 @@ class ProcessComm(Comm):
         machine: MachineSpec | None = None,
         cost_size: int | None = None,
         ledger: CostLedger | None = None,
+        timeout: float | None = None,
     ) -> None:
         super().__init__(
             rank=rank,
@@ -368,23 +513,38 @@ class ProcessComm(Comm):
             cost_size=cost_size,
             machine=machine,
             ledger=ledger,
+            timeout=timeout,
         )
         self._world = world
         self._nb_seq = 0
 
     def _allgather_impl(self, tag: str, obj: Any) -> list:
-        return self._world.exchange(self._rank, tag, obj)
+        try:
+            return self._world.exchange(
+                self._rank, tag, obj, timeout=self._active_timeout
+            )
+        except CommTimeoutError:
+            self.ledger.add_timeout()
+            raise
 
     def _exchange_fold(self, tag: str, obj: Any, fold) -> Any:
         # the pickled slabs are private copies, so the fold is trivially
         # safe against send-buffer reuse; run it between the barriers for
         # symmetry with the thread backend
-        return self._world.exchange(self._rank, tag, obj, fold=fold)
+        try:
+            return self._world.exchange(
+                self._rank, tag, obj, fold=fold, timeout=self._active_timeout
+            )
+        except CommTimeoutError:
+            self.ledger.add_timeout()
+            raise
 
     def _iallreduce_impl(self, tag: str, arr, op):
         seq = self._nb_seq
         self._nb_seq += 1
-        return self._world.nb_post(self._rank, seq, tag, arr, op)
+        return self._world.nb_post(
+            self._rank, seq, tag, arr, op, timeout=self._active_timeout
+        )
 
 
 def process_spmd_run(
@@ -397,6 +557,7 @@ def process_spmd_run(
     latency: float = 0.0,
     slab_bytes: int = 1 << 22,
     nb_doubles: int = 1 << 19,
+    comm_timeout: float | None = None,
 ) -> SpmdResult:
     """Run ``fn(comm, rank, *args)`` on ``size`` forked process ranks.
 
@@ -415,8 +576,17 @@ def process_spmd_run(
     waiters), so every surviving rank exits deterministically and no
     forked child outlives the call.
 
+    ``comm_timeout`` installs a default per-collective deadline on every
+    rank's communicator (``None`` = wait forever).
+
+    Children install signal handlers before running ``fn``: SIGTERM
+    aborts the world and exits immediately, SIGINT is ignored (the
+    parent coordinates Ctrl-C teardown through its ``finally`` path), so
+    an interrupted run leaves no orphan processes.
+
     Raises the first per-rank exception (rank order) if any rank failed;
-    hung or killed ranks raise :class:`CommAborted`.
+    a killed rank raises :class:`~repro.errors.RankDiedError` (on the
+    survivors and in the parent), hung ranks raise :class:`CommAborted`.
     """
     world = ProcessWorld(
         size, slab_bytes=slab_bytes, nb_doubles=nb_doubles, latency=latency
@@ -434,7 +604,22 @@ def process_spmd_run(
             send_end.send(item)
 
     def worker(r: int) -> None:
-        comm = ProcessComm(world, r, machine=machine, cost_size=cost_size)
+        # Signal safety: the parent's finally-path owns teardown. SIGTERM
+        # (e.g. an external kill of this rank) still aborts the world so
+        # peers fail fast; SIGINT is ignored because a terminal Ctrl-C is
+        # delivered to the whole process group and the parent's unwind
+        # already aborts + joins every child — handling it here too would
+        # race that teardown and strand peers mid-collective.
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+        def _sigterm(signum, frame):
+            world.abort()
+            os._exit(1)
+
+        signal.signal(signal.SIGTERM, _sigterm)
+        comm = ProcessComm(
+            world, r, machine=machine, cost_size=cost_size, timeout=comm_timeout
+        )
         try:
             value = fn(comm, r, *args)
         except BaseException as exc:  # noqa: BLE001 - reported to the parent
@@ -457,6 +642,9 @@ def process_spmd_run(
     ]
     for p in procs:
         p.start()
+    # heartbeat: a killed child is marked dead (aborting the world) within
+    # one watchdog interval, independently of the report-poll loop below
+    world.start_watchdog(procs)
     deadline = None if timeout is None else time.monotonic() + timeout
     values: list[Any] = [None] * size
     ledgers: list[CostLedger | None] = [None] * size
@@ -478,11 +666,14 @@ def process_spmd_run(
                 if dead_unreported and not recv_end.poll(0):
                     # report() is synchronous, so a dead child with no
                     # queued report genuinely never reported (crash/kill)
+                    for r in dead_unreported:
+                        world.mark_rank_dead(r)
                     if all(not p.is_alive() for p in procs):
                         break
                     # peers can never complete a collective with it:
-                    # wake them now rather than waiting out the timeout
-                    world.abort()
+                    # wake them now (mark_rank_dead aborted the world) so
+                    # survivors raise RankDiedError rather than waiting
+                    # out the timeout
                 continue
             r, status, payload, ledger = recv_end.recv()
             reported[r] = True
@@ -492,6 +683,7 @@ def process_spmd_run(
             else:
                 errors[r] = payload
     finally:
+        world.stop_watchdog()
         # Deterministic teardown: if any rank is still running — a peer
         # raised mid-collective, the parent is unwinding on its own
         # exception, or a child died without reporting — break the
@@ -509,12 +701,15 @@ def process_spmd_run(
     real_errors = [e for e in errors if e is not None and not isinstance(e, CommAborted)]
     if real_errors:
         raise real_errors[0]
+    if not all(reported):
+        # a rank died without reporting: name it, even if survivors only
+        # managed a generic CommAborted before the death flag landed
+        dead = [r for r in range(size) if not reported[r]]
+        raise RankDiedError(
+            f"SPMD ranks died without reporting a result: {dead}",
+            dead_ranks=tuple(dead),
+        )
     aborted = [e for e in errors if e is not None]
     if aborted:
         raise aborted[0]
-    if not all(reported):
-        dead = [r for r in range(size) if not reported[r]]
-        raise CommAborted(
-            f"SPMD ranks died without reporting a result: {dead}"
-        )
     return SpmdResult(values=values, ledgers=ledgers)

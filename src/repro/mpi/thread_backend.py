@@ -26,7 +26,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from repro.errors import CommAborted, RankMismatchError
+from repro.errors import CommAborted, CommTimeoutError, RankMismatchError
 from repro.machine.ledger import CostLedger
 from repro.machine.spec import MachineSpec
 from repro.mpi.comm import Comm
@@ -80,12 +80,15 @@ class _NbSlot:
 class _ThreadNbHandle:
     """Per-rank handle for one in-flight nonblocking collective."""
 
-    __slots__ = ("_ctx", "_slot", "_seq", "_result")
+    __slots__ = ("_ctx", "_slot", "_seq", "_tag", "_result")
 
-    def __init__(self, ctx: "ThreadContext", slot: _NbSlot, seq: int) -> None:
+    def __init__(
+        self, ctx: "ThreadContext", slot: _NbSlot, seq: int, tag: str = ""
+    ) -> None:
         self._ctx = ctx
         self._slot = slot
         self._seq = seq
+        self._tag = tag
         self._result = None
 
     def _consume_locked(self):
@@ -101,13 +104,27 @@ class _ThreadNbHandle:
             raise err
         return self._result
 
-    def wait(self):
+    def wait(self, timeout: float | None = None):
         slot = self._slot
+        deadline = None if timeout is None else time.monotonic() + timeout
         with slot.cond:
             while not (slot.seq == self._seq and slot.done):
                 if self._ctx.aborted:
                     raise CommAborted(
                         "nonblocking collective aborted by a peer failure"
+                    )
+                if deadline is not None and time.monotonic() >= deadline:
+                    stalled = tuple(
+                        r
+                        for r in range(self._ctx.size)
+                        if slot.seq == self._seq and slot.tags[r] is None
+                    )
+                    self._ctx.abort()
+                    raise CommTimeoutError(
+                        f"nonblocking collective {self._tag!r} timed out after"
+                        f" {timeout}s (no deposit from ranks {list(stalled)})",
+                        tag=self._tag,
+                        stalled=stalled,
                     )
                 slot.cond.wait(0.05)
             return self._consume_locked()
@@ -142,13 +159,52 @@ class ThreadContext:
         self.tags: list[str | None] = [None] * size
         self.generation = 0
         self.aborted = False
+        #: per-rank barrier-arrival counters; a rank that times out names
+        #: the peers whose counter lags its own as the stalled ranks
+        self.arrive_gen = [0] * size
         self._nb_ring = [_NbSlot(size, seq) for seq in range(NB_RING_DEPTH)]
         self._nb_seq = [0] * size
         self._nb_queue: queue.Queue = queue.Queue()
         self._folder: threading.Thread | None = None
         self._folder_lock = threading.Lock()
 
-    def exchange(self, rank: int, tag: str, obj: Any, fold=None) -> Any:
+    def _barrier_wait(self, rank: int, tag: str, timeout: float | None) -> None:
+        """One barrier arrival with an optional deadline.
+
+        A rank whose wait expires aborts the world and raises
+        :class:`CommTimeoutError` naming the tag and the ranks whose
+        arrival counter lags its own; peers woken by the broken barrier
+        raise :class:`CommAborted`.
+        """
+        self.arrive_gen[rank] += 1
+        start = time.monotonic()
+        try:
+            self.barrier.wait(timeout)
+        except threading.BrokenBarrierError as exc:
+            timed_out = (
+                timeout is not None
+                and not self.aborted
+                and time.monotonic() - start >= timeout
+            )
+            if timed_out:
+                my_gen = self.arrive_gen[rank]
+                stalled = tuple(
+                    r for r in range(self.size) if self.arrive_gen[r] < my_gen
+                )
+                self.abort()
+                raise CommTimeoutError(
+                    f"rank {rank}: collective {tag!r} timed out after {timeout}s"
+                    f" waiting for ranks {list(stalled)}",
+                    tag=tag,
+                    stalled=stalled,
+                ) from exc
+            raise CommAborted(
+                f"rank {rank}: collective {tag!r} aborted by a peer failure"
+            ) from exc
+
+    def exchange(
+        self, rank: int, tag: str, obj: Any, fold=None, timeout: float | None = None
+    ) -> Any:
         """Deposit, synchronise, snapshot (or fold), synchronise.
 
         With ``fold`` each rank reduces the contributions *between* the
@@ -156,16 +212,12 @@ class ThreadContext:
         the next collective. That is what lets callers reuse their send
         buffers across iterations (zero-copy packed collectives): by the
         time ``exchange`` returns, every rank has finished reading every
-        buffer.
+        buffer. ``timeout`` bounds each barrier wait (see
+        :meth:`_barrier_wait`).
         """
         self.slots[rank] = obj
         self.tags[rank] = tag
-        try:
-            self.barrier.wait()
-        except threading.BrokenBarrierError as exc:
-            raise CommAborted(
-                f"rank {rank}: collective {tag!r} aborted by a peer failure"
-            ) from exc
+        self._barrier_wait(rank, tag, timeout)
         try:
             expected = self.tags[0]
             if any(t != expected for t in self.tags):
@@ -180,12 +232,7 @@ class ThreadContext:
         finally:
             # Second barrier: nobody may overwrite slots until all have read.
             # On mismatch every rank raises the same error after this point.
-            try:
-                self.barrier.wait()
-            except threading.BrokenBarrierError as exc:
-                raise CommAborted(
-                    f"rank {rank}: collective {tag!r} aborted by a peer failure"
-                ) from exc
+            self._barrier_wait(rank, tag, timeout)
         return snapshot
 
     # -- nonblocking collectives -------------------------------------------
@@ -226,23 +273,34 @@ class ThreadContext:
                 slot.done = True
                 slot.cond.notify_all()
 
-    def nb_post(self, rank: int, tag: str, obj: Any, op) -> _ThreadNbHandle:
+    def nb_post(
+        self, rank: int, tag: str, obj: Any, op, timeout: float | None = None
+    ) -> _ThreadNbHandle:
         """Deposit one rank's contribution to a nonblocking collective.
 
         Returns immediately once the contribution is recorded (blocking
         only if the ring slot is still occupied by the collective
         ``NB_RING_DEPTH`` sequences earlier — i.e. callers may keep at
         most ``NB_RING_DEPTH`` requests in flight). The caller must not
-        modify ``obj`` until the request completes.
+        modify ``obj`` until the request completes. ``timeout`` bounds
+        the ring-slot wait.
         """
         seq = self._nb_seq[rank]
         self._nb_seq[rank] += 1
         slot = self._nb_ring[seq % NB_RING_DEPTH]
+        deadline = None if timeout is None else time.monotonic() + timeout
         with slot.cond:
             while slot.seq != seq:
                 if self.aborted:
                     raise CommAborted(
                         f"rank {rank}: nonblocking collective {tag!r} aborted"
+                    )
+                if deadline is not None and time.monotonic() >= deadline:
+                    self.abort()
+                    raise CommTimeoutError(
+                        f"rank {rank}: nonblocking collective {tag!r} timed out"
+                        f" after {timeout}s waiting for a free ring slot",
+                        tag=tag,
                     )
                 slot.cond.wait(0.05)
             slot.bufs[rank] = obj
@@ -254,7 +312,7 @@ class ThreadContext:
         if last:
             self._ensure_folder()
             self._nb_queue.put(slot)
-        return _ThreadNbHandle(self, slot, seq)
+        return _ThreadNbHandle(self, slot, seq, tag)
 
     def abort(self) -> None:
         """Break the barrier so peers blocked in a collective fail fast."""
@@ -282,6 +340,7 @@ class ThreadComm(Comm):
         machine: MachineSpec | None = None,
         cost_size: int | None = None,
         ledger: CostLedger | None = None,
+        timeout: float | None = None,
     ) -> None:
         super().__init__(
             rank=rank,
@@ -289,20 +348,35 @@ class ThreadComm(Comm):
             cost_size=cost_size,
             machine=machine,
             ledger=ledger,
+            timeout=timeout,
         )
         self._ctx = ctx
 
     def _allgather_impl(self, tag: str, obj: Any) -> list:
-        return self._ctx.exchange(self._rank, tag, obj)
+        try:
+            return self._ctx.exchange(
+                self._rank, tag, obj, timeout=self._active_timeout
+            )
+        except CommTimeoutError:
+            self.ledger.add_timeout()
+            raise
 
     def _exchange_fold(self, tag: str, obj: Any, fold) -> Any:
         # fold inside the critical section so send buffers are reusable
-        return self._ctx.exchange(self._rank, tag, obj, fold=fold)
+        try:
+            return self._ctx.exchange(
+                self._rank, tag, obj, fold=fold, timeout=self._active_timeout
+            )
+        except CommTimeoutError:
+            self.ledger.add_timeout()
+            raise
 
     def _iallreduce_impl(self, tag: str, arr, op):
         # true asynchrony: the context's background fold thread completes
         # the reduction while this rank keeps computing
-        return self._ctx.nb_post(self._rank, tag, arr, op)
+        return self._ctx.nb_post(
+            self._rank, tag, arr, op, timeout=self._active_timeout
+        )
 
 
 @dataclass
@@ -326,6 +400,7 @@ def spmd_run(
     cost_size: int | None = None,
     timeout: float | None = 120.0,
     latency: float = 0.0,
+    comm_timeout: float | None = None,
 ) -> SpmdResult:
     """Run ``fn(comm, rank, *args)`` on ``size`` thread ranks.
 
@@ -345,6 +420,9 @@ def spmd_run(
         Emulated per-collective transit seconds (overlap studies): paid
         on the critical path by blocking collectives, hidden behind
         computation by pipelined nonblocking ones.
+    comm_timeout:
+        Default per-collective deadline installed on every rank's
+        communicator (``None`` = wait forever, the historical behaviour).
 
     Raises the first per-rank exception (rank order) if any rank failed.
     """
@@ -352,7 +430,8 @@ def spmd_run(
     values: list[Any] = [None] * size
     errors: list[BaseException | None] = [None] * size
     comms = [
-        ThreadComm(ctx, r, machine=machine, cost_size=cost_size) for r in range(size)
+        ThreadComm(ctx, r, machine=machine, cost_size=cost_size, timeout=comm_timeout)
+        for r in range(size)
     ]
 
     def worker(r: int) -> None:

@@ -40,6 +40,7 @@ class VirtualComm(Comm):
         imbalance: float = 1.0,
         flop_scale: float = 1.0,
         kind_scales: dict | None = None,
+        timeout: float | None = None,
     ) -> None:
         """``flop_scale > 1`` extrapolates computation to a larger dataset:
         experiments run the numerics on a scaled-down stand-in but charge
@@ -48,7 +49,10 @@ class VirtualComm(Comm):
         overrides the factor per kernel kind (e.g. ``{"gather": m_ratio}``
         because index-scan work grows with the row count, not the nnz).
         Communication costs are unaffected — message sizes depend on
-        (mu, s), not the data.
+        (mu, s), not the data. ``timeout`` is accepted for API symmetry
+        with the real backends; with a single actual participant a
+        deadline can only fire through injected faults
+        (:class:`repro.faults.FaultyComm` honours it).
         """
         if virtual_size < 1:
             raise CommError(f"virtual_size must be >= 1, got {virtual_size}")
@@ -67,6 +71,7 @@ class VirtualComm(Comm):
             cost_size=virtual_size,
             machine=machine,
             ledger=ledger,
+            timeout=timeout,
         )
 
     def child(self) -> "VirtualComm":
@@ -82,6 +87,7 @@ class VirtualComm(Comm):
             imbalance=self.ledger.imbalance,
             flop_scale=self.ledger.default_scale,
             kind_scales=dict(self.ledger.kind_scales),
+            timeout=self.timeout,
         )
 
     def _allgather_impl(self, tag: str, obj: Any) -> list:

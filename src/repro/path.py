@@ -33,8 +33,10 @@ from typing import Sequence
 import numpy as np
 import scipy.sparse as sp
 
+import json
+
 from repro._api import fit_lasso, fit_svm
-from repro.errors import SolverError
+from repro.errors import CheckpointError, SolverError
 from repro.linalg.distmatrix import ColPartitionedMatrix, RowPartitionedMatrix
 from repro.linalg.kernels import EigMemo, default_eig_memo
 from repro.machine.ledger import CostSnapshot
@@ -42,11 +44,14 @@ from repro.machine.spec import MachineSpec
 from repro.mpi.comm import Comm
 from repro.mpi.virtual_backend import VirtualComm
 from repro.solvers.base import SolverResult
+from repro.solvers.serialization import result_from_dict, result_to_dict
 from repro.solvers.svm.duality import loss_params
+from repro.utils.io import atomic_write_json
 
 __all__ = [
     "SweepContext",
     "PathResult",
+    "PATH_CHECKPOINT_VERSION",
     "lambda_grid",
     "adaptive_schedule",
     "lasso_path",
@@ -95,7 +100,80 @@ def _sum_costs(snaps: Sequence[CostSnapshot]) -> CostSnapshot:
         words=sum(s.words for s in snaps),
         flops=sum(s.flops for s in snaps),
         comm_seconds_hidden=sum(s.comm_seconds_hidden for s in snaps),
+        retries=sum(s.retries for s in snaps),
+        timeouts=sum(s.timeouts for s in snaps),
     )
+
+
+#: format version of path-sweep checkpoints (distinct from solver ones)
+PATH_CHECKPOINT_VERSION = 1
+
+
+def _emit_path_checkpoint(sink, rank, lams, results, x_warm, params) -> None:
+    """One path checkpoint: completed points + the warm-start vector.
+
+    Coarser-grained than solver checkpoints: a path resumes at the last
+    completed grid point (each point's solve re-runs from its warm
+    start), which keeps the payload to finished results only.
+    """
+    payload = {
+        "format_version": PATH_CHECKPOINT_VERSION,
+        "kind": "lasso-path",
+        "lambdas": np.asarray(lams, dtype=np.float64).tolist(),
+        "completed": len(results),
+        "params": dict(params),
+        "results": [result_to_dict(r) for r in results],
+        "x_warm": None if x_warm is None else np.asarray(x_warm).tolist(),
+    }
+    if callable(sink):
+        sink(payload)
+    elif rank == 0:
+        atomic_write_json(sink, payload)
+
+
+def _load_path_checkpoint(source, lams, params) -> tuple:
+    """Validate + unpack a path checkpoint: (results, x_warm)."""
+    if isinstance(source, dict):
+        ck = source
+    else:
+        try:
+            with open(source, "r", encoding="utf-8") as fh:
+                ck = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(
+                f"could not read path checkpoint {source!r}: {exc}"
+            ) from exc
+    if not isinstance(ck, dict) or ck.get("kind") != "lasso-path":
+        raise CheckpointError("resume_from is not a lasso-path checkpoint")
+    if ck.get("format_version") != PATH_CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported path checkpoint format_version"
+            f" {ck.get('format_version')!r}"
+        )
+    want = np.asarray(lams, dtype=np.float64)
+    got = np.asarray(ck.get("lambdas", []), dtype=np.float64)
+    if got.shape != want.shape or not np.array_equal(got, want):
+        raise CheckpointError(
+            "path checkpoint was written for a different lambda grid"
+        )
+    have = ck.get("params", {})
+    for key, val in params.items():
+        if have.get(key) != val:
+            raise CheckpointError(
+                f"path checkpoint parameter mismatch: {key}="
+                f"{have.get(key)!r} vs {val!r}"
+            )
+    completed = ck.get("completed", 0)
+    res_dicts = ck.get("results", [])
+    if not isinstance(completed, int) or completed != len(res_dicts):
+        raise CheckpointError("path checkpoint completed/results disagree")
+    if completed > want.size:
+        raise CheckpointError("path checkpoint has more points than the grid")
+    results = [result_from_dict(d) for d in res_dicts]
+    x_warm = ck.get("x_warm")
+    if x_warm is not None:
+        x_warm = np.asarray(x_warm, dtype=np.float64)
+    return results, x_warm
 
 
 def adaptive_schedule(
@@ -351,6 +429,9 @@ def lasso_path(
     virtual_p: int = 1,
     machine: MachineSpec | None = None,
     context: SweepContext | None = None,
+    checkpoint_every: int = 0,
+    checkpoint_sink=None,
+    resume_from=None,
 ) -> PathResult:
     """Solve a Lasso problem over a descending lambda grid with warm starts.
 
@@ -381,6 +462,12 @@ def lasso_path(
     tol, record_every:
         Stopping tolerance, checked at recording points — keep
         ``record_every >= 1`` or every solve runs its full ``max_iter``.
+    checkpoint_every / checkpoint_sink / resume_from:
+        Path-level fault tolerance: every ``checkpoint_every`` completed
+        grid points, emit a checkpoint (callable sink, or a path written
+        atomically by rank 0) carrying the finished results and the
+        warm-start vector; ``resume_from`` skips those points and
+        continues the sweep (the grid and solver knobs must match).
 
     All other knobs match :func:`repro.fit_lasso`.
     """
@@ -411,9 +498,17 @@ def lasso_path(
         )
     else:
         budgets = [(max_iter, tol)] * lams.size
+    ck_params = {
+        "solver": solver, "mu": mu, "s": s, "seed": seed,
+        "warm_start": warm_start, "adaptive": adaptive,
+    }
     results: list[SolverResult] = []
     x_warm = None
-    for lam, (it_i, tol_i) in zip(lams, budgets):
+    if resume_from is not None:
+        results, x_warm = _load_path_checkpoint(resume_from, lams, ck_params)
+        for res in results:
+            ctx.end_point(res)
+    for lam, (it_i, tol_i) in list(zip(lams, budgets))[len(results):]:
         ctx.begin_point()
         res = fit_lasso(
             ctx.dist, ctx.b, float(lam), solver=solver, mu=mu, s=s,
@@ -425,6 +520,16 @@ def lasso_path(
         ctx.end_point(res)
         results.append(res)
         x_warm = res.x
+        if (
+            checkpoint_sink is not None
+            and checkpoint_every
+            and len(results) % checkpoint_every == 0
+            and len(results) < lams.size
+        ):
+            _emit_path_checkpoint(
+                checkpoint_sink, ctx.comm.rank, lams, results, x_warm,
+                ck_params,
+            )
     return PathResult(
         task="lasso", lambdas=lams, results=results, context=ctx,
         warm_start=warm_start,

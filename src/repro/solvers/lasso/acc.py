@@ -58,6 +58,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.checkpoint import (
+    emit_solver_checkpoint,
+    load_solver_checkpoint,
+    make_solver_checkpoint,
+    require_int_seed,
+    resume_solver,
+    state_scalar,
+    state_vector,
+)
 from repro.errors import SolverError
 from repro.linalg.eig import largest_eigenvalue
 from repro.linalg.kernels import (
@@ -126,28 +135,59 @@ def acc_bcd(
     tol: float | None = None,
     record_every: int = 1,
     symmetric_pack: bool = True,
+    checkpoint_every: int = 0,
+    checkpoint_sink=None,
+    resume_from=None,
 ) -> SolverResult:
     """Accelerated BCD for Lasso (paper Algorithm 1).
 
     One Allreduce per iteration carries the mu x mu Gram block and the
     block gradient ``r_h = A_h^T (theta^2 ytil + ztil)``.
+
+    ``checkpoint_every``/``checkpoint_sink``/``resume_from`` follow
+    :func:`repro.solvers.lasso.plain.bcd`; accelerated checkpoints carry
+    the (replicated) ``y``/``z`` pair plus the momentum scalar ``theta``,
+    and their images ``ytil``/``ztil`` are recomputed on resume.
     """
+    if checkpoint_every or resume_from is not None:
+        require_int_seed(seed)
     dist, b_local = setup_problem(A, b, comm)
     pen = as_penalty(penalty)
-    y, z, ytil, ztil = _init_acc_state(dist, b_local, x0)
     n = dist.shape[1]
+    ck = None
+    if resume_from is not None:
+        ck = load_solver_checkpoint(
+            resume_from, family="lasso-acc", seed=seed,
+            params={"n": n, "mu": mu},
+        )
+        y = state_vector(ck, "y", n)
+        z = state_vector(ck, "z", n)
+        with dist.comm.ledger.paused():
+            ytil = dist.matvec_local(y)
+            ztil = dist.matvec_local(z) - b_local
+        theta = state_scalar(ck, "theta")
+        theta_resumed = state_scalar(ck, "theta_used")
+    else:
+        y, z, ytil, ztil = _init_acc_state(dist, b_local, x0)
+        theta = theta_resumed = mu / n
     sampler = make_sampler(n, mu, seed, pen)
-    theta = mu / n
     q = float(int(np.ceil(n / mu)))
     term = Terminator(max_iter, tol, "objective")
     history = ConvergenceHistory("objective")
-    history.record(0, _acc_objective(dist, theta, y, z, ytil, ztil, pen), dist.comm)
-    term.done(history.final_metric)
+    if ck is not None:
+        start = resume_solver(
+            ck, sampler=sampler, term=term, history=history,
+            ledger=dist.comm.ledger,
+        )
+    else:
+        start = 0
+        history.record(0, _acc_objective(dist, theta, y, z, ytil, ztil, pen), dist.comm)
+        term.done(history.final_metric)
 
-    h = 0
+    h = start
     converged = False
-    theta_used = theta
-    for h in range(1, max_iter + 1):
+    theta_used = theta_resumed
+    for h in range(start + 1, max_iter + 1):
         idx = sampler.next_block()
         S = dist.sample_columns(idx)
         theta_used = theta
@@ -182,6 +222,17 @@ def acc_bcd(
                 converged = True
                 break
         theta = theta_new
+        if checkpoint_every and h % checkpoint_every == 0:
+            emit_solver_checkpoint(
+                make_solver_checkpoint(
+                    family="lasso-acc", solver=f"accbcd(mu={mu})",
+                    iteration=h, seed=seed, params={"n": n, "mu": mu},
+                    state={"y": y, "z": z, "theta": theta,
+                           "theta_used": theta_used},
+                    term=term, history=history, ledger=dist.comm.ledger,
+                ),
+                checkpoint_sink, dist.comm.rank,
+            )
     if not record_every:
         history.record(
             h, _acc_objective(dist, theta_used, y, z, ytil, ztil, pen), dist.comm
@@ -510,6 +561,9 @@ def sa_acc_bcd(
     parity: str = "exact",
     pipeline: bool = False,
     eig_memo=None,
+    checkpoint_every: int = 0,
+    checkpoint_sink=None,
+    resume_from=None,
 ) -> SolverResult:
     """Synchronization-avoiding accelerated BCD (paper Algorithm 2).
 
@@ -540,17 +594,40 @@ def sa_acc_bcd(
     if s < 1:
         raise SolverError(f"s must be >= 1, got {s}")
     check_parity(parity)
+    if checkpoint_every or resume_from is not None:
+        require_int_seed(seed)
     dist, b_local = setup_problem(A, b, comm)
     pen = as_penalty(penalty)
-    y, z, ytil, ztil = _init_acc_state(dist, b_local, x0)
     n = dist.shape[1]
+    ck = None
+    if resume_from is not None:
+        ck = load_solver_checkpoint(
+            resume_from, family="lasso-acc", seed=seed,
+            params={"n": n, "mu": mu},
+        )
+        y = state_vector(ck, "y", n)
+        z = state_vector(ck, "z", n)
+        with dist.comm.ledger.paused():
+            ytil = dist.matvec_local(y)
+            ztil = dist.matvec_local(z) - b_local
+        theta = state_scalar(ck, "theta")
+        theta_resumed = state_scalar(ck, "theta_used")
+    else:
+        y, z, ytil, ztil = _init_acc_state(dist, b_local, x0)
+        theta = theta_resumed = mu / n
     sampler = make_sampler(n, mu, seed, pen)
-    theta = mu / n
     q = float(int(np.ceil(n / mu)))
     term = Terminator(max_iter, tol, "objective")
     history = ConvergenceHistory("objective")
-    history.record(0, _acc_objective(dist, theta, y, z, ytil, ztil, pen), dist.comm)
-    term.done(history.final_metric)
+    if ck is not None:
+        done = resume_solver(
+            ck, sampler=sampler, term=term, history=history,
+            ledger=dist.comm.ledger,
+        )
+    else:
+        done = 0
+        history.record(0, _acc_objective(dist, theta, y, z, ytil, ztil, pen), dist.comm)
+        term.done(history.final_metric)
 
     if not fast:
         step = _sa_acc_outer_naive
@@ -558,12 +635,28 @@ def sa_acc_bcd(
         step = _sa_acc_outer_fp
     else:
         step = _sa_acc_outer_fast
-    done = 0
     converged = False
-    theta_used = theta
-    if pipeline:
+    theta_used = theta_resumed
+
+    def _checkpoint(prev_done: int) -> None:
+        if not checkpoint_every or converged:
+            return
+        if done // checkpoint_every == prev_done // checkpoint_every:
+            return
+        emit_solver_checkpoint(
+            make_solver_checkpoint(
+                family="lasso-acc", solver=f"sa-accbcd(mu={mu}, s={s})",
+                iteration=done, seed=seed, params={"n": n, "mu": mu},
+                state={"y": y, "z": z, "theta": theta,
+                       "theta_used": theta_used},
+                term=term, history=history, ledger=dist.comm.ledger,
+            ),
+            checkpoint_sink, dist.comm.rank,
+        )
+
+    if pipeline and done < max_iter:
         pipe = dist.gram_pipeline(extra_cols=2, symmetric=symmetric_pack)
-        cur = _sa_plan(sampler, min(s, max_iter))
+        cur = _sa_plan(sampler, min(s, max_iter - done))
         slot = pipe.prefetch(np.concatenate(cur[0]))
         pipe.post(slot, [ytil, ztil])
         while True:
@@ -577,11 +670,13 @@ def sa_acc_bcd(
             blocks, widths, offsets = cur
             # thetas depend only on theta_sk (Alg. 2 line 9)
             thetas = theta_schedule(theta, len(blocks))
+            prev_done = done
             converged, done, theta, theta_used = step(
                 dist, pen, Y, G, R, blocks, widths, offsets, thetas, q,
                 y, z, ytil, ztil, done, max_iter, record_every, term, history,
                 memo=eig_memo,
             )
+            _checkpoint(prev_done)
             if converged or nxt is None:
                 break
             pipe.post(nslot, [ytil, ztil])
@@ -596,11 +691,13 @@ def sa_acc_bcd(
             Y = dist.sample_columns(all_idx)
             # one message: G = Y^T Y and Y^T [ytil, ztil]  (Alg. 2 lines 11-12)
             G, R = dist.gram_and_project(Y, [ytil, ztil], symmetric=symmetric_pack)
+            prev_done = done
             converged, done, theta, theta_used = step(
                 dist, pen, Y, G, R, blocks, widths, offsets, thetas, q,
                 y, z, ytil, ztil, done, max_iter, record_every, term, history,
                 memo=eig_memo,
             )
+            _checkpoint(prev_done)
     if not record_every or history.iterations[-1] != done:
         history.record(
             done, _acc_objective(dist, theta_used, y, z, ytil, ztil, pen), dist.comm

@@ -25,6 +25,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.checkpoint import (
+    emit_solver_checkpoint,
+    load_solver_checkpoint,
+    make_solver_checkpoint,
+    require_int_seed,
+    resume_solver,
+    state_vector,
+)
 from repro.errors import SolverError
 from repro.linalg.eig import largest_eigenvalue
 from repro.linalg.kernels import (
@@ -84,6 +92,9 @@ def bcd(
     tol: float | None = None,
     record_every: int = 1,
     symmetric_pack: bool = True,
+    checkpoint_every: int = 0,
+    checkpoint_sink=None,
+    resume_from=None,
 ) -> SolverResult:
     """Classical randomized proximal BCD (one Allreduce per iteration).
 
@@ -101,20 +112,51 @@ def bcd(
         Shared sampling seed (or a prebuilt sampler).
     record_every:
         Record the objective every this many iterations (0: ends only).
+    checkpoint_every:
+        Emit a resumable checkpoint every this many iterations (0: off).
+        Requires an integer ``seed`` (resume replays the sampler).
+    checkpoint_sink:
+        Where checkpoints go: a callable (invoked on every rank with the
+        payload dict) or a path (rank 0 writes atomically).
+    resume_from:
+        A checkpoint payload dict or JSON path to continue from; the run
+        picks up at the checkpointed iteration with the same stream.
     """
+    if checkpoint_every or resume_from is not None:
+        require_int_seed(seed)
     dist, b_local = setup_problem(A, b, comm)
     pen = as_penalty(penalty)
-    x, r_local = _init_state(dist, b_local, x0)
     n = dist.shape[1]
+    ck = None
+    if resume_from is not None:
+        ck = load_solver_checkpoint(
+            resume_from, family="lasso-plain", seed=seed,
+            params={"n": n, "mu": mu},
+        )
+        x = state_vector(ck, "x", n)
+        # the partitioned residual is recomputed from the replicated
+        # iterate (instrumentation-free: the uninterrupted run carried it
+        # incrementally and was charged during the iterations)
+        with dist.comm.ledger.paused():
+            r_local = dist.matvec_local(x) - b_local
+    else:
+        x, r_local = _init_state(dist, b_local, x0)
     sampler = make_sampler(n, mu, seed, pen)
     term = Terminator(max_iter, tol, "objective")
     history = ConvergenceHistory("objective")
-    history.record(0, distributed_objective(dist, r_local, x, pen), dist.comm)
-    term.done(history.final_metric)
+    if ck is not None:
+        start = resume_solver(
+            ck, sampler=sampler, term=term, history=history,
+            ledger=dist.comm.ledger,
+        )
+    else:
+        start = 0
+        history.record(0, distributed_objective(dist, r_local, x, pen), dist.comm)
+        term.done(history.final_metric)
 
-    h = 0
+    h = start
     converged = False
-    for h in range(1, max_iter + 1):
+    for h in range(start + 1, max_iter + 1):
         idx = sampler.next_block()
         S = dist.sample_columns(idx)
         G, R = dist.gram_and_project(S, [r_local], symmetric=symmetric_pack)
@@ -135,6 +177,16 @@ def bcd(
             if term.done(obj):
                 converged = True
                 break
+        if checkpoint_every and h % checkpoint_every == 0:
+            emit_solver_checkpoint(
+                make_solver_checkpoint(
+                    family="lasso-plain", solver=f"bcd(mu={mu})",
+                    iteration=h, seed=seed, params={"n": n, "mu": mu},
+                    state={"x": x}, term=term, history=history,
+                    ledger=dist.comm.ledger,
+                ),
+                checkpoint_sink, dist.comm.rank,
+            )
     if not record_every:
         history.record(h, distributed_objective(dist, r_local, x, pen), dist.comm)
 
@@ -409,6 +461,9 @@ def sa_bcd(
     parity: str = "exact",
     pipeline: bool = False,
     eig_memo=None,
+    checkpoint_every: int = 0,
+    checkpoint_sink=None,
+    resume_from=None,
 ) -> SolverResult:
     """Synchronization-avoiding BCD: one Allreduce per ``s`` iterations.
 
@@ -433,19 +488,43 @@ def sa_bcd(
     is never speculated — the unused block is never posted).
     ``eig_memo`` supplies a private eigenvalue memo for the fused loops
     (default: the shared process-wide memo).
+
+    ``checkpoint_every``/``checkpoint_sink``/``resume_from`` follow
+    :func:`bcd`; SA runs checkpoint at the outer-step boundary that
+    crosses each cadence multiple, and a checkpoint written by either
+    solver resumes under the other (the sampler stream is per-draw).
     """
     if s < 1:
         raise SolverError(f"s must be >= 1, got {s}")
     check_parity(parity)
+    if checkpoint_every or resume_from is not None:
+        require_int_seed(seed)
     dist, b_local = setup_problem(A, b, comm)
     pen = as_penalty(penalty)
-    x, r_local = _init_state(dist, b_local, x0)
     n = dist.shape[1]
+    ck = None
+    if resume_from is not None:
+        ck = load_solver_checkpoint(
+            resume_from, family="lasso-plain", seed=seed,
+            params={"n": n, "mu": mu},
+        )
+        x = state_vector(ck, "x", n)
+        with dist.comm.ledger.paused():
+            r_local = dist.matvec_local(x) - b_local
+    else:
+        x, r_local = _init_state(dist, b_local, x0)
     sampler = make_sampler(n, mu, seed, pen)
     term = Terminator(max_iter, tol, "objective")
     history = ConvergenceHistory("objective")
-    history.record(0, distributed_objective(dist, r_local, x, pen), dist.comm)
-    term.done(history.final_metric)
+    if ck is not None:
+        done = resume_solver(
+            ck, sampler=sampler, term=term, history=history,
+            ledger=dist.comm.ledger,
+        )
+    else:
+        done = 0
+        history.record(0, distributed_objective(dist, r_local, x, pen), dist.comm)
+        term.done(history.final_metric)
 
     if not fast:
         step = _sa_outer_naive
@@ -453,11 +532,26 @@ def sa_bcd(
         step = _sa_outer_fp
     else:
         step = _sa_outer_fast
-    done = 0
     converged = False
-    if pipeline:
+
+    def _checkpoint(prev_done: int) -> None:
+        if not checkpoint_every or converged:
+            return
+        if done // checkpoint_every == prev_done // checkpoint_every:
+            return
+        emit_solver_checkpoint(
+            make_solver_checkpoint(
+                family="lasso-plain", solver=f"sa-bcd(mu={mu}, s={s})",
+                iteration=done, seed=seed, params={"n": n, "mu": mu},
+                state={"x": x}, term=term, history=history,
+                ledger=dist.comm.ledger,
+            ),
+            checkpoint_sink, dist.comm.rank,
+        )
+
+    if pipeline and done < max_iter:
         pipe = dist.gram_pipeline(extra_cols=1, symmetric=symmetric_pack)
-        cur = _sa_plan(sampler, min(s, max_iter))
+        cur = _sa_plan(sampler, min(s, max_iter - done))
         slot = pipe.prefetch(np.concatenate(cur[0]))
         pipe.post(slot, [r_local])
         while True:
@@ -470,11 +564,13 @@ def sa_bcd(
                 nslot = pipe.prefetch(np.concatenate(nxt[0]))
             Y, G, R = pipe.wait(slot)
             blocks, widths, offsets = cur
+            prev_done = done
             converged, done = step(
                 dist, pen, Y, G, R, blocks, widths, offsets,
                 x, r_local, done, max_iter, record_every, term, history,
                 memo=eig_memo,
             )
+            _checkpoint(prev_done)
             if converged or nxt is None:
                 break
             pipe.post(nslot, [r_local])
@@ -486,11 +582,13 @@ def sa_bcd(
             all_idx = np.concatenate(blocks)
             Y = dist.sample_columns(all_idx)
             G, R = dist.gram_and_project(Y, [r_local], symmetric=symmetric_pack)
+            prev_done = done
             converged, done = step(
                 dist, pen, Y, G, R, blocks, widths, offsets,
                 x, r_local, done, max_iter, record_every, term, history,
                 memo=eig_memo,
             )
+            _checkpoint(prev_done)
     if not record_every or history.iterations[-1] != done:
         history.record(done, distributed_objective(dist, r_local, x, pen), dist.comm)
 

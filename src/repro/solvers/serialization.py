@@ -17,6 +17,7 @@ import numpy as np
 from repro.errors import SolverError
 from repro.machine.ledger import CostSnapshot
 from repro.solvers.base import ConvergenceHistory, SolverResult
+from repro.utils.io import atomic_write_json
 
 __all__ = ["result_to_dict", "result_from_dict", "save_result", "load_result"]
 
@@ -61,6 +62,8 @@ def result_to_dict(result: SolverResult) -> dict:
             "words": result.cost.words,
             "flops": result.cost.flops,
             "comm_seconds_hidden": result.cost.comm_seconds_hidden,
+            "retries": result.cost.retries,
+            "timeouts": result.cost.timeouts,
         },
         "extras": extras,
         "dropped_extras": dropped,
@@ -89,6 +92,8 @@ def result_from_dict(data: dict) -> SolverResult:
         words=data["cost"]["words"],
         flops=data["cost"]["flops"],
         comm_seconds_hidden=data["cost"].get("comm_seconds_hidden", 0.0),
+        retries=int(data["cost"].get("retries", 0)),
+        timeouts=int(data["cost"].get("timeouts", 0)),
     )
     extras = {}
     for k, v in data["extras"].items():
@@ -109,11 +114,10 @@ def result_from_dict(data: dict) -> SolverResult:
 
 
 def save_result(path_or_file: str | Path | IO[str], result: SolverResult) -> None:
-    """Write a result as JSON."""
+    """Write a result as JSON (atomically, when given a path)."""
     data = result_to_dict(result)
     if isinstance(path_or_file, (str, Path)):
-        with open(path_or_file, "w", encoding="utf-8") as fh:
-            json.dump(data, fh)
+        atomic_write_json(path_or_file, data, indent=None)
     else:
         json.dump(data, path_or_file)
 

@@ -22,6 +22,14 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.checkpoint import (
+    emit_solver_checkpoint,
+    load_solver_checkpoint,
+    make_solver_checkpoint,
+    require_int_seed,
+    resume_solver,
+    state_vector,
+)
 from repro.errors import SolverError
 from repro.linalg.distmatrix import ColPartitionedMatrix
 from repro.mpi.comm import Comm
@@ -108,6 +116,9 @@ def dcd(
     tol: float | None = None,
     record_every: int = 0,
     symmetric_pack: bool = True,
+    checkpoint_every: int = 0,
+    checkpoint_sink=None,
+    resume_from=None,
 ) -> SolverResult:
     """Dual coordinate descent for linear SVM (paper Algorithm 3).
 
@@ -124,20 +135,47 @@ def dcd(
     tol:
         Optional duality-gap tolerance (Table V uses 1e-1), checked at
         recording points.
+    checkpoint_every / checkpoint_sink / resume_from:
+        Checkpoint cadence, destination (callable or path), and resume
+        source, as in :func:`repro.solvers.lasso.plain.bcd`. SVM
+        checkpoints carry the replicated dual ``alpha``; the local primal
+        shard is rebuilt on resume.
     """
+    if checkpoint_every or resume_from is not None:
+        require_int_seed(seed)
     gamma, nu = loss_params(loss, lam)
     dist, b = _setup_svm(A, b, comm)
-    alpha, x_local = _init_alpha_x(dist, b, alpha0, nu)
     m = dist.shape[0]
+    ck = None
+    if resume_from is not None:
+        ck = load_solver_checkpoint(
+            resume_from, family="svm", seed=seed,
+            params={"m": m, "loss": loss, "lam": lam},
+        )
+        alpha = state_vector(ck, "alpha", m)
+        # x0 = sum_i b_i alpha_i A_i^T, local columns only (the running
+        # run carried it incrementally; rebuilding is instrumentation)
+        with dist.comm.ledger.paused():
+            x_local = np.asarray(dist.local.T @ (b * alpha)).ravel()
+    else:
+        alpha, x_local = _init_alpha_x(dist, b, alpha0, nu)
     sampler = seed if isinstance(seed, RowSampler) else RowSampler(m, seed)
     term = Terminator(max_iter, tol, "gap")
     history = ConvergenceHistory("duality_gap")
-    history.record(0, _record_gap(dist, b, alpha, x_local, lam, loss), dist.comm)
+    if ck is not None:
+        start = resume_solver(
+            ck, sampler=sampler, term=term, history=history,
+            ledger=dist.comm.ledger,
+        )
+        converged = False
+    else:
+        start = 0
+        history.record(0, _record_gap(dist, b, alpha, x_local, lam, loss), dist.comm)
+        converged = term.done(history.final_metric)
 
-    h = 0
-    converged = term.done(history.final_metric)
+    h = start
     if not converged:
-        for h in range(1, max_iter + 1):
+        for h in range(start + 1, max_iter + 1):
             i = sampler.next_index()
             row = dist.sample_rows(np.array([i]))
             G, xp = dist.gram_rows_and_project(row, x_local, symmetric=symmetric_pack)
@@ -154,6 +192,17 @@ def dcd(
                 if term.done(gap):
                     converged = True
                     break
+            if checkpoint_every and h % checkpoint_every == 0:
+                emit_solver_checkpoint(
+                    make_solver_checkpoint(
+                        family="svm", solver=f"svm-{loss.lower()}",
+                        iteration=h, seed=seed,
+                        params={"m": m, "loss": loss, "lam": lam},
+                        state={"alpha": alpha}, term=term, history=history,
+                        ledger=dist.comm.ledger,
+                    ),
+                    checkpoint_sink, dist.comm.rank,
+                )
         if not record_every or history.iterations[-1] != h:
             history.record(h, _record_gap(dist, b, alpha, x_local, lam, loss), dist.comm)
 
@@ -289,6 +338,9 @@ def sa_dcd(
     parity: str = "exact",
     pipeline: bool = False,
     eig_memo=None,
+    checkpoint_every: int = 0,
+    checkpoint_sink=None,
+    resume_from=None,
 ) -> SolverResult:
     """Synchronization-avoiding dual CD for SVM (paper Algorithm 4).
 
@@ -312,21 +364,57 @@ def sa_dcd(
     if s < 1:
         raise SolverError(f"s must be >= 1, got {s}")
     check_parity(parity)
+    if checkpoint_every or resume_from is not None:
+        require_int_seed(seed)
     gamma, nu = loss_params(loss, lam)
     dist, b = _setup_svm(A, b, comm)
-    alpha, x_local = _init_alpha_x(dist, b, alpha0, nu)
     m = dist.shape[0]
+    ck = None
+    if resume_from is not None:
+        ck = load_solver_checkpoint(
+            resume_from, family="svm", seed=seed,
+            params={"m": m, "loss": loss, "lam": lam},
+        )
+        alpha = state_vector(ck, "alpha", m)
+        with dist.comm.ledger.paused():
+            x_local = np.asarray(dist.local.T @ (b * alpha)).ravel()
+    else:
+        alpha, x_local = _init_alpha_x(dist, b, alpha0, nu)
     sampler = seed if isinstance(seed, RowSampler) else RowSampler(m, seed)
     term = Terminator(max_iter, tol, "gap")
     history = ConvergenceHistory("duality_gap")
-    history.record(0, _record_gap(dist, b, alpha, x_local, lam, loss), dist.comm)
+    if ck is not None:
+        done = resume_solver(
+            ck, sampler=sampler, term=term, history=history,
+            ledger=dist.comm.ledger,
+        )
+        converged = False
+    else:
+        done = 0
+        history.record(0, _record_gap(dist, b, alpha, x_local, lam, loss), dist.comm)
+        converged = term.done(history.final_metric)
 
     step = _sa_dcd_outer_fast if fast else _sa_dcd_outer_naive
-    done = 0
-    converged = term.done(history.final_metric)
-    if pipeline and not converged:
+
+    def _checkpoint(prev_done: int) -> None:
+        if not checkpoint_every or converged:
+            return
+        if done // checkpoint_every == prev_done // checkpoint_every:
+            return
+        emit_solver_checkpoint(
+            make_solver_checkpoint(
+                family="svm", solver=f"sa-svm-{loss.lower()}(s={s})",
+                iteration=done, seed=seed,
+                params={"m": m, "loss": loss, "lam": lam},
+                state={"alpha": alpha}, term=term, history=history,
+                ledger=dist.comm.ledger,
+            ),
+            checkpoint_sink, dist.comm.rank,
+        )
+
+    if pipeline and not converged and done < max_iter:
         pipe = dist.gram_rows_pipeline(symmetric=symmetric_pack)
-        idx = sampler.next_indices(min(s, max_iter))
+        idx = sampler.next_indices(min(s, max_iter - done))
         slot = pipe.prefetch(idx)
         pipe.post(slot, [x_local])
         while True:
@@ -337,11 +425,13 @@ def sa_dcd(
                 nidx = sampler.next_indices(min(s, remaining))
                 nslot = pipe.prefetch(nidx)
             Y, G, R = pipe.wait(slot)
+            prev_done = done
             converged, done = step(
                 dist, b, Y, G, R[:, 0], idx, gamma, nu,
                 alpha, x_local, lam, loss, done, max_iter, record_every,
                 term, history,
             )
+            _checkpoint(prev_done)
             if converged or nidx is None:
                 break
             pipe.post(nslot, [x_local])
@@ -351,10 +441,12 @@ def sa_dcd(
         idx = sampler.next_indices(s_eff)
         Y = dist.sample_rows(idx)
         G, xp = dist.gram_rows_and_project(Y, x_local, symmetric=symmetric_pack)
+        prev_done = done
         converged, done = step(
             dist, b, Y, G, xp, idx, gamma, nu,
             alpha, x_local, lam, loss, done, max_iter, record_every, term, history,
         )
+        _checkpoint(prev_done)
     if not record_every or not history.iterations or history.iterations[-1] != done:
         history.record(done, _record_gap(dist, b, alpha, x_local, lam, loss), dist.comm)
 

@@ -53,15 +53,18 @@ against a cold solve on the concatenated data.
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro._api import fit_lasso, fit_svm
-from repro.errors import SolverError
+from repro.errors import CheckpointError, SolverError
 from repro.linalg.distmatrix import ColPartitionedMatrix, RowPartitionedMatrix
 from repro.linalg.kernels import EigMemo
+from repro.linalg.partition import Partition1D
 from repro.machine.ledger import CostSnapshot
 from repro.machine.spec import MachineSpec
 from repro.mpi.comm import Comm
@@ -71,9 +74,15 @@ from repro.mpi.virtual_backend import VirtualComm
 from repro.path import SweepContext
 from repro.solvers.base import SolverResult
 from repro.solvers.svm.duality import loss_params
+from repro.utils.io import atomic_write_json
 from repro.utils.validation import nnz_of
 
-__all__ = ["StreamingSweep", "DataRevision", "replay_schedule"]
+__all__ = [
+    "StreamingSweep",
+    "DataRevision",
+    "replay_schedule",
+    "STREAM_CHECKPOINT_VERSION",
+]
 
 #: report schema version emitted by :func:`replay_schedule` (and the
 #: ``repro stream`` CLI's ``--save``); v2 added eviction / label-edit
@@ -81,7 +90,96 @@ __all__ = ["StreamingSweep", "DataRevision", "replay_schedule"]
 #: ``rows_removed`` / ``labels_changed`` / ``evict_cost``
 STREAM_REPORT_VERSION = 2
 
+#: format version of streaming checkpoints (:meth:`StreamingSweep.
+#: checkpoint` engine snapshots and the ``kind="streaming-replay"``
+#: wrappers :func:`replay_schedule` writes); resume refuses versions it
+#: does not understand rather than guessing
+STREAM_CHECKPOINT_VERSION = 1
+
 _DEFAULT_SOLVER = {"lasso": "sa-accbcd", "svm": "sa-svm"}
+
+
+def _matrix_to_dict(A) -> dict:
+    """JSON-serialisable dense/CSR matrix (exact float64 round-trip)."""
+    if sp.issparse(A):
+        A = A.tocsr()
+        return {"csr": {
+            "data": np.asarray(A.data, dtype=np.float64).tolist(),
+            "indices": A.indices.tolist(),
+            "indptr": A.indptr.tolist(),
+            "shape": [int(A.shape[0]), int(A.shape[1])],
+        }}
+    return {"dense": np.asarray(A, dtype=np.float64).tolist(),
+            "shape": [int(A.shape[0]), int(A.shape[1])]}
+
+
+def _matrix_from_dict(d: dict):
+    """Inverse of :func:`_matrix_to_dict`."""
+    if "csr" in d:
+        c = d["csr"]
+        return sp.csr_matrix(
+            (np.asarray(c["data"], dtype=np.float64),
+             np.asarray(c["indices"], dtype=np.intp),
+             np.asarray(c["indptr"], dtype=np.intp)),
+            shape=tuple(c["shape"]),
+        )
+    return np.asarray(d["dense"], dtype=np.float64).reshape(tuple(d["shape"]))
+
+
+def _snapshot_to_dict(c: CostSnapshot) -> dict:
+    return {
+        "comm_seconds": c.comm_seconds,
+        "compute_seconds": c.compute_seconds,
+        "messages": int(c.messages),
+        "words": c.words,
+        "flops": c.flops,
+        "comm_seconds_hidden": c.comm_seconds_hidden,
+        "retries": int(c.retries),
+        "timeouts": int(c.timeouts),
+    }
+
+
+def _snapshot_from_dict(d: dict) -> CostSnapshot:
+    return CostSnapshot(
+        comm_seconds=float(d.get("comm_seconds", 0.0)),
+        compute_seconds=float(d.get("compute_seconds", 0.0)),
+        messages=int(d.get("messages", 0)),
+        words=float(d.get("words", 0.0)),
+        flops=float(d.get("flops", 0.0)),
+        comm_seconds_hidden=float(d.get("comm_seconds_hidden", 0.0)),
+        retries=int(d.get("retries", 0)),
+        timeouts=int(d.get("timeouts", 0)),
+    )
+
+
+def _load_stream_checkpoint(source, kind: str) -> dict:
+    """Read + validate a streaming checkpoint payload (dict or JSON path)."""
+    if isinstance(source, dict):
+        ck = source
+    else:
+        try:
+            with open(source, "r", encoding="utf-8") as fh:
+                ck = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(
+                f"could not read checkpoint {os.fspath(source)!r}: {exc}"
+            ) from exc
+    if not isinstance(ck, dict) or ck.get("kind") != kind:
+        raise CheckpointError(
+            f"resume_from is not a {kind!r} checkpoint"
+            f" (kind={None if not isinstance(ck, dict) else ck.get('kind')!r})"
+        )
+    version = ck.get("format_version")
+    if version != STREAM_CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported streaming checkpoint format_version {version!r}"
+            f" (this build reads {STREAM_CHECKPOINT_VERSION})"
+        )
+    if ck.get("task") not in ("lasso", "svm"):
+        raise CheckpointError(
+            f"streaming checkpoint has unknown task {ck.get('task')!r}"
+        )
+    return ck
 
 
 @dataclass
@@ -299,6 +397,139 @@ class StreamingSweep:
             else:
                 A_eff = np.hstack(shards)
         return A_eff, self.ctx.b.copy()
+
+    # -- checkpoint / resume -------------------------------------------------
+    def checkpoint(self, sink=None) -> dict:
+        """Snapshot the engine as a JSON-serialisable dict (and optionally
+        deliver it).
+
+        SPMD-collective (the effective matrix is reassembled via
+        :meth:`materialize`, ledger-paused). The payload carries the
+        materialized data, the explicit partition offsets (so resume
+        reproduces every rank's shard bit for bit), the arrival-index
+        bookkeeping, the incremental ``A^T b`` state, the warm vectors,
+        the solve defaults, and the full per-revision cost history —
+        everything :meth:`from_checkpoint` needs to continue the stream
+        as if the process had never died.
+
+        ``sink`` follows the solver-checkpoint convention: a callable is
+        invoked on every rank with the payload; a path is written
+        atomically by rank 0 only.
+        """
+        A_eff, b_eff = self.materialize()
+        payload = {
+            "format_version": STREAM_CHECKPOINT_VERSION,
+            "kind": "streaming",
+            "task": self.task,
+            "max_rows": self.max_rows,
+            "defaults": dict(self.defaults),
+            "matrix": _matrix_to_dict(A_eff),
+            "b": b_eff.tolist(),
+            "offsets": [int(o) for o in self.dist.partition.offsets],
+            "arrivals": (
+                [arr.tolist() for arr in self._arrivals]
+                if self.task == "lasso" else self._svm_arrivals.tolist()
+            ),
+            "next_arrival": int(self._next_arrival),
+            "atb": None if self._atb is None else self._atb.tolist(),
+            "x_warm": None if self._x_warm is None else self._x_warm.tolist(),
+            "alpha_warm": (
+                None if self._alpha_warm is None else self._alpha_warm.tolist()
+            ),
+            "revisions": [
+                {
+                    "rev": int(r.rev),
+                    "rows_total": int(r.rows_total),
+                    "rows_added": int(r.rows_added),
+                    "rows_removed": int(r.rows_removed),
+                    "labels_changed": int(r.labels_changed),
+                    "append_cost": _snapshot_to_dict(r.append_cost),
+                    "evict_cost": _snapshot_to_dict(r.evict_cost),
+                    "solve_costs": [
+                        _snapshot_to_dict(c) for c in r.solve_costs
+                    ],
+                }
+                for r in self.revisions
+            ],
+        }
+        if sink is not None:
+            if callable(sink):
+                sink(payload)
+            elif self.comm.rank == 0:
+                atomic_write_json(os.fspath(sink), payload)
+        return payload
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        source,
+        *,
+        comm: Comm | None = None,
+        virtual_p: int = 1,
+        machine: MachineSpec | None = None,
+        eig_memo: EigMemo | None = None,
+    ) -> "StreamingSweep":
+        """Rebuild an engine from a :meth:`checkpoint` payload (or path).
+
+        The partitioned matrix is reconstructed from the materialized
+        data with the checkpoint's *explicit* partition offsets — not
+        re-balanced — so every rank's shard, the arrival bookkeeping,
+        the ``A^T b`` state, and the warm vectors come back exactly as
+        checkpointed: a resumed :meth:`solve` produces the same iterates
+        the uninterrupted engine would have. The communicator must have
+        the same size the checkpoint was taken at (the offsets are
+        per-rank); the backend is free to differ.
+        """
+        ck = _load_stream_checkpoint(source, "streaming")
+        task = ck["task"]
+        if comm is None:
+            comm = VirtualComm(virtual_size=virtual_p, machine=machine)
+        offsets = tuple(int(o) for o in ck.get("offsets", ()))
+        if len(offsets) - 1 != comm.size:
+            raise CheckpointError(
+                f"streaming checkpoint was taken at {len(offsets) - 1}"
+                f" ranks; the resuming communicator has {comm.size}"
+            )
+        A_eff = _matrix_from_dict(ck["matrix"])
+        mat_cls = RowPartitionedMatrix if task == "lasso" else ColPartitionedMatrix
+        dist = mat_cls.from_global(A_eff, comm, partition=Partition1D(offsets))
+        engine = cls(
+            dist, np.asarray(ck["b"], dtype=np.float64), task=task,
+            max_rows=ck.get("max_rows"), eig_memo=eig_memo, **ck["defaults"],
+        )
+        # overwrite the constructor's fresh revision-0 state with the
+        # checkpointed stream state (arrival history, incremental A^T b,
+        # warm vectors, per-revision cost ledgers)
+        if task == "lasso":
+            engine._arrivals = [
+                np.asarray(a, dtype=np.intp) for a in ck["arrivals"]
+            ]
+            engine._atb = np.asarray(ck["atb"], dtype=np.float64)
+        else:
+            engine._svm_arrivals = np.asarray(ck["arrivals"], dtype=np.intp)
+        engine._next_arrival = int(ck["next_arrival"])
+        engine._x_warm = (
+            None if ck.get("x_warm") is None
+            else np.asarray(ck["x_warm"], dtype=np.float64)
+        )
+        engine._alpha_warm = (
+            None if ck.get("alpha_warm") is None
+            else np.asarray(ck["alpha_warm"], dtype=np.float64)
+        )
+        engine.revisions = [
+            DataRevision(
+                int(r["rev"]), int(r["rows_total"]), int(r["rows_added"]),
+                rows_removed=int(r["rows_removed"]),
+                labels_changed=int(r["labels_changed"]),
+                append_cost=_snapshot_from_dict(r["append_cost"]),
+                evict_cost=_snapshot_from_dict(r["evict_cost"]),
+                solve_costs=[
+                    _snapshot_from_dict(c) for c in r["solve_costs"]
+                ],
+            )
+            for r in ck["revisions"]
+        ]
+        return engine
 
     # -- streaming -----------------------------------------------------------
     def append(self, B, y) -> int:
@@ -621,6 +852,8 @@ def _cost_dict(c: CostSnapshot) -> dict:
         "messages": int(c.messages),
         "words": c.words,
         "flops": c.flops,
+        "retries": int(c.retries),
+        "timeouts": int(c.timeouts),
     }
 
 
@@ -634,12 +867,13 @@ def _solve_dict(res: SolverResult) -> dict:
 
 
 def _sum_cost_dicts(costs: list) -> dict:
-    total = {k: 0 if k == "messages" else 0.0 for k in
-             ("seconds", "comm_seconds", "compute_seconds",
-              "comm_seconds_hidden", "messages", "words", "flops")}
+    total = {k: 0 if k in ("messages", "retries", "timeouts") else 0.0
+             for k in ("seconds", "comm_seconds", "compute_seconds",
+                       "comm_seconds_hidden", "messages", "words", "flops",
+                       "retries", "timeouts")}
     for c in costs:
         for k in total:
-            total[k] += c[k]
+            total[k] += c.get(k, 0)
     return total
 
 
@@ -725,6 +959,8 @@ def replay_schedule(
     machine: MachineSpec | None = None,
     warm_start: bool = True,
     compare_cold: bool = False,
+    checkpoint_path=None,
+    resume_from=None,
 ) -> dict:
     """Replay a streaming schedule through a :class:`StreamingSweep`.
 
@@ -745,6 +981,17 @@ def replay_schedule(
     ``"process"`` as ``ranks`` real SPMD participants (costs modelled at
     ``max(virtual_p, ranks)``). Returns a plain-dict report (JSON-ready,
     picklable across the process backend).
+
+    ``checkpoint_path`` makes the replay crash-safe: after the initial
+    fit and after every processed event, a ``kind="streaming-replay"``
+    checkpoint (engine snapshot + completed report entries + the number
+    of events applied) is written atomically by rank 0. ``resume_from``
+    (the payload dict or its path) continues a killed replay: the engine
+    and completed entries are restored, the already-applied prefix of
+    ``batches`` is skipped, and the remaining events run as usual — the
+    final report is identical to an uninterrupted replay (modelled
+    costs included). Pass the same schedule and knobs when resuming;
+    the checkpoint pins the engine's solve defaults.
     """
     if task not in ("lasso", "svm"):
         raise SolverError(f"unknown streaming task {task!r}; known: ['lasso', 'svm']")
@@ -756,16 +1003,52 @@ def replay_schedule(
     )
 
     def work(comm, rank):
-        engine = StreamingSweep(
-            A, b, task=task, comm=comm, max_rows=max_rows, **knobs
-        )
-        # resolve lambda once, on the initial data, and hold it fixed
-        # across revisions (the production scenario: the model spec does
-        # not change when data arrives)
-        lam_used = knobs["lam"]
-        if lam_used is None:
-            lam_used = 0.1 * engine.lambda_max if task == "lasso" else 1.0
-        entries = []
+        if resume_from is not None:
+            rck = _load_stream_checkpoint(resume_from, "streaming-replay")
+            if rck["task"] != task:
+                raise CheckpointError(
+                    f"replay checkpoint is a {rck['task']!r} run; resume"
+                    f" was called with task={task!r}"
+                )
+            applied = int(rck["events_applied"])
+            if applied > len(events):
+                raise CheckpointError(
+                    f"replay checkpoint already applied {applied} events;"
+                    f" the resuming schedule has only {len(events)}"
+                )
+            engine = StreamingSweep.from_checkpoint(rck["engine"], comm=comm)
+            lam_used = rck["lam_used"]
+            entries = list(rck["entries"])
+        else:
+            engine = StreamingSweep(
+                A, b, task=task, comm=comm, max_rows=max_rows, **knobs
+            )
+            # resolve lambda once, on the initial data, and hold it
+            # fixed across revisions (the production scenario: the model
+            # spec does not change when data arrives)
+            lam_used = knobs["lam"]
+            if lam_used is None:
+                lam_used = 0.1 * engine.lambda_max if task == "lasso" else 1.0
+            applied = 0
+            entries = []
+
+        def emit_replay_ck(n_applied):
+            if checkpoint_path is None:
+                return
+            # collective (the engine snapshot gathers the shards), but
+            # only rank 0 writes — the payload is replicated knowledge
+            payload = {
+                "format_version": STREAM_CHECKPOINT_VERSION,
+                "kind": "streaming-replay",
+                "task": task,
+                "events_applied": int(n_applied),
+                "lam_used": float(lam_used),
+                "warm_start": bool(warm_start),
+                "entries": entries,
+                "engine": engine.checkpoint(),
+            }
+            if comm.rank == 0:
+                atomic_write_json(os.fspath(checkpoint_path), payload)
 
         def run_cold(revision):
             # same solver configuration (fast/parity/pipeline) as the
@@ -831,16 +1114,23 @@ def replay_schedule(
                 pos = np.nonzero(np.isin(order, ids))[0]
                 engine.update_labels(order[pos], -engine.b[pos])
 
-        res0 = engine.solve(lam=lam_used, warm_start=False)
-        entries.append(entry(engine.revisions[0], res0, None))
-        for ev in events:
+        if not entries:
+            res0 = engine.solve(lam=lam_used, warm_start=False)
+            entries.append(entry(engine.revisions[0], res0, None))
+            emit_replay_ck(applied)
+        for ev in events[applied:]:
             before = engine.revision
             apply_event(ev)
+            applied += 1
             if engine.revision == before:
-                continue  # defined no-op (empty batch/ids): no refit, no entry
+                # defined no-op (empty batch/ids): no refit, no entry —
+                # but the event still counts as applied for resume
+                emit_replay_ck(applied)
+                continue
             res = engine.solve(lam=lam_used, warm_start=warm_start)
             cold = run_cold(engine.revision) if compare_cold else None
             entries.append(entry(engine.revisions[-1], res, cold))
+            emit_replay_ck(applied)
         # a warm refit's cost is the revision's incremental state work
         # (append and/or eviction) PLUS the warm solve — the same
         # definition the per-revision table rows (and the bench gates)

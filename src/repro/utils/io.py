@@ -1,0 +1,41 @@
+"""Crash-safe file output helpers.
+
+Reports, checkpoints, and benchmark payloads are written
+write-temp-then-:func:`os.replace` so a crash (or SIGKILL) mid-write can
+never leave a truncated or half-serialized JSON file behind: readers see
+either the previous complete file or the new complete file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_text", "atomic_write_json"]
+
+
+def atomic_write_text(path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (same-directory temp + replace)."""
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent) or ".", prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path, payload, indent: int | None = 2) -> None:
+    """Serialize ``payload`` as JSON and write it atomically to ``path``."""
+    atomic_write_text(path, json.dumps(payload, indent=indent) + "\n")

@@ -34,6 +34,7 @@ from repro.mpi.virtual_backend import VirtualComm
 
 __all__ = [
     "make_sequence",
+    "make_fault_plan",
     "run_sequence",
     "expected_results",
     "assert_results_equal",
@@ -60,6 +61,25 @@ def virtual_spmd_run(fn, size, machine=None, cost_size=None, **_ignored):
 # ---------------------------------------------------------------------------
 # sequence generation
 # ---------------------------------------------------------------------------
+
+
+def make_fault_plan(seed: int, size: int, n_ops: int):
+    """A deterministic transient-fault plan matched to a fuzz sequence.
+
+    Only ``transient`` faults are drawn (recoverable by the bounded
+    retry loop with every peer parked at the barrier), with ``count``
+    capped below the default :class:`~repro.faults.RetryPolicy` budget —
+    so a faulty run must complete *bit-identical* to the fault-free
+    oracle. The ordinal space is padded past ``n_ops`` because a rank
+    enters more collectives than there are ops (nonblocking posts and
+    their drains count separately).
+    """
+    from repro.faults import FaultPlan
+
+    return FaultPlan.random(
+        seed, size=size, n_collectives=n_ops * 2, rate=0.15,
+        kinds=("transient",), max_count=2,
+    )
 
 
 def _rand_shape(rng) -> tuple:

@@ -1,0 +1,432 @@
+"""Checkpoint/resume across solvers, paths, streaming, CLI, and I/O.
+
+The acceptance contract: a run killed at iteration ``k`` and resumed
+from its last checkpoint finishes within ``1e-9`` of the uninterrupted
+run — for every solver family, blocking and pipelined, on any backend
+(the replay-based sampler resume makes checkpoints backend-portable).
+In practice resume is bit-exact; the tests pin ``<= 1e-9`` as the
+contract and ``array_equal`` where exactness is load-bearing.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro._api import fit_lasso, fit_svm
+from repro.checkpoint import (
+    SOLVER_CHECKPOINT_VERSION,
+    load_solver_checkpoint,
+    make_solver_checkpoint,
+)
+from repro.errors import CheckpointError
+from repro.faults import InjectedFailure
+from repro.mpi.process_backend import process_spmd_run
+from repro.mpi.thread_backend import spmd_run
+from repro.mpi.virtual_backend import VirtualComm
+from repro.path import lasso_path
+from repro.streaming import StreamingSweep, replay_schedule
+from repro.utils.io import atomic_write_json, atomic_write_text
+
+SEED = 5
+TOL9 = 1e-9
+
+LASSO_SOLVERS = ["bcd", "sa-bcd", "accbcd", "sa-accbcd"]
+SVM_SOLVERS = ["svm", "sa-svm"]
+
+
+def _lasso_kwargs(solver, pipeline=False):
+    kw = dict(solver=solver, mu=2, max_iter=24, tol=None, seed=SEED,
+              record_every=4)
+    if solver.startswith("sa-"):
+        kw.update(s=4, pipeline=pipeline)
+    return kw
+
+
+def _svm_kwargs(solver, pipeline=False):
+    kw = dict(solver=solver, loss="l2", lam=0.7, max_iter=40, tol=None,
+              seed=SEED, record_every=8)
+    if solver.startswith("sa-"):
+        kw.update(s=4, pipeline=pipeline)
+    return kw
+
+
+class _CrashingSink:
+    """Callable sink that captures checkpoints, then kills the run."""
+
+    def __init__(self, crash_at: int):
+        self.crash_at = crash_at
+        self.payloads = []
+
+    def __call__(self, payload):
+        self.payloads.append(payload)
+        if payload["iteration"] >= self.crash_at:
+            raise InjectedFailure(
+                f"simulated crash at iteration {payload['iteration']}"
+            )
+
+
+class TestSolverCrashResume:
+    """Crash at iteration k, resume from the last checkpoint, finish
+    within 1e-9 of the uninterrupted run — every solver, both modes."""
+
+    @pytest.mark.parametrize("solver", LASSO_SOLVERS)
+    @pytest.mark.parametrize("pipeline", [False, True])
+    def test_lasso(self, dense_regression, solver, pipeline):
+        if pipeline and not solver.startswith("sa-"):
+            pytest.skip("pipeline needs an SA solver")
+        A, b, _ = dense_regression
+        kw = _lasso_kwargs(solver, pipeline)
+        full = fit_lasso(A, b, 0.3, **kw)
+        sink = _CrashingSink(crash_at=8)
+        with pytest.raises(InjectedFailure):
+            fit_lasso(A, b, 0.3, checkpoint_every=4, checkpoint_sink=sink,
+                      **kw)
+        assert sink.payloads, "no checkpoint was emitted before the crash"
+        resumed = fit_lasso(A, b, 0.3, resume_from=sink.payloads[-1], **kw)
+        assert np.max(np.abs(full.x - resumed.x)) <= TOL9
+        assert resumed.iterations == full.iterations
+        assert resumed.history.iterations == full.history.iterations
+
+    @pytest.mark.parametrize("solver", SVM_SOLVERS)
+    @pytest.mark.parametrize("pipeline", [False, True])
+    def test_svm(self, small_classification, solver, pipeline):
+        if pipeline and not solver.startswith("sa-"):
+            pytest.skip("pipeline needs an SA solver")
+        A, b = small_classification
+        kw = _svm_kwargs(solver, pipeline)
+        full = fit_svm(A, b, **kw)
+        sink = _CrashingSink(crash_at=16)
+        with pytest.raises(InjectedFailure):
+            fit_svm(A, b, checkpoint_every=8, checkpoint_sink=sink, **kw)
+        assert sink.payloads
+        resumed = fit_svm(A, b, resume_from=sink.payloads[-1], **kw)
+        assert np.max(np.abs(full.x - resumed.x)) <= TOL9
+        assert np.max(np.abs(full.extras["alpha"]
+                             - resumed.extras["alpha"])) <= TOL9
+
+
+class TestBackendPortability:
+    """One checkpoint file resumes under any backend and either mode."""
+
+    def _emit(self, A, b, tmp_path, **kw):
+        path = tmp_path / "ck.json"
+        fit_lasso(A, b, 0.3, max_iter=8, checkpoint_every=8,
+                  checkpoint_sink=str(path), **kw)
+        return str(path)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_virtual_checkpoint_resumes_on_real_backend(
+            self, dense_regression, tmp_path, backend):
+        A, b, _ = dense_regression
+        kw = dict(solver="sa-accbcd", mu=2, s=4, tol=None, seed=SEED)
+        full = fit_lasso(A, b, 0.3, max_iter=20, **kw)
+        path = self._emit(A, b, tmp_path, **kw)
+
+        def work(comm, rank):
+            res = fit_lasso(A, b, 0.3, max_iter=20, comm=comm,
+                            resume_from=path, **kw)
+            return res.x
+
+        runner = spmd_run if backend == "thread" else process_spmd_run
+        out = runner(work, 2)
+        for x in out.values:
+            assert np.max(np.abs(full.x - x)) <= TOL9
+
+    def test_blocking_checkpoint_resumes_pipelined_and_cross_solver(
+            self, dense_regression, tmp_path):
+        A, b, _ = dense_regression
+        kw = dict(mu=2, s=4, tol=None, seed=SEED)
+        path = self._emit(A, b, tmp_path, solver="sa-bcd", **kw)
+        full = fit_lasso(A, b, 0.3, solver="sa-bcd", max_iter=20, **kw)
+        # blocking -> pipelined
+        piped = fit_lasso(A, b, 0.3, solver="sa-bcd", max_iter=20,
+                          pipeline=True, resume_from=path, **kw)
+        assert np.max(np.abs(full.x - piped.x)) <= TOL9
+        # sa-bcd checkpoint resumes the classical solver of the family
+        classical = fit_lasso(A, b, 0.3, solver="bcd", mu=2, tol=None,
+                              seed=SEED, max_iter=20, resume_from=path)
+        assert np.max(np.abs(full.x - classical.x)) <= TOL9
+
+
+class TestValidation:
+    def test_non_integer_seed_rejected(self, dense_regression):
+        A, b, _ = dense_regression
+        rng = np.random.default_rng(0)
+        with pytest.raises(CheckpointError):
+            fit_lasso(A, b, 0.3, solver="bcd", max_iter=4, seed=rng,
+                      checkpoint_every=2, checkpoint_sink=lambda p: None)
+
+    def test_family_seed_param_mismatches(self, dense_regression,
+                                          small_classification):
+        A, b, _ = dense_regression
+        sink = []
+        fit_lasso(A, b, 0.3, solver="bcd", mu=2, max_iter=4, tol=None,
+                  seed=SEED, checkpoint_every=4,
+                  checkpoint_sink=sink.append)
+        ck = sink[-1]
+        As, bs = small_classification
+        with pytest.raises(CheckpointError):  # wrong family
+            fit_svm(As, bs, solver="svm", max_iter=4, seed=SEED,
+                    resume_from=ck)
+        with pytest.raises(CheckpointError):  # wrong seed
+            fit_lasso(A, b, 0.3, solver="bcd", mu=2, max_iter=8,
+                      seed=SEED + 1, resume_from=ck)
+        with pytest.raises(CheckpointError):  # wrong params (mu)
+            fit_lasso(A, b, 0.3, solver="bcd", mu=4, max_iter=8,
+                      seed=SEED, resume_from=ck)
+
+    def test_version_and_kind_guards(self, dense_regression):
+        A, b, _ = dense_regression
+        sink = []
+        fit_lasso(A, b, 0.3, solver="bcd", mu=2, max_iter=4, tol=None,
+                  seed=SEED, checkpoint_every=4,
+                  checkpoint_sink=sink.append)
+        bad = dict(sink[-1], format_version=SOLVER_CHECKPOINT_VERSION + 1)
+        with pytest.raises(CheckpointError):
+            load_solver_checkpoint(bad, family="lasso-plain", seed=SEED,
+                                   params=bad["params"])
+        with pytest.raises(CheckpointError):
+            load_solver_checkpoint({"kind": "nope"}, family="lasso-plain",
+                                   seed=SEED, params={})
+
+    def test_unreadable_path_is_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_solver_checkpoint(str(tmp_path / "missing.json"),
+                                   family="lasso-plain", seed=0, params={})
+
+
+class TestPathResume:
+    def test_path_checkpoint_resume_matches_full_sweep(self,
+                                                       dense_regression,
+                                                       tmp_path):
+        A, b, _ = dense_regression
+        kw = dict(n_lambdas=6, solver="sa-accbcd", mu=2, s=4, max_iter=20,
+                  tol=None, seed=SEED, record_every=5)
+        full = lasso_path(A, b, **kw)
+        captured = []
+        lasso_path(A, b, checkpoint_every=2,
+                   checkpoint_sink=captured.append, **kw)
+        assert captured and captured[-1]["kind"] == "lasso-path"
+        mid = captured[0]  # 2 of 6 grid points completed
+        assert mid["completed"] == 2
+        resumed = lasso_path(A, b, resume_from=mid, **kw)
+        assert np.array_equal(full.lambdas, resumed.lambdas)
+        for rf, rr in zip(full.results, resumed.results):
+            assert np.max(np.abs(rf.x - rr.x)) <= TOL9
+
+    def test_path_file_round_trip(self, dense_regression, tmp_path):
+        A, b, _ = dense_regression
+        path = tmp_path / "path_ck.json"
+        kw = dict(n_lambdas=4, solver="bcd", mu=2, max_iter=12, tol=None,
+                  seed=SEED)
+        full = lasso_path(A, b, **kw)
+        lasso_path(A, b, checkpoint_every=1, checkpoint_sink=str(path), **kw)
+        resumed = lasso_path(A, b, resume_from=str(path), **kw)
+        for rf, rr in zip(full.results, resumed.results):
+            assert np.array_equal(rf.x, rr.x)
+
+
+class TestStreamingResume:
+    def _batches(self, n, rng):
+        return [(rng.standard_normal((8, n)), rng.standard_normal(8)),
+                ("evict_oldest", 5),
+                (rng.standard_normal((6, n)), rng.standard_normal(6)),
+                ("relabel_oldest", 4)]
+
+    def test_engine_round_trip_and_materialize_equivalence(self):
+        rng = np.random.default_rng(0)
+        m, n = 60, 12
+        A = rng.standard_normal((m, n))
+        b = rng.standard_normal(m)
+        batches = self._batches(n, rng)
+        eng = StreamingSweep(A, b, task="lasso", virtual_p=4, max_iter=40,
+                             tol=None, seed=3)
+        eng.append(*batches[0])
+        eng.solve()
+        ck = eng.checkpoint()
+        eng.append(*batches[2])
+        r_live = eng.solve()
+        resumed = StreamingSweep.from_checkpoint(ck, virtual_p=4)
+        resumed.append(*batches[2])
+        r_resumed = resumed.solve()
+        assert np.max(np.abs(r_live.x - r_resumed.x)) <= TOL9
+        A1, b1 = eng.materialize()
+        A2, b2 = resumed.materialize()
+        assert np.array_equal(A1, A2) and np.array_equal(b1, b2)
+        assert [r.rev for r in resumed.revisions] == [0, 1, 2]
+
+    def test_engine_rank_count_guard(self):
+        rng = np.random.default_rng(1)
+        A = rng.standard_normal((20, 6))
+        b = rng.standard_normal(20)
+
+        def work(comm, rank):
+            eng = StreamingSweep(A, b, comm=comm, mu=2, max_iter=10,
+                                 tol=None)
+            return eng.checkpoint()
+
+        ck = spmd_run(work, 2).values[0]  # taken at 2 real ranks
+        with pytest.raises(CheckpointError):
+            StreamingSweep.from_checkpoint(ck)  # virtual: 1 actual rank
+
+    def test_replay_resume_report_identical(self, tmp_path):
+        rng = np.random.default_rng(2)
+        m, n = 50, 10
+        A = rng.standard_normal((m, n))
+        b = rng.standard_normal(m)
+        batches = self._batches(n, rng)
+        kw = dict(task="lasso", max_iter=30, seed=2, virtual_p=2,
+                  compare_cold=True)
+        full = replay_schedule(A, b, batches, **kw)
+        ck_path = tmp_path / "replay_ck.json"
+        # crash after two events: replay only the prefix, checkpointing
+        replay_schedule(A, b, batches[:2], checkpoint_path=str(ck_path),
+                        **kw)
+        resumed = replay_schedule(A, b, batches, resume_from=str(ck_path),
+                                  **kw)
+        assert (json.dumps(full, sort_keys=True)
+                == json.dumps(resumed, sort_keys=True))
+
+    def test_replay_resume_svm_with_window(self, tmp_path):
+        rng = np.random.default_rng(3)
+        m, n = 40, 8
+        A = rng.standard_normal((m, n))
+        b = np.where(rng.standard_normal(m) >= 0, 1.0, -1.0)
+        y1 = np.where(rng.standard_normal(10) >= 0, 1.0, -1.0)
+        y2 = np.where(rng.standard_normal(10) >= 0, 1.0, -1.0)
+        batches = [(rng.standard_normal((10, n)), y1),
+                   (rng.standard_normal((10, n)), y2)]
+        kw = dict(task="svm", loss="l2", max_rows=45, max_iter=60, seed=1,
+                  virtual_p=2)
+        full = replay_schedule(A, b, batches, **kw)
+        ck_path = tmp_path / "replay_svm.json"
+        replay_schedule(A, b, batches[:1], checkpoint_path=str(ck_path),
+                        **kw)
+        resumed = replay_schedule(A, b, batches, resume_from=str(ck_path),
+                                  **kw)
+        assert (json.dumps(full, sort_keys=True)
+                == json.dumps(resumed, sort_keys=True))
+
+    def test_replay_resume_task_and_progress_guards(self, tmp_path):
+        rng = np.random.default_rng(4)
+        A = rng.standard_normal((20, 6))
+        b = rng.standard_normal(20)
+        batches = [(rng.standard_normal((4, 6)), rng.standard_normal(4))]
+        ck_path = tmp_path / "g.json"
+        replay_schedule(A, b, batches, task="lasso", mu=2, max_iter=10,
+                        seed=0, checkpoint_path=str(ck_path))
+        with pytest.raises(CheckpointError):  # wrong task
+            replay_schedule(A, np.where(b >= 0, 1.0, -1.0), batches,
+                            task="svm", max_iter=10, seed=0,
+                            resume_from=str(ck_path))
+        with pytest.raises(CheckpointError):  # shorter schedule than applied
+            replay_schedule(A, b, [], task="lasso", mu=2, max_iter=10,
+                            seed=0, resume_from=str(ck_path))
+
+
+class TestCliStream:
+    ARGS = ["stream", "--dataset", "covtype", "--cells", "3000",
+            "--schedule", "6,-3,6", "--max-iter", "30"]
+
+    def test_checkpoint_then_resume_identical_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        full_out = tmp_path / "full.json"
+        ck = tmp_path / "ck.json"
+        rc = main(self.ARGS + ["--save", str(full_out),
+                               "--checkpoint", str(ck)])
+        assert rc == 0
+        res_out = tmp_path / "resumed.json"
+        rc = main(self.ARGS + ["--save", str(res_out),
+                               "--resume", str(ck)])
+        assert rc == 0
+        capsys.readouterr()
+        full = json.loads(full_out.read_text())
+        resumed = json.loads(res_out.read_text())
+        assert (json.dumps(full, sort_keys=True)
+                == json.dumps(resumed, sort_keys=True))
+
+    def test_bad_resume_file_is_cli_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        rc = main(self.ARGS + ["--resume", str(bad)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAtomicWrites:
+    def test_atomic_write_json_round_trip_and_no_temp_residue(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_json(target, {"a": [1.5, 2.5], "b": "x"})
+        assert json.loads(target.read_text()) == {"a": [1.5, 2.5], "b": "x"}
+        assert os.listdir(tmp_path) == ["out.json"]
+
+    def test_failed_write_preserves_previous_file(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_json(target, {"v": 1})
+        with pytest.raises(TypeError):  # not JSON-serialisable
+            atomic_write_json(target, {"v": object()})
+        assert json.loads(target.read_text()) == {"v": 1}
+        assert os.listdir(tmp_path) == ["out.json"]
+
+    def test_interrupted_replace_leaves_no_partial_target(self, tmp_path,
+                                                          monkeypatch):
+        target = tmp_path / "out.json"
+        atomic_write_text(target, "complete-v1")
+
+        def boom(src, dst):
+            raise OSError("simulated crash during replace")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            atomic_write_text(target, "partial-v2")
+        monkeypatch.undo()
+        assert target.read_text() == "complete-v1"
+        assert os.listdir(tmp_path) == ["out.json"]
+
+    def test_solver_checkpoint_file_is_valid_json_after_every_emit(
+            self, dense_regression, tmp_path):
+        A, b, _ = dense_regression
+        path = tmp_path / "ck.json"
+        seen = []
+
+        def sink(payload):
+            # mirror the file write, then verify the file parses — the
+            # path emission happened just before for earlier iterations
+            if path.exists():
+                json.loads(path.read_text())
+            seen.append(payload["iteration"])
+
+        fit_lasso(A, b, 0.3, solver="bcd", mu=2, max_iter=12, tol=None,
+                  seed=SEED, checkpoint_every=3, checkpoint_sink=sink)
+        assert seen == [3, 6, 9, 12]
+
+
+class TestPayloadShape:
+    def test_make_solver_checkpoint_is_json_ready(self, dense_regression):
+        A, b, _ = dense_regression
+        sink = []
+        fit_lasso(A, b, 0.3, solver="sa-accbcd", mu=2, s=4, max_iter=8,
+                  tol=None, seed=SEED, checkpoint_every=4,
+                  checkpoint_sink=sink.append)
+        ck = sink[-1]
+        round_tripped = json.loads(json.dumps(ck))
+        assert round_tripped == ck
+        assert ck["kind"] == "solver"
+        assert ck["family"] == "lasso-acc"
+        assert ck["format_version"] == SOLVER_CHECKPOINT_VERSION
+        assert set(ck["ledger"]) >= {"retries", "timeouts", "flops"}
+
+    def test_helper_requires_int_iteration(self):
+        with pytest.raises(CheckpointError):
+            load_solver_checkpoint(
+                {"kind": "solver",
+                 "format_version": SOLVER_CHECKPOINT_VERSION,
+                 "family": "lasso-plain", "seed": 0, "params": {},
+                 "iteration": -1},
+                family="lasso-plain", seed=0, params={},
+            )

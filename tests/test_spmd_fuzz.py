@@ -13,10 +13,12 @@ import pytest
 from repro.machine.spec import CRAY_XC30
 from repro.mpi.process_backend import process_spmd_run
 from repro.mpi.thread_backend import spmd_run
+from repro.faults import FaultyComm
 from spmd_fuzz_suite import (
     assert_ledger_reconstruction,
     assert_results_equal,
     expected_results,
+    make_fault_plan,
     make_sequence,
     run_sequence,
     virtual_spmd_run,
@@ -118,6 +120,70 @@ class TestLedgerReconstruction:
     @pytest.mark.parametrize("seed", SEEDS[2:5])
     def test_process_full(self, seed):
         _check_ledger(process_spmd_run, seed, _size_for(seed))
+
+
+def _check_faulty_oracle(runner, seed: int, size: int) -> None:
+    ops = make_sequence(seed, n_ops=N_OPS, size=size)
+    plan = make_fault_plan(seed, size, N_OPS)
+
+    def work(comm, rank):
+        return run_sequence(FaultyComm(comm, plan), rank, seed, ops)
+
+    res = runner(work, size)
+    expected = expected_results(seed, ops, size)
+    for r in range(size):
+        assert_results_equal(res.values[r], expected[r])
+
+
+class TestFaultInjectionFuzz:
+    """Transient-fault-injected sequences recover to the *same bits* the
+    fault-free oracle produces, on every backend — the retry loop is
+    peer-safe (injection happens before the collective is entered)."""
+
+    FAULT_SEEDS = SEEDS[:8]
+
+    def test_plans_are_deterministic_and_nonempty(self):
+        fired = 0
+        for seed in self.FAULT_SEEDS:
+            size = _size_for(seed)
+            a = make_fault_plan(seed, size, N_OPS)
+            b = make_fault_plan(seed, size, N_OPS)
+            assert a.events == b.events
+            fired += len(a.events)
+        assert fired > 0, "the fault seeds never inject anything"
+
+    @pytest.mark.parametrize("seed", FAULT_SEEDS)
+    def test_virtual(self, seed):
+        _check_faulty_oracle(virtual_spmd_run, seed, 1)
+
+    @pytest.mark.parametrize("seed", FAULT_SEEDS)
+    def test_thread(self, seed):
+        _check_faulty_oracle(spmd_run, seed, _size_for(seed))
+
+    @pytest.mark.parametrize("seed", FAULT_SEEDS[:2])
+    def test_process_smoke(self, seed):
+        _check_faulty_oracle(process_spmd_run, seed, _size_for(seed))
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", FAULT_SEEDS[2:])
+    def test_process_full(self, seed):
+        _check_faulty_oracle(process_spmd_run, seed, _size_for(seed))
+
+    def test_retries_are_charged_somewhere(self):
+        """At least one fuzz seed's plan actually fires on the thread
+        backend, and the recovery shows up in the ledger counters."""
+        total = 0
+        for seed in self.FAULT_SEEDS:
+            size = _size_for(seed)
+            ops = make_sequence(seed, n_ops=N_OPS, size=size)
+            plan = make_fault_plan(seed, size, N_OPS)
+            res = spmd_run(
+                lambda comm, rank: run_sequence(
+                    FaultyComm(comm, plan), rank, seed, ops),
+                size,
+            )
+            total += sum(led.retries for led in res.ledgers)
+        assert total > 0
 
 
 class TestHarnessSelfChecks:
