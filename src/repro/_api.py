@@ -12,6 +12,8 @@ import numpy as np
 from repro.errors import SolverError
 from repro.machine.spec import MachineSpec
 from repro.mpi.comm import Comm
+from repro.mpi.process_backend import process_spmd_run
+from repro.mpi.thread_backend import spmd_run
 from repro.mpi.virtual_backend import VirtualComm
 from repro.solvers.base import SolverResult
 from repro.solvers.lasso import acc_bcd, bcd, sa_acc_bcd, sa_bcd
@@ -26,6 +28,73 @@ _LASSO = {
     "accbcd": (acc_bcd, False),
     "sa-accbcd": (sa_acc_bcd, True),
 }
+
+
+def _check_backend(backend: str, comm, recover: str) -> None:
+    if backend not in ("virtual", "thread", "process"):
+        raise SolverError(
+            f"unknown backend {backend!r}; known: ['virtual', 'thread',"
+            " 'process']"
+        )
+    if backend != "virtual" and comm is not None:
+        raise SolverError(
+            "pass either comm= or backend=; a non-virtual backend builds"
+            " its own communicators"
+        )
+    if recover not in ("raise", "checkpoint"):
+        raise SolverError(
+            f"recover must be 'raise' or 'checkpoint', got {recover!r}"
+        )
+    if recover == "checkpoint" and backend != "process":
+        raise SolverError(
+            "recover='checkpoint' needs backend='process' (the supervised"
+            " worker pool); thread/virtual ranks cannot die independently"
+        )
+
+
+def _run_spmd(work, *, backend, ranks, machine, cost_size, recover,
+              max_recoveries):
+    """Run ``work(comm, rank)`` on a real backend; return rank 0's value."""
+    if ranks < 1:
+        raise SolverError(f"ranks must be >= 1, got {ranks}")
+    if backend == "thread":
+        out = spmd_run(work, ranks, machine=machine, cost_size=cost_size)
+    else:
+        out = process_spmd_run(
+            work, ranks, machine=machine, cost_size=cost_size,
+            recover=recover, max_recoveries=max_recoveries,
+        )
+    return out.values[0]
+
+
+def _recovery_knobs(comm, checkpoint_every, checkpoint_sink, resume_from,
+                    default_every: int):
+    """Resolve checkpoint knobs against the pool's recovery context.
+
+    On a supervised rank (``comm.recovery`` present and active) the
+    supervisor's latest collected checkpoint overrides ``resume_from`` on
+    a redispatched attempt, and :meth:`RecoveryContext.save` is chained
+    into the sink so future recoveries have something to replay from
+    (``default_every`` turns checkpointing on when the caller left it
+    off — scratch restarts would still be correct, just wasteful).
+    """
+    ctx = getattr(comm, "recovery", None)
+    if ctx is None or not ctx.active:
+        return checkpoint_every, checkpoint_sink, resume_from
+    if ctx.resume is not None:
+        resume_from = ctx.resume
+    if checkpoint_every == 0:
+        checkpoint_every = default_every
+    user_sink = checkpoint_sink
+
+    def sink(payload, _user=user_sink, _ctx=ctx):
+        _ctx.save(payload)
+        if _user is not None:
+            from repro.checkpoint import emit_solver_checkpoint
+
+            emit_solver_checkpoint(payload, _user, comm.rank)
+
+    return checkpoint_every, sink, resume_from
 
 
 def fit_lasso(
@@ -51,6 +120,10 @@ def fit_lasso(
     checkpoint_every: int = 0,
     checkpoint_sink=None,
     resume_from=None,
+    backend: str = "virtual",
+    ranks: int = 4,
+    recover: str = "raise",
+    max_recoveries: int = 2,
 ) -> SolverResult:
     """Solve ``min_x 0.5||Ax-b||^2 + g(x)``.
 
@@ -89,6 +162,16 @@ def fit_lasso(
         Fault-tolerance knobs (see :mod:`repro.checkpoint`): emit a
         resumable checkpoint every N iterations to a callable or path,
         and/or continue a run from a checkpoint payload or JSON path.
+    backend, ranks:
+        ``"virtual"`` (default; modelled single-process run, honors
+        ``comm=``/``virtual_p=``), ``"thread"``, or ``"process"`` — the
+        real backends run the solve SPMD on ``ranks`` ranks and return
+        rank 0's result.
+    recover, max_recoveries:
+        ``backend="process"`` only: ``recover="checkpoint"`` lets the
+        supervised worker pool respawn dead ranks and replay the solve
+        from its latest checkpoint (at most ``max_recoveries`` times)
+        instead of raising :class:`~repro.errors.RankDiedError`.
     """
     try:
         fn, is_sa = _LASSO[solver]
@@ -104,18 +187,37 @@ def fit_lasso(
             f"pipeline=True needs an SA solver (one reduction per s "
             f"iterations to hide); {solver!r} synchronises every iteration"
         )
-    if comm is None:
-        comm = VirtualComm(virtual_size=virtual_p, machine=machine)
-    kwargs = dict(
-        mu=mu, max_iter=max_iter, seed=seed, comm=comm,
-        tol=tol, record_every=record_every, x0=x0,
-        checkpoint_every=checkpoint_every, checkpoint_sink=checkpoint_sink,
-        resume_from=resume_from,
+    _check_backend(backend, comm, recover)
+
+    def _solve(wcomm, ck_every, ck_sink, ck_resume):
+        kwargs = dict(
+            mu=mu, max_iter=max_iter, seed=seed, comm=wcomm,
+            tol=tol, record_every=record_every, x0=x0,
+            checkpoint_every=ck_every, checkpoint_sink=ck_sink,
+            resume_from=ck_resume,
+        )
+        if is_sa:
+            kwargs.update(s=s, fast=fast, parity=parity, pipeline=pipeline,
+                          eig_memo=eig_memo)
+        return fn(A, b, lam, **kwargs)
+
+    if backend == "virtual":
+        if comm is None:
+            comm = VirtualComm(virtual_size=virtual_p, machine=machine)
+        return _solve(comm, checkpoint_every, checkpoint_sink, resume_from)
+
+    def work(wcomm, wrank):
+        ck_every, ck_sink, ck_resume = _recovery_knobs(
+            wcomm, checkpoint_every, checkpoint_sink, resume_from,
+            default_every=max(1, s) if is_sa else 10,
+        )
+        return _solve(wcomm, ck_every, ck_sink, ck_resume)
+
+    return _run_spmd(
+        work, backend=backend, ranks=ranks, machine=machine,
+        cost_size=max(virtual_p, ranks), recover=recover,
+        max_recoveries=max_recoveries,
     )
-    if is_sa:
-        kwargs.update(s=s, fast=fast, parity=parity, pipeline=pipeline,
-                      eig_memo=eig_memo)
-    return fn(A, b, lam, **kwargs)
 
 
 def fit_svm(
@@ -140,6 +242,10 @@ def fit_svm(
     checkpoint_every: int = 0,
     checkpoint_sink=None,
     resume_from=None,
+    backend: str = "virtual",
+    ranks: int = 4,
+    recover: str = "raise",
+    max_recoveries: int = 2,
 ) -> SolverResult:
     """Train a linear SVM by dual coordinate descent.
 
@@ -163,6 +269,9 @@ def fit_svm(
         :func:`fit_lasso`).
     checkpoint_every / checkpoint_sink / resume_from:
         Fault-tolerance knobs, as in :func:`fit_lasso`.
+    backend, ranks, recover, max_recoveries:
+        SPMD backend dispatch and supervised recovery, as in
+        :func:`fit_lasso`.
     """
     if solver not in ("svm", "sa-svm"):
         raise SolverError(f"unknown svm solver {solver!r}; known: ['svm', 'sa-svm']")
@@ -172,15 +281,34 @@ def fit_svm(
             "pipeline=True needs the SA solver ('sa-svm'); 'svm' "
             "synchronises every iteration"
         )
-    if comm is None:
-        comm = VirtualComm(virtual_size=virtual_p, machine=machine)
-    kwargs = dict(
-        loss=loss, lam=lam, max_iter=max_iter, seed=seed, comm=comm,
-        tol=tol, record_every=record_every, alpha0=alpha0,
-        checkpoint_every=checkpoint_every, checkpoint_sink=checkpoint_sink,
-        resume_from=resume_from,
+    _check_backend(backend, comm, recover)
+
+    def _solve(wcomm, ck_every, ck_sink, ck_resume):
+        kwargs = dict(
+            loss=loss, lam=lam, max_iter=max_iter, seed=seed, comm=wcomm,
+            tol=tol, record_every=record_every, alpha0=alpha0,
+            checkpoint_every=ck_every, checkpoint_sink=ck_sink,
+            resume_from=ck_resume,
+        )
+        if solver == "sa-svm":
+            return sa_dcd(A, b, s=s, fast=fast, parity=parity,
+                          pipeline=pipeline, **kwargs)
+        return dcd(A, b, **kwargs)
+
+    if backend == "virtual":
+        if comm is None:
+            comm = VirtualComm(virtual_size=virtual_p, machine=machine)
+        return _solve(comm, checkpoint_every, checkpoint_sink, resume_from)
+
+    def work(wcomm, wrank):
+        ck_every, ck_sink, ck_resume = _recovery_knobs(
+            wcomm, checkpoint_every, checkpoint_sink, resume_from,
+            default_every=max(1, s) if solver == "sa-svm" else 10,
+        )
+        return _solve(wcomm, ck_every, ck_sink, ck_resume)
+
+    return _run_spmd(
+        work, backend=backend, ranks=ranks, machine=machine,
+        cost_size=max(virtual_p, ranks), recover=recover,
+        max_recoveries=max_recoveries,
     )
-    if solver == "sa-svm":
-        return sa_dcd(A, b, s=s, fast=fast, parity=parity, pipeline=pipeline,
-                      **kwargs)
-    return dcd(A, b, **kwargs)

@@ -40,6 +40,7 @@ from repro.utils.io import atomic_write_json
 __all__ = [
     "SOLVER_CHECKPOINT_VERSION",
     "require_int_seed",
+    "read_checkpoint_json",
     "make_solver_checkpoint",
     "emit_solver_checkpoint",
     "load_solver_checkpoint",
@@ -66,6 +67,44 @@ def require_int_seed(seed: Any, what: str = "checkpointing") -> int:
             f" coordinate stream from it); got {type(seed).__name__}"
         )
     return int(seed)
+
+
+def read_checkpoint_json(
+    source: str | os.PathLike, what: str = "checkpoint"
+) -> dict:
+    """Read a checkpoint file into a dict, or raise CheckpointError.
+
+    Every failure mode names the path and the reason: a missing file
+    says so explicitly (the most common ``resume_from=`` typo), while
+    truncated or garbage JSON surfaces the decoder's complaint instead
+    of a raw ``JSONDecodeError``. A payload that parses to something
+    other than an object is rejected here too, so callers can index the
+    result without ``KeyError``/``TypeError`` escapes.
+    """
+    path = os.fspath(source)
+    if not os.path.exists(path):
+        raise CheckpointError(
+            f"{what} file {path!r} does not exist — was resume_from="
+            f" pointing at a checkpoint that was never written?"
+        )
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            ck = json.load(fh)
+    except OSError as exc:
+        raise CheckpointError(
+            f"could not read {what} {path!r}: {exc}"
+        ) from exc
+    except ValueError as exc:  # includes json.JSONDecodeError
+        raise CheckpointError(
+            f"{what} {path!r} is not valid JSON (truncated or corrupted"
+            f" write?): {exc}"
+        ) from exc
+    if not isinstance(ck, dict):
+        raise CheckpointError(
+            f"{what} {path!r} holds a JSON {type(ck).__name__}, expected"
+            f" an object"
+        )
+    return ck
 
 
 def _jsonable(value: Any) -> Any:
@@ -125,6 +164,12 @@ def make_solver_checkpoint(
             "comm_seconds_hidden": ledger.comm_seconds_hidden,
             "retries": ledger.retries,
             "timeouts": ledger.timeouts,
+            # informational only: recovery counters describe the physical
+            # run that wrote the checkpoint and are never restored (the
+            # resuming run's worker pool owns its own counters)
+            "recoveries": ledger.recoveries,
+            "respawns": ledger.respawns,
+            "replayed_iterations": ledger.replayed_iterations,
         },
     }
 
@@ -160,15 +205,14 @@ def load_solver_checkpoint(
     if isinstance(source, dict):
         ck = source
     else:
-        try:
-            with open(source, "r", encoding="utf-8") as fh:
-                ck = json.load(fh)
-        except (OSError, ValueError) as exc:
-            raise CheckpointError(
-                f"could not read checkpoint {os.fspath(source)!r}: {exc}"
-            ) from exc
+        ck = read_checkpoint_json(source, "solver checkpoint")
     if not isinstance(ck, dict) or ck.get("kind") != "solver":
-        raise CheckpointError("resume_from is not a solver checkpoint")
+        raise CheckpointError(
+            f"resume_from is not a solver checkpoint"
+            f" (kind={ck.get('kind')!r})"
+            if isinstance(ck, dict)
+            else "resume_from is not a solver checkpoint"
+        )
     version = ck.get("format_version")
     if version != SOLVER_CHECKPOINT_VERSION:
         raise CheckpointError(
@@ -181,12 +225,22 @@ def load_solver_checkpoint(
             f" {family!r} solver"
         )
     seed_int = require_int_seed(seed, "resume")
-    if int(ck.get("seed", -1)) != seed_int:
+    try:
+        ck_seed = int(ck.get("seed", -1))
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint carries a garbage seed {ck.get('seed')!r}"
+        ) from exc
+    if ck_seed != seed_int:
         raise CheckpointError(
             f"checkpoint was written with seed {ck.get('seed')!r};"
             f" resume was called with seed {seed_int}"
         )
     got = ck.get("params", {})
+    if not isinstance(got, dict):
+        raise CheckpointError(
+            f"checkpoint params are {type(got).__name__}, expected an object"
+        )
     for key, want in params.items():
         have = got.get(key)
         if have != _jsonable(want):
@@ -202,10 +256,16 @@ def load_solver_checkpoint(
 
 def state_vector(ck: dict, key: str, length: int) -> np.ndarray:
     """A float64 state vector of the expected length, or CheckpointError."""
-    vals = ck.get("state", {}).get(key)
+    state = ck.get("state", {})
+    vals = state.get(key) if isinstance(state, dict) else None
     if vals is None:
         raise CheckpointError(f"checkpoint is missing state vector {key!r}")
-    arr = np.asarray(vals, dtype=np.float64).ravel()
+    try:
+        arr = np.asarray(vals, dtype=np.float64).ravel()
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint state {key!r} is not a numeric vector: {exc}"
+        ) from exc
     if arr.shape[0] != length:
         raise CheckpointError(
             f"checkpoint state {key!r} has length {arr.shape[0]},"
@@ -215,10 +275,16 @@ def state_vector(ck: dict, key: str, length: int) -> np.ndarray:
 
 
 def state_scalar(ck: dict, key: str) -> float:
-    vals = ck.get("state", {}).get(key)
+    state = ck.get("state", {})
+    vals = state.get(key) if isinstance(state, dict) else None
     if vals is None:
         raise CheckpointError(f"checkpoint is missing state scalar {key!r}")
-    return float(vals)
+    try:
+        return float(vals)
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint state {key!r} is not a scalar: {vals!r}"
+        ) from exc
 
 
 def resume_solver(ck: dict, *, sampler, term, history, ledger) -> int:
@@ -230,6 +296,10 @@ def resume_solver(ck: dict, *, sampler, term, history, ledger) -> int:
     to continue from.
     """
     hd = ck.get("history", {})
+    if not isinstance(hd, dict):
+        raise CheckpointError(
+            f"checkpoint history is {type(hd).__name__}, expected an object"
+        )
     if hd.get("metric_name") != history.metric_name:
         raise CheckpointError(
             f"checkpoint tracks {hd.get('metric_name')!r}, the resuming"
@@ -237,16 +307,22 @@ def resume_solver(ck: dict, *, sampler, term, history, ledger) -> int:
         )
     if not hd.get("metric"):
         raise CheckpointError("checkpoint history is empty")
-    last = ck.get("term_last")
-    term._last = None if last is None else float(last)
-    history.iterations[:] = [int(v) for v in hd.get("iterations", [])]
-    history.metric[:] = [float(v) for v in hd.get("metric", [])]
-    history.seconds[:] = [float(v) for v in hd.get("seconds", [])]
-    history.comm_seconds[:] = [float(v) for v in hd.get("comm_seconds", [])]
-    history.flops[:] = [float(v) for v in hd.get("flops", [])]
     led = ck.get("ledger") or {}
-    ledger.restore(
-        CostSnapshot(
+    if not isinstance(led, dict):
+        raise CheckpointError(
+            f"checkpoint ledger is {type(led).__name__}, expected an object"
+        )
+    try:
+        last = ck.get("term_last")
+        term_last = None if last is None else float(last)
+        columns = {
+            "iterations": [int(v) for v in hd.get("iterations", [])],
+            "metric": [float(v) for v in hd.get("metric", [])],
+            "seconds": [float(v) for v in hd.get("seconds", [])],
+            "comm_seconds": [float(v) for v in hd.get("comm_seconds", [])],
+            "flops": [float(v) for v in hd.get("flops", [])],
+        }
+        snap = CostSnapshot(
             comm_seconds=float(led.get("comm_seconds", 0.0)),
             compute_seconds=float(led.get("compute_seconds", 0.0)),
             messages=int(led.get("messages", 0)),
@@ -256,7 +332,17 @@ def resume_solver(ck: dict, *, sampler, term, history, ledger) -> int:
             retries=int(led.get("retries", 0)),
             timeouts=int(led.get("timeouts", 0)),
         )
-    )
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint history/ledger columns hold non-numeric data: {exc}"
+        ) from exc
+    term._last = term_last
+    history.iterations[:] = columns["iterations"]
+    history.metric[:] = columns["metric"]
+    history.seconds[:] = columns["seconds"]
+    history.comm_seconds[:] = columns["comm_seconds"]
+    history.flops[:] = columns["flops"]
+    ledger.restore(snap)
     draws = int(ck["iteration"])
     advance = getattr(sampler, "next_block", None)
     if advance is None:

@@ -89,6 +89,14 @@ def _add_backend_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--pipeline", action="store_true",
                    help="SA solvers: nonblocking per-outer-step reduction "
                         "with the next block prefetched while in flight")
+    p.add_argument("--recover", default="raise",
+                   choices=["raise", "checkpoint"],
+                   help="process backend: on rank death / repeated comm "
+                        "timeouts, respawn the dead ranks and replay from "
+                        "the latest checkpoint instead of raising")
+    p.add_argument("--max-recoveries", type=int, default=2,
+                   help="recovery attempts before the original failure is "
+                        "raised (--recover checkpoint)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -265,6 +273,7 @@ def _cmd_lasso(args) -> int:
         P=args.p, machine=get_machine(args.machine), seed=args.seed,
         record_every=args.record_every, lam=lam,
         pipeline=args.pipeline, backend=args.backend, ranks=args.ranks,
+        recover=args.recover, max_recoveries=args.max_recoveries,
     )
     h = res.history
     print(format_series(res.solver, h.iterations, h.metric,
@@ -283,6 +292,14 @@ def _cmd_lasso(args) -> int:
     return 0
 
 
+def _check_recover_args(args) -> None:
+    if args.recover == "checkpoint" and args.backend != "process":
+        raise ReproError(
+            "--recover checkpoint needs --backend process (the supervised "
+            "worker pool); thread/virtual ranks cannot die independently"
+        )
+
+
 def _dispatch_backend(work, args, machine):
     """Run ``work(comm, rank)`` on the requested backend; rank 0's value.
 
@@ -291,11 +308,18 @@ def _dispatch_backend(work, args, machine):
     ``max(--p, --ranks)``. ``work`` must return a plain (picklable)
     payload — the process backend ships it back through a pipe.
     """
+    _check_recover_args(args)
     if args.backend == "virtual":
         return work(VirtualComm(virtual_size=args.p, machine=machine), 0)
-    runner = spmd_run if args.backend == "thread" else process_spmd_run
-    out = runner(work, args.ranks, machine=machine,
-                 cost_size=max(args.p, args.ranks))
+    if args.backend == "thread":
+        out = spmd_run(work, args.ranks, machine=machine,
+                       cost_size=max(args.p, args.ranks))
+    else:
+        out = process_spmd_run(
+            work, args.ranks, machine=machine,
+            cost_size=max(args.p, args.ranks),
+            recover=args.recover, max_recoveries=args.max_recoveries,
+        )
     return out.values[0]
 
 
@@ -429,6 +453,7 @@ def _cmd_stream(args) -> int:
         machine=machine, warm_start=not args.cold,
         compare_cold=args.compare_cold,
         checkpoint_path=args.checkpoint, resume_from=args.resume,
+        recover=args.recover, max_recoveries=args.max_recoveries,
     )
     headers = ["rev", "rows", "+rows", "-rows", "~rows", "iters", "metric",
                "model ms"]
@@ -482,6 +507,7 @@ def _cmd_svm(args) -> int:
         P=args.p, machine=get_machine(args.machine), seed=args.seed,
         record_every=args.record_every, tol=args.tol,
         pipeline=args.pipeline, backend=args.backend, ranks=args.ranks,
+        recover=args.recover, max_recoveries=args.max_recoveries,
     )
     h = res.history
     print(format_series(res.solver, h.iterations, h.metric,

@@ -115,6 +115,10 @@ class SALasso(_RegressorMixin):
         ``"bcd"``, ``"sa-bcd"``, ``"accbcd"``, or ``"sa-accbcd"``.
     mu, s, max_iter, tol, seed:
         Paper tuning knobs; see :func:`repro.fit_lasso`.
+    backend, ranks, recover, max_recoveries:
+        SPMD dispatch for :meth:`fit` (``"virtual"`` default;
+        ``"process"`` + ``recover="checkpoint"`` gets supervised rank
+        recovery); see :func:`repro.fit_lasso`.
 
     Attributes (after fit)
     ----------------------
@@ -135,10 +139,16 @@ class SALasso(_RegressorMixin):
         seed: int = 0,
         pipeline: bool = False,
         max_rows: int | None = None,
+        backend: str = "virtual",
+        ranks: int = 4,
+        recover: str = "raise",
+        max_recoveries: int = 2,
     ) -> None:
         self._params = dict(lam=lam, solver=solver, mu=mu, s=s,
                             max_iter=max_iter, tol=tol, seed=seed,
-                            pipeline=pipeline, max_rows=max_rows)
+                            pipeline=pipeline, max_rows=max_rows,
+                            backend=backend, ranks=ranks, recover=recover,
+                            max_recoveries=max_recoveries)
 
     def fit(self, X, y) -> "SALasso":
         p = self._params
@@ -149,6 +159,8 @@ class SALasso(_RegressorMixin):
             max_iter=p["max_iter"], tol=p["tol"], seed=p["seed"],
             record_every=max(1, p["max_iter"] // 50),
             pipeline=p["pipeline"],
+            backend=p["backend"], ranks=p["ranks"], recover=p["recover"],
+            max_recoveries=p["max_recoveries"],
         )
         self.result_ = res
         self.coef_ = res.x
@@ -360,6 +372,8 @@ class SASVMClassifier(_SVMClassifierMixin):
         Penalty parameter C (the paper uses 1).
     solver:
         ``"svm"`` (Alg. 3) or ``"sa-svm"`` (Alg. 4).
+    backend, ranks, recover, max_recoveries:
+        SPMD dispatch for :meth:`fit`, as in :class:`SALasso`.
     """
 
     def __init__(
@@ -373,10 +387,16 @@ class SASVMClassifier(_SVMClassifierMixin):
         seed: int = 0,
         pipeline: bool = False,
         max_rows: int | None = None,
+        backend: str = "virtual",
+        ranks: int = 4,
+        recover: str = "raise",
+        max_recoveries: int = 2,
     ) -> None:
         self._params = dict(loss=loss, lam=lam, solver=solver, s=s,
                             max_iter=max_iter, tol=tol, seed=seed,
-                            pipeline=pipeline, max_rows=max_rows)
+                            pipeline=pipeline, max_rows=max_rows,
+                            backend=backend, ranks=ranks, recover=recover,
+                            max_recoveries=max_recoveries)
 
     def fit(self, X, y) -> "SASVMClassifier":
         b = self._encode_labels(y)
@@ -388,6 +408,8 @@ class SASVMClassifier(_SVMClassifierMixin):
             max_iter=p["max_iter"], tol=p["tol"], seed=p["seed"],
             record_every=max(1, p["max_iter"] // 100),
             pipeline=p["pipeline"],
+            backend=p["backend"], ranks=p["ranks"], recover=p["recover"],
+            max_recoveries=p["max_recoveries"],
         )
         self.result_ = res
         self.coef_ = res.x

@@ -188,6 +188,9 @@ def _run_backend(
     ranks: int,
     P: int,
     machine: MachineSpec | None,
+    recover: str = "raise",
+    max_recoveries: int = 2,
+    recovery_every: int = 10,
 ) -> SolverResult:
     """Dispatch one solve to the requested comm backend.
 
@@ -195,9 +198,21 @@ def _run_backend(
     costs extrapolated by the dataset's flop scale); ``thread`` /
     ``process`` run ``ranks`` real SPMD participants with costs modelled
     at ``max(P, ranks)`` ranks, returning rank 0's result.
+    ``recover="checkpoint"`` (process backend only) lets the supervised
+    worker pool respawn dead ranks and replay from the latest checkpoint
+    (emitted every ``recovery_every`` iterations).
     """
     if backend not in BACKENDS:
         raise SolverError(f"unknown backend {backend!r}; known: {list(BACKENDS)}")
+    if recover not in ("raise", "checkpoint"):
+        raise SolverError(
+            f"recover must be 'raise' or 'checkpoint', got {recover!r}"
+        )
+    if recover == "checkpoint" and backend != "process":
+        raise SolverError(
+            "recover='checkpoint' needs backend='process' (the supervised"
+            " worker pool)"
+        )
     if backend == "virtual":
         return fn(*pargs, comm=_make_comm(P, machine, ds), **kwargs)
     if ranks < 1:
@@ -208,10 +223,26 @@ def _run_backend(
         # modelled costs stay comparable with the virtual backend's
         comm.ledger.default_scale = ds.flop_scale
         comm.ledger.kind_scales = dict(ds.kind_scales)
-        return fn(*pargs, comm=comm, **kwargs)
+        from repro._api import _recovery_knobs
 
-    runner = spmd_run if backend == "thread" else process_spmd_run
-    out = runner(work, ranks, machine=machine, cost_size=max(P, ranks))
+        ck_every, ck_sink, ck_resume = _recovery_knobs(
+            comm, 0, None, None, default_every=recovery_every
+        )
+        kw = dict(kwargs)
+        if ck_every:
+            kw.update(
+                checkpoint_every=ck_every, checkpoint_sink=ck_sink,
+                resume_from=ck_resume,
+            )
+        return fn(*pargs, comm=comm, **kw)
+
+    if backend == "thread":
+        out = spmd_run(work, ranks, machine=machine, cost_size=max(P, ranks))
+    else:
+        out = process_spmd_run(
+            work, ranks, machine=machine, cost_size=max(P, ranks),
+            recover=recover, max_recoveries=max_recoveries,
+        )
     return out.root
 
 
@@ -232,6 +263,8 @@ def run_lasso(
     pipeline: bool = False,
     backend: str = "virtual",
     ranks: int = 4,
+    recover: str = "raise",
+    max_recoveries: int = 2,
 ) -> SolverResult:
     """Run one Lasso-family solver on a scaled dataset at virtual P.
 
@@ -240,7 +273,9 @@ def run_lasso(
     contract (``"exact"`` / ``"fp-tolerant"``). ``pipeline`` (SA solvers
     only) hides each outer step's reduction behind the next block's
     prefetch; ``backend``/``ranks`` select real thread/process SPMD
-    parallelism instead of the virtual cost model.
+    parallelism instead of the virtual cost model;
+    ``recover``/``max_recoveries`` (process backend) enable supervised
+    respawn-and-replay on rank death.
     """
     if solver not in LASSO_SOLVERS:
         raise SolverError(f"unknown lasso solver {solver!r}; known: {sorted(LASSO_SOLVERS)}")
@@ -260,7 +295,10 @@ def run_lasso(
             "every iteration"
         )
     return _run_backend(
-        fn, (ds.A, ds.b, lam_val), kwargs, ds, backend, ranks, P, machine
+        fn, (ds.A, ds.b, lam_val), kwargs, ds, backend, ranks, P, machine,
+        recover=recover, max_recoveries=max_recoveries,
+        recovery_every=(s if s is not None else 8)
+        if solver.startswith("sa-") else 10,
     )
 
 
@@ -280,10 +318,13 @@ def run_svm(
     pipeline: bool = False,
     backend: str = "virtual",
     ranks: int = 4,
+    recover: str = "raise",
+    max_recoveries: int = 2,
 ) -> SolverResult:
     """Run one SVM solver on a scaled dataset at virtual P.
 
-    ``pipeline``/``backend``/``ranks`` as in :func:`run_lasso`.
+    ``pipeline``/``backend``/``ranks``/``recover``/``max_recoveries`` as
+    in :func:`run_lasso`.
     """
     if solver not in SVM_SOLVERS:
         raise SolverError(f"unknown svm solver {solver!r}; known: {sorted(SVM_SOLVERS)}")
@@ -304,7 +345,12 @@ def run_svm(
             f"pipeline=True needs an SA solver; {solver!r} synchronises "
             "every iteration"
         )
-    return _run_backend(fn, (ds.A, ds.b), kwargs, ds, backend, ranks, P, machine)
+    return _run_backend(
+        fn, (ds.A, ds.b), kwargs, ds, backend, ranks, P, machine,
+        recover=recover, max_recoveries=max_recoveries,
+        recovery_every=(s if s is not None else 8)
+        if solver.startswith("sa-") else 10,
+    )
 
 
 @dataclass

@@ -44,6 +44,12 @@ class CostSnapshot:
     retries: int = 0
     #: collectives that missed their deadline (fault-tolerance layer)
     timeouts: int = 0
+    #: supervised recovery rounds this run survived (self-healing runtime)
+    recoveries: int = 0
+    #: worker processes respawned across those recovery rounds
+    respawns: int = 0
+    #: iterations restored from the latest checkpoint instead of re-run
+    replayed_iterations: int = 0
 
     @property
     def seconds(self) -> float:
@@ -51,7 +57,7 @@ class CostSnapshot:
 
     @classmethod
     def zero(cls) -> "CostSnapshot":
-        return cls(0.0, 0.0, 0, 0.0, 0.0, 0.0, 0, 0)
+        return cls(0.0, 0.0, 0, 0.0, 0.0, 0.0, 0, 0, 0, 0, 0)
 
     def __add__(self, other: "CostSnapshot") -> "CostSnapshot":
         if not isinstance(other, CostSnapshot):
@@ -65,6 +71,9 @@ class CostSnapshot:
             comm_seconds_hidden=self.comm_seconds_hidden + other.comm_seconds_hidden,
             retries=self.retries + other.retries,
             timeouts=self.timeouts + other.timeouts,
+            recoveries=self.recoveries + other.recoveries,
+            respawns=self.respawns + other.respawns,
+            replayed_iterations=self.replayed_iterations + other.replayed_iterations,
         )
 
     def __sub__(self, other: "CostSnapshot") -> "CostSnapshot":
@@ -82,6 +91,9 @@ class CostSnapshot:
             comm_seconds_hidden=self.comm_seconds_hidden - other.comm_seconds_hidden,
             retries=self.retries - other.retries,
             timeouts=self.timeouts - other.timeouts,
+            recoveries=self.recoveries - other.recoveries,
+            respawns=self.respawns - other.respawns,
+            replayed_iterations=self.replayed_iterations - other.replayed_iterations,
         )
 
 
@@ -118,6 +130,13 @@ class CostLedger:
     retries: int = 0
     #: collectives that missed their deadline
     timeouts: int = 0
+    #: supervised recovery rounds this run survived (set by the worker
+    #: pool at (re)dispatch; see :mod:`repro.mpi.process_backend`)
+    recoveries: int = 0
+    #: worker processes respawned across those recovery rounds
+    respawns: int = 0
+    #: iterations restored from the latest checkpoint instead of re-run
+    replayed_iterations: int = 0
     #: when False, charges are dropped (used while evaluating diagnostics
     #: such as objective values that the measured algorithm never computes)
     enabled: bool = True
@@ -192,6 +211,21 @@ class CostLedger:
         if self.enabled:
             self.timeouts += 1
 
+    def add_recovery(
+        self, respawns: int = 0, replayed_iterations: int = 0
+    ) -> None:
+        """Record one supervised recovery round (self-healing runtime).
+
+        Recovery counters are *physical-attempt* bookkeeping: they count
+        what actually happened to this run's processes, so unlike the
+        modelled cost totals they are never rewound by
+        :meth:`restore` on a checkpoint resume.
+        """
+        if self.enabled:
+            self.recoveries += 1
+            self.respawns += int(respawns)
+            self.replayed_iterations += int(replayed_iterations)
+
     @contextmanager
     def paused(self) -> Iterator["CostLedger"]:
         """Context manager suspending cost accounting (diagnostics)."""
@@ -218,13 +252,20 @@ class CostLedger:
             comm_seconds_hidden=self.comm_seconds_hidden,
             retries=self.retries,
             timeouts=self.timeouts,
+            recoveries=self.recoveries,
+            respawns=self.respawns,
+            replayed_iterations=self.replayed_iterations,
         )
 
     def restore(self, snapshot: CostSnapshot) -> None:
         """Set the running counters to ``snapshot`` (checkpoint resume).
 
         Per-collective / per-kind breakdowns are not checkpointed; only
-        the totals continue across a resume.
+        the totals continue across a resume. The recovery counters
+        (``recoveries`` / ``respawns`` / ``replayed_iterations``) are
+        deliberately *not* restored: they describe this physical run's
+        supervision history, not the logical solve the checkpoint came
+        from, and are owned by the worker pool.
         """
         self.comm_seconds = float(snapshot.comm_seconds)
         self.compute_seconds = float(snapshot.compute_seconds)
@@ -260,6 +301,9 @@ class CostLedger:
         self.comm_seconds_hidden = 0.0
         self.retries = 0
         self.timeouts = 0
+        self.recoveries = 0
+        self.respawns = 0
+        self.replayed_iterations = 0
         self.by_collective.clear()
         self.by_kind.clear()
 
@@ -275,6 +319,9 @@ class CostLedger:
             "flops": self.flops,
             "retries": self.retries,
             "timeouts": self.timeouts,
+            "recoveries": self.recoveries,
+            "respawns": self.respawns,
+            "replayed_iterations": self.replayed_iterations,
             "by_collective": {
                 k: {
                     "calls": v[0],

@@ -42,20 +42,42 @@ out the join-timeout/terminate path. :class:`ProcessWorld` is a context
 manager (``shutdown()`` on exit) for direct, non-``process_spmd_run``
 use.
 
+Execution runs through a persistent, supervised :class:`WorkerPool`:
+workers are forked once, park between jobs, and accept ``(job_id, fn,
+payload)`` work items over per-rank pipes. The pool's supervisor
+extends the heartbeat watchdog from detect-and-abort to
+detect-respawn-rebarrier — with ``recover="checkpoint"`` a dead rank
+(or a collective deadline miss) triggers a recovery round: the dead
+rank(s) are respawned by a fresh fork, the slab/NB-ring state is
+rebuilt (:meth:`ProcessWorld.reset_for_reuse`), and the job is
+redispatched to every rank, replaying from the latest checkpoint the
+workers shipped up through :class:`RecoveryContext`. With the default
+``recover="raise"`` a rank death surfaces exactly as before
+(:class:`~repro.errors.RankDiedError` after deterministic teardown).
+
 Requires a platform with ``fork`` (Linux/macOS): the SPMD function and
-its closure are inherited, not pickled, so tests and solvers can pass
-lambdas exactly as with :func:`~repro.mpi.thread_backend.spmd_run`.
+its closure are inherited, not pickled, for the fork that dispatches
+them — tests and solvers can pass lambdas exactly as with
+:func:`~repro.mpi.thread_backend.spmd_run`. Only a *subsequent* job
+dispatched to already-running workers crosses a pipe; a mini function
+codec (pickle by reference, falling back to marshalled code objects
+with recursively-encoded closures) covers the lambdas and closures the
+repo's callers use.
 """
 
 from __future__ import annotations
 
+import builtins
 import ctypes
+import marshal
 import multiprocessing as mp
 import os
 import pickle
 import signal
+import sys
 import threading
 import time
+import types
 from multiprocessing.sharedctypes import RawArray
 from threading import BrokenBarrierError
 from typing import Any, Callable, Sequence
@@ -74,7 +96,13 @@ from repro.machine.spec import MachineSpec
 from repro.mpi.comm import Comm
 from repro.mpi.thread_backend import NB_RING_DEPTH, SpmdResult
 
-__all__ = ["ProcessComm", "ProcessWorld", "process_spmd_run"]
+__all__ = [
+    "ProcessComm",
+    "ProcessWorld",
+    "RecoveryContext",
+    "WorkerPool",
+    "process_spmd_run",
+]
 
 _TAG_BYTES = 128
 
@@ -347,6 +375,35 @@ class ProcessWorld:
     def is_aborted(self) -> bool:
         return bool(self._aborted.value)
 
+    # -- recovery ----------------------------------------------------------
+    def reset_for_reuse(self) -> None:
+        """Rebuild the collective state so the world can run another job.
+
+        Restores the barrier, clears the aborted/death flags, and reseeds
+        the slabs and the nonblocking slot ring to their just-constructed
+        state. Only safe when no rank is inside a collective: the
+        :class:`WorkerPool` guarantees this by waiting until every
+        surviving rank has reported (and is parked on its job pipe)
+        before resetting.
+        """
+        self.barrier.reset()
+        self._aborted.value = 0
+        for r in range(self.size):
+            self._dead[r] = 0
+            self._arrive_gen[r] = 0
+            self._obj_len[r] = 0
+        self._tags[:] = b"\0" * (self.size * _TAG_BYTES)
+        for i, slot in enumerate(self._nb_ring):
+            with slot.cond:
+                slot.seq.value = i
+                slot.deposited.value = 0
+                slot.consumed.value = 0
+                slot.complete_at.value = 0.0
+                for r in range(self.size):
+                    slot.lengths[r] = 0
+                slot.tags[:] = b"\0" * (self.size * _TAG_BYTES)
+                slot.cond.notify_all()
+
     # -- blocking exchange -------------------------------------------------
     def _read_tag(self, rank: int) -> bytes:
         raw = bytes(self._tags[rank * _TAG_BYTES:(rank + 1) * _TAG_BYTES])
@@ -547,6 +604,607 @@ class ProcessComm(Comm):
         )
 
 
+# -- job codec (for shipping a job to already-running workers) -------------
+#
+# The first job a worker ever sees rides fork inheritance (no encoding at
+# all, exactly like the historical fork-and-join path), and a respawned
+# worker likewise inherits the in-flight job through its fresh fork. Only a
+# *subsequent* job dispatched to workers that are already parked has to
+# cross a pipe; pickling covers module-level functions and most data, and
+# the marshal fallback covers the lambdas/closures the repo's callers use.
+
+def _encode_obj(value: Any) -> tuple:
+    try:
+        return ("pickle", pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        if isinstance(value, types.FunctionType):
+            return ("code", _encode_code_fn(value))
+        raise
+
+
+def _encode_code_fn(fn: types.FunctionType) -> dict:
+    closure = ()
+    if fn.__closure__:
+        closure = tuple(_encode_obj(c.cell_contents) for c in fn.__closure__)
+    return {
+        "code": marshal.dumps(fn.__code__),
+        "module": fn.__module__,
+        "name": fn.__name__,
+        "closure": closure,
+        "defaults": tuple(_encode_obj(d) for d in fn.__defaults__ or ()),
+        "kwdefaults": {
+            k: _encode_obj(v) for k, v in (fn.__kwdefaults__ or {}).items()
+        },
+    }
+
+
+def _decode_obj(enc: tuple) -> Any:
+    kind, payload = enc
+    if kind == "pickle":
+        return pickle.loads(payload)
+    return _decode_code_fn(payload)
+
+
+def _decode_code_fn(spec: dict) -> types.FunctionType:
+    code = marshal.loads(spec["code"])
+    mod = sys.modules.get(spec["module"])
+    globs = mod.__dict__ if mod is not None else {"__builtins__": builtins}
+    closure = tuple(types.CellType(_decode_obj(c)) for c in spec["closure"])
+    defaults = tuple(_decode_obj(d) for d in spec["defaults"]) or None
+    fn = types.FunctionType(code, globs, spec["name"], defaults, closure)
+    if spec["kwdefaults"]:
+        fn.__kwdefaults__ = {
+            k: _decode_obj(v) for k, v in spec["kwdefaults"].items()
+        }
+    return fn
+
+
+class RecoveryContext:
+    """Per-rank view of the supervisor's recovery state for one attempt.
+
+    The pool attaches one to every communicator it hands a job
+    (``comm.recovery``). Entry points that support checkpoint-resume use
+    it in two ways:
+
+    * :attr:`resume` — the most recent checkpoint payload the supervisor
+      collected for this job (``None`` on a first attempt, or when the
+      job never checkpointed). A redispatched attempt resumes from it
+      instead of starting cold.
+    * :meth:`save` — ship a checkpoint payload up to the supervisor so a
+      *future* recovery can resume from it. Rank 0 only (replicated
+      state), a no-op under ``recover="raise"`` — callers can install it
+      unconditionally as a checkpoint sink.
+
+    ``recoveries``/``respawns``/``replayed_iterations`` mirror the
+    supervisor's counters at dispatch time so in-job cost snapshots
+    carry them.
+    """
+
+    __slots__ = (
+        "rank", "job_id", "attempt", "mode", "resume",
+        "recoveries", "respawns", "replayed_iterations", "_report",
+    )
+
+    def __init__(
+        self,
+        rank: int,
+        job_id: int,
+        attempt: int,
+        mode: str = "raise",
+        resume: Any = None,
+        recoveries: int = 0,
+        respawns: int = 0,
+        replayed_iterations: int = 0,
+        _report: Callable[[tuple], None] | None = None,
+    ) -> None:
+        self.rank = rank
+        self.job_id = job_id
+        self.attempt = attempt
+        self.mode = mode
+        self.resume = resume
+        self.recoveries = recoveries
+        self.respawns = respawns
+        self.replayed_iterations = replayed_iterations
+        self._report = _report
+
+    @property
+    def active(self) -> bool:
+        """True when the supervisor will attempt checkpoint recovery."""
+        return self.mode == "checkpoint"
+
+    def save(self, payload: Any) -> None:
+        """Ship a checkpoint payload to the supervisor (rank 0 only).
+
+        Synchronous: the payload is fully in the report pipe before this
+        returns, so a checkpoint written just before a rank dies is
+        never lost.
+        """
+        if self.mode != "checkpoint" or self.rank != 0 or self._report is None:
+            return
+        self._report(("ckpt", self.job_id, self.attempt, payload))
+
+
+def _pool_worker_main(
+    world: ProcessWorld,
+    rank: int,
+    send_end,
+    send_lock,
+    job_conn,
+    machine: MachineSpec | None,
+    cost_size: int | None,
+    comm_timeout: float | None,
+    first_job: tuple | None,
+) -> None:
+    """Persistent worker: run the inherited job, then park for more.
+
+    ``first_job`` is ``(jid, attempt, ctx_state, fn, args)`` inherited by
+    fork (so lambdas need no codec); subsequent jobs arrive on
+    ``job_conn`` as ``("run", jid, attempt, ctx_state, fn_enc, args_enc)``
+    with ``fn_enc=None`` meaning "re-run the job you already hold" (a
+    survivor being redispatched after a recovery). ``None`` on the pipe —
+    or a closed pipe — is an orderly shutdown.
+    """
+    # Signal safety: the parent's shutdown path owns teardown. SIGTERM
+    # (e.g. an external kill of this rank) still aborts the world so
+    # peers fail fast; SIGINT is ignored because a terminal Ctrl-C is
+    # delivered to the whole process group and the parent's unwind
+    # already aborts + joins every child — handling it here too would
+    # race that teardown and strand peers mid-collective.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    def _sigterm(signum, frame):
+        world.abort()
+        os._exit(1)
+
+    signal.signal(signal.SIGTERM, _sigterm)
+
+    def report(item) -> None:
+        # send() is synchronous, so a report is fully in the pipe before
+        # the worker moves on (or dies)
+        with send_lock:
+            send_end.send(item)
+
+    def execute(jid: int, attempt: int, ctx_state: dict, fn, args) -> None:
+        comm = ProcessComm(
+            world, rank, machine=machine, cost_size=cost_size,
+            timeout=comm_timeout,
+        )
+        ctx = RecoveryContext(
+            rank=rank, job_id=jid, attempt=attempt, _report=report,
+            **ctx_state,
+        )
+        comm.recovery = ctx
+        # seed the attempt counters so cost snapshots taken *inside* the
+        # job (SolverResult.cost) already carry the recovery history;
+        # the parent re-patches the returned ledgers authoritatively
+        comm.ledger.recoveries = ctx.recoveries
+        comm.ledger.respawns = ctx.respawns
+        comm.ledger.replayed_iterations = ctx.replayed_iterations
+        try:
+            value = fn(comm, rank, *args)
+        except BaseException as exc:  # noqa: BLE001 - reported to the parent
+            world.abort()
+            try:
+                report(("res", jid, attempt, rank, "err", exc, None))
+            except Exception:
+                report(("res", jid, attempt, rank, "err",
+                        CommError(repr(exc)), None))
+            return
+        try:
+            report(("res", jid, attempt, rank, "ok", value, comm.ledger))
+        except Exception as exc:  # unpicklable return value
+            report(("res", jid, attempt, rank, "err", CommError(
+                f"rank {rank} returned an unpicklable value: {exc!r}"
+            ), None))
+
+    cur_fn: Callable | None = None
+    cur_args: tuple = ()
+    if first_job is not None:
+        jid, attempt, ctx_state, cur_fn, cur_args = first_job
+        execute(jid, attempt, ctx_state, cur_fn, cur_args)
+    while True:
+        try:
+            msg = job_conn.recv()
+        except (EOFError, OSError):
+            os._exit(0)
+        if msg is None:
+            os._exit(0)
+        _, jid, attempt, ctx_state, fn_enc, args_enc = msg
+        if fn_enc is not None:
+            try:
+                cur_fn = _decode_obj(fn_enc)
+                cur_args = tuple(_decode_obj(a) for a in args_enc)
+            except Exception as exc:
+                world.abort()
+                report(("res", jid, attempt, rank, "err", CommError(
+                    f"rank {rank} could not decode the dispatched job: "
+                    f"{exc!r}"
+                ), None))
+                continue
+        if cur_fn is None:
+            world.abort()
+            report(("res", jid, attempt, rank, "err", CommError(
+                f"rank {rank} was redispatched with no job held"
+            ), None))
+            continue
+        execute(jid, attempt, ctx_state, cur_fn, cur_args)
+
+
+class WorkerPool:
+    """Persistent, supervised pool of forked SPMD workers.
+
+    Workers are forked lazily at the first :meth:`run` (the first job —
+    function, closure and all — rides fork inheritance, so lambdas work
+    exactly as they always have), then *outlive the job*: after
+    reporting, each worker parks on its job pipe waiting for the next
+    ``(job_id, fn, payload)`` work item. The pool's supervisor loop owns
+    the heartbeat watchdog and extends it from detect-and-abort to
+    detect-respawn-rebarrier:
+
+    * ``recover="raise"`` (default) — a failure surfaces exactly like
+      the historical fork-and-join path: first real per-rank error, then
+      :class:`~repro.errors.RankDiedError` for silent deaths, then the
+      first abort echo.
+    * ``recover="checkpoint"`` — on a rank death (or a collective
+      deadline), the supervisor respawns the dead rank(s) by a fresh
+      fork, rebuilds the shared collective state
+      (:meth:`ProcessWorld.reset_for_reuse`), redispatches the job to
+      every rank, and the job replays from the latest checkpoint it
+      shipped up through :class:`RecoveryContext` — at most
+      ``max_recoveries`` times per job, after which the final failure is
+      raised as usual.
+
+    ``timeout`` bounds one whole :meth:`run` call (all attempts
+    included). Shut the pool down with :meth:`shutdown` (or use it as a
+    context manager); shutdown is idempotent and leaves no orphans.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        *,
+        machine: MachineSpec | None = None,
+        cost_size: int | None = None,
+        timeout: float | None = 120.0,
+        latency: float = 0.0,
+        slab_bytes: int = 1 << 22,
+        nb_doubles: int = 1 << 19,
+        comm_timeout: float | None = None,
+    ) -> None:
+        self.size = size
+        self._machine = machine
+        self._cost_size = cost_size
+        self._timeout = timeout
+        self._comm_timeout = comm_timeout
+        self._world = ProcessWorld(
+            size, slab_bytes=slab_bytes, nb_doubles=nb_doubles, latency=latency
+        )
+        ctx = self._world._ctx
+        self._ctx = ctx
+        # report channel: one pipe, many writers serialized by a lock (the
+        # public-API equivalent of SimpleQueue, which offers no timed poll)
+        self._recv, self._send = ctx.Pipe(duplex=False)
+        self._send_lock = ctx.Lock()
+        self._procs: list = [None] * size
+        self._job_w: list = [None] * size
+        self._jid = 0
+        self._started = False
+        self._shut = False
+
+    @property
+    def world(self) -> ProcessWorld:
+        return self._world
+
+    # -- lifecycle ---------------------------------------------------------
+    def _spawn(self, rank: int, first_job: tuple | None) -> None:
+        """Fork one worker; ``first_job`` rides fork inheritance."""
+        job_r, job_w = self._ctx.Pipe(duplex=False)
+        p = self._ctx.Process(
+            target=_pool_worker_main,
+            args=(
+                self._world, rank, self._send, self._send_lock, job_r,
+                self._machine, self._cost_size, self._comm_timeout,
+                first_job,
+            ),
+            name=f"spmd-proc-{rank}",
+            daemon=True,
+        )
+        p.start()
+        # the child holds its own copy of the recv end; dropping the
+        # parent's copy keeps fd ownership tidy (shutdown still uses an
+        # explicit None message because sibling forks inherit the send
+        # ends, so EOF alone is not a reliable shutdown signal)
+        job_r.close()
+        old = self._job_w[rank]
+        if old is not None:
+            try:
+                old.close()
+            except OSError:
+                pass
+        self._procs[rank] = p
+        self._job_w[rank] = job_w
+
+    def _retire_workers(self) -> None:
+        """Orderly-stop every live worker (next dispatch forks fresh)."""
+        for w in self._job_w:
+            if w is not None:
+                try:
+                    w.send(None)
+                except (OSError, BrokenPipeError, ValueError):
+                    pass
+        for p in self._procs:
+            if p is not None:
+                p.join(1.0)
+        for p in self._procs:
+            if p is not None and p.is_alive():
+                p.terminate()
+                p.join(1.0)
+        self._procs = [None] * self.size
+
+    def _dispatch(
+        self, jid: int, attempt: int, ctx_state: dict, fn, args,
+        survivors_hold_job: bool,
+    ) -> None:
+        """Hand one attempt to every rank.
+
+        Dead or never-spawned ranks get a fresh fork with the job
+        inherited; live (parked) ranks get a pipe message — encoded when
+        they don't already hold this job, ``fn_enc=None`` when they do
+        (recovery redispatch). If the job cannot cross a pipe (encoding
+        failure), the live workers are retired and everything forks
+        fresh — correctness over pool persistence.
+        """
+        live = [
+            r for r in range(self.size)
+            if self._procs[r] is not None and self._procs[r].is_alive()
+            and not self._world._dead[r]
+        ]
+        fn_enc = args_enc = None
+        if live and not survivors_hold_job:
+            try:
+                fn_enc = _encode_obj(fn)
+                args_enc = tuple(_encode_obj(a) for a in args)
+            except Exception:
+                self._retire_workers()
+                live = []
+        for r in range(self.size):
+            if r in live:
+                self._job_w[r].send(
+                    ("run", jid, attempt, ctx_state, fn_enc, args_enc)
+                )
+            else:
+                self._spawn(r, (jid, attempt, ctx_state, fn, args))
+
+    def shutdown(self) -> None:
+        """Stop the supervisor and every worker; idempotent, no orphans."""
+        if self._shut:
+            return
+        self._shut = True
+        self._world.stop_watchdog()
+        # wake anything still blocked in a collective, then ask parked
+        # workers to exit; stragglers are terminated after a grace join
+        self._world.abort()
+        self._retire_workers()
+        for w in self._job_w:
+            if w is not None:
+                try:
+                    w.close()
+                except OSError:
+                    pass
+        self._job_w = [None] * self.size
+        try:
+            self._recv.close()
+            self._send.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    # -- supervisor loop ---------------------------------------------------
+    def _collect(self, jid: int, attempt: int, deadline: float | None):
+        """Collect one attempt's reports; returns per-rank outcome.
+
+        Exits when every rank has reported, or when every *unreported*
+        rank is dead and the report pipe is drained (survivors park
+        alive after reporting, so "all procs dead" is no longer an exit
+        condition). A blown deadline aborts the world and raises
+        :class:`CommAborted` with today's message.
+        """
+        size = self.size
+        values: list[Any] = [None] * size
+        ledgers: list[CostLedger | None] = [None] * size
+        errors: list[BaseException | None] = [None] * size
+        reported = [False] * size
+        ckpt = None
+        while True:
+            if deadline is not None and time.monotonic() > deadline:
+                self._world.abort()
+                hung = [
+                    p.name for p in self._procs
+                    if p is not None and p.is_alive()
+                ]
+                raise CommAborted(
+                    f"SPMD ranks did not finish within {self._timeout}s:"
+                    f" {hung}"
+                )
+            if not self._recv.poll(0.05):
+                dead_unreported = [
+                    r for r in range(size)
+                    if not reported[r] and not self._procs[r].is_alive()
+                ]
+                if dead_unreported and not self._recv.poll(0):
+                    # report() is synchronous, so a dead child with no
+                    # queued report genuinely never reported (crash/kill);
+                    # mark_rank_dead aborts the world, so live survivors
+                    # wake, raise RankDiedError, report it, and park —
+                    # we keep looping until those reports land
+                    for r in dead_unreported:
+                        self._world.mark_rank_dead(r)
+                    if all(
+                        reported[r] or not self._procs[r].is_alive()
+                        for r in range(size)
+                    ):
+                        break
+                continue
+            msg = self._recv.recv()
+            if msg[0] == "ckpt":
+                _, cjid, _cattempt, payload = msg
+                if cjid == jid:
+                    # send() is FIFO per attempt and attempts are
+                    # sequential, so the last one received is the newest
+                    ckpt = payload
+                continue
+            _, mjid, mattempt, r, status, payload, ledger = msg
+            if mjid != jid or mattempt != attempt:
+                continue  # stale report from a pre-recovery attempt
+            reported[r] = True
+            if status == "ok":
+                values[r] = payload
+                ledgers[r] = ledger
+            else:
+                errors[r] = payload
+            if all(reported):
+                break
+        return values, ledgers, errors, reported, ckpt
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        args: Sequence = (),
+        recover: str = "raise",
+        max_recoveries: int = 2,
+    ) -> SpmdResult:
+        """Run ``fn(comm, rank, *args)`` as one supervised job.
+
+        Returns the same :class:`SpmdResult` as the historical
+        fork-and-join path; under ``recover="checkpoint"`` a rank death
+        or collective deadline triggers up to ``max_recoveries``
+        respawn-and-replay rounds before the failure is raised.
+        """
+        if self._shut:
+            raise CommError("WorkerPool has been shut down")
+        if recover not in ("raise", "checkpoint"):
+            raise CommError(
+                f"recover must be 'raise' or 'checkpoint', got {recover!r}"
+            )
+        self._jid += 1
+        jid = self._jid
+        attempt = 0
+        recoveries = 0
+        respawns = 0
+        replayed = 0
+        ckpt = None
+        deadline = (
+            None if self._timeout is None
+            else time.monotonic() + self._timeout
+        )
+        args = tuple(args)
+        while True:
+            ctx_state = {
+                "mode": recover,
+                "resume": ckpt,
+                "recoveries": recoveries,
+                "respawns": respawns,
+                "replayed_iterations": replayed,
+            }
+            if self._started:
+                # between attempts (and between jobs) every live worker
+                # is parked outside any collective, so the shared state
+                # can be rebuilt safely; the watchdog is restarted fresh
+                # because it exits on its own once the world aborts
+                self._world.stop_watchdog()
+                self._world.reset_for_reuse()
+            self._dispatch(
+                jid, attempt, ctx_state, fn, args,
+                survivors_hold_job=attempt > 0,
+            )
+            self._started = True
+            # heartbeat: a killed child is marked dead (aborting the
+            # world) within one watchdog interval, independently of the
+            # report-poll loop
+            self._world.start_watchdog(self._procs)
+            values, ledgers, errors, reported, new_ckpt = self._collect(
+                jid, attempt, deadline
+            )
+            if new_ckpt is not None:
+                ckpt = new_ckpt
+            if all(reported) and not any(e is not None for e in errors):
+                for led in ledgers:
+                    if led is not None:
+                        led.recoveries = recoveries
+                        led.respawns = respawns
+                        led.replayed_iterations = replayed
+                return SpmdResult(values=values, ledgers=ledgers)
+            # -- failure: classify, then recover or raise ------------------
+            dead_unreported = [r for r in range(self.size) if not reported[r]]
+            present = [e for e in errors if e is not None]
+            real = [e for e in present if not isinstance(e, CommAborted)]
+            # RankDiedError subclasses CommAborted (it lands in the abort
+            # echoes); CommTimeoutError is a "real" error but marks a
+            # recoverable stall. Anything else real — a solver bug, a
+            # mismatch — must not be retried.
+            recoverable_kinds = (RankDiedError, CommTimeoutError)
+            blocking = [
+                e for e in real if not isinstance(e, recoverable_kinds)
+            ]
+            failure_signal = bool(dead_unreported) or any(
+                isinstance(e, recoverable_kinds) for e in present
+            )
+            if (
+                recover == "checkpoint"
+                and recoveries < max_recoveries
+                and not blocking
+                and failure_signal
+            ):
+                recoveries += 1
+                dead = sorted(set(dead_unreported) | {
+                    r for r in range(self.size)
+                    if self._world._dead[r]
+                    or (self._procs[r] is not None
+                        and not self._procs[r].is_alive())
+                })
+                self._world.stop_watchdog()
+                for r in dead:
+                    p = self._procs[r]
+                    if p is not None:
+                        p.join(1.0)
+                        if p.is_alive():
+                            p.terminate()
+                            p.join(1.0)
+                respawns += len(dead)
+                if isinstance(ckpt, dict):
+                    # work units the redispatched attempt will *not* have
+                    # to redo — saved by checkpointing, cumulative across
+                    # recovery rounds. Solver checkpoints count
+                    # iterations, path checkpoints completed grid points,
+                    # streaming checkpoints applied events.
+                    units = ckpt.get("iteration")
+                    if units is None:
+                        units = ckpt.get("completed")
+                    if units is None:
+                        units = ckpt.get("events_applied")
+                    replayed += int(units or 0)
+                attempt += 1
+                continue
+            # raise path: today's precedence, bit-for-bit
+            if real:
+                raise real[0]
+            if dead_unreported:
+                # a rank died without reporting: name it, even if
+                # survivors only managed a generic CommAborted before
+                # the death flag landed
+                raise RankDiedError(
+                    "SPMD ranks died without reporting a result:"
+                    f" {dead_unreported}",
+                    dead_ranks=tuple(dead_unreported),
+                )
+            raise present[0]
+
+
 def process_spmd_run(
     fn: Callable[..., Any],
     size: int,
@@ -558,14 +1216,17 @@ def process_spmd_run(
     slab_bytes: int = 1 << 22,
     nb_doubles: int = 1 << 19,
     comm_timeout: float | None = None,
+    recover: str = "raise",
+    max_recoveries: int = 2,
 ) -> SpmdResult:
     """Run ``fn(comm, rank, *args)`` on ``size`` forked process ranks.
 
     The process twin of :func:`~repro.mpi.thread_backend.spmd_run`, same
     signature and same :class:`SpmdResult` (per-rank values + ledgers:
-    each child ships its return value and ledger back through a queue).
+    each child ships its return value and ledger back through a pipe).
     ``fn`` and its closure are inherited by fork, so lambdas work; the
-    *return value* must be picklable.
+    *return value* must be picklable. Execution runs through a one-job
+    :class:`WorkerPool` (shut down on exit, success or not).
 
     ``slab_bytes`` bounds one rank's pickled payload per blocking
     collective (default 4 MiB) and ``nb_doubles`` one rank's nonblocking
@@ -579,6 +1240,16 @@ def process_spmd_run(
     ``comm_timeout`` installs a default per-collective deadline on every
     rank's communicator (``None`` = wait forever).
 
+    ``recover="checkpoint"`` turns a rank death (or collective deadline)
+    into a supervised recovery: the dead rank is respawned, the shared
+    collective state rebuilt, and the job redispatched to every rank,
+    resuming from the latest checkpoint it shipped through
+    ``comm.recovery`` (:class:`RecoveryContext`) — at most
+    ``max_recoveries`` times, after which the failure raises as usual.
+    The ``recoveries``/``respawns``/``replayed_iterations`` counters land
+    in every returned ledger. The default ``recover="raise"`` preserves
+    the historical behavior exactly.
+
     Children install signal handlers before running ``fn``: SIGTERM
     aborts the world and exits immediately, SIGINT is ignored (the
     parent coordinates Ctrl-C teardown through its ``finally`` path), so
@@ -588,128 +1259,19 @@ def process_spmd_run(
     a killed rank raises :class:`~repro.errors.RankDiedError` (on the
     survivors and in the parent), hung ranks raise :class:`CommAborted`.
     """
-    world = ProcessWorld(
-        size, slab_bytes=slab_bytes, nb_doubles=nb_doubles, latency=latency
+    pool = WorkerPool(
+        size,
+        machine=machine,
+        cost_size=cost_size,
+        timeout=timeout,
+        latency=latency,
+        slab_bytes=slab_bytes,
+        nb_doubles=nb_doubles,
+        comm_timeout=comm_timeout,
     )
-    ctx = world._ctx
-    # result channel: one pipe, many writers serialized by a lock (the
-    # public-API equivalent of SimpleQueue, which offers no timed poll).
-    # send() is synchronous, so a child's report is fully in the pipe
-    # before the child exits.
-    recv_end, send_end = ctx.Pipe(duplex=False)
-    send_lock = ctx.Lock()
-
-    def report(item) -> None:
-        with send_lock:
-            send_end.send(item)
-
-    def worker(r: int) -> None:
-        # Signal safety: the parent's finally-path owns teardown. SIGTERM
-        # (e.g. an external kill of this rank) still aborts the world so
-        # peers fail fast; SIGINT is ignored because a terminal Ctrl-C is
-        # delivered to the whole process group and the parent's unwind
-        # already aborts + joins every child — handling it here too would
-        # race that teardown and strand peers mid-collective.
-        signal.signal(signal.SIGINT, signal.SIG_IGN)
-
-        def _sigterm(signum, frame):
-            world.abort()
-            os._exit(1)
-
-        signal.signal(signal.SIGTERM, _sigterm)
-        comm = ProcessComm(
-            world, r, machine=machine, cost_size=cost_size, timeout=comm_timeout
-        )
-        try:
-            value = fn(comm, r, *args)
-        except BaseException as exc:  # noqa: BLE001 - reported to the parent
-            world.abort()
-            try:
-                report((r, "err", exc, None))
-            except Exception:
-                report((r, "err", CommError(repr(exc)), None))
-            return
-        try:
-            report((r, "ok", value, comm.ledger))
-        except Exception as exc:  # unpicklable return value
-            report((r, "err", CommError(
-                f"rank {r} returned an unpicklable value: {exc!r}"
-            ), None))
-
-    procs = [
-        ctx.Process(target=worker, args=(r,), name=f"spmd-proc-{r}", daemon=True)
-        for r in range(size)
-    ]
-    for p in procs:
-        p.start()
-    # heartbeat: a killed child is marked dead (aborting the world) within
-    # one watchdog interval, independently of the report-poll loop below
-    world.start_watchdog(procs)
-    deadline = None if timeout is None else time.monotonic() + timeout
-    values: list[Any] = [None] * size
-    ledgers: list[CostLedger | None] = [None] * size
-    errors: list[BaseException | None] = [None] * size
-    reported = [False] * size
     try:
-        while not all(reported):
-            if deadline is not None and time.monotonic() > deadline:
-                world.abort()
-                hung = [p.name for p in procs if p.is_alive()]
-                raise CommAborted(
-                    f"SPMD ranks did not finish within {timeout}s: {hung}"
-                )
-            if not recv_end.poll(0.05):
-                dead_unreported = [
-                    r for r in range(size)
-                    if not reported[r] and not procs[r].is_alive()
-                ]
-                if dead_unreported and not recv_end.poll(0):
-                    # report() is synchronous, so a dead child with no
-                    # queued report genuinely never reported (crash/kill)
-                    for r in dead_unreported:
-                        world.mark_rank_dead(r)
-                    if all(not p.is_alive() for p in procs):
-                        break
-                    # peers can never complete a collective with it:
-                    # wake them now (mark_rank_dead aborted the world) so
-                    # survivors raise RankDiedError rather than waiting
-                    # out the timeout
-                continue
-            r, status, payload, ledger = recv_end.recv()
-            reported[r] = True
-            if status == "ok":
-                values[r] = payload
-                ledgers[r] = ledger
-            else:
-                errors[r] = payload
-    finally:
-        world.stop_watchdog()
-        # Deterministic teardown: if any rank is still running — a peer
-        # raised mid-collective, the parent is unwinding on its own
-        # exception, or a child died without reporting — break the
-        # barrier and wake every blocked waiter *before* joining, so
-        # survivors exit on CommAborted instead of parking until the
-        # join timeout forces a terminate().
-        if any(p.is_alive() for p in procs):
-            world.abort()
-        for p in procs:
-            p.join(1.0)
-        for p in procs:
-            if p.is_alive():
-                p.terminate()
-                p.join(1.0)
-    real_errors = [e for e in errors if e is not None and not isinstance(e, CommAborted)]
-    if real_errors:
-        raise real_errors[0]
-    if not all(reported):
-        # a rank died without reporting: name it, even if survivors only
-        # managed a generic CommAborted before the death flag landed
-        dead = [r for r in range(size) if not reported[r]]
-        raise RankDiedError(
-            f"SPMD ranks died without reporting a result: {dead}",
-            dead_ranks=tuple(dead),
+        return pool.run(
+            fn, args=args, recover=recover, max_recoveries=max_recoveries
         )
-    aborted = [e for e in errors if e is not None]
-    if aborted:
-        raise aborted[0]
-    return SpmdResult(values=values, ledgers=ledgers)
+    finally:
+        pool.shutdown()

@@ -35,7 +35,7 @@ import scipy.sparse as sp
 
 import json
 
-from repro._api import fit_lasso, fit_svm
+from repro._api import _check_backend, _run_spmd, fit_lasso, fit_svm
 from repro.errors import CheckpointError, SolverError
 from repro.linalg.distmatrix import ColPartitionedMatrix, RowPartitionedMatrix
 from repro.linalg.kernels import EigMemo, default_eig_memo
@@ -102,6 +102,9 @@ def _sum_costs(snaps: Sequence[CostSnapshot]) -> CostSnapshot:
         comm_seconds_hidden=sum(s.comm_seconds_hidden for s in snaps),
         retries=sum(s.retries for s in snaps),
         timeouts=sum(s.timeouts for s in snaps),
+        recoveries=sum(s.recoveries for s in snaps),
+        respawns=sum(s.respawns for s in snaps),
+        replayed_iterations=sum(s.replayed_iterations for s in snaps),
     )
 
 
@@ -345,7 +348,9 @@ class PathResult:
     lambdas: np.ndarray
     #: one :class:`SolverResult` per grid point (``cost`` is per-point)
     results: list[SolverResult]
-    context: SweepContext
+    #: the live sweep context (``None`` when the sweep ran on a real
+    #: SPMD backend — the context lives and dies inside the worker ranks)
+    context: SweepContext | None
     warm_start: bool = True
     extras: dict = field(default_factory=dict)
 
@@ -432,6 +437,10 @@ def lasso_path(
     checkpoint_every: int = 0,
     checkpoint_sink=None,
     resume_from=None,
+    backend: str = "virtual",
+    ranks: int = 4,
+    recover: str = "raise",
+    max_recoveries: int = 2,
 ) -> PathResult:
     """Solve a Lasso problem over a descending lambda grid with warm starts.
 
@@ -468,9 +477,71 @@ def lasso_path(
         atomically by rank 0) carrying the finished results and the
         warm-start vector; ``resume_from`` skips those points and
         continues the sweep (the grid and solver knobs must match).
+    backend, ranks, recover, max_recoveries:
+        As in :func:`repro.fit_lasso`: run the whole sweep SPMD on a
+        real backend (``context=`` must be None — a live
+        :class:`SweepContext` cannot cross process boundaries; the
+        returned :class:`PathResult` carries ``context=None``). Under
+        ``recover="checkpoint"`` the supervisor resumes a respawned
+        sweep at the last *completed grid point* via the path
+        checkpoints (forced on, every point, when the caller left
+        ``checkpoint_every=0``).
 
     All other knobs match :func:`repro.fit_lasso`.
     """
+    if backend != "virtual":
+        _check_backend(backend, comm, recover)
+        if context is not None:
+            raise SolverError(
+                "context= holds a live SweepContext and cannot be shipped"
+                " to a real backend; drop context= or use backend='virtual'"
+            )
+
+        def work(wcomm, wrank):
+            rctx = getattr(wcomm, "recovery", None)
+            ck_every, ck_sink, ck_resume = (
+                checkpoint_every, checkpoint_sink, resume_from
+            )
+            if rctx is not None and rctx.active:
+                if rctx.resume is not None:
+                    ck_resume = rctx.resume
+                if ck_every == 0:
+                    ck_every = 1
+                user_sink = checkpoint_sink
+
+                def ck_sink(payload, _user=user_sink, _rctx=rctx):
+                    _rctx.save(payload)
+                    if callable(_user):
+                        _user(payload)
+                    elif _user is not None and wcomm.rank == 0:
+                        atomic_write_json(_user, payload)
+            inner = lasso_path(
+                A, b, lambdas, n_lambdas=n_lambdas, eps=eps, solver=solver,
+                mu=mu, s=s, max_iter=max_iter, tol=tol, seed=seed,
+                record_every=record_every, warm_start=warm_start,
+                fast=fast, parity=parity, pipeline=pipeline,
+                adaptive=adaptive, adapt_tol_factor=adapt_tol_factor,
+                adapt_iter_factor=adapt_iter_factor, comm=wcomm,
+                checkpoint_every=ck_every, checkpoint_sink=ck_sink,
+                resume_from=ck_resume,
+            )
+            # the SweepContext (and its comm) stays in the worker; only
+            # picklable parts cross back to the parent
+            return {
+                "lambdas": inner.lambdas, "results": inner.results,
+                "warm_start": inner.warm_start, "extras": inner.extras,
+            }
+
+        part = _run_spmd(
+            work, backend=backend, ranks=ranks, machine=machine,
+            cost_size=max(virtual_p, ranks), recover=recover,
+            max_recoveries=max_recoveries,
+        )
+        return PathResult(
+            task="lasso", lambdas=part["lambdas"], results=part["results"],
+            context=None, warm_start=part["warm_start"],
+            extras=part["extras"],
+        )
     ctx = context
     if ctx is None:
         ctx = SweepContext(
@@ -562,6 +633,10 @@ def svm_path(
     virtual_p: int = 1,
     machine: MachineSpec | None = None,
     context: SweepContext | None = None,
+    backend: str = "virtual",
+    ranks: int = 4,
+    recover: str = "raise",
+    max_recoveries: int = 2,
 ) -> PathResult:
     """Train SVMs over an ascending penalty (C) grid with dual warm starts.
 
@@ -576,7 +651,45 @@ def svm_path(
     ``pipeline`` and ``adaptive`` mirror :func:`lasso_path` (adaptive
     loosens the *duality-gap* tolerance early on the grid; the final
     point always runs at exactly ``(max_iter, tol)``).
+
+    ``backend``/``ranks``/``recover``/``max_recoveries`` mirror
+    :func:`lasso_path`, except the SVM sweep has no path checkpoints:
+    ``recover="checkpoint"`` restarts a recovered sweep from scratch
+    (deterministic, so the result is unchanged — only wall time is
+    lost).
     """
+    if backend != "virtual":
+        _check_backend(backend, comm, recover)
+        if context is not None:
+            raise SolverError(
+                "context= holds a live SweepContext and cannot be shipped"
+                " to a real backend; drop context= or use backend='virtual'"
+            )
+
+        def work(wcomm, wrank):
+            inner = svm_path(
+                A, b, lams, n_lambdas=n_lambdas, loss=loss, solver=solver,
+                s=s, max_iter=max_iter, tol=tol, seed=seed,
+                record_every=record_every, warm_start=warm_start,
+                fast=fast, parity=parity, pipeline=pipeline,
+                adaptive=adaptive, adapt_tol_factor=adapt_tol_factor,
+                adapt_iter_factor=adapt_iter_factor, comm=wcomm,
+            )
+            return {
+                "lambdas": inner.lambdas, "results": inner.results,
+                "warm_start": inner.warm_start, "extras": inner.extras,
+            }
+
+        part = _run_spmd(
+            work, backend=backend, ranks=ranks, machine=machine,
+            cost_size=max(virtual_p, ranks), recover=recover,
+            max_recoveries=max_recoveries,
+        )
+        return PathResult(
+            task="svm", lambdas=part["lambdas"], results=part["results"],
+            context=None, warm_start=part["warm_start"],
+            extras=part["extras"],
+        )
     ctx = context
     if ctx is None:
         ctx = SweepContext(

@@ -81,6 +81,7 @@ from repro.solvers.base import (
     ConvergenceHistory,
     SolverResult,
     Terminator,
+    check_finite_iterate,
 )
 from repro.solvers.lasso.common import (
     as_penalty,
@@ -215,6 +216,7 @@ def acc_bcd(
             ytil -= coef * Sdz
         theta_new = theta_next(theta)
         if record_every and (h % record_every == 0 or h == max_iter):
+            check_finite_iterate("accbcd", h, y=y, z=z)
             obj = _acc_objective(dist, theta, y, z, ytil, ztil, pen)
             history.record(h, obj, dist.comm)
             if term.done(obj):
@@ -306,6 +308,7 @@ def _sa_acc_outer_naive(
             ytil -= coef * Sdz
         it = done + j + 1
         if record_every and (it % record_every == 0 or it == max_iter):
+            check_finite_iterate("sa-accbcd", it, y=y, z=z)
             obj = _acc_objective(dist, th_prev, y, z, ytil, ztil, pen)
             history.record(it, obj, dist.comm)
             if term.done(obj):
@@ -378,6 +381,7 @@ def _sa_acc_outer_fast(
             ytil -= coef * Sdz
         it = done + j + 1
         if record_every and (it % record_every == 0 or it == max_iter):
+            check_finite_iterate("sa-accbcd", it, y=y, z=z)
             obj = _acc_objective(dist, th_prev, y, z, ytil, ztil, pen)
             history.record(it, obj, dist.comm)
             if term.done(obj):
@@ -466,6 +470,7 @@ def _sa_acc_outer_fp(
                 ytil -= coef * Sdz
         it = done + j + 1
         if record_every and (it % record_every == 0 or it == max_iter):
+            check_finite_iterate("sa-accbcd", it, y=y, z=z)
             obj = _acc_objective(dist, th_prev, y, z, ytil, ztil, pen)
             history.record(it, obj, dist.comm)
             if term.done(obj):
@@ -536,6 +541,7 @@ def _sa_acc_inner_scalar(
             account(3.0 * m_loc, "gather")
         it = done + j + 1
         if record_every and (it % record_every == 0 or it == max_iter):
+            check_finite_iterate("sa-accbcd", it, y=y, z=z)
             obj = _acc_objective(dist, th_prev, y, z, ytil, ztil, pen)
             history.record(it, obj, dist.comm)
             if term.done(obj):

@@ -46,6 +46,7 @@ from repro.solvers.base import (
     ConvergenceHistory,
     SolverResult,
     Terminator,
+    check_finite_iterate,
 )
 from repro.solvers.lasso.common import (
     as_penalty,
@@ -172,6 +173,7 @@ def bcd(
             x[idx] = x_new
             dist.apply_column_update(S, delta, r_local)
         if record_every and (h % record_every == 0 or h == max_iter):
+            check_finite_iterate("bcd", h, x=x)
             obj = distributed_objective(dist, r_local, x, pen)
             history.record(h, obj, dist.comm)
             if term.done(obj):
@@ -240,6 +242,7 @@ def _sa_outer_naive(
             dist.apply_column_update(Sj, delta, r_local)
         it = done + j + 1
         if record_every and (it % record_every == 0 or it == max_iter):
+            check_finite_iterate("sa-bcd", it, x=x)
             obj = distributed_objective(dist, r_local, x, pen)
             history.record(it, obj, dist.comm)
             if term.done(obj):
@@ -300,6 +303,7 @@ def _sa_outer_fast(
             dist.apply_column_update(Sj, delta, r_local)
         it = done + j + 1
         if record_every and (it % record_every == 0 or it == max_iter):
+            check_finite_iterate("sa-bcd", it, x=x)
             obj = distributed_objective(dist, r_local, x, pen)
             history.record(it, obj, dist.comm)
             if term.done(obj):
@@ -371,6 +375,7 @@ def _sa_outer_fp(
                 dist.apply_column_update(Y[:, sl_j], delta, r_local)
         it = done + j + 1
         if record_every and (it % record_every == 0 or it == max_iter):
+            check_finite_iterate("sa-bcd", it, x=x)
             obj = distributed_objective(dist, r_local, x, pen)
             history.record(it, obj, dist.comm)
             if term.done(obj):
@@ -428,6 +433,7 @@ def _sa_inner_scalar(
                 account(2.0 * m_loc, "blas1")
         it = done + j + 1
         if record_every and (it % record_every == 0 or it == max_iter):
+            check_finite_iterate("sa-bcd", it, x=x)
             obj = distributed_objective(dist, r_local, x, pen)
             history.record(it, obj, dist.comm)
             if term.done(obj):

@@ -18,6 +18,7 @@ import scipy.sparse as sp
 from repro.errors import SolverError
 from repro.linalg.eig import largest_eigenvalue
 from repro.prox.penalties import L1Penalty, Penalty
+from repro.solvers.base import check_finite_iterate
 from repro.solvers.objectives import lasso_objective
 from repro.utils.seeds import shared_generator
 
@@ -61,10 +62,11 @@ def ista(
     step = 1.0 / L
     idx_all = np.arange(n)
     trace = [lasso_objective(A, b, x, pen)]
-    for _ in range(max_iter):
+    for it in range(1, max_iter + 1):
         grad = np.asarray(A.T @ (A @ x - b)).ravel()
         x_new = pen.prox_block(x - step * grad, step, idx_all)
         x = x_new
+        check_finite_iterate("ista", it, x=x)
         trace.append(lasso_objective(A, b, x, pen))
         if tol is not None and len(trace) >= 2:
             if abs(trace[-2] - trace[-1]) <= tol * max(abs(trace[-2]), 1e-300):
@@ -93,12 +95,13 @@ def fista(
     step = 1.0 / L
     idx_all = np.arange(n)
     trace = [lasso_objective(A, b, x, pen)]
-    for _ in range(max_iter):
+    for it in range(1, max_iter + 1):
         grad = np.asarray(A.T @ (A @ w - b)).ravel()
         x_new = pen.prox_block(w - step * grad, step, idx_all)
         t_new = 0.5 * (1.0 + np.sqrt(1.0 + 4.0 * t * t))
         w = x_new + ((t - 1.0) / t_new) * (x_new - x)
         x, t = x_new, t_new
+        check_finite_iterate("fista", it, x=x, w=w)
         trace.append(lasso_objective(A, b, x, pen))
         if tol is not None and len(trace) >= 2:
             if abs(trace[-2] - trace[-1]) <= tol * max(abs(trace[-2]), 1e-300):
@@ -128,7 +131,7 @@ def coordinate_descent_reference(
     rng = seed if isinstance(seed, np.random.Generator) else shared_generator(seed)
     r = Ad @ x - b
     trace = [0.5 * float(r @ r) + pen.value(x)]
-    for _ in range(max_iter):
+    for it in range(1, max_iter + 1):
         idx = rng.choice(n, size=mu, replace=False)
         S = Ad[:, idx]
         G = S.T @ S
@@ -140,5 +143,6 @@ def coordinate_descent_reference(
             delta = x_new - x[idx]
             x[idx] = x_new
             r += S @ delta
+        check_finite_iterate("cd-reference", it, x=x)
         trace.append(0.5 * float(r @ r) + pen.value(x))
     return x, trace

@@ -64,6 +64,9 @@ def result_to_dict(result: SolverResult) -> dict:
             "comm_seconds_hidden": result.cost.comm_seconds_hidden,
             "retries": result.cost.retries,
             "timeouts": result.cost.timeouts,
+            "recoveries": result.cost.recoveries,
+            "respawns": result.cost.respawns,
+            "replayed_iterations": result.cost.replayed_iterations,
         },
         "extras": extras,
         "dropped_extras": dropped,
@@ -94,6 +97,9 @@ def result_from_dict(data: dict) -> SolverResult:
         comm_seconds_hidden=data["cost"].get("comm_seconds_hidden", 0.0),
         retries=int(data["cost"].get("retries", 0)),
         timeouts=int(data["cost"].get("timeouts", 0)),
+        recoveries=int(data["cost"].get("recoveries", 0)),
+        respawns=int(data["cost"].get("respawns", 0)),
+        replayed_iterations=int(data["cost"].get("replayed_iterations", 0)),
     )
     extras = {}
     for k, v in data["extras"].items():

@@ -39,6 +39,7 @@ from repro.solvers.base import (
     ConvergenceHistory,
     SolverResult,
     Terminator,
+    check_finite_iterate,
 )
 from repro.solvers.lasso.common import check_parity
 from repro.solvers.sampling import RowSampler
@@ -187,6 +188,7 @@ def dcd(
                 alpha[i] += theta
                 dist.apply_row_update(row, np.array([theta * b[i]]), x_local)
             if record_every and (h % record_every == 0 or h == max_iter):
+                check_finite_iterate("svm", h, alpha=alpha, x=x_local)
                 gap = _record_gap(dist, b, alpha, x_local, lam, loss)
                 history.record(h, gap, dist.comm)
                 if term.done(gap):
@@ -255,6 +257,7 @@ def _sa_dcd_outer_naive(
             dist.apply_row_update(row_j, np.array([theta * bsel[j]]), x_local)
         it = done + j + 1
         if record_every and (it % record_every == 0 or it == max_iter):
+            check_finite_iterate("sa-svm", it, alpha=alpha, x=x_local)
             gap = _record_gap(dist, b, alpha, x_local, lam, loss)
             history.record(it, gap, dist.comm)
             if term.done(gap):
@@ -313,6 +316,7 @@ def _sa_dcd_outer_fast(
                 account(2.0 * Y.shape[1], "blas1")
         it = done + j + 1
         if record_every and (it % record_every == 0 or it == max_iter):
+            check_finite_iterate("sa-svm", it, alpha=alpha, x=x_local)
             gap = _record_gap(dist, b, alpha, x_local, lam, loss)
             history.record(it, gap, dist.comm)
             if term.done(gap):

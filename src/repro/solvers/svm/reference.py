@@ -9,6 +9,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.solvers.base import check_finite_iterate
 from repro.solvers.sampling import RowSampler
 from repro.solvers.svm.duality import duality_gap, loss_params
 
@@ -37,7 +38,7 @@ def dcd_reference(
         return duality_gap(Ad @ x, b, alpha, float(x @ x), lam, loss)
 
     trace = [gap_now()]
-    for _ in range(max_iter):
+    for it in range(1, max_iter + 1):
         i = sampler.next_index()
         eta = sq_norms[i] + gamma
         g = b[i] * float(Ad[i] @ x) - 1.0 + gamma * alpha[i]
@@ -49,5 +50,6 @@ def dcd_reference(
         if theta != 0.0:
             alpha[i] += theta
             x += theta * b[i] * Ad[i]
+        check_finite_iterate("dcd-reference", it, alpha=alpha, x=x)
         trace.append(gap_now())
     return x, alpha, trace

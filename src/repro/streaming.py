@@ -136,6 +136,9 @@ def _snapshot_to_dict(c: CostSnapshot) -> dict:
         "comm_seconds_hidden": c.comm_seconds_hidden,
         "retries": int(c.retries),
         "timeouts": int(c.timeouts),
+        "recoveries": int(c.recoveries),
+        "respawns": int(c.respawns),
+        "replayed_iterations": int(c.replayed_iterations),
     }
 
 
@@ -149,6 +152,9 @@ def _snapshot_from_dict(d: dict) -> CostSnapshot:
         comm_seconds_hidden=float(d.get("comm_seconds_hidden", 0.0)),
         retries=int(d.get("retries", 0)),
         timeouts=int(d.get("timeouts", 0)),
+        recoveries=int(d.get("recoveries", 0)),
+        respawns=int(d.get("respawns", 0)),
+        replayed_iterations=int(d.get("replayed_iterations", 0)),
     )
 
 
@@ -216,6 +222,29 @@ class DataRevision:
 def _check_svm_labels(y: np.ndarray) -> None:
     if not np.all(np.isin(y, (-1.0, 1.0))):
         raise SolverError("SVM labels must be in {-1, +1}")
+
+
+def _check_row_ids(ids, op: str) -> np.ndarray:
+    """Arrival-index array for a mutation op, validated *before* the
+    intp cast — a NaN/inf would raise an opaque cast error and a
+    fractional id would silently truncate onto the wrong row."""
+    arr = np.asarray(ids).ravel()
+    if arr.size and not np.issubdtype(arr.dtype, np.integer):
+        try:
+            flt = arr.astype(np.float64)
+        except (TypeError, ValueError) as exc:
+            raise SolverError(
+                f"{op}: row ids must be integers, got dtype {arr.dtype}"
+            ) from exc
+        if not np.all(np.isfinite(flt)):
+            raise SolverError(f"{op}: row ids contain non-finite entries")
+        if not np.all(flt == np.floor(flt)):
+            raise SolverError(
+                f"{op}: row ids must be integral arrival indices, got "
+                "fractional values"
+            )
+        arr = flt
+    return arr.astype(np.intp)
 
 
 class StreamingSweep:
@@ -557,6 +586,8 @@ class StreamingSweep:
             )
         if k == 0:
             return self.revision
+        if not np.all(np.isfinite(y)):
+            raise SolverError("append: labels contain non-finite entries")
         if self.task == "svm":
             _check_svm_labels(y)
         self.comm.reset()
@@ -682,7 +713,7 @@ class StreamingSweep:
         :class:`SolverError` before any state changes; empty ``ids`` is
         a no-op (no revision, current number returned).
         """
-        ids = np.unique(np.asarray(ids, dtype=np.intp).ravel())
+        ids = np.unique(_check_row_ids(ids, "evict"))
         if ids.size == 0:
             return self.revision
         self.comm.reset()
@@ -713,7 +744,7 @@ class StreamingSweep:
         Unknown ids or duplicate ids raise :class:`SolverError` before
         any state changes; empty ``ids`` is a no-op.
         """
-        ids = np.asarray(ids, dtype=np.intp).ravel()
+        ids = _check_row_ids(ids, "update_labels")
         y_new = np.asarray(y_new, dtype=np.float64).ravel()
         if y_new.shape[0] != ids.shape[0]:
             raise SolverError(
@@ -722,6 +753,10 @@ class StreamingSweep:
             )
         if ids.size == 0:
             return self.revision
+        if not np.all(np.isfinite(y_new)):
+            raise SolverError(
+                "update_labels: labels contain non-finite entries"
+            )
         order = np.argsort(ids)
         ids_sorted = ids[order]
         if np.unique(ids_sorted).size != ids.size:
@@ -854,6 +889,9 @@ def _cost_dict(c: CostSnapshot) -> dict:
         "flops": c.flops,
         "retries": int(c.retries),
         "timeouts": int(c.timeouts),
+        "recoveries": int(c.recoveries),
+        "respawns": int(c.respawns),
+        "replayed_iterations": int(c.replayed_iterations),
     }
 
 
@@ -867,10 +905,12 @@ def _solve_dict(res: SolverResult) -> dict:
 
 
 def _sum_cost_dicts(costs: list) -> dict:
-    total = {k: 0 if k in ("messages", "retries", "timeouts") else 0.0
+    total = {k: 0 if k in ("messages", "retries", "timeouts", "recoveries",
+                           "respawns", "replayed_iterations") else 0.0
              for k in ("seconds", "comm_seconds", "compute_seconds",
                        "comm_seconds_hidden", "messages", "words", "flops",
-                       "retries", "timeouts")}
+                       "retries", "timeouts", "recoveries", "respawns",
+                       "replayed_iterations")}
     for c in costs:
         for k in total:
             total[k] += c.get(k, 0)
@@ -961,6 +1001,8 @@ def replay_schedule(
     compare_cold: bool = False,
     checkpoint_path=None,
     resume_from=None,
+    recover: str = "raise",
+    max_recoveries: int = 2,
 ) -> dict:
     """Replay a streaming schedule through a :class:`StreamingSweep`.
 
@@ -992,6 +1034,13 @@ def replay_schedule(
     final report is identical to an uninterrupted replay (modelled
     costs included). Pass the same schedule and knobs when resuming;
     the checkpoint pins the engine's solve defaults.
+
+    ``recover="checkpoint"`` (``backend="process"`` only) turns a rank
+    death mid-replay into a supervised recovery: the dead rank is
+    respawned and the replay resumes from the supervisor's latest
+    in-memory streaming checkpoint (shipped after every event, whether
+    or not ``checkpoint_path`` is set), at most ``max_recoveries``
+    times. The report's ``recovery`` block carries the counters.
     """
     if task not in ("lasso", "svm"):
         raise SolverError(f"unknown streaming task {task!r}; known: ['lasso', 'svm']")
@@ -1003,8 +1052,16 @@ def replay_schedule(
     )
 
     def work(comm, rank):
-        if resume_from is not None:
-            rck = _load_stream_checkpoint(resume_from, "streaming-replay")
+        rctx = getattr(comm, "recovery", None)
+        if rctx is not None and not rctx.active:
+            rctx = None
+        resume_src = resume_from
+        if rctx is not None and rctx.resume is not None:
+            # a redispatched attempt resumes from the supervisor's latest
+            # collected checkpoint, not the caller's original one
+            resume_src = rctx.resume
+        if resume_src is not None:
+            rck = _load_stream_checkpoint(resume_src, "streaming-replay")
             if rck["task"] != task:
                 raise CheckpointError(
                     f"replay checkpoint is a {rck['task']!r} run; resume"
@@ -1033,7 +1090,7 @@ def replay_schedule(
             entries = []
 
         def emit_replay_ck(n_applied):
-            if checkpoint_path is None:
+            if checkpoint_path is None and rctx is None:
                 return
             # collective (the engine snapshot gathers the shards), but
             # only rank 0 writes — the payload is replicated knowledge
@@ -1047,7 +1104,9 @@ def replay_schedule(
                 "entries": entries,
                 "engine": engine.checkpoint(),
             }
-            if comm.rank == 0:
+            if rctx is not None:
+                rctx.save(payload)
+            if checkpoint_path is not None and comm.rank == 0:
                 atomic_write_json(os.fspath(checkpoint_path), payload)
 
         def run_cold(revision):
@@ -1153,6 +1212,16 @@ def replay_schedule(
             "n": int(engine.dist.shape[1]),
             "schedule": [_sched_entry(ev) for ev in events],
             "revisions": entries,
+            # physical-attempt bookkeeping from the supervised pool (the
+            # counters at the final — successful — dispatch, so they are
+            # whole-run totals); all zeros outside recover="checkpoint"
+            "recovery": {
+                "recoveries": 0 if rctx is None else int(rctx.recoveries),
+                "respawns": 0 if rctx is None else int(rctx.respawns),
+                "replayed_iterations": (
+                    0 if rctx is None else int(rctx.replayed_iterations)
+                ),
+            },
             "totals": {
                 "warm_refit_cost": _sum_cost_dicts(warm_costs),
                 "cold_resolve_cost": (
@@ -1161,6 +1230,15 @@ def replay_schedule(
             },
         }
 
+    if recover not in ("raise", "checkpoint"):
+        raise SolverError(
+            f"recover must be 'raise' or 'checkpoint', got {recover!r}"
+        )
+    if recover == "checkpoint" and backend != "process":
+        raise SolverError(
+            "recover='checkpoint' needs backend='process' (the supervised"
+            " worker pool)"
+        )
     if backend == "virtual":
         return work(VirtualComm(virtual_size=virtual_p, machine=machine), 0)
     if backend not in ("thread", "process"):
@@ -1169,6 +1247,12 @@ def replay_schedule(
         )
     if ranks < 1:
         raise SolverError(f"ranks must be >= 1, got {ranks}")
-    runner = spmd_run if backend == "thread" else process_spmd_run
-    out = runner(work, ranks, machine=machine, cost_size=max(virtual_p, ranks))
+    if backend == "thread":
+        out = spmd_run(work, ranks, machine=machine,
+                       cost_size=max(virtual_p, ranks))
+    else:
+        out = process_spmd_run(
+            work, ranks, machine=machine, cost_size=max(virtual_p, ranks),
+            recover=recover, max_recoveries=max_recoveries,
+        )
     return out.values[0]

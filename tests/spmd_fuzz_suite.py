@@ -35,6 +35,7 @@ from repro.mpi.virtual_backend import VirtualComm
 __all__ = [
     "make_sequence",
     "make_fault_plan",
+    "make_die_plan",
     "run_sequence",
     "expected_results",
     "assert_results_equal",
@@ -80,6 +81,25 @@ def make_fault_plan(seed: int, size: int, n_ops: int):
         seed, size=size, n_collectives=n_ops * 2, rate=0.15,
         kinds=("transient",), max_count=2,
     )
+
+
+def make_die_plan(seed: int, size: int, n_ops: int):
+    """One hard rank death at a seeded (rank, ordinal) cell.
+
+    Paired with the process backend's ``recover="checkpoint"``: the
+    supervisor must respawn the dead rank and the replayed attempt —
+    inject only while ``comm.recovery.recoveries == 0`` so the retry
+    runs clean — must still complete bit-identical to the fault-free
+    oracle. The ordinal stays within the first half of the op program
+    so the death always lands mid-sequence, never after the last
+    collective.
+    """
+    from repro.faults import FaultEvent, FaultPlan
+
+    rng = np.random.default_rng([0xD1E, seed])
+    rank = int(rng.integers(0, size))
+    ordinal = int(rng.integers(1, max(2, n_ops // 2)))
+    return FaultPlan([FaultEvent(rank, ordinal, "die")])
 
 
 def _rand_shape(rng) -> tuple:

@@ -197,6 +197,91 @@ class TestValidation:
                                    family="lasso-plain", seed=0, params={})
 
 
+class TestCorruptedFiles:
+    """Every on-disk corruption mode surfaces as a CheckpointError that
+    names the offending path and the reason — never a raw
+    JSONDecodeError/KeyError/TypeError escape."""
+
+    def _good_payload(self, dense_regression):
+        A, b, _ = dense_regression
+        sink = []
+        fit_lasso(A, b, 0.3, solver="bcd", mu=2, max_iter=4, tol=None,
+                  seed=SEED, checkpoint_every=4,
+                  checkpoint_sink=sink.append)
+        return sink[-1]
+
+    def _resume(self, dense_regression, path):
+        A, b, _ = dense_regression
+        return fit_lasso(A, b, 0.3, solver="bcd", mu=2, max_iter=8,
+                         seed=SEED, resume_from=str(path))
+
+    def test_missing_file_names_path(self, dense_regression, tmp_path):
+        path = tmp_path / "never_written.json"
+        with pytest.raises(CheckpointError, match="never_written"):
+            self._resume(dense_regression, path)
+
+    def test_truncated_file(self, dense_regression, tmp_path):
+        payload = self._good_payload(dense_regression)
+        path = tmp_path / "ck.json"
+        atomic_write_json(str(path), payload)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(CheckpointError, match="ck.json"):
+            self._resume(dense_regression, path)
+
+    def test_garbage_bytes(self, dense_regression, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_bytes(b"\x00\xffnot json at all\x7f")
+        with pytest.raises(CheckpointError, match="garbage.json"):
+            self._resume(dense_regression, path)
+
+    def test_non_dict_json(self, dense_regression, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(CheckpointError, match="expected"):
+            self._resume(dense_regression, path)
+
+    def test_wrong_version_on_disk(self, dense_regression, tmp_path):
+        payload = dict(self._good_payload(dense_regression),
+                       format_version=SOLVER_CHECKPOINT_VERSION + 7)
+        path = tmp_path / "vers.json"
+        atomic_write_json(str(path), payload)
+        with pytest.raises(CheckpointError, match="format_version"):
+            self._resume(dense_regression, path)
+
+    def test_garbage_seed_in_checkpoint(self, dense_regression, tmp_path):
+        payload = dict(self._good_payload(dense_regression),
+                       seed="not-a-seed")
+        path = tmp_path / "seed.json"
+        atomic_write_json(str(path), payload)
+        with pytest.raises(CheckpointError, match="seed"):
+            self._resume(dense_regression, path)
+
+    def test_garbage_state_vector(self, dense_regression, tmp_path):
+        payload = self._good_payload(dense_regression)
+        payload = dict(payload, state=dict(payload["state"], x="corrupt"))
+        path = tmp_path / "state.json"
+        atomic_write_json(str(path), payload)
+        with pytest.raises(CheckpointError):
+            self._resume(dense_regression, path)
+
+    def test_wrong_length_state_vector(self, dense_regression, tmp_path):
+        payload = self._good_payload(dense_regression)
+        payload = dict(payload, state=dict(payload["state"], x=[1.0, 2.0]))
+        path = tmp_path / "short.json"
+        atomic_write_json(str(path), payload)
+        with pytest.raises(CheckpointError):
+            self._resume(dense_regression, path)
+
+    def test_garbage_iteration(self, dense_regression, tmp_path):
+        payload = dict(self._good_payload(dense_regression),
+                       iteration="soon")
+        path = tmp_path / "iter.json"
+        atomic_write_json(str(path), payload)
+        with pytest.raises(CheckpointError, match="iteration"):
+            self._resume(dense_regression, path)
+
+
 class TestPathResume:
     def test_path_checkpoint_resume_matches_full_sweep(self,
                                                        dense_regression,

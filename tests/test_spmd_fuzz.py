@@ -18,6 +18,7 @@ from spmd_fuzz_suite import (
     assert_ledger_reconstruction,
     assert_results_equal,
     expected_results,
+    make_die_plan,
     make_fault_plan,
     make_sequence,
     run_sequence,
@@ -184,6 +185,54 @@ class TestFaultInjectionFuzz:
             )
             total += sum(led.retries for led in res.ledgers)
         assert total > 0
+
+
+class TestSupervisedRecoveryFuzz:
+    """A hard rank death under ``recover="checkpoint"`` is survived: the
+    supervisor respawns the dead rank, the replayed attempt runs clean
+    (the plan injects only while ``recoveries == 0``), and the results
+    still match the fault-free oracle bit-identically. No checkpoints
+    are emitted here, so the replay restarts the whole sequence from
+    scratch — correctness must not depend on a checkpoint existing."""
+
+    DIE_SEEDS = SEEDS[:4]
+
+    def test_die_plans_are_deterministic(self):
+        for seed in self.DIE_SEEDS:
+            size = _size_for(seed)
+            a = make_die_plan(seed, size, N_OPS)
+            b = make_die_plan(seed, size, N_OPS)
+            assert a.events == b.events
+            assert len(a.events) == 1 and a.events[0].kind == "die"
+
+    @pytest.mark.parametrize("seed", DIE_SEEDS[:2])
+    def test_process_die_recover_smoke(self, seed):
+        self._check_die_recovery(seed)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", DIE_SEEDS[2:])
+    def test_process_die_recover_full(self, seed):
+        self._check_die_recovery(seed)
+
+    def _check_die_recovery(self, seed):
+        size = _size_for(seed)
+        ops = make_sequence(seed, n_ops=N_OPS, size=size)
+        plan = make_die_plan(seed, size, N_OPS)
+
+        def work(comm, rank):
+            ctx = comm.recovery
+            wcomm = comm
+            if ctx is not None and ctx.recoveries == 0:
+                wcomm = FaultyComm(comm, plan)
+            return run_sequence(wcomm, rank, seed, ops)
+
+        res = process_spmd_run(work, size, recover="checkpoint",
+                               max_recoveries=2)
+        expected = expected_results(seed, ops, size)
+        for r in range(size):
+            assert_results_equal(res.values[r], expected[r])
+        assert all(led.recoveries >= 1 for led in res.ledgers)
+        assert all(led.respawns >= 1 for led in res.ledgers)
 
 
 class TestHarnessSelfChecks:
