@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the library's workflows:
+Seven subcommands cover the library's workflows:
 
 * ``repro lasso``      — solve a Lasso problem (registry stand-in or
   LIBSVM file);
@@ -9,6 +9,9 @@ Six subcommands cover the library's workflows:
 * ``repro svm``        — train a linear SVM the same way;
 * ``repro stream``     — replay a row-arrival schedule through the
   streaming refit engine (warm refits, optional cold baselines);
+* ``repro serve``      — multiplex N tenants over one shared backend:
+  bounded admission, deadlines, coalesced refits, per-tenant fault
+  isolation, trace-replay report with latency percentiles;
 * ``repro scaling``    — Fig.-4-style strong-scaling study;
 * ``repro plan``       — recommend the unrolling parameter s from the
   analytic Table-I model.
@@ -21,6 +24,7 @@ Examples
     python -m repro.cli lasso-path --dataset news20 --n-lambdas 16 --s 16
     python -m repro.cli svm --file data.svm --loss l2 --s 64 --tol 1e-2
     python -m repro.cli stream --dataset covtype --schedule 40,40,20 --compare-cold
+    python -m repro.cli serve --dataset covtype --tenants 3 --requests 24
     python -m repro.cli scaling --dataset url --ps 3072,6144,12288 --s 32
     python -m repro.cli plan --dataset covtype --p 3072
 """
@@ -164,7 +168,8 @@ def build_parser() -> argparse.ArgumentParser:
                              "order: N or +N appends the next N rows of the "
                              "dataset tail, -N evicts the N oldest surviving "
                              "rows, ~N rewrites the labels of the N oldest "
-                             "surviving rows (negated in place). A schedule "
+                             "surviving rows (negated in place), @S idles S "
+                             "virtual seconds without refitting. A schedule "
                              "starting with an eviction needs the "
                              "--schedule=\"-N,...\" form (argparse reads a "
                              "bare leading dash as an option). Default: "
@@ -212,6 +217,63 @@ def build_parser() -> argparse.ArgumentParser:
                              "already-applied events are skipped and the "
                              "final report matches an uninterrupted run")
     _add_backend_args(stream)
+
+    serve = sub.add_parser(
+        "serve",
+        help="multi-tenant serving: admission control, deadlines, "
+             "coalesced refits, per-tenant fault isolation",
+    )
+    _add_data_args(serve)
+    _add_model_args(serve)
+    serve.add_argument("--tenants", type=int, default=3,
+                       help="tenant count; the dataset's rows are split "
+                            "into contiguous per-tenant blocks (tenants "
+                            "are named t0..tN-1)")
+    serve.add_argument("--task", default="auto",
+                       choices=["auto", "lasso", "svm"])
+    serve.add_argument("--tail-frac", type=float, default=0.3,
+                       help="fraction of each tenant's block held out of "
+                            "the onboarding fit and consumed by appends")
+    serve.add_argument("--trace", metavar="PATH",
+                       help="timestamped arrival trace (JSON/JSONL with "
+                            "t/tenant/op/rows records; tenant names must "
+                            "be t0..tN-1); default: a synthetic trace")
+    serve.add_argument("--requests", type=int, default=24,
+                       help="synthetic trace: request count")
+    serve.add_argument("--gap", type=float, default=0.0,
+                       help="synthetic trace: mean inter-arrival gap in "
+                            "virtual seconds (0 = one burst at t=0)")
+    serve.add_argument("--rows", type=int, default=2,
+                       help="synthetic trace: rows per append/predict")
+    serve.add_argument("--predict-frac", type=float, default=0.25,
+                       help="synthetic trace: fraction of predict requests")
+    serve.add_argument("--queue-depth", type=int, default=8,
+                       help="bounded admission queue; a full queue rejects "
+                            "with a typed retry-after error")
+    serve.add_argument("--max-coalesce", type=int, default=8,
+                       help="consecutive appends batched into one refit")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="default per-request deadline in virtual "
+                            "seconds from arrival (expired requests fail; "
+                            "an all-late refit is rolled back)")
+    serve.add_argument("--max-faults", type=int, default=1,
+                       help="per-tenant fault budget before quarantine "
+                            "(last-good model stays servable)")
+    serve.add_argument("--solver", default=None,
+                       help="solver override (default: sa-accbcd / sa-svm)")
+    serve.add_argument("--loss", default="l2", choices=["l1", "l2"])
+    serve.add_argument("--lam", type=float, default=None)
+    serve.add_argument("--mu", type=int, default=8)
+    serve.add_argument("--s", type=int, default=16)
+    serve.add_argument("--max-iter", type=int, default=1000)
+    serve.add_argument("--tol", type=float, default=1e-8)
+    serve.add_argument("--checkpoint", metavar="PATH",
+                       help="write a resumable serve-engine checkpoint "
+                            "here (atomically, after every dispatch)")
+    serve.add_argument("--resume", metavar="PATH",
+                       help="continue a killed serving run from a "
+                            "--checkpoint file (same data/trace/knobs)")
+    _add_backend_args(serve)
 
     svm = sub.add_parser("svm", help="train a linear SVM")
     _add_data_args(svm)
@@ -388,11 +450,27 @@ def _stream_schedule(args, m: int) -> list:
     Returns ``(op, count)`` pairs: ``("append", N)`` consumes the next N
     rows of the dataset tail, ``("evict", N)`` retires the N oldest
     surviving rows, ``("labels", N)`` negates the N oldest surviving
-    rows' labels in place.
+    rows' labels in place, and ``("sleep", S)`` advances virtual time by
+    S seconds without refitting (``@S`` tokens).
     """
     ops = []
     if args.schedule:
         for tok in (t.strip() for t in args.schedule.split(",") if t.strip()):
+            if tok.startswith("@"):
+                # virtual-time gap between events (no rows, no refit)
+                try:
+                    seconds = float(tok[1:])
+                except ValueError:
+                    raise ReproError(
+                        f"bad schedule token {tok!r}: @S needs a number of "
+                        "virtual seconds"
+                    ) from None
+                if not seconds > 0:
+                    raise ReproError(
+                        f"sleep token {tok!r} needs positive seconds"
+                    )
+                ops.append(("sleep", seconds))
+                continue
             kind, digits = "append", tok.lstrip("+")
             if tok.startswith("-"):
                 kind, digits = "evict", tok[1:]
@@ -403,13 +481,13 @@ def _stream_schedule(args, m: int) -> list:
             except ValueError:
                 raise ReproError(
                     f"bad schedule token {tok!r}: expected N, +N, -N, or ~N "
-                    "row counts"
+                    "row counts, or @S virtual-time sleeps"
                 ) from None
             ops.append((kind, count))
     else:
         k = max(1, int(round(args.batch_frac * m)))
         ops = [("append", k)] * args.batches
-    if not ops or any(c < 1 for _, c in ops):
+    if not ops or any(c < 1 for op, c in ops if op != "sleep"):
         raise ReproError(
             f"schedule events need positive row counts, got {args.schedule!r}"
         )
@@ -441,6 +519,8 @@ def _cmd_stream(args) -> int:
             lo += c
         elif op == "evict":
             events.append(("evict_oldest", c))
+        elif op == "sleep":
+            events.append(("sleep", c))
         else:
             events.append(("relabel_oldest", c))
     report = replay_schedule(
@@ -490,6 +570,101 @@ def _cmd_stream(args) -> int:
         warm_s = totals["warm_refit_cost"]["seconds"]
         print(f"total cold re-solve modelled time: {cold_s * 1e3:.4g} ms "
               f"(warm/cold {warm_s / max(cold_s, 1e-300):.3f})")
+    if args.save:
+        atomic_write_json(args.save, report)
+        print(f"saved to {args.save}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import TenantSpec, load_trace, serve_trace, synthetic_trace
+
+    _check_recover_args(args)
+    ds = _load_problem(args)
+    task = args.task if args.task != "auto" else getattr(ds, "task", "lasso")
+    machine = get_machine(args.machine)
+    m = ds.A.shape[0]
+    if args.tenants < 1:
+        raise ReproError(f"--tenants must be >= 1, got {args.tenants}")
+    block = m // args.tenants
+    if block < 4:
+        raise ReproError(
+            f"dataset has {m} rows; too few for {args.tenants} tenants "
+            f"(each needs at least 4 rows)"
+        )
+    if not 0.0 < args.tail_frac < 1.0:
+        raise ReproError(
+            f"--tail-frac must be in (0, 1), got {args.tail_frac}"
+        )
+    knobs = dict(
+        solver=args.solver, loss=args.loss, mu=args.mu, s=args.s,
+        max_iter=args.max_iter, tol=args.tol, seed=args.seed,
+        pipeline=args.pipeline,
+    )
+    specs, budget = [], {}
+    for i in range(args.tenants):
+        name = f"t{i}"
+        lo = i * block
+        tail = max(1, int(round(args.tail_frac * block)))
+        m0 = block - tail
+        specs.append(TenantSpec(
+            name=name, A=ds.A[lo:lo + block], b=ds.b[lo:lo + block],
+            m0=m0, task=task, lam=args.lam, knobs=knobs,
+        ))
+        budget[name] = tail
+    if args.trace:
+        trace = load_trace(args.trace)
+    else:
+        trace = synthetic_trace(
+            [s.name for s in specs], args.requests, seed=args.seed,
+            mean_gap=args.gap, rows=args.rows,
+            predict_frac=args.predict_frac, deadline=None,
+            append_budget=budget,
+        )
+    report = serve_trace(
+        specs, trace, queue_depth=args.queue_depth,
+        max_coalesce=args.max_coalesce, deadline=args.deadline,
+        tenant_max_faults=args.max_faults, backend=args.backend,
+        ranks=args.ranks, virtual_p=args.p, machine=machine,
+        recover=args.recover, max_recoveries=args.max_recoveries,
+        checkpoint_path=args.checkpoint, resume_from=args.resume,
+    )
+    rows = []
+    for t in report["tenants"]:
+        req = t["requests"]
+        cost_ms = (t["cost"]["setup"]["seconds"]
+                   + t["cost"]["serve"]["seconds"]) * 1e3
+        rows.append([
+            t["name"], t["state"], req["completed"], req["rejected"],
+            req["timed_out"], req["failed"] + req["quarantined"],
+            f"{t['latency']['p50'] * 1e3:.4g}",
+            f"{t['latency']['p99'] * 1e3:.4g}",
+            f"{cost_ms:.4g}",
+        ])
+    print(format_table(
+        ["tenant", "state", "ok", "rej", "late", "fail", "p50 ms",
+         "p99 ms", "cost ms"],
+        rows,
+        title=f"serving {len(specs)} {task} tenants "
+              f"(queue depth {args.queue_depth}, "
+              f"coalesce {args.max_coalesce})",
+    ))
+    tot = report["totals"]
+    out = tot["outcomes"]
+    print(f"requests: {tot['requests']}  completed {out['completed']}  "
+          f"rejected {out['rejected']}  timed out {out['timed_out']}  "
+          f"failed {out['failed']}  quarantined {out['quarantined']}")
+    print(f"makespan {tot['makespan_seconds'] * 1e3:.4g} ms "
+          f"(idle {tot['idle_seconds'] * 1e3:.4g} ms), "
+          f"throughput {tot['throughput_rps']:.4g} req/s, "
+          f"p50/p95/p99 {tot['latency']['p50'] * 1e3:.4g}/"
+          f"{tot['latency']['p95'] * 1e3:.4g}/"
+          f"{tot['latency']['p99'] * 1e3:.4g} ms")
+    rec = report["recovery"]
+    if rec["recoveries"] or rec["replayed_requests"]:
+        print(f"recovery: {rec['recoveries']} recoveries, "
+              f"{rec['respawns']} respawns, "
+              f"{rec['replayed_requests']} requests replayed")
     if args.save:
         atomic_write_json(args.save, report)
         print(f"saved to {args.save}")
@@ -564,6 +739,7 @@ _COMMANDS = {
     "lasso-path": _cmd_lasso_path,
     "svm": _cmd_svm,
     "stream": _cmd_stream,
+    "serve": _cmd_serve,
     "scaling": _cmd_scaling,
     "plan": _cmd_plan,
 }

@@ -20,6 +20,10 @@ __all__ = [
     "ConvergenceError",
     "CostModelError",
     "CheckpointError",
+    "ServeError",
+    "AdmissionError",
+    "DeadlineError",
+    "TenantQuarantinedError",
 ]
 
 
@@ -100,3 +104,57 @@ class CostModelError(ReproError):
 
 class CheckpointError(ReproError):
     """A checkpoint could not be produced, parsed, or resumed from."""
+
+
+class ServeError(ReproError):
+    """The multi-tenant serving engine was misconfigured or misused
+    (unknown tenant, malformed trace, invalid engine state)."""
+
+
+class AdmissionError(ServeError):
+    """A request was rejected at admission: the bounded queue is full.
+
+    Explicit backpressure instead of unbounded growth: the error names
+    the queue depth it bounced off (``queue_depth``) and carries a
+    modelled retry hint (``retry_after``, virtual seconds — an estimate
+    of when capacity frees up, 0.0 when the engine has no service-time
+    history yet).
+    """
+
+    def __init__(self, message: str, *, queue_depth: int = 0,
+                 retry_after: float = 0.0):
+        super().__init__(message)
+        self.queue_depth = int(queue_depth)
+        self.retry_after = float(retry_after)
+
+
+class DeadlineError(ServeError):
+    """A request missed its per-request deadline.
+
+    Raised/recorded for requests that expire while queued, and for
+    refits whose completion lands past every coalesced member's
+    deadline (the refit is rolled back — the tenant keeps serving its
+    last committed model). ``latency`` is the virtual seconds the
+    request had been waiting; ``deadline`` the budget it missed.
+    """
+
+    def __init__(self, message: str, *, deadline: float = 0.0,
+                 latency: float = 0.0):
+        super().__init__(message)
+        self.deadline = float(deadline)
+        self.latency = float(latency)
+
+
+class TenantQuarantinedError(ServeError):
+    """A mutating request was refused because its tenant is quarantined.
+
+    The tenant exceeded its fault budget (rank deaths, comm deadlines,
+    or solver divergence during its refits); its last committed model
+    stays servable (``predict`` requests are still admitted) while other
+    tenants are unaffected.
+    """
+
+    def __init__(self, message: str, *, tenant: str = "", faults: int = 0):
+        super().__init__(message)
+        self.tenant = tenant
+        self.faults = int(faults)

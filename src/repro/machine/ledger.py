@@ -137,6 +137,18 @@ class CostLedger:
     respawns: int = 0
     #: iterations restored from the latest checkpoint instead of re-run
     replayed_iterations: int = 0
+    #: modelled seconds this rank sat idle (serving engine waiting for
+    #: the next arrival, or an explicit ``("sleep", s)`` schedule token);
+    #: virtual time only — no wall clock is ever spent
+    idle_seconds: float = 0.0
+    #: serving-layer request counters (multi-tenant engine; see
+    #: :mod:`repro.serve`) — admission rejections, per-request deadline
+    #: misses, requests refused because their tenant is quarantined, and
+    #: requests replayed to completion after a supervised recovery
+    requests_rejected: int = 0
+    requests_timed_out: int = 0
+    requests_quarantined: int = 0
+    requests_recovered: int = 0
     #: when False, charges are dropped (used while evaluating diagnostics
     #: such as objective values that the measured algorithm never computes)
     enabled: bool = True
@@ -201,6 +213,23 @@ class CostLedger:
                 * self.imbalance
             )
 
+    def add_idle(self, seconds: float) -> None:
+        """Charge modelled idle time (virtual sleep; no wall clock).
+
+        Used by the serving engine when the admission queue drains and
+        the virtual clock jumps to the next trace arrival, and by the
+        streaming replayer's ``("sleep", seconds)`` schedule token.
+        Tracked separately from ``comm_seconds``/``compute_seconds``:
+        idle time advances the serving clock but is not algorithmic
+        cost, so it never contaminates warm-refit measurements.
+        """
+        if seconds < 0:
+            raise CostModelError(
+                f"idle seconds must be non-negative, got {seconds}"
+            )
+        if self.enabled:
+            self.idle_seconds += float(seconds)
+
     def add_retry(self) -> None:
         """Record one transient-fault retry of a collective."""
         if self.enabled:
@@ -225,6 +254,24 @@ class CostLedger:
             self.recoveries += 1
             self.respawns += int(respawns)
             self.replayed_iterations += int(replayed_iterations)
+
+    def add_request_event(self, kind: str, count: int = 1) -> None:
+        """Record ``count`` serving-layer request outcomes.
+
+        ``kind`` is one of ``"rejected"`` (admission queue full),
+        ``"timed_out"`` (per-request deadline missed), ``"quarantined"``
+        (request refused because its tenant is quarantined), or
+        ``"recovered"`` (request replayed to completion after a
+        supervised recovery). Like the recovery counters these are
+        bookkeeping, not modelled cost.
+        """
+        if kind not in ("rejected", "timed_out", "quarantined", "recovered"):
+            raise CostModelError(f"unknown request-event kind {kind!r}")
+        if count < 0:
+            raise CostModelError(f"count must be non-negative, got {count}")
+        if self.enabled:
+            attr = f"requests_{kind}"
+            setattr(self, attr, getattr(self, attr) + int(count))
 
     @contextmanager
     def paused(self) -> Iterator["CostLedger"]:
@@ -304,6 +351,11 @@ class CostLedger:
         self.recoveries = 0
         self.respawns = 0
         self.replayed_iterations = 0
+        self.idle_seconds = 0.0
+        self.requests_rejected = 0
+        self.requests_timed_out = 0
+        self.requests_quarantined = 0
+        self.requests_recovered = 0
         self.by_collective.clear()
         self.by_kind.clear()
 
@@ -322,6 +374,11 @@ class CostLedger:
             "recoveries": self.recoveries,
             "respawns": self.respawns,
             "replayed_iterations": self.replayed_iterations,
+            "idle_seconds": self.idle_seconds,
+            "requests_rejected": self.requests_rejected,
+            "requests_timed_out": self.requests_timed_out,
+            "requests_quarantined": self.requests_quarantined,
+            "requests_recovered": self.requests_recovered,
             "by_collective": {
                 k: {
                     "calls": v[0],

@@ -677,12 +677,17 @@ class RecoveryContext:
 
     ``recoveries``/``respawns``/``replayed_iterations`` mirror the
     supervisor's counters at dispatch time so in-job cost snapshots
-    carry them.
+    carry them. :attr:`last_failure` classifies what triggered the most
+    recent recovery round (``"rank-died"`` / ``"timeout"``; ``None`` on
+    a first attempt) — resumable entry points that distinguish a retry
+    from a cancel (the multi-tenant serving engine fails a timed-out
+    request but replays one interrupted by a death) branch on it.
     """
 
     __slots__ = (
         "rank", "job_id", "attempt", "mode", "resume",
-        "recoveries", "respawns", "replayed_iterations", "_report",
+        "recoveries", "respawns", "replayed_iterations", "last_failure",
+        "_report",
     )
 
     def __init__(
@@ -695,6 +700,7 @@ class RecoveryContext:
         recoveries: int = 0,
         respawns: int = 0,
         replayed_iterations: int = 0,
+        last_failure: str | None = None,
         _report: Callable[[tuple], None] | None = None,
     ) -> None:
         self.rank = rank
@@ -705,6 +711,7 @@ class RecoveryContext:
         self.recoveries = recoveries
         self.respawns = respawns
         self.replayed_iterations = replayed_iterations
+        self.last_failure = last_failure
         self._report = _report
 
     @property
@@ -1097,6 +1104,7 @@ class WorkerPool:
         recoveries = 0
         respawns = 0
         replayed = 0
+        last_failure: str | None = None
         ckpt = None
         deadline = (
             None if self._timeout is None
@@ -1110,6 +1118,7 @@ class WorkerPool:
                 "recoveries": recoveries,
                 "respawns": respawns,
                 "replayed_iterations": replayed,
+                "last_failure": last_failure,
             }
             if self._started:
                 # between attempts (and between jobs) every live worker
@@ -1161,6 +1170,17 @@ class WorkerPool:
                 and failure_signal
             ):
                 recoveries += 1
+                # classify the trigger for the redispatched attempt:
+                # deaths dominate (a timeout echo often accompanies a
+                # death via the aborted barrier), then pure deadlines
+                if dead_unreported or any(
+                    isinstance(e, RankDiedError) for e in present
+                ):
+                    last_failure = "rank-died"
+                elif any(isinstance(e, CommTimeoutError) for e in present):
+                    last_failure = "timeout"
+                else:
+                    last_failure = "rank-died"
                 dead = sorted(set(dead_unreported) | {
                     r for r in range(self.size)
                     if self._world._dead[r]
@@ -1181,12 +1201,15 @@ class WorkerPool:
                     # to redo — saved by checkpointing, cumulative across
                     # recovery rounds. Solver checkpoints count
                     # iterations, path checkpoints completed grid points,
-                    # streaming checkpoints applied events.
+                    # streaming checkpoints applied events, serving
+                    # checkpoints resolved requests.
                     units = ckpt.get("iteration")
                     if units is None:
                         units = ckpt.get("completed")
                     if units is None:
                         units = ckpt.get("events_applied")
+                    if units is None:
+                        units = ckpt.get("requests_done")
                     replayed += int(units or 0)
                 attempt += 1
                 continue

@@ -1,0 +1,49 @@
+"""Multi-tenant serving engine: admission control, deadlines,
+backpressure, and per-tenant fault isolation over the supervised
+SPMD worker pool.
+
+Public surface:
+
+* :func:`~repro.serve.engine.serve_trace` — replay a timestamped
+  arrival trace over N tenants, return the versioned report;
+* :class:`~repro.serve.engine.TenantSpec` — one tenant's data + solver
+  configuration;
+* :class:`~repro.serve.trace.TraceEvent` / :func:`~repro.serve.trace.
+  load_trace` / :func:`~repro.serve.trace.synthetic_trace` — traces;
+* :class:`~repro.serve.admission.AdmissionQueue` — the bounded,
+  tenant-fair admission queue (exposed for tests and tooling).
+
+See ``docs/SERVING.md`` for the architecture and the admission /
+deadline / quarantine state machine.
+"""
+
+from repro.serve.admission import AdmissionQueue
+from repro.serve.engine import TenantSpec, serve_trace
+from repro.serve.report import (
+    SERVE_CHECKPOINT_VERSION,
+    SERVE_REPORT_VERSION,
+    build_report,
+    latency_stats,
+)
+from repro.serve.trace import (
+    TRACE_OPS,
+    TraceEvent,
+    load_trace,
+    synthetic_trace,
+    validate_trace,
+)
+
+__all__ = [
+    "serve_trace",
+    "TenantSpec",
+    "TraceEvent",
+    "TRACE_OPS",
+    "load_trace",
+    "synthetic_trace",
+    "validate_trace",
+    "AdmissionQueue",
+    "SERVE_REPORT_VERSION",
+    "SERVE_CHECKPOINT_VERSION",
+    "build_report",
+    "latency_stats",
+]

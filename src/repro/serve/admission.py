@@ -1,0 +1,152 @@
+"""Bounded admission queue with per-tenant fairness and append coalescing.
+
+The queue is the engine's backpressure boundary. Capacity is a single
+global bound (``depth``) shared by all tenants — when it is full,
+:meth:`AdmissionQueue.offer` raises :class:`~repro.errors.AdmissionError`
+naming the depth it bounced off, and the engine records the rejection
+instead of growing memory without limit.
+
+Inside the bound, tenants are isolated from each other's load:
+
+* each tenant has its own FIFO, so a burst from tenant A queues behind
+  A's own work, not in front of B's;
+* :meth:`next_batch` serves tenant FIFOs round-robin with a persistent
+  cursor, so a tenant that saturates the queue cannot starve the
+  others — every tenant with pending work is visited once per cycle;
+* consecutive ``append`` requests at the head of a tenant's FIFO are
+  coalesced (up to ``max_coalesce``) into one batch, amortising one
+  warm refit over many arrivals. Evict/relabel/predict requests are
+  never coalesced: they are barriers, so replay order stays exactly
+  the arrival order within a tenant.
+
+State is tiny (request indices + the round-robin cursor), so the queue
+checkpoints alongside the engine via :meth:`to_state` /
+:meth:`from_state` and survives rank-death recovery.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import AdmissionError, ServeError
+
+__all__ = ["AdmissionQueue"]
+
+
+class AdmissionQueue:
+    """Bounded multi-tenant FIFO with round-robin dispatch.
+
+    Items are opaque integer request indices (the engine indexes into
+    its request table); the queue only needs each item's tenant and,
+    for coalescing, whether it is an ``append``.
+    """
+
+    def __init__(self, depth: int, tenants, *, max_coalesce: int = 8):
+        depth = int(depth)
+        if depth < 1:
+            raise ServeError(f"queue depth must be >= 1, got {depth}")
+        max_coalesce = int(max_coalesce)
+        if max_coalesce < 1:
+            raise ServeError(f"max_coalesce must be >= 1, got {max_coalesce}")
+        names = list(tenants)
+        if not names:
+            raise ServeError("AdmissionQueue needs at least one tenant")
+        if len(set(names)) != len(names):
+            raise ServeError(f"duplicate tenant names: {names}")
+        self.depth = depth
+        self.max_coalesce = max_coalesce
+        self._names = names
+        self._fifos = {name: deque() for name in names}
+        self._occupancy = 0
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return self._occupancy
+
+    @property
+    def full(self) -> bool:
+        return self._occupancy >= self.depth
+
+    def pending(self, tenant: str) -> int:
+        """Queued request count for one tenant."""
+        return len(self._fifos[tenant])
+
+    def offer(self, eidx: int, tenant: str, *, is_append: bool,
+              retry_after: float = 0.0) -> None:
+        """Enqueue request ``eidx`` for ``tenant`` or reject with
+        :class:`AdmissionError` when the global bound is hit."""
+        if tenant not in self._fifos:
+            raise ServeError(f"unknown tenant {tenant!r}")
+        if self._occupancy >= self.depth:
+            raise AdmissionError(
+                f"admission queue full (depth {self.depth}): rejecting "
+                f"request for tenant {tenant!r}",
+                queue_depth=self.depth,
+                retry_after=retry_after,
+            )
+        self._fifos[tenant].append((int(eidx), bool(is_append)))
+        self._occupancy += 1
+
+    def push_front(self, eidx: int, tenant: str, *, is_append: bool) -> None:
+        """Re-enqueue at the head of a tenant's FIFO (recovery replay).
+
+        Bypasses the capacity bound: the request already held a slot
+        when the fault struck, so replaying it must not be rejectable.
+        """
+        if tenant not in self._fifos:
+            raise ServeError(f"unknown tenant {tenant!r}")
+        self._fifos[tenant].appendleft((int(eidx), bool(is_append)))
+        self._occupancy += 1
+
+    def next_batch(self):
+        """Pop the next dispatch batch: ``(tenant, [eidx, ...])``.
+
+        Round-robin over tenant FIFOs from the persistent cursor; the
+        head request is popped, and while it is an ``append``, further
+        consecutive appends are coalesced up to ``max_coalesce``.
+        Returns ``None`` when the queue is empty.
+        """
+        n = len(self._names)
+        for step in range(n):
+            name = self._names[(self._cursor + step) % n]
+            fifo = self._fifos[name]
+            if not fifo:
+                continue
+            # next cycle starts after the tenant we just served
+            self._cursor = (self._cursor + step + 1) % n
+            eidx, is_append = fifo.popleft()
+            self._occupancy -= 1
+            batch = [eidx]
+            while (is_append and len(batch) < self.max_coalesce
+                   and fifo and fifo[0][1]):
+                batch.append(fifo.popleft()[0])
+                self._occupancy -= 1
+            return name, batch
+        return None
+
+    def to_state(self) -> dict:
+        """JSON-serialisable snapshot (request indices + cursor)."""
+        return {
+            "cursor": self._cursor,
+            "fifos": {
+                name: [[e, bool(a)] for e, a in fifo]
+                for name, fifo in self._fifos.items()
+            },
+        }
+
+    def from_state(self, state: dict) -> None:
+        """Restore a :meth:`to_state` snapshot in place."""
+        fifos = state.get("fifos", {})
+        if set(fifos) != set(self._names):
+            raise ServeError(
+                "queue checkpoint tenants do not match engine tenants: "
+                f"{sorted(fifos)} vs {sorted(self._names)}"
+            )
+        self._cursor = int(state.get("cursor", 0)) % len(self._names)
+        occupancy = 0
+        for name in self._names:
+            self._fifos[name] = deque(
+                (int(e), bool(a)) for e, a in fifos[name]
+            )
+            occupancy += len(self._fifos[name])
+        self._occupancy = occupancy

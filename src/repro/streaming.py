@@ -87,8 +87,11 @@ __all__ = [
 #: report schema version emitted by :func:`replay_schedule` (and the
 #: ``repro stream`` CLI's ``--save``); v2 added eviction / label-edit
 #: events, the structured ``schedule`` entries, and per-revision
-#: ``rows_removed`` / ``labels_changed`` / ``evict_cost``
-STREAM_REPORT_VERSION = 2
+#: ``rows_removed`` / ``labels_changed`` / ``evict_cost``; v3 added the
+#: ``("sleep", seconds)`` virtual-time token (``seconds`` on its
+#: schedule entry, ``totals.slept_seconds``) shared with the serving
+#: engine's trace replayer (:mod:`repro.serve`)
+STREAM_REPORT_VERSION = 3
 
 #: format version of streaming checkpoints (:meth:`StreamingSweep.
 #: checkpoint` engine snapshots and the ``kind="streaming-replay"``
@@ -922,10 +925,15 @@ def _normalize_events(batches) -> list:
 
     Accepted entries: a plain ``(B, y)`` pair (row arrival, backward
     compatible), or an op-tagged tuple — ``("append", B, y)``,
-    ``("evict", ids)`` / ``("evict_oldest", n)``, and
-    ``("labels", ids, y_new)`` / ``("relabel_oldest", n)`` (the latter
-    negates the current labels of the ``n`` oldest surviving rows, a
-    deterministic label edit valid for both tasks).
+    ``("evict", ids)`` / ``("evict_oldest", n)``, ``("labels", ids,
+    y_new)`` / ``("relabel_oldest", n)`` (the latter negates the current
+    labels of the ``n`` oldest surviving rows, a deterministic label
+    edit valid for both tasks), and ``("sleep", seconds)`` — advance
+    virtual time by ``seconds`` without touching the data or refitting
+    (charged to the ledger as idle time; no wall clock is spent). The
+    sleep token is how timestamped arrival traces are expressed in the
+    schedule vocabulary shared with the serving engine
+    (:mod:`repro.serve`).
     """
     events = []
     for ev in batches:
@@ -951,6 +959,13 @@ def _normalize_events(batches) -> list:
             ))
         elif op == "relabel_oldest" and len(ev) == 2:
             events.append(("relabel_oldest", int(ev[1])))
+        elif op == "sleep" and len(ev) == 2:
+            seconds = float(ev[1])
+            if not np.isfinite(seconds) or seconds < 0:
+                raise SolverError(
+                    f"sleep seconds must be finite and >= 0, got {ev[1]!r}"
+                )
+            events.append(("sleep", seconds))
         else:
             raise SolverError(f"unknown streaming event {ev!r}")
     return events
@@ -967,6 +982,8 @@ def _sched_entry(ev) -> dict:
     op = ev[0]
     if op == "append":
         return {"op": "append", "rows": int(ev[1].shape[0])}
+    if op == "sleep":
+        return {"op": "sleep", "rows": 0, "seconds": float(ev[1])}
     if op in ("evict", "labels"):
         return {"op": op, "rows": int(len(ev[1]))}
     # the *_oldest ops carry a count, not ids
@@ -1076,6 +1093,7 @@ def replay_schedule(
             engine = StreamingSweep.from_checkpoint(rck["engine"], comm=comm)
             lam_used = rck["lam_used"]
             entries = list(rck["entries"])
+            slept = float(rck.get("slept_seconds", 0.0))
         else:
             engine = StreamingSweep(
                 A, b, task=task, comm=comm, max_rows=max_rows, **knobs
@@ -1088,6 +1106,7 @@ def replay_schedule(
                 lam_used = 0.1 * engine.lambda_max if task == "lasso" else 1.0
             applied = 0
             entries = []
+            slept = 0.0
 
         def emit_replay_ck(n_applied):
             if checkpoint_path is None and rctx is None:
@@ -1099,6 +1118,7 @@ def replay_schedule(
                 "kind": "streaming-replay",
                 "task": task,
                 "events_applied": int(n_applied),
+                "slept_seconds": float(slept),
                 "lam_used": float(lam_used),
                 "warm_start": bool(warm_start),
                 "entries": entries,
@@ -1178,6 +1198,15 @@ def replay_schedule(
             entries.append(entry(engine.revisions[0], res0, None))
             emit_replay_ck(applied)
         for ev in events[applied:]:
+            if ev[0] == "sleep":
+                # virtual time only: charge the ledger's idle counter,
+                # advance the replay clock, no revision and no refit —
+                # but the event still counts as applied for resume
+                comm.ledger.add_idle(ev[1])
+                slept += ev[1]
+                applied += 1
+                emit_replay_ck(applied)
+                continue
             before = engine.revision
             apply_event(ev)
             applied += 1
@@ -1223,6 +1252,7 @@ def replay_schedule(
                 ),
             },
             "totals": {
+                "slept_seconds": float(slept),
                 "warm_refit_cost": _sum_cost_dicts(warm_costs),
                 "cold_resolve_cost": (
                     _sum_cost_dicts(cold_costs) if cold_costs else None

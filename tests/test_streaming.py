@@ -453,7 +453,7 @@ class TestReplaySchedule:
                               mu=2, s=8, max_iter=64, tol=None,
                               virtual_p=64, machine=CRAY_XC30,
                               compare_cold=True)
-        assert rep["format_version"] == 2
+        assert rep["format_version"] == 3
         assert rep["task"] == "lasso" and rep["solver"] == "sa-accbcd"
         assert rep["schedule"] == [
             {"op": "append", "rows": B.shape[0]} for B, _ in batches

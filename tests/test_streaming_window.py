@@ -540,7 +540,7 @@ class TestReplayEvents:
             task="lasso", lam=0.5, mu=2, s=8, max_iter=48, tol=None,
             virtual_p=8, machine=CRAY_XC30, compare_cold=True,
         )
-        assert rep["format_version"] == 2
+        assert rep["format_version"] == 3
         assert rep["max_rows"] is None
         assert rep["schedule"] == [
             {"op": "append", "rows": 30}, {"op": "evict", "rows": 12},
