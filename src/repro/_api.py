@@ -13,7 +13,7 @@ from repro.errors import SolverError
 from repro.machine.spec import MachineSpec
 from repro.mpi.comm import Comm
 from repro.mpi.process_backend import process_spmd_run
-from repro.mpi.thread_backend import spmd_run
+from repro.mpi.thread_backend import NB_RING_DEPTH, spmd_run
 from repro.mpi.virtual_backend import VirtualComm
 from repro.solvers.base import SolverResult
 from repro.solvers.lasso import acc_bcd, bcd, sa_acc_bcd, sa_bcd
@@ -53,18 +53,42 @@ def _check_backend(backend: str, comm, recover: str) -> None:
 
 
 def _run_spmd(work, *, backend, ranks, machine, cost_size, recover,
-              max_recoveries):
+              max_recoveries, nb_depth=NB_RING_DEPTH):
     """Run ``work(comm, rank)`` on a real backend; return rank 0's value."""
     if ranks < 1:
         raise SolverError(f"ranks must be >= 1, got {ranks}")
     if backend == "thread":
-        out = spmd_run(work, ranks, machine=machine, cost_size=cost_size)
+        out = spmd_run(
+            work, ranks, machine=machine, cost_size=cost_size,
+            nb_depth=nb_depth,
+        )
     else:
         out = process_spmd_run(
             work, ranks, machine=machine, cost_size=cost_size,
             recover=recover, max_recoveries=max_recoveries,
+            nb_depth=nb_depth,
         )
     return out.values[0]
+
+
+def _check_async(async_: bool, tau: int, pipeline: bool, is_sa: bool,
+                 solver: str) -> None:
+    """Shared validation for the bounded-staleness knobs."""
+    if tau < 0:
+        raise SolverError(f"tau must be >= 0, got {tau}")
+    if not async_:
+        return
+    if not is_sa:
+        raise SolverError(
+            f"async_=True needs an SA solver (one reduction per s "
+            f"iterations to run ahead of); {solver!r} synchronises every "
+            "iteration"
+        )
+    if pipeline:
+        raise SolverError(
+            "async_=True and pipeline=True are mutually exclusive: "
+            "pipelining is the tau=0 special case of async_"
+        )
 
 
 def _recovery_knobs(comm, checkpoint_every, checkpoint_sink, resume_from,
@@ -116,6 +140,8 @@ def fit_lasso(
     fast: bool = True,
     parity: str = "exact",
     pipeline: bool = False,
+    async_: bool = False,
+    tau: int = 1,
     eig_memo=None,
     checkpoint_every: int = 0,
     checkpoint_sink=None,
@@ -155,6 +181,16 @@ def fit_lasso(
         is in flight (identical iterates; only unoverlapped latency is
         charged). Raises for non-SA solvers, which have nothing to
         overlap.
+    async_, tau:
+        SA solvers only: bounded-staleness mode — keep up to ``tau + 1``
+        packed reductions in flight and harvest the oldest, so each
+        outer step may run against residual data up to ``tau`` outer
+        steps stale. Weaker contract than ``pipeline`` (mutually
+        exclusive with it): convergence to the synchronous objective
+        within tolerance rather than bit-parity; ``tau=0`` degenerates
+        to the pipelined schedule bit for bit. Real backends get their
+        nonblocking ring sized to ``tau + 2`` automatically; the
+        result's ``cost`` carries ``stale_seconds``/``max_staleness``.
     eig_memo:
         Explicit :class:`~repro.linalg.kernels.EigMemo` for the SA fused
         loops; None (default) shares the process-wide memo.
@@ -187,6 +223,7 @@ def fit_lasso(
             f"pipeline=True needs an SA solver (one reduction per s "
             f"iterations to hide); {solver!r} synchronises every iteration"
         )
+    _check_async(async_, tau, pipeline, is_sa, solver)
     _check_backend(backend, comm, recover)
 
     def _solve(wcomm, ck_every, ck_sink, ck_resume):
@@ -198,7 +235,7 @@ def fit_lasso(
         )
         if is_sa:
             kwargs.update(s=s, fast=fast, parity=parity, pipeline=pipeline,
-                          eig_memo=eig_memo)
+                          async_=async_, tau=tau, eig_memo=eig_memo)
         return fn(A, b, lam, **kwargs)
 
     if backend == "virtual":
@@ -217,6 +254,7 @@ def fit_lasso(
         work, backend=backend, ranks=ranks, machine=machine,
         cost_size=max(virtual_p, ranks), recover=recover,
         max_recoveries=max_recoveries,
+        nb_depth=tau + 2 if async_ else NB_RING_DEPTH,
     )
 
 
@@ -239,6 +277,8 @@ def fit_svm(
     fast: bool = True,
     parity: str = "exact",
     pipeline: bool = False,
+    async_: bool = False,
+    tau: int = 1,
     checkpoint_every: int = 0,
     checkpoint_sink=None,
     resume_from=None,
@@ -267,6 +307,10 @@ def fit_svm(
         ``"sa-svm"`` only: nonblocking per-outer-step reduction with the
         next row block prefetched while it is in flight (see
         :func:`fit_lasso`).
+    async_, tau:
+        ``"sa-svm"`` only: bounded-staleness mode, as in
+        :func:`fit_lasso` (convergence-to-tolerance contract; ``tau=0``
+        is bit-identical to ``pipeline=True``).
     checkpoint_every / checkpoint_sink / resume_from:
         Fault-tolerance knobs, as in :func:`fit_lasso`.
     backend, ranks, recover, max_recoveries:
@@ -281,6 +325,7 @@ def fit_svm(
             "pipeline=True needs the SA solver ('sa-svm'); 'svm' "
             "synchronises every iteration"
         )
+    _check_async(async_, tau, pipeline, solver == "sa-svm", solver)
     _check_backend(backend, comm, recover)
 
     def _solve(wcomm, ck_every, ck_sink, ck_resume):
@@ -292,7 +337,8 @@ def fit_svm(
         )
         if solver == "sa-svm":
             return sa_dcd(A, b, s=s, fast=fast, parity=parity,
-                          pipeline=pipeline, **kwargs)
+                          pipeline=pipeline, async_=async_, tau=tau,
+                          **kwargs)
         return dcd(A, b, **kwargs)
 
     if backend == "virtual":
@@ -311,4 +357,5 @@ def fit_svm(
         work, backend=backend, ranks=ranks, machine=machine,
         cost_size=max(virtual_p, ranks), recover=recover,
         max_recoveries=max_recoveries,
+        nb_depth=tau + 2 if async_ else NB_RING_DEPTH,
     )

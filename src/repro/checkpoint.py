@@ -162,6 +162,8 @@ def make_solver_checkpoint(
             "words": ledger.words,
             "flops": ledger.flops,
             "comm_seconds_hidden": ledger.comm_seconds_hidden,
+            "stale_seconds": ledger.stale_seconds,
+            "max_staleness": ledger.max_staleness,
             "retries": ledger.retries,
             "timeouts": ledger.timeouts,
             # informational only: recovery counters describe the physical
@@ -329,6 +331,8 @@ def resume_solver(ck: dict, *, sampler, term, history, ledger) -> int:
             words=float(led.get("words", 0.0)),
             flops=float(led.get("flops", 0.0)),
             comm_seconds_hidden=float(led.get("comm_seconds_hidden", 0.0)),
+            stale_seconds=float(led.get("stale_seconds", 0.0)),
+            max_staleness=int(led.get("max_staleness", 0)),
             retries=int(led.get("retries", 0)),
             timeouts=int(led.get("timeouts", 0)),
         )

@@ -51,7 +51,7 @@ from repro.experiments.runner import (
 from repro.experiments.theory import best_s
 from repro.machine.spec import get_machine
 from repro.mpi.process_backend import process_spmd_run
-from repro.mpi.thread_backend import spmd_run
+from repro.mpi.thread_backend import NB_RING_DEPTH, spmd_run
 from repro.mpi.virtual_backend import VirtualComm
 from repro.path import lasso_path
 from repro.solvers.objectives import lambda_max
@@ -93,6 +93,15 @@ def _add_backend_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--pipeline", action="store_true",
                    help="SA solvers: nonblocking per-outer-step reduction "
                         "with the next block prefetched while in flight")
+    p.add_argument("--async", dest="async_", action="store_true",
+                   help="SA solvers: bounded-staleness asynchrony — keep up "
+                        "to --tau reductions in flight and step on stale "
+                        "Gram/residual data (weaker contract: converges to "
+                        "the synchronous objective within tolerance, not "
+                        "bit-identically; --tau 0 degenerates to --pipeline)")
+    p.add_argument("--tau", type=int, default=1,
+                   help="staleness bound for --async: a harvested reduction "
+                        "may be up to tau outer steps old")
     p.add_argument("--recover", default="raise",
                    choices=["raise", "checkpoint"],
                    help="process backend: on rank death / repeated comm "
@@ -334,7 +343,8 @@ def _cmd_lasso(args) -> int:
         ds, args.solver, mu=args.mu, s=args.s, max_iter=args.max_iter,
         P=args.p, machine=get_machine(args.machine), seed=args.seed,
         record_every=args.record_every, lam=lam,
-        pipeline=args.pipeline, backend=args.backend, ranks=args.ranks,
+        pipeline=args.pipeline, async_=args.async_, tau=args.tau,
+        backend=args.backend, ranks=args.ranks,
         recover=args.recover, max_recoveries=args.max_recoveries,
     )
     h = res.history
@@ -373,14 +383,17 @@ def _dispatch_backend(work, args, machine):
     _check_recover_args(args)
     if args.backend == "virtual":
         return work(VirtualComm(virtual_size=args.p, machine=machine), 0)
+    nb_depth = (args.tau + 2 if getattr(args, "async_", False)
+                else NB_RING_DEPTH)
     if args.backend == "thread":
         out = spmd_run(work, args.ranks, machine=machine,
-                       cost_size=max(args.p, args.ranks))
+                       cost_size=max(args.p, args.ranks), nb_depth=nb_depth)
     else:
         out = process_spmd_run(
             work, args.ranks, machine=machine,
             cost_size=max(args.p, args.ranks),
             recover=args.recover, max_recoveries=args.max_recoveries,
+            nb_depth=nb_depth,
         )
     return out.values[0]
 
@@ -395,7 +408,8 @@ def _cmd_lasso_path(args) -> int:
             solver=args.solver, mu=args.mu, s=args.s, max_iter=args.max_iter,
             tol=args.tol, seed=args.seed, record_every=args.record_every,
             warm_start=not args.cold, parity=args.parity,
-            pipeline=args.pipeline, adaptive=args.adaptive, comm=comm,
+            pipeline=args.pipeline, async_=args.async_, tau=args.tau,
+            adaptive=args.adaptive, comm=comm,
         )
         # plain payload: PathResult holds the context/communicator,
         # which must not cross the process-backend pipe
@@ -529,6 +543,7 @@ def _cmd_stream(args) -> int:
         loss=args.loss, mu=args.mu, s=args.s, max_iter=args.max_iter,
         tol=args.tol, seed=args.seed, record_every=args.record_every,
         parity=args.parity, pipeline=args.pipeline,
+        async_=args.async_, tau=args.tau,
         backend=args.backend, ranks=args.ranks, virtual_p=args.p,
         machine=machine, warm_start=not args.cold,
         compare_cold=args.compare_cold,
@@ -599,7 +614,7 @@ def _cmd_serve(args) -> int:
     knobs = dict(
         solver=args.solver, loss=args.loss, mu=args.mu, s=args.s,
         max_iter=args.max_iter, tol=args.tol, seed=args.seed,
-        pipeline=args.pipeline,
+        pipeline=args.pipeline, async_=args.async_, tau=args.tau,
     )
     specs, budget = [], {}
     for i in range(args.tenants):
@@ -681,7 +696,8 @@ def _cmd_svm(args) -> int:
         ds, solver, s=args.s, lam=args.lam, max_iter=args.max_iter,
         P=args.p, machine=get_machine(args.machine), seed=args.seed,
         record_every=args.record_every, tol=args.tol,
-        pipeline=args.pipeline, backend=args.backend, ranks=args.ranks,
+        pipeline=args.pipeline, async_=args.async_, tau=args.tau,
+        backend=args.backend, ranks=args.ranks,
         recover=args.recover, max_recoveries=args.max_recoveries,
     )
     h = res.history

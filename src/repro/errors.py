@@ -11,6 +11,7 @@ __all__ = [
     "CommError",
     "CommAborted",
     "CommTimeoutError",
+    "NbRingDepthError",
     "RankDiedError",
     "TransientCommError",
     "RankMismatchError",
@@ -52,6 +53,25 @@ class CommTimeoutError(CommError):
         super().__init__(message)
         self.tag = tag
         self.stalled = tuple(stalled)
+
+
+class NbRingDepthError(CommError):
+    """A rank posted more in-flight nonblocking collectives than the ring holds.
+
+    The thread/process backends recycle each nonblocking slot only after
+    every rank has harvested it, so posting ``nb_depth`` reductions while
+    this rank's oldest handle is still unharvested would deadlock inside
+    the post (the rank itself holds the slot it is waiting for). The
+    error is raised *before* blocking, deterministically on every rank
+    (the check is against the posting rank's own unharvested handles).
+    ``depth`` is the configured ring depth; raise it via the backends'
+    ``nb_depth=`` knob (the async solvers size it as ``tau + 2``).
+    """
+
+    def __init__(self, message: str, *, depth: int = 0, outstanding: int = 0):
+        super().__init__(message)
+        self.depth = int(depth)
+        self.outstanding = int(outstanding)
 
 
 class RankDiedError(CommAborted):

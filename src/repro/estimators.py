@@ -138,6 +138,8 @@ class SALasso(_RegressorMixin):
         tol: float | None = 1e-8,
         seed: int = 0,
         pipeline: bool = False,
+        async_: bool = False,
+        tau: int = 1,
         max_rows: int | None = None,
         backend: str = "virtual",
         ranks: int = 4,
@@ -146,7 +148,8 @@ class SALasso(_RegressorMixin):
     ) -> None:
         self._params = dict(lam=lam, solver=solver, mu=mu, s=s,
                             max_iter=max_iter, tol=tol, seed=seed,
-                            pipeline=pipeline, max_rows=max_rows,
+                            pipeline=pipeline, async_=async_, tau=tau,
+                            max_rows=max_rows,
                             backend=backend, ranks=ranks, recover=recover,
                             max_recoveries=max_recoveries)
 
@@ -158,7 +161,7 @@ class SALasso(_RegressorMixin):
             X, y, lam=p["lam"], solver=p["solver"], mu=p["mu"], s=p["s"],
             max_iter=p["max_iter"], tol=p["tol"], seed=p["seed"],
             record_every=max(1, p["max_iter"] // 50),
-            pipeline=p["pipeline"],
+            pipeline=p["pipeline"], async_=p["async_"], tau=p["tau"],
             backend=p["backend"], ranks=p["ranks"], recover=p["recover"],
             max_recoveries=p["max_recoveries"],
         )
@@ -189,6 +192,7 @@ class SALasso(_RegressorMixin):
                 X, y, task="lasso", solver=p["solver"], lam=p["lam"],
                 mu=p["mu"], s=p["s"], max_iter=p["max_iter"], tol=p["tol"],
                 seed=p["seed"], pipeline=p["pipeline"],
+                async_=p["async_"], tau=p["tau"],
                 max_rows=p["max_rows"],
                 record_every=max(1, p["max_iter"] // 50),
             ),
@@ -226,6 +230,7 @@ class SALasso(_RegressorMixin):
             X, y, lambdas, n_lambdas=n_lambdas, eps=eps, solver=p["solver"],
             mu=p["mu"], s=p["s"], max_iter=p["max_iter"], tol=p["tol"],
             seed=p["seed"], pipeline=p["pipeline"],
+            async_=p["async_"], tau=p["tau"],
         )
 
 
@@ -277,18 +282,20 @@ class SALassoCV(_RegressorMixin):
         tol: float | None = 1e-6,
         seed: int = 0,
         pipeline: bool = False,
+        async_: bool = False,
+        tau: int = 1,
     ) -> None:
         if cv < 2:
             raise SolverError(f"cv must be >= 2, got {cv}")
         self._params = dict(n_lambdas=n_lambdas, eps=eps, cv=cv, solver=solver,
                             mu=mu, s=s, max_iter=max_iter, tol=tol, seed=seed,
-                            pipeline=pipeline)
+                            pipeline=pipeline, async_=async_, tau=tau)
 
     def _path_kwargs(self) -> dict:
         p = self._params
         return dict(solver=p["solver"], mu=p["mu"], s=p["s"],
                     max_iter=p["max_iter"], tol=p["tol"], seed=p["seed"],
-                    pipeline=p["pipeline"])
+                    pipeline=p["pipeline"], async_=p["async_"], tau=p["tau"])
 
     def fit(self, X, y) -> "SALassoCV":
         p = self._params
@@ -386,6 +393,8 @@ class SASVMClassifier(_SVMClassifierMixin):
         tol: float | None = 1e-2,
         seed: int = 0,
         pipeline: bool = False,
+        async_: bool = False,
+        tau: int = 1,
         max_rows: int | None = None,
         backend: str = "virtual",
         ranks: int = 4,
@@ -394,7 +403,8 @@ class SASVMClassifier(_SVMClassifierMixin):
     ) -> None:
         self._params = dict(loss=loss, lam=lam, solver=solver, s=s,
                             max_iter=max_iter, tol=tol, seed=seed,
-                            pipeline=pipeline, max_rows=max_rows,
+                            pipeline=pipeline, async_=async_, tau=tau,
+                            max_rows=max_rows,
                             backend=backend, ranks=ranks, recover=recover,
                             max_recoveries=max_recoveries)
 
@@ -407,7 +417,7 @@ class SASVMClassifier(_SVMClassifierMixin):
             X, b, loss=p["loss"], lam=p["lam"], solver=p["solver"], s=p["s"],
             max_iter=p["max_iter"], tol=p["tol"], seed=p["seed"],
             record_every=max(1, p["max_iter"] // 100),
-            pipeline=p["pipeline"],
+            pipeline=p["pipeline"], async_=p["async_"], tau=p["tau"],
             backend=p["backend"], ranks=p["ranks"], recover=p["recover"],
             max_recoveries=p["max_recoveries"],
         )
@@ -454,6 +464,7 @@ class SASVMClassifier(_SVMClassifierMixin):
                 X, b, task="svm", solver=p["solver"], loss=p["loss"],
                 lam=p["lam"], s=p["s"], max_iter=p["max_iter"], tol=p["tol"],
                 seed=p["seed"], pipeline=p["pipeline"],
+                async_=p["async_"], tau=p["tau"],
                 max_rows=p["max_rows"],
                 record_every=max(1, p["max_iter"] // 100),
             ),
@@ -514,19 +525,22 @@ class SASVMClassifierCV(_SVMClassifierMixin):
         tol: float | None = 1e-2,
         seed: int = 0,
         pipeline: bool = False,
+        async_: bool = False,
+        tau: int = 1,
     ) -> None:
         if cv < 2:
             raise SolverError(f"cv must be >= 2, got {cv}")
         self._params = dict(lams=lams, n_lambdas=n_lambdas, cv=cv, loss=loss,
                             solver=solver, s=s, max_iter=max_iter, tol=tol,
-                            seed=seed, pipeline=pipeline)
+                            seed=seed, pipeline=pipeline, async_=async_,
+                            tau=tau)
 
     def _path_kwargs(self) -> dict:
         p = self._params
         return dict(loss=p["loss"], solver=p["solver"], s=p["s"],
                     max_iter=p["max_iter"], tol=p["tol"], seed=p["seed"],
                     record_every=max(1, p["max_iter"] // 100),
-                    pipeline=p["pipeline"])
+                    pipeline=p["pipeline"], async_=p["async_"], tau=p["tau"])
 
     def fit(self, X, y) -> "SASVMClassifierCV":
         p = self._params

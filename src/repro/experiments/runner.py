@@ -21,7 +21,7 @@ from repro.datasets import registry
 from repro.errors import SolverError
 from repro.machine.spec import CRAY_XC30, MachineSpec
 from repro.mpi.process_backend import process_spmd_run
-from repro.mpi.thread_backend import spmd_run
+from repro.mpi.thread_backend import NB_RING_DEPTH, spmd_run
 from repro.mpi.virtual_backend import VirtualComm
 from repro.solvers import lasso as lasso_solvers
 from repro.solvers import svm as svm_solvers
@@ -191,6 +191,7 @@ def _run_backend(
     recover: str = "raise",
     max_recoveries: int = 2,
     recovery_every: int = 10,
+    nb_depth: int = NB_RING_DEPTH,
 ) -> SolverResult:
     """Dispatch one solve to the requested comm backend.
 
@@ -237,11 +238,13 @@ def _run_backend(
         return fn(*pargs, comm=comm, **kw)
 
     if backend == "thread":
-        out = spmd_run(work, ranks, machine=machine, cost_size=max(P, ranks))
+        out = spmd_run(work, ranks, machine=machine, cost_size=max(P, ranks),
+                       nb_depth=nb_depth)
     else:
         out = process_spmd_run(
             work, ranks, machine=machine, cost_size=max(P, ranks),
             recover=recover, max_recoveries=max_recoveries,
+            nb_depth=nb_depth,
         )
     return out.root
 
@@ -261,6 +264,8 @@ def run_lasso(
     fast: bool = True,
     parity: str = "exact",
     pipeline: bool = False,
+    async_: bool = False,
+    tau: int = 1,
     backend: str = "virtual",
     ranks: int = 4,
     recover: str = "raise",
@@ -272,8 +277,10 @@ def run_lasso(
     iterates; exposed for before/after benchmarking) and ``parity`` its
     contract (``"exact"`` / ``"fp-tolerant"``). ``pipeline`` (SA solvers
     only) hides each outer step's reduction behind the next block's
-    prefetch; ``backend``/``ranks`` select real thread/process SPMD
-    parallelism instead of the virtual cost model;
+    prefetch; ``async_``/``tau`` (SA solvers only) let ranks proceed on
+    reductions up to ``tau`` outer steps stale — a weaker,
+    convergence-to-tolerance contract; ``backend``/``ranks`` select real
+    thread/process SPMD parallelism instead of the virtual cost model;
     ``recover``/``max_recoveries`` (process backend) enable supervised
     respawn-and-replay on rank death.
     """
@@ -289,9 +296,12 @@ def run_lasso(
         kwargs["fast"] = fast
         kwargs["parity"] = parity
         kwargs["pipeline"] = pipeline
-    elif pipeline:
+        kwargs["async_"] = async_
+        kwargs["tau"] = tau
+    elif pipeline or async_:
+        knob = "pipeline" if pipeline else "async_"
         raise SolverError(
-            f"pipeline=True needs an SA solver; {solver!r} synchronises "
+            f"{knob}=True needs an SA solver; {solver!r} synchronises "
             "every iteration"
         )
     return _run_backend(
@@ -299,6 +309,7 @@ def run_lasso(
         recover=recover, max_recoveries=max_recoveries,
         recovery_every=(s if s is not None else 8)
         if solver.startswith("sa-") else 10,
+        nb_depth=tau + 2 if async_ else NB_RING_DEPTH,
     )
 
 
@@ -316,6 +327,8 @@ def run_svm(
     tol: float | None = None,
     fast: bool = True,
     pipeline: bool = False,
+    async_: bool = False,
+    tau: int = 1,
     backend: str = "virtual",
     ranks: int = 4,
     recover: str = "raise",
@@ -323,8 +336,8 @@ def run_svm(
 ) -> SolverResult:
     """Run one SVM solver on a scaled dataset at virtual P.
 
-    ``pipeline``/``backend``/``ranks``/``recover``/``max_recoveries`` as
-    in :func:`run_lasso`.
+    ``pipeline``/``async_``/``tau``/``backend``/``ranks``/``recover``/
+    ``max_recoveries`` as in :func:`run_lasso`.
     """
     if solver not in SVM_SOLVERS:
         raise SolverError(f"unknown svm solver {solver!r}; known: {sorted(SVM_SOLVERS)}")
@@ -340,9 +353,12 @@ def run_svm(
         kwargs["s"] = s if s is not None else 8
         kwargs["fast"] = fast
         kwargs["pipeline"] = pipeline
-    elif pipeline:
+        kwargs["async_"] = async_
+        kwargs["tau"] = tau
+    elif pipeline or async_:
+        knob = "pipeline" if pipeline else "async_"
         raise SolverError(
-            f"pipeline=True needs an SA solver; {solver!r} synchronises "
+            f"{knob}=True needs an SA solver; {solver!r} synchronises "
             "every iteration"
         )
     return _run_backend(
@@ -350,6 +366,7 @@ def run_svm(
         recover=recover, max_recoveries=max_recoveries,
         recovery_every=(s if s is not None else 8)
         if solver.startswith("sa-") else 10,
+        nb_depth=tau + 2 if async_ else NB_RING_DEPTH,
     )
 
 

@@ -198,27 +198,35 @@ class GramPipeline:
        projections, complete the packed payload, post the nonblocking
        Allreduce.
 
-    Two :class:`_PipeSlot` halves alternate so step k+1's pack never
-    touches buffers that step k's reduction (or inner loop) still reads.
-    Values are bit-identical to the blocking ``gram_and_project`` /
-    ``gram_rows_and_project`` path: same sampled blocks, same partial
-    products, same rank-ordered fold, same unpack.
+    ``depth`` :class:`_PipeSlot` buffers rotate round-robin (default 2,
+    the classic double buffer) so step k+1's pack never touches buffers
+    that step k's reduction (or inner loop) still reads. The
+    bounded-staleness drivers use ``depth = tau + 2`` to keep up to
+    ``tau + 1`` reductions in flight. Values are bit-identical to the
+    blocking ``gram_and_project`` / ``gram_rows_and_project`` path: same
+    sampled blocks, same partial products, same rank-ordered fold, same
+    unpack.
     """
 
-    def __init__(self, dist, extra_cols: int, symmetric: bool, axis: str) -> None:
+    def __init__(
+        self, dist, extra_cols: int, symmetric: bool, axis: str,
+        depth: int = 2,
+    ) -> None:
         self.dist = dist
         self.extra_cols = int(extra_cols)
         self.symmetric = bool(symmetric)
         if axis not in ("cols", "rows"):
             raise PartitionError(f"unknown pipeline axis {axis!r}")
+        if int(depth) < 2:
+            raise PartitionError(f"pipeline depth must be >= 2, got {depth}")
         self.axis = axis
-        self._slots = [_PipeSlot(), _PipeSlot()]
+        self._slots = [_PipeSlot() for _ in range(int(depth))]
         self._next = 0
 
     def prefetch(self, idx: np.ndarray) -> _PipeSlot:
         """Sample block ``idx`` and pack its partial Gram (no collective)."""
         slot = self._slots[self._next]
-        self._next = 1 - self._next
+        self._next = (self._next + 1) % len(self._slots)
         dist = self.dist
         if self.axis == "cols":
             Y = dist.sample_columns(idx, ws=slot.ws)
@@ -501,13 +509,16 @@ class RowPartitionedMatrix(_PartitionedBase):
         G, R = unpack_gram(total, k, c, symmetric, out_g=out_g, out_extras=out_r)
         return G, (R if c else np.zeros((k, 0)))
 
-    def gram_pipeline(self, extra_cols: int, symmetric: bool = True) -> GramPipeline:
-        """A double-buffered nonblocking pipeline over this matrix.
+    def gram_pipeline(
+        self, extra_cols: int, symmetric: bool = True, depth: int = 2
+    ) -> GramPipeline:
+        """A ``depth``-buffered nonblocking pipeline over this matrix.
 
         The asynchronous counterpart of :meth:`gram_and_project`; see
-        :class:`GramPipeline`.
+        :class:`GramPipeline`. The default ``depth=2`` is the classic
+        double buffer; bounded-staleness drivers pass ``tau + 2``.
         """
-        return GramPipeline(self, extra_cols, symmetric, axis="cols")
+        return GramPipeline(self, extra_cols, symmetric, axis="cols", depth=depth)
 
     def matvec_local(self, x: np.ndarray) -> np.ndarray:
         """Local rows of ``A @ x`` for replicated ``x`` (no communication)."""
@@ -677,14 +688,18 @@ class ColPartitionedMatrix(_PartitionedBase):
         G, R = unpack_gram(total, k, 1, symmetric, out_g=out_g, out_extras=out_r)
         return G, R[:, 0]
 
-    def gram_rows_pipeline(self, symmetric: bool = True) -> GramPipeline:
-        """A double-buffered nonblocking pipeline over this matrix.
+    def gram_rows_pipeline(
+        self, symmetric: bool = True, depth: int = 2
+    ) -> GramPipeline:
+        """A ``depth``-buffered nonblocking pipeline over this matrix.
 
         The asynchronous counterpart of :meth:`gram_rows_and_project`;
         see :class:`GramPipeline`. As in the blocking path the caller
-        adds ``gamma I`` after the reduction and reads ``R[:, 0]``.
+        adds ``gamma I`` after the reduction and reads ``R[:, 0]``. The
+        default ``depth=2`` is the classic double buffer;
+        bounded-staleness drivers pass ``tau + 2``.
         """
-        return GramPipeline(self, 1, symmetric, axis="rows")
+        return GramPipeline(self, 1, symmetric, axis="rows", depth=depth)
 
     def apply_row_update(self, sampled, coeffs: np.ndarray, x_local: np.ndarray) -> None:
         """``x_local += sampledᵀ @ coeffs`` (primal update, local only)."""

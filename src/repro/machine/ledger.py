@@ -40,6 +40,15 @@ class CostSnapshot:
     #: modelled communication seconds hidden behind overlapped computation
     #: (nonblocking collectives charge only the unoverlapped remainder)
     comm_seconds_hidden: float = 0.0
+    #: modelled communication seconds hidden behind computation that ran
+    #: *past* the point a synchronous consumer would have waited — the
+    #: extra overlap bought by accepting bounded staleness (async
+    #: solvers). ``comm_seconds + comm_seconds_hidden + stale_seconds``
+    #: always equals what the blocking collectives would have cost.
+    stale_seconds: float = 0.0
+    #: largest observed staleness (in harvest steps) of any collective;
+    #: a watermark, never a sum — 0 for blocking/pipelined runs
+    max_staleness: int = 0
     #: transient-fault retries of collectives (fault-tolerance layer)
     retries: int = 0
     #: collectives that missed their deadline (fault-tolerance layer)
@@ -57,7 +66,7 @@ class CostSnapshot:
 
     @classmethod
     def zero(cls) -> "CostSnapshot":
-        return cls(0.0, 0.0, 0, 0.0, 0.0, 0.0, 0, 0, 0, 0, 0)
+        return cls(0.0, 0.0, 0, 0.0, 0.0)
 
     def __add__(self, other: "CostSnapshot") -> "CostSnapshot":
         if not isinstance(other, CostSnapshot):
@@ -69,6 +78,8 @@ class CostSnapshot:
             words=self.words + other.words,
             flops=self.flops + other.flops,
             comm_seconds_hidden=self.comm_seconds_hidden + other.comm_seconds_hidden,
+            stale_seconds=self.stale_seconds + other.stale_seconds,
+            max_staleness=max(self.max_staleness, other.max_staleness),
             retries=self.retries + other.retries,
             timeouts=self.timeouts + other.timeouts,
             recoveries=self.recoveries + other.recoveries,
@@ -89,6 +100,9 @@ class CostSnapshot:
             words=self.words - other.words,
             flops=self.flops - other.flops,
             comm_seconds_hidden=self.comm_seconds_hidden - other.comm_seconds_hidden,
+            stale_seconds=self.stale_seconds - other.stale_seconds,
+            # a watermark has no meaningful delta; keep the later span's
+            max_staleness=self.max_staleness,
             retries=self.retries - other.retries,
             timeouts=self.timeouts - other.timeouts,
             recoveries=self.recoveries - other.recoveries,
@@ -126,6 +140,11 @@ class CostLedger:
     flops: float = 0.0
     #: modelled communication seconds hidden behind overlapped computation
     comm_seconds_hidden: float = 0.0
+    #: modelled communication seconds hidden behind *stale* computation
+    #: (overlap past the synchronous harvest point; async solvers only)
+    stale_seconds: float = 0.0
+    #: largest observed staleness (harvest steps) of any collective
+    max_staleness: int = 0
     #: transient-fault retries of collectives (see :mod:`repro.faults`)
     retries: int = 0
     #: collectives that missed their deadline
@@ -166,24 +185,33 @@ class CostLedger:
 
     # -- charging ----------------------------------------------------------
     def add_collective(
-        self, name: str, cost: CollectiveCost, overlap_seconds: float = 0.0
+        self, name: str, cost: CollectiveCost, overlap_seconds: float = 0.0,
+        stale_overlap_seconds: float = 0.0,
     ) -> None:
         """Charge one collective call (called by the communicator).
 
         ``overlap_seconds`` is computation time the caller provably spent
         while the collective was in flight (nonblocking collectives): the
         modelled latency hidden behind it is *not* charged to
-        ``comm_seconds`` but tracked in ``comm_seconds_hidden``, so
-        ``comm_seconds + comm_seconds_hidden`` always equals what the
-        blocking collective would have cost. Messages and words are
-        charged in full either way — overlap hides time, not traffic.
+        ``comm_seconds`` but tracked in ``comm_seconds_hidden``.
+        ``stale_overlap_seconds`` is the portion of that in-flight window
+        past the point a synchronous consumer would have harvested (async
+        bounded-staleness solvers); it lands in ``stale_seconds``. The
+        fresh window takes precedence when the collective is shorter than
+        the combined overlap, so
+        ``comm_seconds + comm_seconds_hidden + stale_seconds`` always
+        equals what the blocking collective would have cost. Messages and
+        words are charged in full either way — overlap hides time, not
+        traffic.
         """
         if not self.enabled:
             return
         hidden = min(max(overlap_seconds, 0.0), cost.seconds)
-        charged = cost.seconds - hidden
+        stale = min(max(stale_overlap_seconds, 0.0), cost.seconds - hidden)
+        charged = cost.seconds - hidden - stale
         self.comm_seconds += charged
         self.comm_seconds_hidden += hidden
+        self.stale_seconds += stale
         self.messages += cost.messages
         self.words += cost.words
         entry = self.by_collective[name]
@@ -229,6 +257,12 @@ class CostLedger:
             )
         if self.enabled:
             self.idle_seconds += float(seconds)
+
+    def note_staleness(self, steps: int) -> None:
+        """Record the staleness (harvest steps) one collective was consumed
+        at; ``max_staleness`` is the watermark over the run."""
+        if self.enabled and int(steps) > self.max_staleness:
+            self.max_staleness = int(steps)
 
     def add_retry(self) -> None:
         """Record one transient-fault retry of a collective."""
@@ -297,6 +331,8 @@ class CostLedger:
             words=self.words,
             flops=self.flops,
             comm_seconds_hidden=self.comm_seconds_hidden,
+            stale_seconds=self.stale_seconds,
+            max_staleness=self.max_staleness,
             retries=self.retries,
             timeouts=self.timeouts,
             recoveries=self.recoveries,
@@ -320,6 +356,8 @@ class CostLedger:
         self.words = float(snapshot.words)
         self.flops = float(snapshot.flops)
         self.comm_seconds_hidden = float(snapshot.comm_seconds_hidden)
+        self.stale_seconds = float(snapshot.stale_seconds)
+        self.max_staleness = int(snapshot.max_staleness)
         self.retries = int(snapshot.retries)
         self.timeouts = int(snapshot.timeouts)
 
@@ -346,6 +384,8 @@ class CostLedger:
         self.words = 0.0
         self.flops = 0.0
         self.comm_seconds_hidden = 0.0
+        self.stale_seconds = 0.0
+        self.max_staleness = 0
         self.retries = 0
         self.timeouts = 0
         self.recoveries = 0
@@ -365,6 +405,8 @@ class CostLedger:
             "seconds": self.seconds,
             "comm_seconds": self.comm_seconds,
             "comm_seconds_hidden": self.comm_seconds_hidden,
+            "stale_seconds": self.stale_seconds,
+            "max_staleness": self.max_staleness,
             "compute_seconds": self.compute_seconds,
             "messages": self.messages,
             "words": self.words,

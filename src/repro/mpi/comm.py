@@ -51,7 +51,8 @@ class CommRequest:
     """
 
     __slots__ = ("_comm", "_handle", "_name", "_cost", "_compute_at_post",
-                 "_out", "_result", "_done")
+                 "_out", "_result", "_done", "_fresh_boundary",
+                 "_stale_steps")
 
     def __init__(self, comm: "Comm", handle, name: str, cost, out=None) -> None:
         self._comm = comm
@@ -62,10 +63,44 @@ class CommRequest:
         self._out = out
         self._result = None
         self._done = False
+        self._fresh_boundary = None
+        self._stale_steps = 0
+
+    @property
+    def stale_steps(self) -> int:
+        """Harvest points this request has outlived (0 = fresh)."""
+        return self._stale_steps
+
+    def bump_staleness(self, steps: int = 1) -> None:
+        """Mark that a synchronous consumer would have harvested by now.
+
+        Called by the async bounded-staleness drivers once per harvest
+        point this request survives: the first call freezes the *fresh*
+        overlap window (compute since the post that a pipelined consumer
+        would also have hidden); all compute charged after it counts as
+        *stale* overlap, landing in ``stale_seconds`` at completion. The
+        call count is this request's observed staleness, recorded as the
+        ledger's ``max_staleness`` watermark. Never called by blocking or
+        pipelined paths, which therefore keep the two-way
+        charged/hidden split bit for bit.
+        """
+        if self._done:
+            return
+        if self._fresh_boundary is None:
+            self._fresh_boundary = self._comm.ledger.compute_seconds
+        self._stale_steps += int(steps)
 
     def _finalize(self, result) -> Any:
-        overlap = self._comm.ledger.compute_seconds - self._compute_at_post
-        self._comm.ledger.add_collective(self._name, self._cost, overlap)
+        ledger = self._comm.ledger
+        if self._fresh_boundary is None:
+            overlap = ledger.compute_seconds - self._compute_at_post
+            stale = 0.0
+        else:
+            overlap = self._fresh_boundary - self._compute_at_post
+            stale = ledger.compute_seconds - self._fresh_boundary
+        ledger.add_collective(self._name, self._cost, overlap, stale)
+        if self._stale_steps:
+            ledger.note_staleness(self._stale_steps)
         if self._out is not None and result is not self._out:
             np.copyto(self._out, result)
             result = self._out
@@ -203,6 +238,14 @@ class Comm(ABC):
     def cost_size(self) -> int:
         """Number of ranks used for cost modelling (>= size)."""
         return self._cost_size
+
+    @property
+    def nb_ring_depth(self) -> int | None:
+        """Max in-flight nonblocking collectives per rank, or ``None``
+        when unbounded (backends that complete eagerly at post time).
+        Real backends override this with their NB slot-ring depth; a rank
+        posting past it gets :class:`~repro.errors.NbRingDepthError`."""
+        return None
 
     def Get_rank(self) -> int:  # noqa: N802 - mpi4py naming
         return self._rank

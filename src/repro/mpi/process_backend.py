@@ -88,6 +88,7 @@ from repro.errors import (
     CommAborted,
     CommError,
     CommTimeoutError,
+    NbRingDepthError,
     RankDiedError,
     RankMismatchError,
 )
@@ -145,9 +146,12 @@ class _NbProcSlot:
 class _ProcNbHandle:
     """Per-rank handle for one in-flight nonblocking collective."""
 
-    __slots__ = ("_world", "_slot", "_seq", "_rank", "_op", "_shape", "_result")
+    __slots__ = (
+        "_world", "_slot", "_seq", "_rank", "_op", "_shape", "_result",
+        "_on_consume",
+    )
 
-    def __init__(self, world, slot, seq, rank, op, shape) -> None:
+    def __init__(self, world, slot, seq, rank, op, shape, on_consume=None) -> None:
         self._world = world
         self._slot = slot
         self._seq = seq
@@ -155,6 +159,7 @@ class _ProcNbHandle:
         self._op = op
         self._shape = shape
         self._result = None
+        self._on_consume = on_consume
 
     def _ready_locked(self) -> bool:
         slot = self._slot
@@ -181,10 +186,17 @@ class _ProcNbHandle:
         with slot.cond:
             slot.consumed.value += 1
             if slot.consumed.value == world.size:
-                slot.seq.value += NB_RING_DEPTH
+                slot.seq.value += world.nb_depth
                 slot.deposited.value = 0
                 slot.consumed.value = 0
+                # clear the deposit markers so the stalled-rank diagnostic
+                # on the *next* cycle of this slot reports fresh state
+                for r in range(world.size):
+                    slot.lengths[r] = 0
                 slot.cond.notify_all()
+        if self._on_consume is not None:
+            self._on_consume(self._seq)
+            self._on_consume = None
         if err is not None:
             raise err
         self._result = result
@@ -248,13 +260,19 @@ class ProcessWorld:
         slab_bytes: int = 1 << 22,
         nb_doubles: int = 1 << 19,
         latency: float = 0.0,
+        nb_depth: int = NB_RING_DEPTH,
     ) -> None:
         if size < 1:
             raise CommError(f"size must be >= 1, got {size}")
+        if int(nb_depth) < 1:
+            raise NbRingDepthError(
+                f"nb_depth must be >= 1, got {nb_depth}", depth=int(nb_depth)
+            )
         ctx = _require_fork()
         self.size = size
         self.slab_bytes = int(slab_bytes)
         self.latency = float(latency)
+        self.nb_depth = int(nb_depth)
         self.barrier = ctx.Barrier(size)
         self._aborted = ctx.Value(ctypes.c_int, 0, lock=False)
         #: per-rank death flags set by the watchdog (or any observer);
@@ -269,7 +287,7 @@ class ProcessWorld:
         self._tags = RawArray(ctypes.c_char, size * _TAG_BYTES)
         self._nb_ring = [
             _NbProcSlot(ctx, size, seq, int(nb_doubles))
-            for seq in range(NB_RING_DEPTH)
+            for seq in range(self.nb_depth)
         ]
         self._ctx = ctx
 
@@ -508,10 +526,14 @@ class ProcessWorld:
         arr: np.ndarray,
         op,
         timeout: float | None = None,
+        on_consume=None,
     ):
         """Deposit one rank's nonblocking contribution; returns a handle.
 
-        ``timeout`` bounds the wait for a free ring slot.
+        ``timeout`` bounds the wait for a free ring slot. ``on_consume``
+        (if given) is invoked exactly once in the posting process when
+        the handle is harvested — :class:`ProcessComm` uses it to track
+        its own outstanding-request count.
         """
         if arr.dtype != np.float64:
             raise CommError(
@@ -519,7 +541,7 @@ class ProcessWorld:
                 f"{arr.dtype}"
             )
         flat = np.ascontiguousarray(arr).ravel()
-        slot = self._nb_ring[seq % NB_RING_DEPTH]
+        slot = self._nb_ring[seq % self.nb_depth]
         if flat.shape[0] > slot.capacity:
             self.abort()  # peers waiting on this slot must not park
             raise CommError(
@@ -549,7 +571,9 @@ class ProcessWorld:
             if slot.deposited.value == self.size:
                 slot.complete_at.value = time.monotonic() + self.latency
                 slot.cond.notify_all()
-        return _ProcNbHandle(self, slot, seq, rank, op, arr.shape)
+        return _ProcNbHandle(
+            self, slot, seq, rank, op, arr.shape, on_consume=on_consume
+        )
 
 
 class ProcessComm(Comm):
@@ -574,6 +598,15 @@ class ProcessComm(Comm):
         )
         self._world = world
         self._nb_seq = 0
+        #: sequence numbers posted but not yet harvested by this rank —
+        #: out-of-order harvest means the ring-reuse guard must know
+        #: *which* requests are open, not just how many
+        self._nb_open: set[int] = set()
+
+    @property
+    def nb_ring_depth(self) -> int | None:
+        """Depth of the shared nonblocking slot ring (max in flight)."""
+        return self._world.nb_depth
 
     def _allgather_impl(self, tag: str, obj: Any) -> list:
         try:
@@ -596,12 +629,33 @@ class ProcessComm(Comm):
             self.ledger.add_timeout()
             raise
 
+    def _nb_consumed_one(self, seq: int) -> None:
+        self._nb_open.discard(seq)
+
     def _iallreduce_impl(self, tag: str, arr, op):
+        # posting while this rank's own request `seq - depth` (which
+        # shares the target ring slot) is unharvested would park forever
+        # on that slot: fail typed *before* blocking. Out-of-order
+        # harvest can create the conflict with fewer than `depth`
+        # requests open, so the guard tracks open sequence numbers.
+        depth = self._world.nb_depth
         seq = self._nb_seq
+        if seq - depth in self._nb_open:
+            raise NbRingDepthError(
+                f"rank {self._rank}: posting nonblocking collective {tag!r}"
+                f" would reuse the ring slot of its own unharvested request"
+                f" #{seq - depth} ({len(self._nb_open)} open on a ring of"
+                f" depth {depth}); harvest it first or raise nb_depth",
+                depth=depth,
+                outstanding=len(self._nb_open),
+            )
         self._nb_seq += 1
-        return self._world.nb_post(
-            self._rank, seq, tag, arr, op, timeout=self._active_timeout
+        handle = self._world.nb_post(
+            self._rank, seq, tag, arr, op, timeout=self._active_timeout,
+            on_consume=self._nb_consumed_one,
         )
+        self._nb_open.add(seq)
+        return handle
 
 
 # -- job codec (for shipping a job to already-running workers) -------------
@@ -877,6 +931,7 @@ class WorkerPool:
         slab_bytes: int = 1 << 22,
         nb_doubles: int = 1 << 19,
         comm_timeout: float | None = None,
+        nb_depth: int = NB_RING_DEPTH,
     ) -> None:
         self.size = size
         self._machine = machine
@@ -884,7 +939,8 @@ class WorkerPool:
         self._timeout = timeout
         self._comm_timeout = comm_timeout
         self._world = ProcessWorld(
-            size, slab_bytes=slab_bytes, nb_doubles=nb_doubles, latency=latency
+            size, slab_bytes=slab_bytes, nb_doubles=nb_doubles,
+            latency=latency, nb_depth=nb_depth,
         )
         ctx = self._world._ctx
         self._ctx = ctx
@@ -1241,6 +1297,7 @@ def process_spmd_run(
     comm_timeout: float | None = None,
     recover: str = "raise",
     max_recoveries: int = 2,
+    nb_depth: int = NB_RING_DEPTH,
 ) -> SpmdResult:
     """Run ``fn(comm, rank, *args)`` on ``size`` forked process ranks.
 
@@ -1261,7 +1318,11 @@ def process_spmd_run(
     forked child outlives the call.
 
     ``comm_timeout`` installs a default per-collective deadline on every
-    rank's communicator (``None`` = wait forever).
+    rank's communicator (``None`` = wait forever). ``nb_depth`` sets the
+    nonblocking slot-ring depth — the most in-flight ``Iallreduce``
+    requests any rank may hold (bounded-staleness solvers need
+    ``tau + 2``); exceeding it raises
+    :class:`~repro.errors.NbRingDepthError` instead of deadlocking.
 
     ``recover="checkpoint"`` turns a rank death (or collective deadline)
     into a supervised recovery: the dead rank is respawned, the shared
@@ -1291,6 +1352,7 @@ def process_spmd_run(
         slab_bytes=slab_bytes,
         nb_doubles=nb_doubles,
         comm_timeout=comm_timeout,
+        nb_depth=nb_depth,
     )
     try:
         return pool.run(

@@ -26,16 +26,22 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from repro.errors import CommAborted, CommTimeoutError, RankMismatchError
+from repro.errors import (
+    CommAborted,
+    CommTimeoutError,
+    NbRingDepthError,
+    RankMismatchError,
+)
 from repro.machine.ledger import CostLedger
 from repro.machine.spec import MachineSpec
 from repro.mpi.comm import Comm
 
 __all__ = ["ThreadComm", "ThreadContext", "spmd_run", "SpmdResult"]
 
-#: outstanding nonblocking collectives per world (double-buffered: the
-#: pipelined solvers keep at most one reduction in flight while packing
-#: the next payload into the other buffer)
+#: default outstanding nonblocking collectives per world (double-buffered:
+#: the pipelined solvers keep at most one reduction in flight while packing
+#: the next payload into the other buffer; the async bounded-staleness
+#: solvers pass ``nb_depth = tau + 2`` for a deeper ring)
 NB_RING_DEPTH = 2
 
 
@@ -64,9 +70,9 @@ class _NbSlot:
         self.error: BaseException | None = None
         self.done = False
 
-    def recycle(self, size: int) -> None:
+    def recycle(self, size: int, ring: int = NB_RING_DEPTH) -> None:
         """Reset for the sequence ``ring`` steps later (cond held)."""
-        self.seq += NB_RING_DEPTH
+        self.seq += ring
         self.bufs = [None] * size
         self.tags = [None] * size
         self.op = None
@@ -80,15 +86,17 @@ class _NbSlot:
 class _ThreadNbHandle:
     """Per-rank handle for one in-flight nonblocking collective."""
 
-    __slots__ = ("_ctx", "_slot", "_seq", "_tag", "_result")
+    __slots__ = ("_ctx", "_slot", "_seq", "_tag", "_rank", "_result")
 
     def __init__(
-        self, ctx: "ThreadContext", slot: _NbSlot, seq: int, tag: str = ""
+        self, ctx: "ThreadContext", slot: _NbSlot, seq: int, tag: str = "",
+        rank: int = 0,
     ) -> None:
         self._ctx = ctx
         self._slot = slot
         self._seq = seq
         self._tag = tag
+        self._rank = rank
         self._result = None
 
     def _consume_locked(self):
@@ -96,9 +104,10 @@ class _ThreadNbHandle:
         err = self._slot.error
         if err is None:
             self._result = self._slot.result.copy()
+        self._ctx._nb_open[self._rank].discard(self._seq)
         self._slot.consumed += 1
         if self._slot.consumed == self._ctx.size:
-            self._slot.recycle(self._ctx.size)
+            self._slot.recycle(self._ctx.size, self._ctx.nb_depth)
             self._slot.cond.notify_all()
         if err is not None:
             raise err
@@ -151,9 +160,16 @@ class ThreadContext:
     behind computation. Used by the overlap benchmarks; defaults to 0.
     """
 
-    def __init__(self, size: int, latency: float = 0.0) -> None:
+    def __init__(
+        self, size: int, latency: float = 0.0, nb_depth: int = NB_RING_DEPTH
+    ) -> None:
         self.size = size
         self.latency = float(latency)
+        if int(nb_depth) < 1:
+            raise NbRingDepthError(
+                f"nb_depth must be >= 1, got {nb_depth}", depth=int(nb_depth)
+            )
+        self.nb_depth = int(nb_depth)
         self.barrier = threading.Barrier(size)
         self.slots: list[Any] = [None] * size
         self.tags: list[str | None] = [None] * size
@@ -162,8 +178,14 @@ class ThreadContext:
         #: per-rank barrier-arrival counters; a rank that times out names
         #: the peers whose counter lags its own as the stalled ranks
         self.arrive_gen = [0] * size
-        self._nb_ring = [_NbSlot(size, seq) for seq in range(NB_RING_DEPTH)]
+        self._nb_ring = [_NbSlot(size, seq) for seq in range(self.nb_depth)]
         self._nb_seq = [0] * size
+        #: per-rank sequence numbers posted but not yet harvested — the
+        #: ring-reuse guard must know *which* requests are open, not just
+        #: how many: out-of-order harvest can leave the exact request
+        #: that shares the next post's slot unharvested while newer ones
+        #: are already consumed
+        self._nb_open: list[set] = [set() for _ in range(size)]
         self._nb_queue: queue.Queue = queue.Queue()
         self._folder: threading.Thread | None = None
         self._folder_lock = threading.Lock()
@@ -280,14 +302,34 @@ class ThreadContext:
 
         Returns immediately once the contribution is recorded (blocking
         only if the ring slot is still occupied by the collective
-        ``NB_RING_DEPTH`` sequences earlier — i.e. callers may keep at
-        most ``NB_RING_DEPTH`` requests in flight). The caller must not
-        modify ``obj`` until the request completes. ``timeout`` bounds
-        the ring-slot wait.
+        ``nb_depth`` sequences earlier — i.e. callers may keep at most
+        ``nb_depth`` requests in flight; harvesting them out of order
+        *within* that window is well-defined, each slot recycles when all
+        ranks consumed it). Posting while this rank already holds
+        ``nb_depth`` unharvested handles would deadlock on the rank's own
+        slot, so it raises :class:`~repro.errors.NbRingDepthError`
+        *before* blocking. The caller must not modify ``obj`` until the
+        request completes. ``timeout`` bounds the ring-slot wait.
         """
         seq = self._nb_seq[rank]
+        open_seqs = self._nb_open[rank]
+        if seq - self.nb_depth in open_seqs:
+            # this post's slot is still held by the rank's own unharvested
+            # request `seq - depth`; blocking here would deadlock — raise
+            # before touching the ring (out-of-order harvest means the
+            # conflict can exist with fewer than `depth` requests open)
+            raise NbRingDepthError(
+                f"rank {rank}: posting nonblocking collective {tag!r} would"
+                f" reuse the ring slot of its own unharvested request"
+                f" #{seq - self.nb_depth} ({len(open_seqs)} open on a ring of"
+                f" depth {self.nb_depth}); harvest it first or raise"
+                " nb_depth",
+                depth=self.nb_depth,
+                outstanding=len(open_seqs),
+            )
         self._nb_seq[rank] += 1
-        slot = self._nb_ring[seq % NB_RING_DEPTH]
+        open_seqs.add(seq)
+        slot = self._nb_ring[seq % self.nb_depth]
         deadline = None if timeout is None else time.monotonic() + timeout
         with slot.cond:
             while slot.seq != seq:
@@ -312,7 +354,7 @@ class ThreadContext:
         if last:
             self._ensure_folder()
             self._nb_queue.put(slot)
-        return _ThreadNbHandle(self, slot, seq, tag)
+        return _ThreadNbHandle(self, slot, seq, tag, rank)
 
     def abort(self) -> None:
         """Break the barrier so peers blocked in a collective fail fast."""
@@ -351,6 +393,11 @@ class ThreadComm(Comm):
             timeout=timeout,
         )
         self._ctx = ctx
+
+    @property
+    def nb_ring_depth(self) -> int | None:
+        """Depth of the shared nonblocking slot ring (max in flight)."""
+        return self._ctx.nb_depth
 
     def _allgather_impl(self, tag: str, obj: Any) -> list:
         try:
@@ -401,6 +448,7 @@ def spmd_run(
     timeout: float | None = 120.0,
     latency: float = 0.0,
     comm_timeout: float | None = None,
+    nb_depth: int = NB_RING_DEPTH,
 ) -> SpmdResult:
     """Run ``fn(comm, rank, *args)`` on ``size`` thread ranks.
 
@@ -423,10 +471,14 @@ def spmd_run(
     comm_timeout:
         Default per-collective deadline installed on every rank's
         communicator (``None`` = wait forever, the historical behaviour).
+    nb_depth:
+        Nonblocking slot-ring depth: the most in-flight ``Iallreduce``
+        requests any rank may hold (bounded-staleness solvers need
+        ``tau + 2``).
 
     Raises the first per-rank exception (rank order) if any rank failed.
     """
-    ctx = ThreadContext(size, latency=latency)
+    ctx = ThreadContext(size, latency=latency, nb_depth=nb_depth)
     values: list[Any] = [None] * size
     errors: list[BaseException | None] = [None] * size
     comms = [

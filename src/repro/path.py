@@ -36,6 +36,7 @@ import scipy.sparse as sp
 import json
 
 from repro._api import _check_backend, _run_spmd, fit_lasso, fit_svm
+from repro.mpi.thread_backend import NB_RING_DEPTH
 from repro.errors import CheckpointError, SolverError
 from repro.linalg.distmatrix import ColPartitionedMatrix, RowPartitionedMatrix
 from repro.linalg.kernels import EigMemo, default_eig_memo
@@ -100,6 +101,8 @@ def _sum_costs(snaps: Sequence[CostSnapshot]) -> CostSnapshot:
         words=sum(s.words for s in snaps),
         flops=sum(s.flops for s in snaps),
         comm_seconds_hidden=sum(s.comm_seconds_hidden for s in snaps),
+        stale_seconds=sum(s.stale_seconds for s in snaps),
+        max_staleness=max((s.max_staleness for s in snaps), default=0),
         retries=sum(s.retries for s in snaps),
         timeouts=sum(s.timeouts for s in snaps),
         recoveries=sum(s.recoveries for s in snaps),
@@ -427,6 +430,8 @@ def lasso_path(
     fast: bool = True,
     parity: str = "exact",
     pipeline: bool = False,
+    async_: bool = False,
+    tau: int = 1,
     adaptive: bool = False,
     adapt_tol_factor: float = 100.0,
     adapt_iter_factor: float = 0.25,
@@ -457,6 +462,12 @@ def lasso_path(
     pipeline:
         Run every SA solve with the nonblocking pipelined outer loop
         (identical iterates; see :func:`repro.fit_lasso`).
+    async_, tau:
+        Run every SA solve with the bounded-staleness outer loop
+        (convergence-to-tolerance contract; see :func:`repro.fit_lasso`).
+        Each solve drains its in-flight reductions before returning, so
+        the shared communicator's nonblocking ring is clean at every
+        warm-start hand-off.
     adaptive:
         Loosen per-point budgets along the grid (see
         :func:`adaptive_schedule`): intermediate points — which exist
@@ -520,6 +531,7 @@ def lasso_path(
                 mu=mu, s=s, max_iter=max_iter, tol=tol, seed=seed,
                 record_every=record_every, warm_start=warm_start,
                 fast=fast, parity=parity, pipeline=pipeline,
+                async_=async_, tau=tau,
                 adaptive=adaptive, adapt_tol_factor=adapt_tol_factor,
                 adapt_iter_factor=adapt_iter_factor, comm=wcomm,
                 checkpoint_every=ck_every, checkpoint_sink=ck_sink,
@@ -536,6 +548,7 @@ def lasso_path(
             work, backend=backend, ranks=ranks, machine=machine,
             cost_size=max(virtual_p, ranks), recover=recover,
             max_recoveries=max_recoveries,
+            nb_depth=tau + 2 if async_ else NB_RING_DEPTH,
         )
         return PathResult(
             task="lasso", lambdas=part["lambdas"], results=part["results"],
@@ -586,7 +599,7 @@ def lasso_path(
             max_iter=it_i, seed=seed, tol=tol_i, comm=ctx.comm,
             record_every=record_every, x0=x_warm if warm_start else None,
             fast=fast, parity=parity, pipeline=pipeline,
-            eig_memo=ctx.eig_memo,
+            async_=async_, tau=tau, eig_memo=ctx.eig_memo,
         )
         ctx.end_point(res)
         results.append(res)
@@ -605,7 +618,8 @@ def lasso_path(
         task="lasso", lambdas=lams, results=results, context=ctx,
         warm_start=warm_start,
         extras={"solver": solver, "mu": mu, "s": s,
-                "pipeline": pipeline, "adaptive": adaptive},
+                "pipeline": pipeline, "async": async_, "tau": tau,
+                "adaptive": adaptive},
     )
 
 
@@ -626,6 +640,8 @@ def svm_path(
     fast: bool = True,
     parity: str = "exact",
     pipeline: bool = False,
+    async_: bool = False,
+    tau: int = 1,
     adaptive: bool = False,
     adapt_tol_factor: float = 100.0,
     adapt_iter_factor: float = 0.25,
@@ -648,9 +664,10 @@ def svm_path(
     (Alg. 3 line 2). Default grid: ``n_lambdas`` points geometric in
     ``[0.1, 10]`` around the paper's ``C = 1``.
 
-    ``pipeline`` and ``adaptive`` mirror :func:`lasso_path` (adaptive
-    loosens the *duality-gap* tolerance early on the grid; the final
-    point always runs at exactly ``(max_iter, tol)``).
+    ``pipeline``, ``async_``/``tau`` and ``adaptive`` mirror
+    :func:`lasso_path` (adaptive loosens the *duality-gap* tolerance
+    early on the grid; the final point always runs at exactly
+    ``(max_iter, tol)``).
 
     ``backend``/``ranks``/``recover``/``max_recoveries`` mirror
     :func:`lasso_path`, except the SVM sweep has no path checkpoints:
@@ -672,6 +689,7 @@ def svm_path(
                 s=s, max_iter=max_iter, tol=tol, seed=seed,
                 record_every=record_every, warm_start=warm_start,
                 fast=fast, parity=parity, pipeline=pipeline,
+                async_=async_, tau=tau,
                 adaptive=adaptive, adapt_tol_factor=adapt_tol_factor,
                 adapt_iter_factor=adapt_iter_factor, comm=wcomm,
             )
@@ -684,6 +702,7 @@ def svm_path(
             work, backend=backend, ranks=ranks, machine=machine,
             cost_size=max(virtual_p, ranks), recover=recover,
             max_recoveries=max_recoveries,
+            nb_depth=tau + 2 if async_ else NB_RING_DEPTH,
         )
         return PathResult(
             task="svm", lambdas=part["lambdas"], results=part["results"],
@@ -725,7 +744,7 @@ def svm_path(
             ctx.dist, ctx.b, loss=loss, lam=float(lam), solver=solver, s=s,
             max_iter=it_i, seed=seed, tol=tol_i, comm=ctx.comm,
             record_every=record_every, alpha0=alpha0, fast=fast, parity=parity,
-            pipeline=pipeline,
+            pipeline=pipeline, async_=async_, tau=tau,
         )
         ctx.end_point(res)
         results.append(res)
@@ -734,5 +753,6 @@ def svm_path(
         task="svm", lambdas=lam_grid, results=results, context=ctx,
         warm_start=warm_start,
         extras={"solver": solver, "loss": loss, "s": s,
-                "pipeline": pipeline, "adaptive": adaptive},
+                "pipeline": pipeline, "async": async_, "tau": tau,
+                "adaptive": adaptive},
     )

@@ -62,7 +62,7 @@ from repro.linalg.kernels import EigMemo
 from repro.machine.spec import MachineSpec
 from repro.mpi.ops import MAX
 from repro.mpi.process_backend import process_spmd_run
-from repro.mpi.thread_backend import spmd_run
+from repro.mpi.thread_backend import NB_RING_DEPTH, spmd_run
 from repro.mpi.virtual_backend import VirtualComm
 from repro.serve.admission import AdmissionQueue
 from repro.serve.report import (
@@ -700,6 +700,7 @@ def serve_trace(
     recover: str = "raise",
     max_recoveries: int = 2,
     run_timeout: float = 120.0,
+    nb_depth: int | None = None,
     checkpoint_path=None,
     resume_from=None,
     fault_plan=None,
@@ -722,9 +723,17 @@ def serve_trace(
     is injected on the first physical attempt only; ``fault_hook``
     (``hook(comm, tenant, dispatch_no, op)`` with ``op`` one of
     ``"refit"``/``"predict"``) runs before every dispatch — both are
-    test/chaos instrumentation.
+    test/chaos instrumentation. ``nb_depth`` sizes the thread/process
+    backends' nonblocking-collective slot ring; the default is derived
+    from the tenants' ``async_``/``tau`` knobs (``tau + 2`` when any
+    tenant runs asynchronously).
     """
     specs = list(tenants)
+    if nb_depth is None:
+        nb_depth = NB_RING_DEPTH
+        for spec in specs:
+            if spec.knobs.get("async_"):
+                nb_depth = max(nb_depth, int(spec.knobs.get("tau", 1)) + 2)
     if not specs:
         raise ServeError("serve_trace needs at least one tenant")
     seen = set()
@@ -821,11 +830,12 @@ def serve_trace(
         raise ServeError(f"ranks must be >= 1, got {ranks}")
     if backend == "thread":
         out = spmd_run(work, ranks, machine=machine,
-                       cost_size=max(virtual_p, ranks), timeout=run_timeout)
+                       cost_size=max(virtual_p, ranks), timeout=run_timeout,
+                       nb_depth=nb_depth)
     else:
         out = process_spmd_run(
             work, ranks, machine=machine, cost_size=max(virtual_p, ranks),
             timeout=run_timeout, recover=recover,
-            max_recoveries=max_recoveries,
+            max_recoveries=max_recoveries, nb_depth=nb_depth,
         )
     return out.values[0]

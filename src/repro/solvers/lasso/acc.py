@@ -566,6 +566,8 @@ def sa_acc_bcd(
     fast: bool = True,
     parity: str = "exact",
     pipeline: bool = False,
+    async_: bool = False,
+    tau: int = 1,
     eig_memo=None,
     checkpoint_every: int = 0,
     checkpoint_sink=None,
@@ -593,12 +595,31 @@ def sa_acc_bcd(
     flight (double-buffered; the residual-dependent projections are
     packed after the current inner loop finishes). Identical iterates,
     identical message counts; the modelled ledger charges only the
-    unoverlapped latency remainder. ``eig_memo`` supplies a private
+    unoverlapped latency remainder.
+
+    ``async_=True`` keeps up to ``tau + 1`` reductions in flight and
+    harvests the oldest, so outer step ``k`` runs against ``[ytil,
+    ztil]`` projections up to ``tau`` outer steps stale (the momentum
+    schedule ``thetas`` is still computed fresh at harvest). Weaker
+    contract than ``pipeline``: convergence to the synchronous
+    objective within tolerance, not bit-parity — except ``tau=0``,
+    which reproduces the pipelined schedule bit for bit. See
+    :func:`repro.solvers.lasso.plain.sa_bcd` for the staleness
+    accounting (``stale_seconds`` / ``max_staleness``) and the
+    ``nb_depth = tau + 2`` communicator ring requirement. Mutually
+    exclusive with ``pipeline``. ``eig_memo`` supplies a private
     eigenvalue memo for the fused loops (default: the shared
     process-wide memo).
     """
     if s < 1:
         raise SolverError(f"s must be >= 1, got {s}")
+    if tau < 0:
+        raise SolverError(f"tau must be >= 0, got {tau}")
+    if async_ and pipeline:
+        raise SolverError(
+            "async_=True and pipeline=True are mutually exclusive: "
+            "pipelining is the tau=0 special case of async_"
+        )
     check_parity(parity)
     if checkpoint_every or resume_from is not None:
         require_int_seed(seed)
@@ -660,7 +681,51 @@ def sa_acc_bcd(
             checkpoint_sink, dist.comm.rank,
         )
 
-    if pipeline and done < max_iter:
+    if async_ and done < max_iter:
+        pipe = dist.gram_pipeline(
+            extra_cols=2, symmetric=symmetric_pack, depth=tau + 2
+        )
+        planned = done
+        inflight = []  # FIFO of (plan, slot); oldest harvested first
+        while len(inflight) <= tau and planned < max_iter:
+            plan = _sa_plan(sampler, min(s, max_iter - planned))
+            pslot = pipe.prefetch(np.concatenate(plan[0]))
+            pipe.post(pslot, [ytil, ztil])
+            inflight.append((plan, pslot))
+            planned += len(plan[0])
+        while inflight:
+            nxt = nslot = None
+            if planned < max_iter:
+                nxt = _sa_plan(sampler, min(s, max_iter - planned))
+                nslot = pipe.prefetch(np.concatenate(nxt[0]))
+                planned += len(nxt[0])
+            cur, slot = inflight.pop(0)
+            Y, G, R = pipe.wait(slot)
+            blocks, widths, offsets = cur
+            # thetas depend only on theta_sk, known fresh at harvest
+            thetas = theta_schedule(theta, len(blocks))
+            prev_done = done
+            converged, done, theta, theta_used = step(
+                dist, pen, Y, G, R, blocks, widths, offsets, thetas, q,
+                y, z, ytil, ztil, done, max_iter, record_every, term, history,
+                memo=eig_memo,
+            )
+            # this step supersedes the projections carried by every
+            # reduction still in flight: age them one harvest point
+            for _, pending in inflight:
+                pending.req.bump_staleness()
+            _checkpoint(prev_done)
+            if converged:
+                break
+            if nxt is not None:
+                pipe.post(nslot, [ytil, ztil])
+                inflight.append((nxt, nslot))
+        # drain unconsumed reductions: traffic is charged at finalize and
+        # the ring is left clean for communicator reuse
+        for _, pending in inflight:
+            pending.req.wait()
+            pending.req = None
+    elif pipeline and done < max_iter:
         pipe = dist.gram_pipeline(extra_cols=2, symmetric=symmetric_pack)
         cur = _sa_plan(sampler, min(s, max_iter - done))
         slot = pipe.prefetch(np.concatenate(cur[0]))

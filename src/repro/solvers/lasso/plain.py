@@ -466,6 +466,8 @@ def sa_bcd(
     fast: bool = True,
     parity: str = "exact",
     pipeline: bool = False,
+    async_: bool = False,
+    tau: int = 1,
     eig_memo=None,
     checkpoint_every: int = 0,
     checkpoint_sink=None,
@@ -492,6 +494,25 @@ def sa_bcd(
     mid-step has already sampled + Gram-packed one block it will never
     use, and the ledger honestly charges that extra local work (traffic
     is never speculated — the unused block is never posted).
+
+    ``async_=True`` goes further: up to ``tau + 1`` outer-step reductions
+    stay in flight, each posted with the residual current at its post
+    time, and the driver harvests the *oldest* instead of blocking on the
+    newest — outer step ``k`` therefore runs its inner loop against a
+    residual up to ``tau`` steps stale (deterministic bounded staleness:
+    step ``k`` sees the residual of step ``max(0, k - tau)``). The
+    contract is deliberately weaker than the pipelined path's bit-parity:
+    the iterate sequence *differs* from the synchronous one, and what is
+    guaranteed (and tested, ``tests/test_async.py``) is convergence to
+    the synchronous reference's objective within tolerance. ``tau=0``
+    degenerates to the pipelined schedule bit for bit — same sampler
+    stream, same op order, same ledger. The ledger splits each in-flight
+    reduction's overlapped transit into fresh (``comm_seconds_hidden``)
+    and superseded (``stale_seconds``) windows and records the observed
+    staleness watermark (``max_staleness``). Mutually exclusive with
+    ``pipeline``; needs a communicator ring of ``tau + 2`` nonblocking
+    slots (``nb_depth`` on the thread/process backends — exceeding it
+    raises :class:`~repro.errors.NbRingDepthError`).
     ``eig_memo`` supplies a private eigenvalue memo for the fused loops
     (default: the shared process-wide memo).
 
@@ -502,6 +523,13 @@ def sa_bcd(
     """
     if s < 1:
         raise SolverError(f"s must be >= 1, got {s}")
+    if tau < 0:
+        raise SolverError(f"tau must be >= 0, got {tau}")
+    if async_ and pipeline:
+        raise SolverError(
+            "async_=True and pipeline=True are mutually exclusive: "
+            "pipelining is the tau=0 special case of async_"
+        )
     check_parity(parity)
     if checkpoint_every or resume_from is not None:
         require_int_seed(seed)
@@ -555,7 +583,54 @@ def sa_bcd(
             checkpoint_sink, dist.comm.rank,
         )
 
-    if pipeline and done < max_iter:
+    if async_ and done < max_iter:
+        pipe = dist.gram_pipeline(
+            extra_cols=1, symmetric=symmetric_pack, depth=tau + 2
+        )
+        # warmup: batch 0 fresh, batches 1..tau posted with the same
+        # initial residual (they will be min(j, tau) steps stale when
+        # harvested); `planned` counts iterations already committed to
+        # in-flight batches so the last batch is sized to max_iter
+        planned = done
+        inflight = []  # FIFO of (plan, slot); oldest harvested first
+        while len(inflight) <= tau and planned < max_iter:
+            plan = _sa_plan(sampler, min(s, max_iter - planned))
+            pslot = pipe.prefetch(np.concatenate(plan[0]))
+            pipe.post(pslot, [r_local])
+            inflight.append((plan, pslot))
+            planned += len(plan[0])
+        while inflight:
+            nxt = nslot = None
+            if planned < max_iter:
+                nxt = _sa_plan(sampler, min(s, max_iter - planned))
+                nslot = pipe.prefetch(np.concatenate(nxt[0]))
+                planned += len(nxt[0])
+            cur, slot = inflight.pop(0)
+            Y, G, R = pipe.wait(slot)
+            blocks, widths, offsets = cur
+            prev_done = done
+            converged, done = step(
+                dist, pen, Y, G, R, blocks, widths, offsets,
+                x, r_local, done, max_iter, record_every, term, history,
+                memo=eig_memo,
+            )
+            # completing this step supersedes the residual carried by
+            # every reduction still in flight: age them one harvest point
+            for _, pending in inflight:
+                pending.req.bump_staleness()
+            _checkpoint(prev_done)
+            if converged:
+                break
+            if nxt is not None:
+                pipe.post(nslot, [r_local])
+                inflight.append((nxt, nslot))
+        # drain: reductions posted but never consumed still moved real
+        # traffic (charged at finalize) and must clear the ring so the
+        # communicator is reusable (path sweeps, streaming)
+        for _, pending in inflight:
+            pending.req.wait()
+            pending.req = None
+    elif pipeline and done < max_iter:
         pipe = dist.gram_pipeline(extra_cols=1, symmetric=symmetric_pack)
         cur = _sa_plan(sampler, min(s, max_iter - done))
         slot = pipe.prefetch(np.concatenate(cur[0]))

@@ -62,6 +62,8 @@ def result_to_dict(result: SolverResult) -> dict:
             "words": result.cost.words,
             "flops": result.cost.flops,
             "comm_seconds_hidden": result.cost.comm_seconds_hidden,
+            "stale_seconds": result.cost.stale_seconds,
+            "max_staleness": result.cost.max_staleness,
             "retries": result.cost.retries,
             "timeouts": result.cost.timeouts,
             "recoveries": result.cost.recoveries,
@@ -95,6 +97,8 @@ def result_from_dict(data: dict) -> SolverResult:
         words=data["cost"]["words"],
         flops=data["cost"]["flops"],
         comm_seconds_hidden=data["cost"].get("comm_seconds_hidden", 0.0),
+        stale_seconds=data["cost"].get("stale_seconds", 0.0),
+        max_staleness=int(data["cost"].get("max_staleness", 0)),
         retries=int(data["cost"].get("retries", 0)),
         timeouts=int(data["cost"].get("timeouts", 0)),
         recoveries=int(data["cost"].get("recoveries", 0)),

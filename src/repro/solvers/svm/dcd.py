@@ -341,6 +341,8 @@ def sa_dcd(
     fast: bool = True,
     parity: str = "exact",
     pipeline: bool = False,
+    async_: bool = False,
+    tau: int = 1,
     eig_memo=None,
     checkpoint_every: int = 0,
     checkpoint_sink=None,
@@ -360,13 +362,31 @@ def sa_dcd(
     + Gram-packs the next outer step's rows while it is in flight (the
     ``Y x_sk`` projection, which depends on the current primal, is packed
     after the inner loop finishes). Identical iterates and messages;
-    only unoverlapped latency is charged. ``eig_memo`` is accepted for
+    only unoverlapped latency is charged.
+
+    ``async_=True`` keeps up to ``tau + 1`` reductions in flight and
+    harvests the oldest, so outer step ``k`` runs against a ``Y x``
+    projection up to ``tau`` outer steps stale. Weaker contract than
+    ``pipeline``: convergence to the synchronous duality gap within
+    tolerance, not bit-parity — except ``tau=0``, which reproduces the
+    pipelined schedule bit for bit. See
+    :func:`repro.solvers.lasso.plain.sa_bcd` for the staleness
+    accounting (``stale_seconds`` / ``max_staleness``) and the
+    ``nb_depth = tau + 2`` communicator ring requirement. Mutually
+    exclusive with ``pipeline``. ``eig_memo`` is accepted for
     API uniformity with the Lasso SA solvers (the SVM inner loop has no
     eigensolves).
     """
     del eig_memo  # no eigensolves in the dual CD inner loop
     if s < 1:
         raise SolverError(f"s must be >= 1, got {s}")
+    if tau < 0:
+        raise SolverError(f"tau must be >= 0, got {tau}")
+    if async_ and pipeline:
+        raise SolverError(
+            "async_=True and pipeline=True are mutually exclusive: "
+            "pipelining is the tau=0 special case of async_"
+        )
     check_parity(parity)
     if checkpoint_every or resume_from is not None:
         require_int_seed(seed)
@@ -416,7 +436,46 @@ def sa_dcd(
             checkpoint_sink, dist.comm.rank,
         )
 
-    if pipeline and not converged and done < max_iter:
+    if async_ and not converged and done < max_iter:
+        pipe = dist.gram_rows_pipeline(symmetric=symmetric_pack, depth=tau + 2)
+        planned = done
+        inflight = []  # FIFO of (idx, slot); oldest harvested first
+        while len(inflight) <= tau and planned < max_iter:
+            pidx = sampler.next_indices(min(s, max_iter - planned))
+            pslot = pipe.prefetch(pidx)
+            pipe.post(pslot, [x_local])
+            inflight.append((pidx, pslot))
+            planned += pidx.shape[0]
+        while inflight:
+            nidx = nslot = None
+            if planned < max_iter:
+                nidx = sampler.next_indices(min(s, max_iter - planned))
+                nslot = pipe.prefetch(nidx)
+                planned += nidx.shape[0]
+            idx, slot = inflight.pop(0)
+            Y, G, R = pipe.wait(slot)
+            prev_done = done
+            converged, done = step(
+                dist, b, Y, G, R[:, 0], idx, gamma, nu,
+                alpha, x_local, lam, loss, done, max_iter, record_every,
+                term, history,
+            )
+            # this step supersedes the primal carried by every reduction
+            # still in flight: age them one harvest point
+            for _, pending in inflight:
+                pending.req.bump_staleness()
+            _checkpoint(prev_done)
+            if converged:
+                break
+            if nidx is not None:
+                pipe.post(nslot, [x_local])
+                inflight.append((nidx, nslot))
+        # drain unconsumed reductions: traffic is charged at finalize and
+        # the ring is left clean for communicator reuse
+        for _, pending in inflight:
+            pending.req.wait()
+            pending.req = None
+    elif pipeline and not converged and done < max_iter:
         pipe = dist.gram_rows_pipeline(symmetric=symmetric_pack)
         idx = sampler.next_indices(min(s, max_iter - done))
         slot = pipe.prefetch(idx)

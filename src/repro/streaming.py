@@ -69,7 +69,7 @@ from repro.machine.ledger import CostSnapshot
 from repro.machine.spec import MachineSpec
 from repro.mpi.comm import Comm
 from repro.mpi.process_backend import process_spmd_run
-from repro.mpi.thread_backend import spmd_run
+from repro.mpi.thread_backend import NB_RING_DEPTH, spmd_run
 from repro.mpi.virtual_backend import VirtualComm
 from repro.path import SweepContext
 from repro.solvers.base import SolverResult
@@ -137,6 +137,8 @@ def _snapshot_to_dict(c: CostSnapshot) -> dict:
         "words": c.words,
         "flops": c.flops,
         "comm_seconds_hidden": c.comm_seconds_hidden,
+        "stale_seconds": c.stale_seconds,
+        "max_staleness": int(c.max_staleness),
         "retries": int(c.retries),
         "timeouts": int(c.timeouts),
         "recoveries": int(c.recoveries),
@@ -153,6 +155,8 @@ def _snapshot_from_dict(d: dict) -> CostSnapshot:
         words=float(d.get("words", 0.0)),
         flops=float(d.get("flops", 0.0)),
         comm_seconds_hidden=float(d.get("comm_seconds_hidden", 0.0)),
+        stale_seconds=float(d.get("stale_seconds", 0.0)),
+        max_staleness=int(d.get("max_staleness", 0)),
         retries=int(d.get("retries", 0)),
         timeouts=int(d.get("timeouts", 0)),
         recoveries=int(d.get("recoveries", 0)),
@@ -314,6 +318,8 @@ class StreamingSweep:
         fast: bool = True,
         parity: str = "exact",
         pipeline: bool = False,
+        async_: bool = False,
+        tau: int = 1,
     ) -> None:
         self.ctx = SweepContext(
             A, b, task=task, comm=comm, virtual_p=virtual_p, machine=machine,
@@ -327,7 +333,7 @@ class StreamingSweep:
             solver=solver if solver is not None else _DEFAULT_SOLVER[task],
             loss=loss, lam=lam, mu=mu, s=s, max_iter=max_iter, tol=tol,
             seed=seed, record_every=record_every, fast=fast, parity=parity,
-            pipeline=pipeline,
+            pipeline=pipeline, async_=async_, tau=tau,
         )
         self._x_warm: np.ndarray | None = None
         self._alpha_warm: np.ndarray | None = None
@@ -844,6 +850,7 @@ class StreamingSweep:
                 comm=self.comm, record_every=p["record_every"],
                 x0=self._x_warm if warm_start else None,
                 fast=p["fast"], parity=p["parity"], pipeline=p["pipeline"],
+                async_=p["async_"], tau=p["tau"],
                 eig_memo=self.ctx.eig_memo,
             )
             self._x_warm = res.x
@@ -863,7 +870,7 @@ class StreamingSweep:
                 tol=p["tol"], seed=p["seed"], comm=self.comm,
                 record_every=p["record_every"],
                 alpha0=alpha0, fast=p["fast"], parity=p["parity"],
-                pipeline=p["pipeline"],
+                pipeline=p["pipeline"], async_=p["async_"], tau=p["tau"],
             )
             self._alpha_warm = res.extras["alpha"]
         self.ctx.end_point(res)
@@ -887,6 +894,8 @@ def _cost_dict(c: CostSnapshot) -> dict:
         "comm_seconds": c.comm_seconds,
         "compute_seconds": c.compute_seconds,
         "comm_seconds_hidden": c.comm_seconds_hidden,
+        "stale_seconds": c.stale_seconds,
+        "max_staleness": int(c.max_staleness),
         "messages": int(c.messages),
         "words": c.words,
         "flops": c.flops,
@@ -909,14 +918,19 @@ def _solve_dict(res: SolverResult) -> dict:
 
 def _sum_cost_dicts(costs: list) -> dict:
     total = {k: 0 if k in ("messages", "retries", "timeouts", "recoveries",
-                           "respawns", "replayed_iterations") else 0.0
+                           "respawns", "replayed_iterations",
+                           "max_staleness") else 0.0
              for k in ("seconds", "comm_seconds", "compute_seconds",
-                       "comm_seconds_hidden", "messages", "words", "flops",
+                       "comm_seconds_hidden", "stale_seconds",
+                       "max_staleness", "messages", "words", "flops",
                        "retries", "timeouts", "recoveries", "respawns",
                        "replayed_iterations")}
     for c in costs:
         for k in total:
-            total[k] += c.get(k, 0)
+            if k == "max_staleness":
+                total[k] = max(total[k], c.get(k, 0))
+            else:
+                total[k] += c.get(k, 0)
     return total
 
 
@@ -1010,6 +1024,8 @@ def replay_schedule(
     fast: bool = True,
     parity: str = "exact",
     pipeline: bool = False,
+    async_: bool = False,
+    tau: int = 1,
     backend: str = "virtual",
     ranks: int = 4,
     virtual_p: int = 1,
@@ -1065,7 +1081,7 @@ def replay_schedule(
     knobs = dict(
         solver=solver, loss=loss, lam=lam, mu=mu, s=s, max_iter=max_iter,
         tol=tol, seed=seed, record_every=record_every, fast=fast,
-        parity=parity, pipeline=pipeline,
+        parity=parity, pipeline=pipeline, async_=async_, tau=tau,
     )
 
     def work(comm, rank):
@@ -1143,7 +1159,8 @@ def replay_schedule(
                     cold_dist, b_eff, lam_used, solver=engine.defaults["solver"],
                     mu=mu, s=s, max_iter=max_iter, tol=tol, seed=seed,
                     record_every=record_every, fast=fast, parity=parity,
-                    pipeline=pipeline, eig_memo=EigMemo(),
+                    pipeline=pipeline, async_=async_, tau=tau,
+                    eig_memo=EigMemo(),
                 )
             else:
                 cold_dist = ColPartitionedMatrix.from_global(
@@ -1154,6 +1171,7 @@ def replay_schedule(
                     solver=engine.defaults["solver"], s=s, max_iter=max_iter,
                     tol=tol, seed=seed, record_every=record_every,
                     fast=fast, parity=parity, pipeline=pipeline,
+                    async_=async_, tau=tau,
                 )
             return cold
 
@@ -1277,12 +1295,14 @@ def replay_schedule(
         )
     if ranks < 1:
         raise SolverError(f"ranks must be >= 1, got {ranks}")
+    nb_depth = tau + 2 if async_ else NB_RING_DEPTH
     if backend == "thread":
         out = spmd_run(work, ranks, machine=machine,
-                       cost_size=max(virtual_p, ranks))
+                       cost_size=max(virtual_p, ranks), nb_depth=nb_depth)
     else:
         out = process_spmd_run(
             work, ranks, machine=machine, cost_size=max(virtual_p, ranks),
             recover=recover, max_recoveries=max_recoveries,
+            nb_depth=nb_depth,
         )
     return out.values[0]

@@ -36,10 +36,15 @@ __all__ = [
     "make_sequence",
     "make_fault_plan",
     "make_die_plan",
+    "make_async_sequence",
     "run_sequence",
+    "run_async_sequence",
     "expected_results",
+    "expected_async",
     "assert_results_equal",
+    "assert_async_equal",
     "assert_ledger_reconstruction",
+    "assert_async_ledger_reconstruction",
     "virtual_spmd_run",
 ]
 
@@ -157,6 +162,57 @@ def make_sequence(seed: int, n_ops: int = 20, size: int = 2) -> list[dict]:
         if o["kind"] == "Iallreduce" and o["flops"] < 1e5:
             o["flops"] = 5e5
     return ops
+
+
+def make_async_sequence(seed: int, n_posts: int = 12, size: int = 2,
+                        tau: int = 2) -> list[tuple]:
+    """A deterministic async-ring program: posts and out-of-order harvests.
+
+    Models exactly the discipline of the bounded-staleness solvers, but
+    fuzzed: up to ``tau + 1`` ``Iallreduce`` requests in flight at once,
+    each harvest picking a seeded *arbitrary* in-flight request (not
+    necessarily the oldest — out-of-order within the ring window), with
+    seeded compute between events and seeded ``bump_staleness`` calls on
+    the survivors of some harvests. Run it on a world built with
+    ``nb_depth = tau + 2``.
+
+    Events are plain tuples consumed by both :func:`run_async_sequence`
+    and the :func:`expected_async` oracle:
+
+    * ``("post", op_dict)`` — post one ``Iallreduce``;
+    * ``("harvest", pick, how, bump)`` — complete the ``pick``-th oldest
+      in-flight request via ``how`` (``"wait"``/``"test"``), then, if
+      ``bump``, bump the staleness of every request still in flight.
+    """
+    rng = np.random.default_rng([0xA5, seed])
+    depth = tau + 2
+    events: list[tuple] = []
+    inflight: list[int] = []
+    posted = 0
+    while posted < n_posts or inflight:
+        # a post is legal when the ring has room AND the request that
+        # would share the next post's slot (seq `posted - depth`) has
+        # been harvested — the backends raise NbRingDepthError otherwise
+        can_post = (posted < n_posts and len(inflight) <= tau
+                    and posted - depth not in inflight)
+        must_post = not inflight and posted < n_posts
+        if must_post or (can_post and rng.random() < 0.55):
+            op = {
+                "op": str(rng.choice(["sum", "max", "min"])),
+                "dtype": "f64",  # the process backend's raw-slot contract
+                "shape": _rand_shape(rng),
+                "flops": float(rng.uniform(1e5, 1e6)),
+            }
+            events.append(("post", op))
+            inflight.append(posted)
+            posted += 1
+        else:
+            pick = int(rng.integers(0, len(inflight)))
+            how = str(rng.choice(["wait", "test"], p=[0.7, 0.3]))
+            bump = bool(rng.random() < 0.7)
+            events.append(("harvest", pick, how, bump))
+            inflight.pop(pick)
+    return events
 
 
 def _array_payload(seed: int, i: int, rank: int, op: dict) -> np.ndarray:
@@ -287,6 +343,51 @@ def run_sequence(comm, rank: int, seed: int, ops: list[dict],
     return results
 
 
+def run_async_sequence(comm, rank: int, seed: int,
+                       events: list[tuple],
+                       force_blocking: bool = False) -> tuple[list, list]:
+    """Execute an async-ring program on one rank.
+
+    Returns ``(results, stale)``: the reduced array and the observed
+    ``stale_steps`` for each post, indexed by post order.
+    ``force_blocking=True`` replaces each post with its blocking twin
+    (harvest events then only charge their compute) — the reference run
+    for the three-way ledger reconstruction check.
+    """
+    n_posts = sum(1 for ev in events if ev[0] == "post")
+    results: list = [None] * n_posts
+    stale: list = [0] * n_posts
+    inflight: list[tuple[int, object]] = []  # (post index, CommRequest)
+    pi = 0
+    for ev in events:
+        if ev[0] == "post":
+            op = ev[1]
+            arr = _array_payload(seed, pi, rank, op)
+            red = _REDUCTIONS[op["op"]]
+            if force_blocking:
+                results[pi] = comm.Allreduce(arr, op=red)
+            else:
+                inflight.append((pi, comm.Iallreduce(arr, op=red)))
+            pi += 1
+            comm.account_flops(op["flops"], "blas3")
+        else:
+            _, pick, how, bump = ev
+            if not force_blocking:
+                idx, req = inflight.pop(pick)
+                if how == "test":
+                    while not req.test():
+                        pass
+                results[idx] = req.wait()
+                stale[idx] = req.stale_steps
+                if bump:
+                    for _, other in inflight:
+                        other.bump_staleness()
+            # the harvest point's local compute happens either way
+            comm.account_flops(2e5, "blas1")
+    assert not inflight, "generator bug: program left requests in flight"
+    return results, stale
+
+
 # ---------------------------------------------------------------------------
 # sequential oracle
 # ---------------------------------------------------------------------------
@@ -337,6 +438,50 @@ def expected_results(seed: int, ops: list[dict], size: int) -> list[list]:
     return out
 
 
+def expected_async(seed: int, events: list[tuple],
+                   size: int) -> tuple[list[list], list]:
+    """Oracle for an async-ring program.
+
+    Returns ``(per_rank_results, stale_schedule)``: the rank-ordered
+    folds every rank must observe for each post, and the staleness each
+    request must report at its harvest — the number of bumping harvests
+    it survived while in flight. The schedule is a pure function of the
+    event list, so every rank (and every backend) must match it exactly.
+    """
+    n_posts = sum(1 for ev in events if ev[0] == "post")
+    out: list[list] = [[None] * n_posts for _ in range(size)]
+    stale: list = [0] * n_posts
+    counts: dict[int, int] = {}
+    inflight: list[int] = []
+    pi = 0
+    for ev in events:
+        if ev[0] == "post":
+            op = ev[1]
+            payloads = [_array_payload(seed, pi, r, op) for r in range(size)]
+            folded = _REDUCTIONS[op["op"]].fold(payloads)
+            for r in range(size):
+                out[r][pi] = folded
+            inflight.append(pi)
+            counts[pi] = 0
+            pi += 1
+        else:
+            _, pick, how, bump = ev
+            idx = inflight.pop(pick)
+            stale[idx] = counts.pop(idx)
+            if bump:
+                for other in inflight:
+                    counts[other] += 1
+    return out, stale
+
+
+def assert_async_equal(observed: tuple, expected_vals: list,
+                       expected_stale: list) -> None:
+    """One rank's async results and staleness schedule, both exact."""
+    results, stale = observed
+    assert_results_equal(results, expected_vals)
+    assert stale == expected_stale, (stale, expected_stale)
+
+
 def assert_results_equal(observed: list, expected: list) -> None:
     """Bitwise comparison of one rank's observed vs expected op results."""
     assert len(observed) == len(expected)
@@ -367,6 +512,31 @@ def assert_ledger_reconstruction(nb: CostLedger, blocking: CostLedger) -> None:
     assert nb.comm_seconds_hidden >= 0.0
     assert blocking.comm_seconds_hidden == 0.0
     recon = nb.comm_seconds + nb.comm_seconds_hidden
+    assert abs(recon - blocking.comm_seconds) <= (
+        1e-12 * max(1.0, blocking.comm_seconds)
+    ), (recon, blocking.comm_seconds)
+
+
+def assert_async_ledger_reconstruction(
+    nb: CostLedger, blocking: CostLedger, max_stale: int
+) -> None:
+    """The three-way async split reconstructs the blocking bill.
+
+    ``charged + hidden + stale`` must equal the blocking run's
+    ``comm_seconds`` exactly, with identical traffic and flops —
+    staleness hides time, it never discounts messages, words, or work —
+    and the ``max_staleness`` watermark must equal the schedule's true
+    maximum.
+    """
+    assert nb.messages == blocking.messages
+    assert nb.words == blocking.words
+    assert nb.flops == blocking.flops
+    assert nb.comm_seconds_hidden >= 0.0
+    assert nb.stale_seconds >= 0.0
+    assert blocking.comm_seconds_hidden == 0.0
+    assert blocking.stale_seconds == 0.0
+    assert nb.max_staleness == max_stale, (nb.max_staleness, max_stale)
+    recon = nb.comm_seconds + nb.comm_seconds_hidden + nb.stale_seconds
     assert abs(recon - blocking.comm_seconds) <= (
         1e-12 * max(1.0, blocking.comm_seconds)
     ), (recon, blocking.comm_seconds)

@@ -15,12 +15,17 @@ from repro.mpi.process_backend import process_spmd_run
 from repro.mpi.thread_backend import spmd_run
 from repro.faults import FaultyComm
 from spmd_fuzz_suite import (
+    assert_async_equal,
+    assert_async_ledger_reconstruction,
     assert_ledger_reconstruction,
     assert_results_equal,
+    expected_async,
     expected_results,
+    make_async_sequence,
     make_die_plan,
     make_fault_plan,
     make_sequence,
+    run_async_sequence,
     run_sequence,
     virtual_spmd_run,
 )
@@ -233,6 +238,112 @@ class TestSupervisedRecoveryFuzz:
             assert_results_equal(res.values[r], expected[r])
         assert all(led.recoveries >= 1 for led in res.ledgers)
         assert all(led.respawns >= 1 for led in res.ledgers)
+
+
+def _tau_for(seed: int) -> int:
+    return 1 + seed % 3  # tau in {1, 2, 3}
+
+
+def _check_async_oracle(runner, seed: int, size: int) -> None:
+    tau = _tau_for(seed)
+    events = make_async_sequence(seed, n_posts=10, size=size, tau=tau)
+    res = runner(
+        lambda comm, rank: run_async_sequence(comm, rank, seed, events),
+        size, nb_depth=tau + 2,
+    )
+    exp_vals, exp_stale = expected_async(seed, events, size)
+    for r in range(size):
+        assert_async_equal(res.values[r], exp_vals[r], exp_stale)
+
+
+def _check_async_ledger(runner, seed: int, size: int) -> None:
+    tau = _tau_for(seed)
+    events = make_async_sequence(seed, n_posts=10, size=size, tau=tau)
+
+    def nb(comm, rank):
+        run_async_sequence(comm, rank, seed, events)
+
+    def blocking(comm, rank):
+        run_async_sequence(comm, rank, seed, events, force_blocking=True)
+
+    res_nb = runner(nb, size, machine=CRAY_XC30, cost_size=64,
+                    nb_depth=tau + 2)
+    res_blocking = runner(blocking, size, machine=CRAY_XC30, cost_size=64)
+    _, exp_stale = expected_async(seed, events, size)
+    for led_nb, led_blocking in zip(res_nb.ledgers, res_blocking.ledgers):
+        assert_async_ledger_reconstruction(led_nb, led_blocking,
+                                           max(exp_stale))
+
+
+class TestAsyncRingFuzz:
+    """Seeded async-ring programs — up to tau+1 reductions in flight,
+    harvested out of order — fold bit-identically to the oracle on every
+    backend, with the staleness schedule matched exactly, and the
+    three-way ledger split (charged + hidden + stale) reconstructing the
+    blocking bill. The process backend's long tail is nightly
+    (``slow``); a 5-seed slice stays in tier-1."""
+
+    ASYNC_SEEDS = SEEDS
+    ASYNC_SMOKE_SEEDS = SEEDS[:5]
+
+    def test_programs_are_deterministic_and_out_of_order(self):
+        picks = set()
+        for seed in self.ASYNC_SEEDS:
+            tau = _tau_for(seed)
+            a = make_async_sequence(seed, 10, _size_for(seed), tau)
+            assert a == make_async_sequence(seed, 10, _size_for(seed), tau)
+            picks |= {ev[1] for ev in a if ev[0] == "harvest"}
+            # respect the ring: never more than tau + 1 in flight, and a
+            # post never reuses the slot of a still-open request
+            inflight, posted = [], 0
+            for ev in a:
+                if ev[0] == "post":
+                    assert posted - (tau + 2) not in inflight
+                    inflight.append(posted)
+                    posted += 1
+                else:
+                    inflight.pop(ev[1])
+                assert 0 <= len(inflight) <= tau + 1
+        assert picks - {0}, "harvests never picked out of order"
+
+    @pytest.mark.parametrize("seed", ASYNC_SEEDS)
+    def test_virtual(self, seed):
+        _check_async_oracle(virtual_spmd_run, seed, 1)
+
+    @pytest.mark.parametrize("seed", ASYNC_SMOKE_SEEDS)
+    def test_thread_smoke(self, seed):
+        _check_async_oracle(spmd_run, seed, _size_for(seed))
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", ASYNC_SEEDS[len(ASYNC_SMOKE_SEEDS):])
+    def test_thread_full(self, seed):
+        _check_async_oracle(spmd_run, seed, _size_for(seed))
+
+    @pytest.mark.parametrize("seed", ASYNC_SMOKE_SEEDS)
+    def test_process_smoke(self, seed):
+        _check_async_oracle(process_spmd_run, seed, _size_for(seed))
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", ASYNC_SEEDS[len(ASYNC_SMOKE_SEEDS):])
+    def test_process_full(self, seed):
+        _check_async_oracle(process_spmd_run, seed, _size_for(seed))
+
+    @pytest.mark.parametrize("seed", ASYNC_SEEDS[:3])
+    def test_ledger_virtual(self, seed):
+        _check_async_ledger(virtual_spmd_run, seed, 1)
+
+    @pytest.mark.parametrize("seed", ASYNC_SEEDS[:3])
+    def test_ledger_thread(self, seed):
+        _check_async_ledger(spmd_run, seed, _size_for(seed))
+
+    @pytest.mark.parametrize("seed", ASYNC_SEEDS[:2])
+    def test_ledger_process_smoke(self, seed):
+        _check_async_ledger(process_spmd_run, seed, _size_for(seed))
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", ASYNC_SEEDS[2:5])
+    def test_ledger_process_full(self, seed):
+        _check_async_ledger(process_spmd_run, seed, _size_for(seed))
 
 
 class TestHarnessSelfChecks:
