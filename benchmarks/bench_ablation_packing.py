@@ -8,7 +8,6 @@ triangle, across s.
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import banner, report
 from repro.datasets.synthetic import make_sparse_regression

@@ -12,7 +12,6 @@ identical.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from conftest import banner, report
 from repro.experiments.runner import load_scaled, run_lasso

@@ -14,7 +14,6 @@ Success criteria: (1) accelerated beats non-accelerated in time;
 
 from __future__ import annotations
 
-import numpy as np
 
 from conftest import banner, report
 from repro.experiments.runner import load_scaled, run_lasso

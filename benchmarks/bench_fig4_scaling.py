@@ -30,7 +30,7 @@ def fig4_scaling():
         sa = strong_scaling(ds, "sa-acccd", Ps, s=s, max_iter=H, lam=1.0)
         banner(f"Figure 4 ({name}) — strong scaling, accCD vs SA-accCD (s={s})")
         rows = []
-        for p0, p1 in zip(base, sa):
+        for p0, p1 in zip(base, sa, strict=True):
             rows.append(
                 [
                     p0.P,
@@ -50,7 +50,7 @@ def fig4_scaling():
 def test_fig4_strong_scaling(benchmark):
     results = benchmark.pedantic(fig4_scaling, rounds=1, iterations=1)
     for name, (base, sa) in results.items():
-        speedups = [b.seconds / s.seconds for b, s in zip(base, sa)]
+        speedups = [b.seconds / s.seconds for b, s in zip(base, sa, strict=True)]
         # SA wins everywhere, and the advantage persists across the range
         # (the paper's log2 plots show the absolute gap widening with P;
         # the *ratio* stays roughly flat once latency dominates)

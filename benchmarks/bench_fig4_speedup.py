@@ -59,7 +59,8 @@ def test_fig4_speedup_vs_s(benchmark):
         assert totals[-1] < peak, f"{name}: speedup should decay at large s"
         # rising up to the peak
         assert all(a <= b * 1.05 for a, b in zip(totals[:peak_idx],
-                                                 totals[1:peak_idx + 1]))
+                                                 totals[1:peak_idx + 1],
+                                                 strict=True))
         # headline range: the peak sits within ~2x of the paper's 1.2-5.1x
         assert 1.2 < peak < 12.0, f"{name}: peak {peak}"
         # communication reduction in/above the paper's 4.2-10.9x band

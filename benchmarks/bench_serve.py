@@ -143,7 +143,7 @@ def bench_recovery_smoke() -> dict:
     wall_faulted = time.perf_counter() - t0
     matches = all(
         a["model_hash"] == b["model_hash"]
-        for a, b in zip(oracle["tenants"], rep["tenants"])
+        for a, b in zip(oracle["tenants"], rep["tenants"], strict=True)
     )
     print(f"recovery smoke: clean {wall_clean:.2f} s, faulted+recovered "
           f"{wall_faulted:.2f} s, recoveries "

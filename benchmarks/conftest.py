@@ -13,8 +13,6 @@ table.
 
 from __future__ import annotations
 
-import sys
-
 import pytest
 
 from repro.experiments.runner import load_scaled

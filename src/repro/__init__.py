@@ -29,10 +29,10 @@ Package layout (see DESIGN.md):
 """
 
 from repro._api import fit_lasso, fit_svm
-from repro.estimators import SALasso, SALassoCV, SASVMClassifier, SASVMClassifierCV
 from repro.errors import ReproError
+from repro.estimators import SALasso, SALassoCV, SASVMClassifier, SASVMClassifierCV
 from repro.path import PathResult, SweepContext, adaptive_schedule, lasso_path, svm_path
-from repro.prox import L1Penalty, ElasticNetPenalty, GroupLassoPenalty
+from repro.prox import ElasticNetPenalty, GroupLassoPenalty, L1Penalty
 from repro.solvers.base import SolverResult
 from repro.streaming import DataRevision, StreamingSweep, replay_schedule
 

@@ -7,8 +7,6 @@ for single-machine use, while still exposing every knob the paper tunes
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.errors import SolverError
 from repro.machine.spec import MachineSpec
 from repro.mpi.comm import Comm

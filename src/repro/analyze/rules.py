@@ -1,0 +1,743 @@
+"""AST lint rules for the SPMD contract.
+
+Every rule is grounded in a hazard this repo has actually hit (or a
+class the fuzz layers catch only dynamically):
+
+* ``collective-in-rank-branch`` — a collective reachable only under a
+  rank-conditional deadlocks the other ranks (the canonical SPMD bug).
+  Rank-guarded *non*-collective calls are reported at ``info`` severity:
+  they are legitimate exactly when they cannot communicate (rank-0
+  checkpoint writes), which the author asserts with a justified inline
+  suppression.
+* ``unharvested-request`` — an ``Iallreduce`` whose request is dropped
+  (or never waited/tested) leaves peers parked inside the reduction:
+  the static face of PR 9's NB slot-ring deadlock.
+* ``nb-ring-depth`` — posting more in-flight nonblocking collectives
+  than the declared ring depth raises ``NbRingDepthError`` at runtime
+  (or deadlocked, before PR 9); statically visible over-posting and
+  unbounded post loops are flagged here.
+* ``collective-without-timeout`` — a runtime-path collective with no
+  per-call deadline relies on a comm-wide default being armed; when it
+  is not, PR 6's deadline machinery is defeated and a lost peer hangs
+  the world.
+* ``abort-swallow`` — ``except:`` / ``except Exception:`` blocks that
+  can eat ``CommAborted`` / ``RankDiedError`` / ``KeyboardInterrupt``
+  turn fail-fast aborts into silent corruption or hangs.
+* ``nondeterminism`` — wall-clock reads, unseeded RNG, and set-order
+  iteration in solver/streaming/serve paths silently break the
+  byte-identical checkpoint-replay contract.
+
+Rules are intentionally conservative *within their documented scope*:
+`collective-in-rank-branch`'s info tier and `nb-ring-depth`'s loop
+heuristic over-approximate, and the suppression syntax (with a required
+justification) is the designed escape hatch.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.analyze.findings import Finding, Severity
+
+__all__ = [
+    "AnalyzerConfig",
+    "Rule",
+    "RULES",
+    "rule_ids",
+    "COLLECTIVE_METHODS",
+    "BLOCKING_COLLECTIVES",
+    "NONBLOCKING_COLLECTIVES",
+]
+
+#: lower-case (object) and Upper-case (buffer) collective method names
+#: of :class:`repro.mpi.comm.Comm`
+BLOCKING_COLLECTIVES = frozenset(
+    {
+        "allreduce", "bcast", "barrier", "allgather", "gather",
+        "scatter", "reduce",
+        "Allreduce", "Bcast", "Reduce", "Allgather",
+    }
+)
+NONBLOCKING_COLLECTIVES = frozenset({"Iallreduce"})
+COLLECTIVE_METHODS = BLOCKING_COLLECTIVES | NONBLOCKING_COLLECTIVES
+
+#: lower-case collective names that collide with common non-comm APIs
+#: (``functools.reduce``, ``list`` methods...): only attribute calls
+#: count for these, never bare names
+_AMBIGUOUS_BARE = frozenset(
+    {"gather", "scatter", "reduce", "allgather", "allreduce", "bcast", "barrier"}
+)
+
+#: exception names whose swallowing turns aborts into hangs/corruption
+ABORT_EXCEPTIONS = frozenset(
+    {"CommAborted", "RankDiedError", "CommTimeoutError", "KeyboardInterrupt"}
+)
+
+#: broad handler type names the abort-swallow rule targets
+_BROAD_HANDLERS = frozenset({"Exception", "BaseException"})
+
+
+@dataclass(frozen=True)
+class AnalyzerConfig:
+    """Per-run rule scoping. Defaults match this repository's layout."""
+
+    #: path substrings on which `collective-without-timeout` fires
+    #: (modules whose collectives run on the serving/solving hot path)
+    runtime_paths: tuple[str, ...] = (
+        "repro/solvers/",
+        "repro/linalg/distmatrix",
+        "repro/streaming",
+        "repro/serve/",
+        "repro/path",
+    )
+    #: path substrings on which `nondeterminism` fires (the
+    #: byte-identical replay surface)
+    determinism_paths: tuple[str, ...] = (
+        "repro/solvers/",
+        "repro/streaming",
+        "repro/serve/",
+        "repro/path",
+        "repro/estimators",
+    )
+    #: path substrings exempt from `collective-in-rank-branch`: the comm
+    #: backends implement the collectives, so rank branching there is
+    #: the mechanism, not a bug
+    rank_branch_exempt: tuple[str, ...] = (
+        "repro/mpi/",
+        "repro/faults",
+    )
+    #: builtin-ish callables the rank-branch info tier never flags
+    rank_branch_safe_calls: tuple[str, ...] = (
+        "print", "len", "str", "repr", "int", "float", "bool", "format",
+        "isinstance", "issubclass", "min", "max", "abs", "sorted", "list",
+        "dict", "tuple", "range", "enumerate", "zip", "sum", "any", "all",
+        "getattr", "setattr", "hasattr", "type", "id", "round", "divmod",
+        "ValueError", "TypeError", "RuntimeError", "KeyError",
+    )
+
+    def in_scope(self, path: str, patterns: tuple[str, ...]) -> bool:
+        norm = path.replace("\\", "/")
+        return any(pat in norm for pat in patterns)
+
+
+def _call_method_name(node: ast.Call) -> str | None:
+    """Method name of an attribute call, or the bare function name."""
+    fn = node.func
+    if isinstance(fn, ast.Attribute):
+        return fn.attr
+    if isinstance(fn, ast.Name):
+        return fn.id
+    return None
+
+
+def _is_collective_call(node: ast.Call) -> str | None:
+    """Collective method name if ``node`` is a collective call."""
+    name = _call_method_name(node)
+    if name is None or name not in COLLECTIVE_METHODS:
+        return None
+    if isinstance(node.func, ast.Name) and name in _AMBIGUOUS_BARE:
+        return None
+    return name
+
+
+def _has_kwarg(node: ast.Call, kw: str) -> bool:
+    return any(k.arg == kw for k in node.keywords)
+
+
+def _snippet(source_lines: list[str], lineno: int) -> str:
+    if 1 <= lineno <= len(source_lines):
+        return source_lines[lineno - 1].strip()
+    return ""
+
+
+def _mentions_rank(node: ast.AST) -> bool:
+    """Does an expression reference a rank identity?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr == "rank":
+            return True
+        if isinstance(sub, ast.Name) and sub.id == "rank":
+            return True
+        if isinstance(sub, ast.Call):
+            name = _call_method_name(sub)
+            if name in ("Get_rank",):
+                return True
+    return False
+
+
+@dataclass
+class Rule:
+    id: str
+    severity: str
+    summary: str
+    check: Callable[["RuleContext"], list[Finding]] = field(repr=False)
+
+
+@dataclass
+class RuleContext:
+    path: str
+    tree: ast.AST
+    source_lines: list[str]
+    config: AnalyzerConfig
+
+    def finding(
+        self, rule: str, severity: str, node: ast.AST, message: str
+    ) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        return Finding(
+            rule=rule,
+            severity=severity,
+            path=self.path,
+            line=lineno,
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            snippet=_snippet(self.source_lines, lineno),
+        )
+
+
+# -- rule: collective-in-rank-branch ---------------------------------------
+
+
+def _check_rank_branch(ctx: RuleContext) -> list[Finding]:
+    if ctx.config.in_scope(ctx.path, ctx.config.rank_branch_exempt):
+        return []
+    findings: list[Finding] = []
+    safe = set(ctx.config.rank_branch_safe_calls)
+    seen: set[tuple[int, int]] = set()
+
+    def scan_branch(stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            for sub in ast.walk(stmt):
+                if not isinstance(sub, ast.Call):
+                    continue
+                key = (sub.lineno, sub.col_offset)
+                if key in seen:
+                    continue
+                coll = _is_collective_call(sub)
+                if coll is not None:
+                    seen.add(key)
+                    findings.append(
+                        ctx.finding(
+                            "collective-in-rank-branch",
+                            Severity.ERROR,
+                            sub,
+                            f"collective `{coll}` is reachable only under a "
+                            f"rank conditional: the other ranks never enter "
+                            f"it and the world deadlocks",
+                        )
+                    )
+                    continue
+                name = _call_method_name(sub)
+                if name is None or name in safe or name.startswith("_check"):
+                    continue
+                seen.add(key)
+                findings.append(
+                    ctx.finding(
+                        "collective-in-rank-branch",
+                        Severity.INFO,
+                        sub,
+                        f"call `{name}` runs on a subset of ranks; verify it "
+                        f"cannot communicate or diverge SPMD state, then "
+                        f"suppress with a justification",
+                    )
+                )
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.If) and _mentions_rank(node.test):
+            scan_branch(node.body)
+            # the else-side of a rank test diverges just the same; but an
+            # `elif` chain arrives here as a nested If and is scanned on
+            # its own (with its own test) — only scan non-If else bodies
+            scan_branch([s for s in node.orelse if not isinstance(s, ast.If)])
+    return findings
+
+
+# -- rule: unharvested-request ---------------------------------------------
+
+
+def _function_scopes(tree: ast.AST) -> Iterator[ast.AST]:
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _scope_body(scope: ast.AST) -> list[ast.stmt]:
+    return scope.body if hasattr(scope, "body") else []
+
+
+def _walk_shallow(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk a scope without descending into nested function defs."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _check_unharvested(ctx: RuleContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for scope in _function_scopes(ctx.tree):
+        posts: dict[str, ast.Call] = {}
+        loads: set[str] = set()
+        for node in _walk_shallow(scope):
+            if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+                if _call_method_name(node.value) in NONBLOCKING_COLLECTIVES:
+                    findings.append(
+                        ctx.finding(
+                            "unharvested-request",
+                            Severity.ERROR,
+                            node.value,
+                            "nonblocking collective's request is dropped: "
+                            "nobody can wait()/test() it, so its slot is "
+                            "never harvested and peers stay parked",
+                        )
+                    )
+            elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                if _call_method_name(node.value) in NONBLOCKING_COLLECTIVES:
+                    if (
+                        len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Name)
+                    ):
+                        posts.setdefault(node.targets[0].id, node.value)
+                    # tuple/attribute/subscript targets escape the scope:
+                    # harvest happens elsewhere (e.g. the pipeline slots)
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                loads.add(node.id)
+        for name, call in posts.items():
+            if name not in loads:
+                findings.append(
+                    ctx.finding(
+                        "unharvested-request",
+                        Severity.ERROR,
+                        call,
+                        f"request `{name}` is never used after the post: no "
+                        f"reachable wait()/test() harvests it",
+                    )
+                )
+    return findings
+
+
+# -- rule: nb-ring-depth ----------------------------------------------------
+
+
+def _declared_depth(scope: ast.AST) -> int | None:
+    """A literal NB ring depth declared in this scope, if any.
+
+    Recognised: ``nb_depth=<int>`` / ``depth=<int>`` keyword arguments
+    and ``nb_depth = <int>`` style local assignments.
+    """
+    depth: int | None = None
+    for node in _walk_shallow(scope):
+        if isinstance(node, ast.Call):
+            for k in node.keywords:
+                if k.arg in ("nb_depth", "depth") and isinstance(
+                    k.value, ast.Constant
+                ) and isinstance(k.value.value, int):
+                    depth = k.value.value
+        elif isinstance(node, ast.Assign):
+            if (
+                len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id in ("nb_depth", "depth")
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, int)
+            ):
+                depth = node.value.value
+    return depth
+
+
+def _is_post_call(node: ast.Call) -> bool:
+    name = _call_method_name(node)
+    if name in NONBLOCKING_COLLECTIVES:
+        return True
+    # pipeline posts ride a GramPipeline; `prefetch` only packs
+    return name == "post" and isinstance(node.func, ast.Attribute)
+
+
+def _is_harvest_call(node: ast.Call) -> bool:
+    return _call_method_name(node) in ("wait", "test", "pop", "popleft")
+
+
+def _loop_bound_names(test: ast.AST | None) -> set[str]:
+    names: set[str] = set()
+    if test is None:
+        return names
+    for sub in ast.walk(test):
+        if isinstance(sub, ast.Name):
+            names.add(sub.id)
+        elif isinstance(sub, ast.Call) and _call_method_name(sub) == "len":
+            for arg in sub.args:
+                if isinstance(arg, ast.Name):
+                    names.add(arg.id)
+    return names
+
+
+def _check_nb_ring(ctx: RuleContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for scope in _function_scopes(ctx.tree):
+        depth = _declared_depth(scope)
+        # straight-line over-posting against a literal depth
+        if depth is not None:
+            live = 0
+            for stmt in _scope_body(scope):
+                posts = waits = 0
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Call):
+                        if _is_post_call(sub):
+                            posts += 1
+                        elif _is_harvest_call(sub):
+                            waits += 1
+                if isinstance(stmt, (ast.For, ast.While)):
+                    # loops handled by the heuristic below
+                    live = 0
+                    continue
+                live = max(0, live + posts - waits)
+                if live > depth:
+                    findings.append(
+                        ctx.finding(
+                            "nb-ring-depth",
+                            Severity.ERROR,
+                            stmt,
+                            f"{live} nonblocking collectives in flight on a "
+                            f"ring declared with depth {depth}: the post "
+                            f"raises NbRingDepthError (or deadlocked, before "
+                            f"the typed guard)",
+                        )
+                    )
+                    live = depth  # report once per overflow point
+        # loop heuristic: posts accumulated with no harvest and no bound
+        for node in _walk_shallow(scope):
+            if not isinstance(node, (ast.For, ast.While)):
+                continue
+            body_posts = [
+                sub
+                for stmt in node.body
+                for sub in ast.walk(stmt)
+                if isinstance(sub, ast.Call) and _is_post_call(sub)
+            ]
+            if not body_posts:
+                continue
+            has_harvest = any(
+                isinstance(sub, ast.Call) and _is_harvest_call(sub)
+                for stmt in node.body
+                for sub in ast.walk(stmt)
+            )
+            if has_harvest:
+                continue
+            bound_names = _loop_bound_names(
+                node.test if isinstance(node, ast.While) else None
+            )
+            accum_names = {
+                sub.func.value.id
+                for stmt in node.body
+                for sub in ast.walk(stmt)
+                if isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in ("append", "add")
+                and isinstance(sub.func.value, ast.Name)
+            }
+            depth_like = {"tau", "depth", "nb_depth"} & bound_names
+            if accum_names & bound_names or depth_like:
+                continue  # `while len(inflight) <= tau:` style warmup
+            findings.append(
+                ctx.finding(
+                    "nb-ring-depth",
+                    Severity.WARNING,
+                    body_posts[0],
+                    "nonblocking collectives posted in a loop with no "
+                    "wait()/test() in the body and no depth-bounded loop "
+                    "condition: in-flight requests grow past any ring depth",
+                )
+            )
+    return findings
+
+
+# -- rule: collective-without-timeout --------------------------------------
+
+
+def _check_timeout(ctx: RuleContext) -> list[Finding]:
+    if not ctx.config.in_scope(ctx.path, ctx.config.runtime_paths):
+        return []
+    findings: list[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _is_collective_call(node)
+        if name is None or name in NONBLOCKING_COLLECTIVES:
+            continue
+        if _has_kwarg(node, "timeout"):
+            continue
+        findings.append(
+            ctx.finding(
+                "collective-without-timeout",
+                Severity.WARNING,
+                node,
+                f"runtime-path collective `{name}` has no `timeout=`: if "
+                f"the communicator was built without a comm-wide default "
+                f"deadline, a lost peer hangs this rank forever",
+            )
+        )
+    return findings
+
+
+# -- rule: abort-swallow ----------------------------------------------------
+
+
+def _handler_type_names(handler: ast.ExceptHandler) -> set[str]:
+    names: set[str] = set()
+    t = handler.type
+    if t is None:
+        return {"<bare>"}
+    elts = t.elts if isinstance(t, ast.Tuple) else [t]
+    for e in elts:
+        if isinstance(e, ast.Name):
+            names.add(e.id)
+        elif isinstance(e, ast.Attribute):
+            names.add(e.attr)
+    return names
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    """Does the handler body contain a bare ``raise``?"""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+    return False
+
+
+def _check_abort_swallow(ctx: RuleContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.Try,)):
+            continue
+        aborts_handled = False
+        for handler in node.handlers:
+            names = _handler_type_names(handler)
+            if names & ABORT_EXCEPTIONS:
+                # a narrower abort handler shields later broad ones iff
+                # it re-raises (catching-and-dropping is its own finding)
+                if _handler_reraises(handler):
+                    aborts_handled = True
+                    continue
+                findings.append(
+                    ctx.finding(
+                        "abort-swallow",
+                        Severity.ERROR,
+                        handler,
+                        f"handler catches "
+                        f"{', '.join(sorted(names & ABORT_EXCEPTIONS))} "
+                        f"without re-raising: a mid-collective abort is "
+                        f"swallowed and peers hang",
+                    )
+                )
+                continue
+            broad = names & _BROAD_HANDLERS or "<bare>" in names
+            if not broad:
+                continue
+            if aborts_handled or _handler_reraises(handler):
+                continue
+            label = "bare `except:`" if "<bare>" in names else (
+                f"`except {'/'.join(sorted(names & _BROAD_HANDLERS))}:`"
+            )
+            broad_enough_for_ki = "BaseException" in names or "<bare>" in names
+            ki_note = "/KeyboardInterrupt" if broad_enough_for_ki else ""
+            findings.append(
+                ctx.finding(
+                    "abort-swallow",
+                    Severity.ERROR,
+                    handler,
+                    f"{label} can eat CommAborted/RankDiedError"
+                    f"{ki_note}: "
+                    f"re-raise the abort taxonomy first "
+                    f"(`except (CommAborted, RankDiedError, "
+                    f"KeyboardInterrupt): raise`)",
+                )
+            )
+    return findings
+
+
+# -- rule: nondeterminism ---------------------------------------------------
+
+_TIME_CALLS = {
+    ("time", "time"), ("time", "time_ns"), ("time", "monotonic"),
+    ("time", "monotonic_ns"), ("time", "perf_counter"),
+    ("time", "perf_counter_ns"), ("datetime", "now"), ("datetime", "utcnow"),
+    ("datetime", "today"), ("os", "urandom"), ("uuid", "uuid4"),
+    ("uuid", "uuid1"),
+}
+
+_NP_RANDOM_FNS = {
+    "rand", "randn", "randint", "random", "random_sample", "choice",
+    "permutation", "shuffle", "standard_normal", "uniform", "normal",
+}
+
+_DIR_ORDER_FNS = {"listdir", "iterdir", "glob", "scandir"}
+
+
+def _attr_chain(node: ast.AST) -> list[str]:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return list(reversed(parts))
+
+
+def _check_nondeterminism(ctx: RuleContext) -> list[Finding]:
+    if not ctx.config.in_scope(ctx.path, ctx.config.determinism_paths):
+        return []
+    findings: list[Finding] = []
+    # directory-order calls passed straight into sorted() are stable
+    sorted_args: set[int] = set()
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "sorted"
+        ):
+            sorted_args.update(id(a) for a in node.args)
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            if len(chain) >= 2:
+                head, tail = chain[-2], chain[-1]
+                if (head, tail) in _TIME_CALLS:
+                    findings.append(
+                        ctx.finding(
+                            "nondeterminism",
+                            Severity.ERROR,
+                            node,
+                            f"`{'.'.join(chain)}()` reads ambient state: "
+                            f"byte-identical checkpoint replay cannot "
+                            f"reproduce it (thread virtual time through "
+                            f"the ledger/trace instead)",
+                        )
+                    )
+                    continue
+                # global numpy RNG stream (np.random.*); explicit
+                # Generator methods (rng.random()) are fine
+                if (
+                    chain[0] in ("np", "numpy")
+                    and "random" in chain[:-1]
+                    and tail in _NP_RANDOM_FNS
+                ):
+                    findings.append(
+                        ctx.finding(
+                            "nondeterminism",
+                            Severity.ERROR,
+                            node,
+                            f"`{'.'.join(chain)}()` uses the global RNG "
+                            f"stream: seed an explicit Generator "
+                            f"(`repro.utils.seeds.shared_generator`)",
+                        )
+                    )
+                    continue
+                if tail == "default_rng" and not node.args and not node.keywords:
+                    findings.append(
+                        ctx.finding(
+                            "nondeterminism",
+                            Severity.ERROR,
+                            node,
+                            "`default_rng()` without a seed draws entropy "
+                            "from the OS: replay diverges",
+                        )
+                    )
+                    continue
+                if chain[0] == "random" and len(chain) == 2:
+                    findings.append(
+                        ctx.finding(
+                            "nondeterminism",
+                            Severity.ERROR,
+                            node,
+                            f"`{'.'.join(chain)}()` uses the global stdlib "
+                            f"RNG: seed an explicit Generator",
+                        )
+                    )
+                    continue
+                if (
+                    tail in _DIR_ORDER_FNS
+                    and chain[0] in ("os", "glob")
+                    and id(node) not in sorted_args
+                ):
+                    findings.append(
+                        ctx.finding(
+                            "nondeterminism",
+                            Severity.WARNING,
+                            node,
+                            f"`{'.'.join(chain)}()` yields directory order: "
+                            f"wrap in sorted() for a stable schedule",
+                        )
+                    )
+                    continue
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            it = node.iter
+            is_set = isinstance(it, (ast.Set, ast.SetComp)) or (
+                isinstance(it, ast.Call)
+                and isinstance(it.func, ast.Name)
+                and it.func.id in ("set", "frozenset")
+            )
+            if is_set:
+                findings.append(
+                    ctx.finding(
+                        "nondeterminism",
+                        Severity.WARNING,
+                        it,
+                        "iteration order over a set depends on "
+                        "PYTHONHASHSEED: sort it before iterating on a "
+                        "replayed path",
+                    )
+                )
+    return findings
+
+
+RULES: tuple[Rule, ...] = (
+    Rule(
+        "collective-in-rank-branch",
+        Severity.ERROR,
+        "collective (or unvetted call) reachable only under a rank "
+        "conditional",
+        _check_rank_branch,
+    ),
+    Rule(
+        "unharvested-request",
+        Severity.ERROR,
+        "nonblocking collective whose request is dropped or never "
+        "waited/tested",
+        _check_unharvested,
+    ),
+    Rule(
+        "nb-ring-depth",
+        Severity.ERROR,
+        "more in-flight nonblocking collectives than the declared ring "
+        "depth",
+        _check_nb_ring,
+    ),
+    Rule(
+        "collective-without-timeout",
+        Severity.WARNING,
+        "runtime-path collective with no per-call deadline",
+        _check_timeout,
+    ),
+    Rule(
+        "abort-swallow",
+        Severity.ERROR,
+        "broad exception handler that can eat the abort taxonomy",
+        _check_abort_swallow,
+    ),
+    Rule(
+        "nondeterminism",
+        Severity.ERROR,
+        "ambient state (clock, global RNG, set/dir order) on a "
+        "byte-identical replay path",
+        _check_nondeterminism,
+    ),
+)
+
+
+def rule_ids() -> list[str]:
+    return [r.id for r in RULES]

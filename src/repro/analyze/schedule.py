@@ -1,0 +1,398 @@
+"""Static collective-schedule model + extraction for the SA solvers.
+
+Two halves, cross-validated against each other and against runtime:
+
+1. **Schedule model** — :func:`expected_schedule` generates, from solver
+   parameters alone, the exact per-rank collective sequence (op +
+   payload shape class, as ``"op:shape"`` keys matching
+   :class:`repro.mpi.tracing.TraceEvent.key`) each solver family
+   executes in each mode ``{blocking, pipeline, async tau}``. This is
+   the SPMD contract written down: every rank must produce exactly this
+   sequence, or the world deadlocks.
+2. **Static extraction** — :func:`static_alphabet` partial-evaluates the
+   solver driver's AST against the mode flags (``async_``/``pipeline``)
+   and closes over a name-based call graph of the solver/linalg layers,
+   yielding the set of collective ops reachable in that mode. Branches
+   whose tests cannot be decided statically contribute both sides, so
+   extraction **over-approximates**: every op the runtime can execute is
+   in the alphabet (``runtime ⊆ static``), and mode flags that are
+   decidable (``async_=False`` kills the async arm) tighten it enough to
+   prove e.g. that the blocking path can never post an ``Iallreduce``.
+
+``tests/test_analyze_schedule.py`` closes the loop: the model sequence
+must equal the recorded runtime trace event-for-event (virtual and
+thread backends), and the runtime ops must be contained in the static
+alphabet. A collective added, dropped, or reordered in the source shows
+up as a test diff instead of a hang.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+
+__all__ = [
+    "MODES",
+    "FAMILIES",
+    "ScheduleParams",
+    "outer_chunks",
+    "expected_schedule",
+    "static_alphabet",
+]
+
+MODES = ("blocking", "pipeline", "async")
+FAMILIES = ("lasso-plain", "lasso-acc", "svm")
+
+#: trace keys (``op:shape``) of the primitive schedule events
+AR_SCALAR = "allreduce:scalar"  # distributed_objective / norm2_cols
+AR_VEC = "Allreduce:vec"  # packed Gram+projection / matvec_full
+NB_VEC = "Iallreduce:vec"  # GramPipeline.post
+AG_VEC = "Allgather:vec"  # gather_cols
+
+#: per-family schedule ingredients: the record-point event burst and the
+#: trailing events after the driver loop (SVM gathers the primal shard)
+_RECORD_EVENTS = {
+    "lasso-plain": (AR_SCALAR,),
+    "lasso-acc": (AR_SCALAR,),
+    # _record_gap: matvec_full (buffer Allreduce) + norm2_cols (object
+    # allreduce of a python float)
+    "svm": (AR_VEC, AR_SCALAR),
+}
+_TAIL_EVENTS = {
+    "lasso-plain": (),
+    "lasso-acc": (),
+    "svm": (AG_VEC,),
+}
+
+#: solver driver roots for static extraction
+_ROOTS = {
+    "lasso-plain": ("solvers/lasso/plain.py", "sa_bcd"),
+    "lasso-acc": ("solvers/lasso/acc.py", "sa_acc_bcd"),
+    "svm": ("solvers/svm/dcd.py", "sa_dcd"),
+}
+
+#: packages (relative to the ``repro`` package root) whose function defs
+#: feed the call-graph index. The mpi backends are deliberately
+#: excluded: generic method names there (``wait``, ``record``) would
+#: collide with solver-layer names and pollute the alphabets — and the
+#: public collectives are exactly the call boundary the schedule is
+#: defined over.
+_INDEX_ROOTS = ("solvers", "linalg", "prox", "utils", "checkpoint.py")
+
+
+@dataclass(frozen=True)
+class ScheduleParams:
+    """Solver parameters that determine the collective schedule."""
+
+    max_iter: int
+    s: int = 8
+    record_every: int = 1
+    tau: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_iter < 1:
+            raise ValueError("max_iter must be >= 1")
+        if self.s < 1:
+            raise ValueError("s must be >= 1")
+        if self.tau < 0:
+            raise ValueError("tau must be >= 0")
+
+
+def outer_chunks(max_iter: int, s: int) -> list[int]:
+    """Outer-step sizes: ``min(s, remaining)`` until ``max_iter``."""
+    sizes: list[int] = []
+    done = 0
+    while done < max_iter:
+        sizes.append(min(s, max_iter - done))
+        done += sizes[-1]
+    return sizes
+
+
+def _record_burst(
+    family: str, done: int, s_eff: int, record_every: int, max_iter: int
+) -> list[str]:
+    """Record events emitted by one outer step's inner loop."""
+    out: list[str] = []
+    for j in range(1, s_eff + 1):
+        it = done + j
+        if record_every and (it % record_every == 0 or it == max_iter):
+            out.extend(_RECORD_EVENTS[family])
+    return out
+
+
+def expected_schedule(
+    family: str, mode: str, params: ScheduleParams
+) -> list[str]:
+    """The exact per-rank collective sequence of one solver run.
+
+    Assumes the run neither converges early (``tol=None``), checkpoints,
+    nor resumes — the regime the cross-check tests pin down. Keys match
+    :meth:`repro.mpi.tracing.CollectiveTracer.keys`.
+    """
+    if family not in FAMILIES:
+        raise ValueError(f"unknown family {family!r}; known: {FAMILIES}")
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; known: {MODES}")
+    rec = list(_RECORD_EVENTS[family])
+    chunks = outer_chunks(params.max_iter, params.s)
+
+    events: list[str] = []
+    events.extend(rec)  # iteration-0 record before the driver loop
+
+    if mode == "blocking":
+        done = 0
+        for s_eff in chunks:
+            events.append(AR_VEC)  # packed gram_(rows_)and_project
+            events.extend(
+                _record_burst(
+                    family, done, s_eff, params.record_every, params.max_iter
+                )
+            )
+            done += s_eff
+    elif mode == "pipeline":
+        # post(k) ... [prefetch(k+1); wait(k); inner(k); post(k+1)] ...
+        done = 0
+        for i, s_eff in enumerate(chunks):
+            events.append(NB_VEC)
+            events.extend(
+                _record_burst(
+                    family, done, s_eff, params.record_every, params.max_iter
+                )
+            )
+            done += s_eff
+    else:  # async: warmup posts, then harvest-oldest / post-next
+        w = min(params.tau + 1, len(chunks))
+        events.extend([NB_VEC] * w)
+        done = 0
+        for i, s_eff in enumerate(chunks):
+            events.extend(
+                _record_burst(
+                    family, done, s_eff, params.record_every, params.max_iter
+                )
+            )
+            done += s_eff
+            if w + i < len(chunks):
+                events.append(NB_VEC)
+        # the drain waits on already-posted reductions: no new events
+
+    # final record: skipped when the cadence already recorded max_iter
+    if not params.record_every:
+        events.extend(rec)
+    events.extend(_TAIL_EVENTS[family])
+    return events
+
+
+# -- static extraction -------------------------------------------------------
+
+_COLLECTIVES = frozenset(
+    {
+        "allreduce", "bcast", "barrier", "allgather", "gather", "scatter",
+        "reduce", "Allreduce", "Bcast", "Reduce", "Allgather", "Iallreduce",
+    }
+)
+#: names too generic to treat as collectives when called bare
+_AMBIGUOUS_BARE = frozenset(
+    {"gather", "scatter", "reduce", "allgather", "allreduce", "bcast", "barrier"}
+)
+
+
+def _package_root() -> str:
+    # .../src/repro/analyze/schedule.py -> .../src/repro
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _call_name(node: ast.Call) -> str | None:
+    fn = node.func
+    if isinstance(fn, ast.Attribute):
+        return fn.attr
+    if isinstance(fn, ast.Name):
+        return fn.id
+    return None
+
+
+def _direct_ops(node: ast.Call) -> str | None:
+    name = _call_name(node)
+    if name is None or name not in _COLLECTIVES:
+        return None
+    if isinstance(node.func, ast.Name) and name in _AMBIGUOUS_BARE:
+        return None
+    return name
+
+
+def _shallow_calls(root: ast.AST) -> tuple[set[str], set[str]]:
+    """(direct collective ops, callee names) without entering nested defs."""
+    ops: set[str] = set()
+    callees: set[str] = set()
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(node, ast.Call):
+            op = _direct_ops(node)
+            if op is not None:
+                ops.add(op)
+            else:
+                name = _call_name(node)
+                if name is not None:
+                    callees.add(name)
+        stack.extend(ast.iter_child_nodes(node))
+    return ops, callees
+
+
+@lru_cache(maxsize=1)
+def _call_index() -> dict[str, tuple[frozenset[str], frozenset[str]]]:
+    """name -> (direct collective ops, callee names), merged over all
+    same-named defs in the indexed packages."""
+    index: dict[str, tuple[set[str], set[str]]] = {}
+    base = _package_root()
+    files: list[str] = []
+    for rel in _INDEX_ROOTS:
+        p = os.path.join(base, rel)
+        if os.path.isfile(p):
+            files.append(p)
+            continue
+        for root, dirs, names in os.walk(p):
+            dirs[:] = [d for d in dirs if d != "__pycache__"]
+            files.extend(
+                os.path.join(root, n) for n in names if n.endswith(".py")
+            )
+    for path in sorted(files):
+        with open(path, "r", encoding="utf-8") as fh:
+            tree = ast.parse(fh.read(), filename=path)
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                ops, callees = _shallow_calls(node)
+                old_ops, old_callees = index.get(node.name, (set(), set()))
+                index[node.name] = (old_ops | ops, old_callees | callees)
+    return {
+        name: (frozenset(ops), frozenset(callees))
+        for name, (ops, callees) in index.items()
+    }
+
+
+def _tri_eval(test: ast.AST, env: dict[str, bool]):
+    """Three-valued test evaluation: True / False / None (unknown)."""
+    if isinstance(test, ast.Name):
+        return env.get(test.id)
+    if isinstance(test, ast.Constant):
+        return bool(test.value)
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        inner = _tri_eval(test.operand, env)
+        return None if inner is None else not inner
+    if isinstance(test, ast.BoolOp):
+        vals = [_tri_eval(v, env) for v in test.values]
+        if isinstance(test.op, ast.And):
+            if any(v is False for v in vals):
+                return False
+            if all(v is True for v in vals):
+                return True
+            return None
+        if any(v is True for v in vals):
+            return True
+        if all(v is False for v in vals):
+            return False
+        return None
+    return None
+
+
+def _visit_stmts(
+    stmts: list[ast.stmt],
+    env: dict[str, bool],
+    ops: set[str],
+    callees: set[str],
+    aliases: dict[str, set[str]],
+    local_defs: dict[str, tuple[set[str], set[str]]],
+) -> None:
+    for stmt in stmts:
+        if isinstance(stmt, ast.If):
+            val = _tri_eval(stmt.test, env)
+            if val is not False:
+                _visit_stmts(stmt.body, env, ops, callees, aliases, local_defs)
+            if val is not True:
+                _visit_stmts(
+                    stmt.orelse, env, ops, callees, aliases, local_defs
+                )
+            continue
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # nested helper (e.g. _checkpoint): index it locally so calls
+            # to it resolve ahead of any same-named global
+            local_defs[stmt.name] = _shallow_calls(stmt)
+            continue
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            tgt = stmt.targets[0]
+            if isinstance(tgt, ast.Name):
+                val = stmt.value
+                if isinstance(val, ast.Name):
+                    aliases.setdefault(tgt.id, set()).add(val.id)
+                elif isinstance(val, ast.IfExp):
+                    for side in (val.body, val.orelse):
+                        if isinstance(side, ast.Name):
+                            aliases.setdefault(tgt.id, set()).add(side.id)
+        # _shallow_calls walks the whole statement except nested defs, so
+        # only If needs special casing (partial eval); mode-undecidable
+        # Ifs nested inside loops/with/try contribute both sides, which
+        # is the safe over-approximation.
+        s_ops, s_callees = _shallow_calls(stmt)
+        ops |= s_ops
+        callees |= s_callees
+
+
+def static_alphabet(family: str, mode: str) -> set[str]:
+    """Collective ops statically reachable in one solver mode.
+
+    Partial-evaluates the driver's mode conditionals
+    (``async_``/``pipeline``) and closes transitively over the
+    solver/linalg call graph. Over-approximates (undecidable branches
+    contribute both sides): the runtime trace's op set is always a
+    subset of this alphabet.
+    """
+    if family not in _ROOTS:
+        raise ValueError(f"unknown family {family!r}; known: {FAMILIES}")
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; known: {MODES}")
+    rel, func = _ROOTS[family]
+    env = {"async_": mode == "async", "pipeline": mode == "pipeline"}
+
+    path = os.path.join(_package_root(), rel)
+    with open(path, "r", encoding="utf-8") as fh:
+        tree = ast.parse(fh.read(), filename=path)
+    root = None
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == func:
+            root = node
+            break
+    if root is None:
+        raise ValueError(f"{rel} has no top-level function {func!r}")
+
+    ops: set[str] = set()
+    callees: set[str] = set()
+    aliases: dict[str, set[str]] = {}
+    local_defs: dict[str, tuple[set[str], set[str]]] = {}
+    _visit_stmts(root.body, env, ops, callees, aliases, local_defs)
+
+    # expand aliases (`step = _sa_outer_fast`): a call to the alias
+    # reaches every function ever assigned to it
+    expanded = set(callees)
+    for name in callees:
+        expanded |= aliases.get(name, set())
+
+    index = _call_index()
+    seen: set[str] = set()
+    work = list(expanded)
+    while work:
+        name = work.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        entry = local_defs.get(name) or index.get(name)
+        if entry is None:
+            continue
+        e_ops, e_callees = entry
+        ops |= set(e_ops)
+        for callee in e_callees:
+            work.append(callee)
+            work.extend(aliases.get(callee, ()))
+    return ops

@@ -186,6 +186,8 @@ def emit_solver_checkpoint(
     if callable(sink):
         sink(payload)
     elif rank == 0:
+        # repro: lint-ignore[collective-in-rank-branch] -- rank-0 checkpoint
+        # IO: a local atomic file write, no communication
         atomic_write_json(os.fspath(sink), payload)
 
 

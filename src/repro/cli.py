@@ -45,7 +45,6 @@ from repro.experiments.runner import (
     load_scaled,
     run_lasso,
     run_svm,
-    speedup_vs_s,
     strong_scaling,
 )
 from repro.experiments.theory import best_s
@@ -317,6 +316,24 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--h", type=int, default=1000)
     plan.add_argument("--machine", default="cray-xc30")
 
+    lint = sub.add_parser(
+        "lint", help="static analysis of the SPMD contract (docs/ANALYSIS.md)"
+    )
+    lint.add_argument("paths", nargs="+",
+                      help="python files or directories to analyze")
+    lint.add_argument("--format", default="text", choices=["text", "json"],
+                      help="findings output format")
+    lint.add_argument("--baseline", default="lint-baseline.json",
+                      help="committed baseline of grandfathered findings "
+                           "(ignored if the file does not exist)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="report baselined findings as actionable")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="regenerate the baseline from the current "
+                           "findings and exit 0")
+    lint.add_argument("--output", default=None,
+                      help="also write the JSON report to this path")
+
     return parser
 
 
@@ -420,7 +437,8 @@ def _cmd_lasso_path(args) -> int:
                  "support": int(nnz), "objective": float(res.final_metric),
                  "seconds": res.cost.seconds}
                 for lam, res, nnz in zip(path.lambdas, path.results,
-                                         path.support_sizes(1e-10))
+                                         path.support_sizes(1e-10),
+                                         strict=True)
             ],
             "total_iterations": int(sum(path.iterations)),
             "total_seconds": path.total_cost.seconds,
@@ -726,7 +744,7 @@ def _cmd_scaling(args) -> int:
     rows = [
         [p0.P, f"{p0.seconds * 1e3:.4g}", f"{p1.seconds * 1e3:.4g}",
          f"{p0.seconds / p1.seconds:.2f}x"]
-        for p0, p1 in zip(base, sa)
+        for p0, p1 in zip(base, sa, strict=True)
     ]
     print(format_table(
         ["P", f"{args.solver} (ms)", f"sa-{args.solver} s={args.s} (ms)",
@@ -750,6 +768,43 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    import json as _json
+
+    from repro.analyze import findings_to_json, lint_paths, write_baseline
+
+    result = lint_paths(
+        args.paths,
+        baseline_path=None if args.no_baseline else args.baseline,
+    )
+    if args.write_baseline:
+        write_baseline(
+            args.baseline, (f for f in result.findings if not f.suppressed)
+        )
+        n = sum(1 for f in result.findings if not f.suppressed)
+        print(f"wrote {args.baseline}: {n} grandfathered finding(s)")
+        return 0
+
+    report = findings_to_json(result.findings, paths=args.paths)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            _json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.format == "json":
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for f in result.findings:
+            if f.actionable:
+                print(f.format())
+        c = report["counts"]
+        print(
+            f"{len(result.paths)} file(s): {c['actionable']} actionable "
+            f"finding(s) ({c['suppressed']} suppressed, "
+            f"{c['baselined']} baselined)"
+        )
+    return result.exit_code
+
+
 _COMMANDS = {
     "lasso": _cmd_lasso,
     "lasso-path": _cmd_lasso_path,
@@ -758,6 +813,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "scaling": _cmd_scaling,
     "plan": _cmd_plan,
+    "lint": _cmd_lint,
 }
 
 

@@ -1,23 +1,19 @@
 """Dataset substrate: LIBSVM IO, synthetic generators, paper registry."""
 
-from repro.datasets.libsvm import load_libsvm, save_libsvm, loads_libsvm, dumps_libsvm
-from repro.datasets.synthetic import (
-    make_sparse_regression,
-    make_classification,
-    sparse_random_matrix,
-)
-from repro.datasets.preprocess import (
-    scale_rows_unit_norm,
-    scale_columns_max_abs,
-    add_bias_column,
-)
+from repro.datasets.libsvm import dumps_libsvm, load_libsvm, loads_libsvm, save_libsvm
+from repro.datasets.preprocess import add_bias_column, scale_columns_max_abs, scale_rows_unit_norm
 from repro.datasets.registry import (
-    PaperDataset,
-    PAPER_DATASETS,
     LASSO_DATASETS,
+    PAPER_DATASETS,
     SVM_DATASETS,
-    get_dataset,
+    PaperDataset,
     generate,
+    get_dataset,
+)
+from repro.datasets.synthetic import (
+    make_classification,
+    make_sparse_regression,
+    sparse_random_matrix,
 )
 
 __all__ = [

@@ -128,7 +128,7 @@ def save_libsvm(
         for i in range(A.shape[0]):
             row = A.getrow(i)
             toks = [label_fmt % labels[i]]
-            for j, v in zip(row.indices, row.data):
+            for j, v in zip(row.indices, row.data, strict=True):
                 toks.append(f"{j + offset}:{value_fmt % v}")
             fh.write(" ".join(toks) + "\n")
     finally:

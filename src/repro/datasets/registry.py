@@ -18,8 +18,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import DatasetError
 from repro.datasets.synthetic import make_classification, make_sparse_regression
+from repro.errors import DatasetError
 
 __all__ = ["PaperDataset", "PAPER_DATASETS", "LASSO_DATASETS", "SVM_DATASETS",
            "get_dataset", "generate"]

@@ -579,4 +579,3 @@ class SASVMClassifierCV(_SVMClassifierMixin):
         self.dual_coef_ = self.result_.extras["alpha"]
         self.n_iter_ = self.result_.iterations
         return self
-

@@ -11,13 +11,13 @@ extrapolated to the paper-scale dataset via ``flop_scale`` (DESIGN.md §2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
-from repro.datasets.registry import get_dataset
 from repro.datasets import registry
+from repro.datasets.registry import get_dataset
 from repro.errors import SolverError
 from repro.machine.spec import CRAY_XC30, MachineSpec
 from repro.mpi.process_backend import process_spmd_run

@@ -54,7 +54,7 @@ import numpy as np
 
 from repro.errors import CommError, CommTimeoutError, TransientCommError
 from repro.mpi.comm import Comm
-from repro.mpi.ops import Op, SUM
+from repro.mpi.ops import SUM, Op
 
 __all__ = [
     "FAULT_KINDS",

@@ -1,8 +1,7 @@
 """Distributed linear algebra: partitions, sharded matrices, Gram packing,
 and the kernel fast-path layer."""
 
-from repro.linalg.partition import Partition1D, block_partition, balanced_nnz_partition
-from repro.linalg.packing import pack_gram, unpack_gram, packed_length, tri_length
+from repro.linalg.distmatrix import ColPartitionedMatrix, RowPartitionedMatrix
 from repro.linalg.eig import largest_eigenvalue, power_iteration
 from repro.linalg.kernels import (
     EigMemo,
@@ -15,7 +14,8 @@ from repro.linalg.kernels import (
     largest_eigenvalue_cached,
     tri_plan,
 )
-from repro.linalg.distmatrix import RowPartitionedMatrix, ColPartitionedMatrix
+from repro.linalg.packing import pack_gram, packed_length, tri_length, unpack_gram
+from repro.linalg.partition import Partition1D, balanced_nnz_partition, block_partition
 
 __all__ = [
     "Partition1D",

@@ -37,7 +37,7 @@ class Partition1D:
             raise PartitionError("offsets must have at least two entries")
         if off[0] != 0:
             raise PartitionError(f"offsets must start at 0, got {off[0]}")
-        for a, b in zip(off, off[1:]):
+        for a, b in zip(off, off[1:], strict=False):
             if b < a:
                 raise PartitionError(f"offsets must be non-decreasing: {off}")
 
@@ -86,6 +86,7 @@ class Partition1D:
 
     def _check_rank(self, rank: int) -> None:
         if not (0 <= rank < self.size):
+            # repro: lint-ignore[collective-in-rank-branch] -- rank arg validation; no comm
             raise PartitionError(f"rank {rank} out of range for size {self.size}")
 
 

@@ -20,12 +20,12 @@ See DESIGN.md §2 for why this substitution preserves the paper's
 behaviour.
 """
 
-from repro.mpi.ops import Op, SUM, MAX, MIN, PROD, LAND, LOR
 from repro.mpi.comm import Comm, CommRequest
-from repro.mpi.thread_backend import ThreadComm, ThreadContext, spmd_run, SpmdResult
+from repro.mpi.ops import LAND, LOR, MAX, MIN, PROD, SUM, Op
 from repro.mpi.process_backend import ProcessComm, ProcessWorld, process_spmd_run
-from repro.mpi.virtual_backend import VirtualComm
+from repro.mpi.thread_backend import SpmdResult, ThreadComm, ThreadContext, spmd_run
 from repro.mpi.tracing import CommStats, comm_stats
+from repro.mpi.virtual_backend import VirtualComm
 
 __all__ = [
     "Op",

@@ -29,7 +29,7 @@ from repro.errors import CommError
 from repro.machine.collectives import CollectiveModel
 from repro.machine.ledger import CostLedger
 from repro.machine.spec import MachineSpec
-from repro.mpi.ops import Op, SUM
+from repro.mpi.ops import SUM, Op
 
 __all__ = ["Comm", "CommRequest"]
 
@@ -205,6 +205,11 @@ class Comm(ABC):
         if self._cost_size < self._size:
             raise CommError("cost_size cannot be smaller than actual size")
         self.machine = machine
+        #: optional :class:`~repro.mpi.tracing.CollectiveTracer`; when
+        #: attached, every public collective records one event on entry
+        #: (nonblocking ones at post time) — the runtime side of the
+        #: static collective-schedule verifier
+        self.tracer = None
         #: default deadline (wall-clock seconds) for every collective;
         #: ``None`` waits forever (the pre-fault-tolerance behaviour)
         self.timeout = timeout
@@ -275,6 +280,11 @@ class Comm(ABC):
         """Arm the deadline for the collective about to enter the backend."""
         self._active_timeout = self.timeout if timeout is None else timeout
 
+    def _trace(self, op: str, payload=None) -> None:
+        """Record one schedule event on the attached tracer, if any."""
+        if self.tracer is not None:
+            self.tracer.record(op, payload)
+
     # -- cost hooks -----------------------------------------------------------
     def _charge(self, name: str, words: float) -> None:
         pricer = getattr(self._cost_model, name, None)
@@ -305,6 +315,7 @@ class Comm(ABC):
     def barrier(self, timeout: float | None = None) -> None:
         """Synchronise all ranks."""
         self._set_timeout(timeout)
+        self._trace("barrier")
         self._allgather_impl("barrier", None)
         self._charge("barrier", 0.0)
 
@@ -314,6 +325,7 @@ class Comm(ABC):
         self._set_timeout(timeout)
         gathered = self._allgather_impl("bcast", obj if self._rank == root else None)
         result = gathered[root]
+        self._trace("bcast", result)
         self._charge("bcast", _words_of(result))
         return result
 
@@ -323,6 +335,7 @@ class Comm(ABC):
         """Gather one object per rank on ``root`` (others get None)."""
         self._check_root(root)
         self._set_timeout(timeout)
+        self._trace("gather", obj)
         gathered = self._allgather_impl("gather", obj)
         self._charge("reduce", _words_of(obj))
         return gathered if self._rank == root else None
@@ -330,6 +343,7 @@ class Comm(ABC):
     def allgather(self, obj: Any, timeout: float | None = None) -> list:
         """Gather one object per rank on every rank."""
         self._set_timeout(timeout)
+        self._trace("allgather", obj)
         gathered = self._allgather_impl("allgather", obj)
         self._charge("allgather", _words_of(obj))
         return gathered
@@ -350,6 +364,7 @@ class Comm(ABC):
             payload = None
         gathered = self._allgather_impl("scatter", payload)
         items = gathered[root]
+        self._trace("scatter", items[self._rank])
         self._charge("bcast", _words_of(items[self._rank]))
         return items[self._rank]
 
@@ -359,6 +374,7 @@ class Comm(ABC):
         """Reduce to ``root`` (others get None). Deterministic rank order."""
         self._check_root(root)
         self._set_timeout(timeout)
+        self._trace("reduce", obj)
         gathered = self._allgather_impl("reduce", obj)
         self._charge("reduce", _words_of(obj))
         if self._rank != root:
@@ -368,6 +384,7 @@ class Comm(ABC):
     def allreduce(self, obj: Any, op: Op = SUM, timeout: float | None = None) -> Any:
         """Reduce-to-all of generic objects/scalars (deterministic)."""
         self._set_timeout(timeout)
+        self._trace("allreduce", obj)
         gathered = self._allgather_impl("allreduce", obj)
         self._charge("allreduce", _words_of(obj))
         return op.fold(gathered)
@@ -407,6 +424,7 @@ class Comm(ABC):
                 return _op.fold_into(gathered, _out)
 
         self._set_timeout(timeout)
+        self._trace("Allreduce", arr)
         result = self._exchange_fold("Allreduce", arr, fold)
         self._charge("allreduce", arr.nbytes / _WORD_BYTES)
         return result
@@ -439,6 +457,7 @@ class Comm(ABC):
         if out is not None and np.may_share_memory(arr, out):
             raise CommError("Iallreduce out must not alias sendbuf")
         self._set_timeout(timeout)
+        self._trace("Iallreduce", arr)
         handle = self._iallreduce_impl("Iallreduce", arr, op)
         cost = self._cost_model.allreduce(arr.nbytes / _WORD_BYTES)
         return CommRequest(self, handle, "Iallreduce", cost, out=out)
@@ -461,6 +480,7 @@ class Comm(ABC):
         arr = np.asarray(buf) if self._rank == root else None
         gathered = self._allgather_impl("Bcast", arr)
         out = gathered[root]
+        self._trace("Bcast", out)
         self._charge("bcast", out.nbytes / _WORD_BYTES)
         return np.array(out, copy=True) if self._rank != root else out
 
@@ -475,6 +495,7 @@ class Comm(ABC):
         self._check_root(root)
         self._set_timeout(timeout)
         arr = np.asarray(sendbuf)
+        self._trace("Reduce", arr)
         gathered = self._allgather_impl("Reduce", arr)
         self._charge("reduce", arr.nbytes / _WORD_BYTES)
         if self._rank != root:
@@ -487,6 +508,7 @@ class Comm(ABC):
         """Concatenate each rank's 1-D array in rank order, on every rank."""
         self._set_timeout(timeout)
         arr = np.asarray(sendbuf)
+        self._trace("Allgather", arr)
         gathered = self._allgather_impl("Allgather", arr)
         self._charge("allgather", arr.nbytes / _WORD_BYTES)
         return np.concatenate([np.atleast_1d(g) for g in gathered])

@@ -843,16 +843,25 @@ def _pool_worker_main(
         comm.ledger.replayed_iterations = ctx.replayed_iterations
         try:
             value = fn(comm, rank, *args)
+        # The worker's top-level catch: every failure (aborts included) must
+        # reach the parent as an "err" report; world.abort() here IS the
+        # abort propagation, and a failed report re-raises the abort below.
         except BaseException as exc:  # noqa: BLE001 - reported to the parent
             world.abort()
             try:
                 report(("res", jid, attempt, rank, "err", exc, None))
+            except (CommAborted, RankDiedError, KeyboardInterrupt):
+                # a failed report cannot outrank the abort itself: die
+                # loudly, the parent detects the rank via its sentinel
+                raise
             except Exception:
                 report(("res", jid, attempt, rank, "err",
                         CommError(repr(exc)), None))
             return
         try:
             report(("res", jid, attempt, rank, "ok", value, comm.ledger))
+        except (CommAborted, RankDiedError, KeyboardInterrupt):
+            raise
         except Exception as exc:  # unpicklable return value
             report(("res", jid, attempt, rank, "err", CommError(
                 f"rank {rank} returned an unpicklable value: {exc!r}"
@@ -875,6 +884,8 @@ def _pool_worker_main(
             try:
                 cur_fn = _decode_obj(fn_enc)
                 cur_args = tuple(_decode_obj(a) for a in args_enc)
+            except (CommAborted, RankDiedError, KeyboardInterrupt):
+                raise
             except Exception as exc:
                 world.abort()
                 report(("res", jid, attempt, rank, "err", CommError(
@@ -1027,6 +1038,8 @@ class WorkerPool:
             try:
                 fn_enc = _encode_obj(fn)
                 args_enc = tuple(_encode_obj(a) for a in args)
+            except (CommAborted, RankDiedError, KeyboardInterrupt):
+                raise
             except Exception:
                 self._retire_workers()
                 live = []

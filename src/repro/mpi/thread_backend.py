@@ -290,6 +290,9 @@ class ThreadContext:
                             f" collectives {slot.tags}"
                         )
                     slot.result = slot.op.fold(slot.bufs)
+                # repro: lint-ignore[abort-swallow] -- capture, not swallow:
+                # the folder thread stores the error and every waiting rank
+                # re-raises it from slot.error at harvest time
                 except BaseException as exc:  # noqa: BLE001 - republished per rank
                     slot.error = exc
                 slot.done = True
@@ -489,6 +492,9 @@ def spmd_run(
     def worker(r: int) -> None:
         try:
             values[r] = fn(comms[r], r, *args)
+        # repro: lint-ignore[abort-swallow] -- the rank thread's top-level
+        # catch: errors[r] is re-raised by spmd_run's caller-side collection
+        # and ctx.abort() here IS the abort propagation
         except BaseException as exc:  # noqa: BLE001 - reported to caller
             errors[r] = exc
             ctx.abort()

@@ -1,19 +1,112 @@
-"""Views over communication counters for Table-I style verification.
+"""Views over communication counters, plus runtime collective tracing.
 
 The ledgers already record per-collective calls/messages/words; this
 module shapes those counters into the quantities the paper's Table I
 reports: latency cost L (messages on the critical path) and bandwidth
 cost W (words on the critical path).
+
+It also owns the **runtime collective trace**: a per-rank recorder of
+the exact collective schedule a solver executes — one
+:class:`TraceEvent` per collective entered (nonblocking ones at post
+time), carrying the operation name and a coarse payload shape class.
+The static analyzer (:mod:`repro.analyze.schedule`) predicts the same
+sequence from the source alone; ``tests/test_analyze_schedule.py``
+cross-checks the two so a rank-divergent or drifted collective schedule
+fails as a test diff instead of a runtime hang. Tracing is off unless a
+:class:`CollectiveTracer` is attached (``attach_tracer``), and records
+even collectives whose modelled cost is paused (instrumentation
+collectives are still real synchronization points).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Any, Iterable
+
+import numpy as np
 
 from repro.machine.ledger import CostLedger
 
-__all__ = ["CommStats", "comm_stats"]
+__all__ = [
+    "CommStats",
+    "comm_stats",
+    "TraceEvent",
+    "CollectiveTracer",
+    "attach_tracer",
+    "classify_payload",
+]
+
+
+def classify_payload(obj: Any) -> str:
+    """Coarse payload shape class of one collective's operand.
+
+    ``"none"`` (barrier), ``"scalar"`` (numbers / 0-d arrays), ``"vec"``
+    (1-D arrays), ``"mat"`` (>= 2-D arrays), or ``"obj"`` (anything
+    else). The schedule verifier compares classes, not element counts:
+    class drift already catches the rank-divergence bug family without
+    re-deriving the packed-buffer length arithmetic statically.
+    """
+    if obj is None:
+        return "none"
+    if isinstance(obj, np.ndarray):
+        if obj.ndim == 0:
+            return "scalar"
+        return "vec" if obj.ndim == 1 else "mat"
+    if isinstance(obj, (bool, int, float, complex, np.generic)):
+        return "scalar"
+    return "obj"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One collective as seen by one rank (nonblocking: at post time)."""
+
+    #: public :class:`~repro.mpi.comm.Comm` method name, e.g.
+    #: ``"Allreduce"``, ``"allreduce"``, ``"Iallreduce"``, ``"barrier"``
+    op: str
+    #: payload shape class, see :func:`classify_payload`
+    shape: str
+
+    @property
+    def key(self) -> str:
+        return f"{self.op}:{self.shape}"
+
+
+class CollectiveTracer:
+    """Per-rank recorder of the executed collective schedule.
+
+    Attach one per communicator (``comm.tracer = CollectiveTracer()`` or
+    :func:`attach_tracer`); every public collective appends one
+    :class:`TraceEvent` on entry. Events are recorded regardless of
+    ledger pausing — the SPMD contract is about synchronization points,
+    not modelled cost.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def record(self, op: str, payload: Any = None) -> None:
+        self.events.append(TraceEvent(op, classify_payload(payload)))
+
+    def keys(self) -> list[str]:
+        """The schedule as compact ``"op:shape"`` strings."""
+        return [e.key for e in self.events]
+
+    def ops(self) -> set[str]:
+        """The distinct collective operations observed."""
+        return {e.op for e in self.events}
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+def attach_tracer(comm) -> CollectiveTracer:
+    """Attach (and return) a fresh tracer to ``comm``."""
+    tracer = CollectiveTracer()
+    comm.tracer = tracer
+    return tracer
 
 
 @dataclass(frozen=True)

@@ -27,22 +27,21 @@ sweep runs several times faster than independent cold solves
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 import scipy.sparse as sp
 
-import json
-
 from repro._api import _check_backend, _run_spmd, fit_lasso, fit_svm
-from repro.mpi.thread_backend import NB_RING_DEPTH
 from repro.errors import CheckpointError, SolverError
 from repro.linalg.distmatrix import ColPartitionedMatrix, RowPartitionedMatrix
 from repro.linalg.kernels import EigMemo, default_eig_memo
 from repro.machine.ledger import CostSnapshot
 from repro.machine.spec import MachineSpec
 from repro.mpi.comm import Comm
+from repro.mpi.thread_backend import NB_RING_DEPTH
 from repro.mpi.virtual_backend import VirtualComm
 from repro.solvers.base import SolverResult
 from repro.solvers.serialization import result_from_dict, result_to_dict
@@ -86,7 +85,7 @@ def _fingerprints_match(fp1: tuple, fp2: tuple, rtol: float = 1e-9) -> bool:
     between sparse and dense representations of the same data)."""
     if fp1[0] != fp2[0]:
         return False
-    for a, b in zip(fp1[1:], fp2[1:]):
+    for a, b in zip(fp1[1:], fp2[1:], strict=True):
         if abs(a - b) > rtol * max(abs(a), abs(b), 1.0):
             return False
     return True
@@ -134,6 +133,8 @@ def _emit_path_checkpoint(sink, rank, lams, results, x_warm, params) -> None:
     if callable(sink):
         sink(payload)
     elif rank == 0:
+        # repro: lint-ignore[collective-in-rank-branch] -- rank-0 checkpoint
+        # IO: a local atomic file write, no communication
         atomic_write_json(sink, payload)
 
 
@@ -525,6 +526,7 @@ def lasso_path(
                     if callable(_user):
                         _user(payload)
                     elif _user is not None and wcomm.rank == 0:
+                        # repro: lint-ignore[collective-in-rank-branch] -- rank-0 local write
                         atomic_write_json(_user, payload)
             inner = lasso_path(
                 A, b, lambdas, n_lambdas=n_lambdas, eps=eps, solver=solver,
@@ -592,7 +594,7 @@ def lasso_path(
         results, x_warm = _load_path_checkpoint(resume_from, lams, ck_params)
         for res in results:
             ctx.end_point(res)
-    for lam, (it_i, tol_i) in list(zip(lams, budgets))[len(results):]:
+    for lam, (it_i, tol_i) in list(zip(lams, budgets, strict=True))[len(results):]:
         ctx.begin_point()
         res = fit_lasso(
             ctx.dist, ctx.b, float(lam), solver=solver, mu=mu, s=s,
@@ -734,7 +736,7 @@ def svm_path(
         budgets = [(max_iter, tol)] * lam_grid.size
     results: list[SolverResult] = []
     alpha_warm = None
-    for lam, (it_i, tol_i) in zip(lam_grid, budgets):
+    for lam, (it_i, tol_i) in zip(lam_grid, budgets, strict=True):
         ctx.begin_point()
         alpha0 = None
         if warm_start and alpha_warm is not None:

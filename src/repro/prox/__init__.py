@@ -1,16 +1,11 @@
 """Proximal operators and penalty objects."""
 
-from repro.prox.operators import (
-    soft_threshold,
-    elastic_net_prox,
-    group_soft_threshold,
-    box_project,
-)
+from repro.prox.operators import box_project, elastic_net_prox, group_soft_threshold, soft_threshold
 from repro.prox.penalties import (
-    Penalty,
-    L1Penalty,
     ElasticNetPenalty,
     GroupLassoPenalty,
+    L1Penalty,
+    Penalty,
     ZeroPenalty,
 )
 

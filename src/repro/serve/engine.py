@@ -287,6 +287,8 @@ class _Engine:
         if self.rctx is not None:
             self.rctx.save(payload)
         if self.checkpoint_path is not None and self.comm.rank == 0:
+            # repro: lint-ignore[collective-in-rank-branch] -- rank-0
+            # checkpoint IO: a local atomic file write, no communication
             atomic_write_json(os.fspath(self.checkpoint_path), payload)
 
     def restore(self, ck: dict, last_failure) -> None:

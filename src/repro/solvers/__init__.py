@@ -1,22 +1,17 @@
 """Solvers: the paper's primary contribution plus reference baselines."""
 
+from repro.solvers import lasso, svm
 from repro.solvers.base import ConvergenceHistory, SolverResult, Terminator
-from repro.solvers.sampling import BlockSampler, GroupBlockSampler, RowSampler
 from repro.solvers.objectives import (
-    lasso_objective,
-    least_squares_loss,
     lambda_from_sigma_min,
     lambda_max,
-    sigma_min,
+    lasso_objective,
+    least_squares_loss,
     sigma_max,
+    sigma_min,
 )
-from repro.solvers.serialization import (
-    save_result,
-    load_result,
-    result_to_dict,
-    result_from_dict,
-)
-from repro.solvers import lasso, svm
+from repro.solvers.sampling import BlockSampler, GroupBlockSampler, RowSampler
+from repro.solvers.serialization import load_result, result_from_dict, result_to_dict, save_result
 
 __all__ = [
     "ConvergenceHistory",

@@ -9,7 +9,6 @@ cost ledger (the quantity on the x-axis of the paper's Fig. 3), and a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
 
 import numpy as np
 

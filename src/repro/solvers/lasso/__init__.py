@@ -1,11 +1,11 @@
 """Lasso-family solvers: (accelerated) BCD and SA variants + references."""
 
-from repro.solvers.lasso.plain import bcd, sa_bcd, cd, sa_cd
-from repro.solvers.lasso.acc import acc_bcd, sa_acc_bcd, acc_cd, sa_acc_cd
+from repro.solvers.lasso.acc import acc_bcd, acc_cd, sa_acc_bcd, sa_acc_cd
+from repro.solvers.lasso.plain import bcd, cd, sa_bcd, sa_cd
 from repro.solvers.lasso.reference import (
-    ista,
-    fista,
     coordinate_descent_reference,
+    fista,
+    ista,
     lipschitz_constant,
 )
 

@@ -10,7 +10,7 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
-from repro.errors import SolverError
+from repro.errors import CommAborted, RankDiedError, SolverError
 from repro.prox.penalties import L1Penalty, Penalty
 
 __all__ = [
@@ -77,6 +77,10 @@ def sigma_min(A) -> float:
     try:
         val = spla.eigsh(G, k=1, sigma=0.0, which="LM", return_eigenvectors=False)
         return float(np.sqrt(max(val[0], 0.0)))
+    except (CommAborted, RankDiedError, KeyboardInterrupt):
+        # a mid-collective abort is never a singular-Gram failure: the
+        # dense fallback would run on a dead communicator and hang
+        raise
     except Exception:
         # shift-invert can fail on singular Grams; fall back to dense
         dense = np.asarray(A.todense())

@@ -2,12 +2,12 @@
 
 from repro.solvers.svm.dcd import dcd, sa_dcd
 from repro.solvers.svm.duality import (
-    loss_params,
-    svm_primal_objective,
-    svm_dual_objective,
     duality_gap,
     hinge_losses,
+    loss_params,
     prediction_accuracy,
+    svm_dual_objective,
+    svm_primal_objective,
 )
 from repro.solvers.svm.reference import dcd_reference
 

@@ -54,7 +54,9 @@ def hinge_losses(margins: np.ndarray, loss: str) -> np.ndarray:
     return clipped * clipped
 
 
-def svm_primal_objective(Ax: np.ndarray, b: np.ndarray, x_norm2: float, lam: float, loss: str) -> float:
+def svm_primal_objective(
+    Ax: np.ndarray, b: np.ndarray, x_norm2: float, lam: float, loss: str
+) -> float:
     """``P(x) = 0.5 ||x||^2 + lam sum_i loss(1 - b_i (Ax)_i)``.
 
     Takes the precomputed ``Ax`` and ``||x||^2`` so callers control where

@@ -1,14 +1,14 @@
 """Small shared utilities: seeding, validation, and table formatting."""
 
-from repro.utils.seeds import SeedBundle, spawn_rank_seed, shared_generator
+from repro.utils.seeds import SeedBundle, shared_generator, spawn_rank_seed
+from repro.utils.tables import format_series, format_table
 from repro.utils.validation import (
-    check_dense_or_csr,
-    check_positive,
-    check_in_range,
-    check_vector,
     as_float64_array,
+    check_dense_or_csr,
+    check_in_range,
+    check_positive,
+    check_vector,
 )
-from repro.utils.tables import format_table, format_series
 
 __all__ = [
     "SeedBundle",

@@ -1,0 +1,23 @@
+"""BAD: broad handlers that can eat the abort taxonomy, and a narrow
+abort handler that drops instead of re-raising."""
+
+
+def swallow_broad(comm, x):
+    try:
+        return comm.allreduce(x, timeout=5.0)
+    except Exception:
+        return None  # a CommAborted mid-collective dies here
+
+
+def swallow_bare(comm, x):
+    try:
+        return comm.allreduce(x, timeout=5.0)
+    except:  # noqa: E722
+        return None
+
+
+def swallow_named(comm, x, CommAborted):
+    try:
+        return comm.allreduce(x, timeout=5.0)
+    except CommAborted:
+        return None  # caught the abort and dropped it

@@ -1,0 +1,22 @@
+"""GOOD: aborts re-raised ahead of (or inside) generic handling."""
+
+
+def reraise_first(comm, x, CommAborted, RankDiedError):
+    try:
+        return comm.allreduce(x, timeout=5.0)
+    except (CommAborted, RankDiedError, KeyboardInterrupt):
+        raise
+    except Exception:
+        return None
+
+
+def reraise_inside(comm, x):
+    try:
+        return comm.allreduce(x, timeout=5.0)
+    except Exception:
+        cleanup(comm)
+        raise
+
+
+def cleanup(comm):
+    return comm

@@ -1,0 +1,17 @@
+"""BAD: more in-flight nonblocking posts than the declared ring depth,
+and an unbounded post loop with no harvest."""
+
+
+def overfill_ring(comm, bufs, outs):
+    comm.configure(nb_depth=2)
+    r1 = comm.Iallreduce(bufs[0], out=outs[0])
+    r2 = comm.Iallreduce(bufs[1], out=outs[1])
+    r3 = comm.Iallreduce(bufs[2], out=outs[2])  # 3 in flight on a depth-2 ring
+    return r1.wait(), r2.wait(), r3.wait()
+
+
+def unbounded_post_loop(comm, chunks, out):
+    reqs = []
+    for chunk in chunks:
+        reqs.append(comm.Iallreduce(chunk, out=out))  # no wait, no bound
+    return reqs

@@ -1,0 +1,26 @@
+"""GOOD: in-flight posts stay within the declared depth; post loops are
+depth-bounded or harvest inside the body."""
+
+
+def double_buffer(comm, bufs, outs):
+    comm.configure(nb_depth=2)
+    r1 = comm.Iallreduce(bufs[0], out=outs[0])
+    r2 = comm.Iallreduce(bufs[1], out=outs[1])
+    a = r1.wait()
+    r3 = comm.Iallreduce(bufs[2], out=outs[2])  # never more than 2 in flight
+    return a, r2.wait(), r3.wait()
+
+
+def bounded_warmup(comm, batches, out, tau):
+    inflight = []
+    while len(inflight) <= tau and batches:
+        inflight.append(comm.Iallreduce(next(batches), out=out))
+    return inflight
+
+
+def harvest_in_loop(comm, chunks, out):
+    results = []
+    for chunk in chunks:
+        req = comm.Iallreduce(chunk, out=out)
+        results.append(req.wait())
+    return results

@@ -1,0 +1,33 @@
+"""BAD (replay path): ambient clock/RNG/order state."""
+import os
+import random
+import time
+
+import numpy as np
+
+
+def stamp():
+    return time.time()
+
+
+def sample(n):
+    return np.random.rand(n)
+
+
+def fresh_rng():
+    return np.random.default_rng()
+
+
+def jitter():
+    return random.random()
+
+
+def visit(items):
+    total = 0
+    for item in set(items):
+        total += item
+    return total
+
+
+def scan(d):
+    return os.listdir(d)

@@ -1,0 +1,20 @@
+"""GOOD (replay path): explicit seeds, sorted orders, no wall clock."""
+import os
+
+import numpy as np
+
+
+def sample(n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.random(n)
+
+
+def visit(items):
+    total = 0
+    for item in sorted(set(items)):
+        total += item
+    return total
+
+
+def scan(d):
+    return sorted(os.listdir(d))

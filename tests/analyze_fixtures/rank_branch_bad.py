@@ -1,0 +1,18 @@
+"""BAD: collectives reachable only under rank conditionals."""
+
+
+def broadcast_from_root(comm, x):
+    # the canonical SPMD deadlock: ranks != 0 never enter the bcast
+    if comm.rank == 0:
+        comm.bcast(x)
+
+
+def guarded_barrier(comm, flag):
+    if comm.rank == 0 and flag:
+        comm.barrier()
+    else:
+        log_skip(comm.rank)
+
+
+def log_skip(rank):
+    return rank

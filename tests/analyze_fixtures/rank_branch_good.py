@@ -1,0 +1,13 @@
+"""GOOD: every rank reaches every collective; rank branches only gate
+local, non-communicating work."""
+
+
+def broadcast_model(comm, x):
+    # all ranks enter the collective unconditionally
+    return comm.bcast(x)
+
+
+def rank_local_print(comm, msg):
+    if comm.rank == 0:
+        print(msg)  # whitelisted local call
+    comm.barrier()

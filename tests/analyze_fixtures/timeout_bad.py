@@ -1,0 +1,9 @@
+"""BAD (runtime path): blocking collectives with no per-call deadline."""
+
+
+def objective(comm, part):
+    return comm.allreduce(part)
+
+
+def reduce_gram(comm, send, recv):
+    return comm.Allreduce(send, out=recv)

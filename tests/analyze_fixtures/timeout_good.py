@@ -1,0 +1,14 @@
+"""GOOD (runtime path): every blocking collective carries a deadline;
+nonblocking posts are exempt (their wait() enforces the deadline)."""
+
+
+def objective(comm, part):
+    return comm.allreduce(part, timeout=30.0)
+
+
+def reduce_gram(comm, send, recv):
+    return comm.Allreduce(send, out=recv, timeout=30.0)
+
+
+def post_gram(comm, send, recv):
+    return comm.Iallreduce(send, out=recv)

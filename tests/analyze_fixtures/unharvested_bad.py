@@ -1,0 +1,12 @@
+"""BAD: nonblocking collectives whose requests are dropped/never waited."""
+
+
+def drop_request(comm, buf, out):
+    comm.Iallreduce(buf, out=out)  # request discarded on the spot
+    return out
+
+
+def never_waited(comm, buf, out):
+    req = comm.Iallreduce(buf, out=out)  # bound but never used again
+    del buf
+    return out

@@ -1,0 +1,18 @@
+"""GOOD: every posted request is harvested (or escapes to a harvester)."""
+
+
+def post_and_wait(comm, buf, out):
+    req = comm.Iallreduce(buf, out=out)
+    return req.wait()
+
+
+def post_and_poll(comm, buf, out):
+    req = comm.Iallreduce(buf, out=out)
+    while not req.test():
+        pass
+    return out
+
+
+def post_into_slot(comm, slot, buf, out):
+    # stored on an object: the pipeline's wait() harvests it later
+    slot.req = comm.Iallreduce(buf, out=out)

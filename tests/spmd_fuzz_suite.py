@@ -127,7 +127,7 @@ def make_sequence(seed: int, n_ops: int = 20, size: int = 2) -> list[dict]:
     weights = np.array([0.10, 0.18, 0.25, 0.08, 0.08,
                         0.07, 0.07, 0.06, 0.06, 0.05])
     ops: list[dict] = []
-    for i in range(n_ops):
+    for _ in range(n_ops):
         kind = str(rng.choice(kinds, p=weights / weights.sum()))
         op = {"kind": kind, "flops": float(rng.uniform(0.0, 1e6))}
         if kind in ("allreduce", "reduce"):
@@ -485,7 +485,7 @@ def assert_async_equal(observed: tuple, expected_vals: list,
 def assert_results_equal(observed: list, expected: list) -> None:
     """Bitwise comparison of one rank's observed vs expected op results."""
     assert len(observed) == len(expected)
-    for i, (got, want) in enumerate(zip(observed, expected)):
+    for i, (got, want) in enumerate(zip(observed, expected, strict=True)):
         if isinstance(want, np.ndarray):
             assert isinstance(got, np.ndarray), f"op {i}: expected an array"
             assert got.dtype == want.dtype, (

@@ -1,0 +1,141 @@
+"""Regression tests: the abort taxonomy must outrank every fallback.
+
+Each test pins one of the handler sites where a broad ``except`` used to
+swallow ``CommAborted`` / ``RankDiedError`` / ``KeyboardInterrupt`` (the
+``abort-swallow`` lint rule's fix sites): the ``sigma_min`` dense
+fallback, and the worker pool's encode-failure retirement path. The
+worker-side guards (report/decode) live in forked children and are
+exercised end-to-end by the fault-injection suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.errors import CommAborted, RankDiedError
+from repro.mpi import process_backend
+from repro.mpi.process_backend import WorkerPool
+from repro.solvers.objectives import sigma_min
+
+
+@pytest.fixture()
+def big_sparse():
+    # large enough (m * n > 512^2) that sigma_min takes the iterative
+    # eigsh path instead of the dense SVD
+    return sp.random(600, 600, density=0.01, format="csr", random_state=0)
+
+
+class TestSigmaMinAbortPropagation:
+    @pytest.mark.parametrize(
+        "exc", [CommAborted("abort"), RankDiedError("rank died"), KeyboardInterrupt()]
+    )
+    def test_abort_reraised_not_swallowed_by_dense_fallback(
+        self, monkeypatch, big_sparse, exc
+    ):
+        def dying_eigsh(*args, **kwargs):
+            raise exc
+
+        monkeypatch.setattr(spla, "eigsh", dying_eigsh)
+        with pytest.raises(type(exc)):
+            sigma_min(big_sparse)
+
+    def test_generic_failure_still_falls_back_to_dense(
+        self, monkeypatch, big_sparse
+    ):
+        def singular_gram(*args, **kwargs):
+            raise RuntimeError("factorization failed: singular")
+
+        monkeypatch.setattr(spla, "eigsh", singular_gram)
+        val = sigma_min(big_sparse)
+        assert np.isfinite(val) and val >= 0.0
+
+
+class _FakeProc:
+    def __init__(self):
+        self.terminated = False
+
+    def is_alive(self):
+        return not self.terminated
+
+    def join(self, timeout=None):
+        return None
+
+    def terminate(self):
+        self.terminated = True
+
+
+class _FakePipe:
+    def __init__(self):
+        self.sent = []
+
+    def send(self, msg):
+        self.sent.append(msg)
+
+    def close(self):
+        return None
+
+
+def _bare_pool(size: int = 1) -> WorkerPool:
+    pool = WorkerPool.__new__(WorkerPool)
+    pool.size = size
+    pool._procs = [_FakeProc() for _ in range(size)]
+    pool._job_w = [_FakePipe() for _ in range(size)]
+
+    class _World:
+        _dead = [False] * size
+
+    pool._world = _World()
+    pool._spawned = []
+
+    def record_spawn(rank, first_job):
+        pool._spawned.append(rank)
+
+    pool._spawn = record_spawn
+    return pool
+
+
+class TestDispatchEncodeFailure:
+    @pytest.mark.parametrize(
+        "exc", [CommAborted("abort"), RankDiedError("dead"), KeyboardInterrupt()]
+    )
+    def test_abort_during_encode_propagates(self, monkeypatch, exc):
+        pool = _bare_pool()
+
+        def dying_encode(obj):
+            raise exc
+
+        monkeypatch.setattr(process_backend, "_encode_obj", dying_encode)
+        with pytest.raises(type(exc)):
+            pool._dispatch(0, 0, {}, lambda: None, (), survivors_hold_job=False)
+        # the abort aborted dispatch outright: no pipe sends, no respawns
+        assert pool._job_w[0].sent == []
+        assert pool._spawned == []
+
+    def test_generic_encode_failure_retires_and_forks_fresh(self, monkeypatch):
+        pool = _bare_pool()
+
+        def unpicklable(obj):
+            raise TypeError("cannot pickle local object")
+
+        monkeypatch.setattr(process_backend, "_encode_obj", unpicklable)
+        pool._dispatch(0, 0, {}, lambda: None, (), survivors_hold_job=False)
+        # live workers were retired (orderly-stop None on the job pipe)
+        # and the rank re-forked with the job inherited
+        assert pool._job_w[0].sent == [None]
+        assert pool._procs == [None]
+        assert pool._spawned == [0]
+
+    def test_survivors_holding_job_skip_encoding(self, monkeypatch):
+        pool = _bare_pool()
+
+        def exploding(obj):  # must never be called
+            raise AssertionError("encode should not run on recovery redispatch")
+
+        monkeypatch.setattr(process_backend, "_encode_obj", exploding)
+        pool._dispatch(3, 1, {}, lambda: None, (), survivors_hold_job=True)
+        # the parked worker got the recovery message over the pipe
+        assert pool._job_w[0].sent == [("run", 3, 1, {}, None, None)]
+        assert pool._spawned == []

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import ElasticNetPenalty, L1Penalty, fit_lasso, fit_svm
+from repro import ElasticNetPenalty, fit_lasso, fit_svm
 from repro.errors import SolverError
 from repro.machine.spec import CRAY_XC30
 

@@ -338,7 +338,7 @@ class TestNbRingDepthRegression:
         out = runner(self._out_of_order, 2, nb_depth=4)
         expected = self._expected_sums(2, 4)
         for vals in out.values:
-            for got, want in zip(vals, expected):
+            for got, want in zip(vals, expected, strict=True):
                 assert np.array_equal(got, want)
 
     @staticmethod

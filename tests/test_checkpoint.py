@@ -18,13 +18,11 @@ from repro._api import fit_lasso, fit_svm
 from repro.checkpoint import (
     SOLVER_CHECKPOINT_VERSION,
     load_solver_checkpoint,
-    make_solver_checkpoint,
 )
 from repro.errors import CheckpointError
 from repro.faults import InjectedFailure
 from repro.mpi.process_backend import process_spmd_run
 from repro.mpi.thread_backend import spmd_run
-from repro.mpi.virtual_backend import VirtualComm
 from repro.path import lasso_path
 from repro.streaming import StreamingSweep, replay_schedule
 from repro.utils.io import atomic_write_json, atomic_write_text
@@ -298,7 +296,7 @@ class TestPathResume:
         assert mid["completed"] == 2
         resumed = lasso_path(A, b, resume_from=mid, **kw)
         assert np.array_equal(full.lambdas, resumed.lambdas)
-        for rf, rr in zip(full.results, resumed.results):
+        for rf, rr in zip(full.results, resumed.results, strict=True):
             assert np.max(np.abs(rf.x - rr.x)) <= TOL9
 
     def test_path_file_round_trip(self, dense_regression, tmp_path):
@@ -309,7 +307,7 @@ class TestPathResume:
         full = lasso_path(A, b, **kw)
         lasso_path(A, b, checkpoint_every=1, checkpoint_sink=str(path), **kw)
         resumed = lasso_path(A, b, resume_from=str(path), **kw)
-        for rf, rr in zip(full.results, resumed.results):
+        for rf, rr in zip(full.results, resumed.results, strict=True):
             assert np.array_equal(rf.x, rr.x)
 
 

@@ -170,7 +170,7 @@ class TestStreamE2E:
             task="lasso", lam=0.5, mu=2, s=8, max_iter=64, tol=1e-9,
             record_every=10, pipeline=True, backend=backend, ranks=RANKS,
         )
-        for got, want in zip(report["revisions"], api["revisions"]):
+        for got, want in zip(report["revisions"], api["revisions"], strict=True):
             assert got["warm"]["iterations"] == want["warm"]["iterations"]
             assert got["warm"]["final_metric"] == pytest.approx(
                 want["warm"]["final_metric"], rel=1e-12

@@ -2,11 +2,9 @@
 
 import numpy as np
 import pytest
-import scipy.sparse as sp
 
 from repro.datasets.registry import (
     LASSO_DATASETS,
-    PAPER_DATASETS,
     SVM_DATASETS,
     generate,
     get_dataset,

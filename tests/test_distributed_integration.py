@@ -11,7 +11,7 @@ import pytest
 from repro.linalg.distmatrix import ColPartitionedMatrix, RowPartitionedMatrix
 from repro.machine.spec import CRAY_XC30
 from repro.mpi.thread_backend import spmd_run
-from repro.solvers.lasso import acc_bcd, bcd, sa_acc_bcd, sa_bcd
+from repro.solvers.lasso import acc_bcd, bcd, sa_acc_bcd
 from repro.solvers.svm import dcd, sa_dcd
 
 LAM = 0.9

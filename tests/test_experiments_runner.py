@@ -13,7 +13,6 @@ from repro.experiments.runner import (
     speedup_vs_s,
     strong_scaling,
 )
-from repro.machine.spec import CRAY_XC30
 
 
 @pytest.fixture(scope="module")

@@ -3,7 +3,6 @@ tracer counts from real solver runs."""
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.datasets import make_classification, make_sparse_regression

@@ -218,6 +218,6 @@ class TestDistributedParity:
 
         xs_fast = spmd_run(run, 3, args=(True,)).values
         xs_naive = spmd_run(run, 3, args=(False,)).values
-        for xf, xn in zip(xs_fast, xs_naive):
+        for xf, xn in zip(xs_fast, xs_naive, strict=True):
             assert np.array_equal(xf, xs_fast[0])
             assert np.array_equal(xf, xn)

@@ -26,7 +26,7 @@ class TestBcdBasics:
         h = res.history.metric
         assert h[-1] < h[0]
         # proximal BCD with exact block Lipschitz is monotone
-        assert all(b <= a + 1e-9 for a, b in zip(h, h[1:]))
+        assert all(b <= a + 1e-9 for a, b in zip(h, h[1:], strict=False))
 
     def test_reaches_fista_optimum(self, small_regression):
         A, b, _ = small_regression

@@ -26,7 +26,7 @@ class TestIsta:
     def test_monotone_decrease(self, small_regression):
         A, b, _ = small_regression
         _, trace = ista(A, b, 0.9, max_iter=200)
-        assert all(t2 <= t1 + 1e-10 for t1, t2 in zip(trace, trace[1:]))
+        assert all(t2 <= t1 + 1e-10 for t1, t2 in zip(trace, trace[1:], strict=False))
 
     def test_fista_not_slower(self, small_regression):
         A, b, _ = small_regression
@@ -64,7 +64,7 @@ class TestCdReference:
     def test_trace_monotone(self, small_regression):
         A, b, _ = small_regression
         _, trace = coordinate_descent_reference(A, b, 0.9, mu=4, max_iter=100, seed=0)
-        assert all(t2 <= t1 + 1e-10 for t1, t2 in zip(trace, trace[1:]))
+        assert all(t2 <= t1 + 1e-10 for t1, t2 in zip(trace, trace[1:], strict=False))
 
     def test_reaches_neighbourhood_of_optimum(self, small_regression):
         A, b, _ = small_regression

@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-import scipy.sparse as sp
 
 from conftest import dense_of
 from repro.errors import PartitionError

@@ -1,6 +1,5 @@
 """Tests for repro.machine.collectives — the paper's Table-I cost model."""
 
-import math
 
 import pytest
 
@@ -13,7 +12,9 @@ UNIT = MachineSpec(name="unit", alpha=1.0, beta=1.0)
 
 
 class TestRounds:
-    @pytest.mark.parametrize("p,expected", [(1, 0), (2, 1), (3, 2), (4, 2), (1024, 10), (12288, 14)])
+    @pytest.mark.parametrize(
+        "p,expected", [(1, 0), (2, 1), (3, 2), (4, 2), (1024, 10), (12288, 14)]
+    )
     def test_tree_depth(self, p, expected):
         assert CollectiveModel(UNIT, p).rounds == expected
 

@@ -6,9 +6,9 @@ from repro.errors import CostModelError
 from repro.machine.spec import (
     COMMODITY_CLUSTER,
     CRAY_XC30,
+    FLOP_KINDS,
     NULL_MACHINE,
     SPARK_LIKE,
-    FLOP_KINDS,
     MachineSpec,
     get_machine,
 )

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import fit_lasso, lasso_path, svm_path
-from repro.datasets import make_classification, make_sparse_regression
+from repro.datasets import make_sparse_regression
 from repro.errors import SolverError
 from repro.experiments.runner import load_scaled
 from repro.linalg.distmatrix import RowPartitionedMatrix
@@ -59,7 +59,7 @@ class TestLassoPath:
         grid = lambda_grid(lambda_max(A, b), n_lambdas=5, eps=1e-2)
         kw = dict(mu=4, s=8, max_iter=400, tol=1e-7, record_every=10, seed=0)
         path = lasso_path(A, b, grid, **kw)
-        for lam, res in zip(path.lambdas, path.results):
+        for lam, res in zip(path.lambdas, path.results, strict=True):
             cold = fit_lasso(A, b, float(lam), **kw)
             warm_obj = lasso_objective(A, b, res.x, float(lam))
             cold_obj = lasso_objective(A, b, cold.x, float(lam))
@@ -124,7 +124,7 @@ class TestLassoPath:
                   record_every=0)
         exact = lasso_path(A, b, parity="exact", **kw)
         fp = lasso_path(A, b, parity="fp-tolerant", **kw)
-        for xe, xf in zip(exact.coefs, fp.coefs):
+        for xe, xf in zip(exact.coefs, fp.coefs, strict=True):
             drift = np.linalg.norm(xf - xe) / max(np.linalg.norm(xe), 1e-300)
             assert drift <= 1e-9
 
@@ -201,7 +201,7 @@ class TestSweepContext:
                        tol=None, record_every=0, context=ctx)
             info = eig_cache_info()
             rates.append(info.hits / max(info.hits + info.misses, 1))
-        assert all(b2 >= a2 for a2, b2 in zip(rates, rates[1:]))
+        assert all(b2 >= a2 for a2, b2 in zip(rates, rates[1:], strict=False))
         assert rates[-1] > rates[0] > 0.0 or rates[0] == 0.0
         # after the first point every block is a hit
         assert rates[-1] > 0.5
@@ -231,7 +231,7 @@ class TestSvmPath:
     def test_l1_warm_start_clipped_feasible(self, small_classification):
         A, b = small_classification
         path = svm_path(A, b, [0.2, 0.6], loss="l1", s=4, max_iter=120)
-        for lam, res in zip(path.lambdas, path.results):
+        for lam, res in zip(path.lambdas, path.results, strict=True):
             assert np.all(res.extras["alpha"] <= lam + 1e-12)
 
     def test_default_grid(self, small_classification):
@@ -361,5 +361,5 @@ class TestEigMemoThreading:
         kw = dict(mu=2, s=8, max_iter=64, record_every=0, tol=None, seed=0)
         base = lasso_path(A, b, grid, **kw)
         pip = lasso_path(A, b, grid, pipeline=True, **kw)
-        for rb, rp in zip(base.results, pip.results):
+        for rb, rp in zip(base.results, pip.results, strict=True):
             assert np.array_equal(rb.x, rp.x)

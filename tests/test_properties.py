@@ -7,7 +7,6 @@ to floating-point roundoff. Hypothesis searches that space.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -84,7 +83,7 @@ def test_bcd_objective_monotone_property(seed, lam):
     A, b, _ = make_sparse_regression(30, 20, density=0.5, seed=seed % 5)
     r = bcd(A, b, lam, mu=2, max_iter=40, seed=seed)
     h = r.history.metric
-    assert all(b2 <= a2 + 1e-9 * max(1, abs(a2)) for a2, b2 in zip(h, h[1:]))
+    assert all(b2 <= a2 + 1e-9 * max(1, abs(a2)) for a2, b2 in zip(h, h[1:], strict=False))
 
 
 @settings(max_examples=15, deadline=None)

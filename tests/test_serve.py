@@ -251,7 +251,7 @@ class TestEngineVirtual:
         specs = _three_tenants()
         trace = []
         t = 0.0
-        for i in range(4):  # interleave appends for all tenants
+        for _ in range(4):  # interleave appends for all tenants
             for name in ("a", "b", "c"):
                 trace.append(TraceEvent(t, name, op="append", rows=2))
                 t += 1e-5
@@ -361,7 +361,7 @@ class TestCheckpointResume:
         # ...then resume with the whole trace: the prefix is replayed
         # from state, and the final models match the uninterrupted run
         resumed = serve_trace(specs, trace, resume_from=ck, **kw)
-        for t_full, t_res in zip(full["tenants"], resumed["tenants"]):
+        for t_full, t_res in zip(full["tenants"], resumed["tenants"], strict=True):
             assert t_full["model_hash"] == t_res["model_hash"]
         assert (resumed["totals"]["outcomes"]["completed"]
                 == full["totals"]["outcomes"]["completed"])

@@ -29,7 +29,7 @@ class TestBlockSampler:
         chunked = []
         for _ in range(4):
             chunked.extend(s2.next_block() for _ in range(3))
-        assert all(np.array_equal(a, b) for a, b in zip(flat, chunked))
+        assert all(np.array_equal(a, b) for a, b in zip(flat, chunked, strict=True))
 
     def test_mu_full(self):
         s = BlockSampler(10, 10, 0)

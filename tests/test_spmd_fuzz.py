@@ -10,10 +10,10 @@ hidden == blocking). The process backend's long tail is marked ``slow``
 
 import pytest
 
+from repro.faults import FaultyComm
 from repro.machine.spec import CRAY_XC30
 from repro.mpi.process_backend import process_spmd_run
 from repro.mpi.thread_backend import spmd_run
-from repro.faults import FaultyComm
 from spmd_fuzz_suite import (
     assert_async_equal,
     assert_async_ledger_reconstruction,
@@ -64,7 +64,7 @@ def _check_ledger(runner, seed: int, size: int) -> None:
     # (at modelled P=1 a tree allreduce has zero rounds)
     res_nb = runner(nb, size, machine=CRAY_XC30, cost_size=64)
     res_blocking = runner(blocking, size, machine=CRAY_XC30, cost_size=64)
-    for led_nb, led_blocking in zip(res_nb.ledgers, res_blocking.ledgers):
+    for led_nb, led_blocking in zip(res_nb.ledgers, res_blocking.ledgers, strict=True):
         assert led_nb.comm_seconds_hidden > 0.0  # sequences always overlap
         assert_ledger_reconstruction(led_nb, led_blocking)
 
@@ -270,7 +270,7 @@ def _check_async_ledger(runner, seed: int, size: int) -> None:
                     nb_depth=tau + 2)
     res_blocking = runner(blocking, size, machine=CRAY_XC30, cost_size=64)
     _, exp_stale = expected_async(seed, events, size)
-    for led_nb, led_blocking in zip(res_nb.ledgers, res_blocking.ledgers):
+    for led_nb, led_blocking in zip(res_nb.ledgers, res_blocking.ledgers, strict=True):
         assert_async_ledger_reconstruction(led_nb, led_blocking,
                                            max(exp_stale))
 

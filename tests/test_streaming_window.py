@@ -250,7 +250,7 @@ class TestWindowedEngineState:
         eng.update_labels(ids, vals)
         order = eng.arrival_order()
         A_eff, b_eff = eng.materialize()
-        for i, v in zip(ids, vals):
+        for i, v in zip(ids, vals, strict=True):
             assert b_eff[np.nonzero(order == i)[0][0]] == v
         assert eng.lambda_max == pytest.approx(
             lambda_max(A_eff, b_eff), rel=1e-9
@@ -566,7 +566,7 @@ class TestReplayEvents:
                               max_rows=A.shape[0], mu=2, s=8, max_iter=48,
                               tol=None)
         assert rep["max_rows"] == A.shape[0]
-        for e, (B, _) in zip(rep["revisions"][1:], batches):
+        for e, (B, _) in zip(rep["revisions"][1:], batches, strict=True):
             assert e["rows_added"] == B.shape[0]
             assert e["rows_removed"] == B.shape[0]  # window keeps m fixed
             assert e["rows_total"] == A.shape[0]

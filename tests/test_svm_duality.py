@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from conftest import dense_of
 from repro.errors import SolverError
 from repro.solvers.svm.duality import (
     duality_gap,
